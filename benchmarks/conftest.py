@@ -1,0 +1,17 @@
+"""Shared fixtures for the paper-reproduction benchmarks."""
+
+import pytest
+
+from repro.workloads.experiment import build_paper_setup
+
+
+@pytest.fixture(scope="session")
+def paper_setup():
+    """The §4 environment with SF 1.0 statistics (plan-choice benches)."""
+    return build_paper_setup(scale_factor=0.002, paper_scale_stats=True)
+
+
+@pytest.fixture(scope="session")
+def execution_setup():
+    """A larger environment with *real* statistics for execution benches."""
+    return build_paper_setup(scale_factor=0.01, paper_scale_stats=False)

@@ -1,0 +1,112 @@
+"""Benchmark: aggregation placement under currency constraints.
+
+An extension experiment in the spirit of §4.1's cost-based decisions: for
+an aggregation query over a replicated table, the optimizer chooses
+between
+
+* computing the aggregate **locally** over the guarded view (rows never
+  leave the cache, but a failed guard falls back to fetching all matching
+  base rows — far more bytes than the aggregated result), and
+* shipping the **whole aggregate** to the back-end (a few rows cross the
+  wire regardless of staleness).
+
+Under the §3.2.4 expected-cost formula the fallback term dominates: any
+appreciable fallback probability makes local aggregation a bad bet, so the
+crossover sits exactly at ``B = d + f`` — the bound at which the guard is
+*certain* to pass (p = 1).  Below it the aggregate ships to the back-end;
+at and above it the cache computes it locally and saves the round trip.
+
+Run:  pytest benchmarks/test_bench_aggregation_placement.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.optimizer.cost import guard_probability
+from repro.workloads.experiment import build_paper_setup
+from repro.workloads.tpcd import apply_paper_scale_stats, customer_count
+
+#: 3-row aggregate over ~2% of the Orders table.
+AGG_SQL = (
+    "SELECT o.o_orderstatus, COUNT(*) AS n, SUM(o.o_totalprice) AS total "
+    "FROM orders o WHERE o.o_custkey < {k} GROUP BY o.o_orderstatus "
+    "CURRENCY BOUND {b} SEC ON (o)"
+)
+
+#: orders_wide lives in CR2: f = 10, d = 5, so p = 1 first at B = 15.
+CROSSOVER = 15.0
+BOUNDS = [3, 6, 9, 12, 14, 14.5, 15, 20, 600]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    setup = build_paper_setup(scale_factor=0.002)
+    # The default orders_prj lacks o_orderstatus; add a wider view so the
+    # aggregate is locally computable.
+    setup.cache.create_matview(
+        "orders_wide",
+        "orders",
+        ["o_custkey", "o_orderkey", "o_totalprice", "o_orderstatus"],
+        region="cr2",
+    )
+    apply_paper_scale_stats(setup.backend, setup.cache)
+    setup.run_for(12)
+    return setup
+
+
+def agg_sql(setup, bound):
+    k = max(2, int(customer_count(1.0) * 0.02))
+    return AGG_SQL.format(k=k, b=bound)
+
+
+def test_aggregation_placement_crossover(setup, benchmark):
+    cache = setup.cache
+    region = cache.catalog.region("cr2")
+
+    def sweep():
+        return [
+            (bound, *_plan_of(cache, agg_sql(setup, bound)))
+            for bound in BOUNDS
+        ]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\n\n=== Aggregation placement vs currency bound (CR2: f=10, d=5) ===")
+    print(f"{'bound':>6} {'p':>6} {'plan':40} {'est. cost':>12}")
+    for bound, summary, cost in results:
+        p = guard_probability(bound, region.update_delay, region.update_interval)
+        print(f"{bound:6.1f} {p:6.2f} {summary:40} {cost:12.0f}")
+
+    for bound, summary, _ in results:
+        if bound < CROSSOVER:
+            assert summary == "remote", (bound, summary)
+        else:
+            assert summary == "guarded(orders_wide)", (bound, summary)
+
+
+def _plan_of(cache, sql):
+    plan = cache.optimize(sql, use_cache=False)
+    return plan.summary(), plan.cost
+
+
+def test_local_aggregation_executes_correctly(setup, benchmark):
+    cache = setup.cache
+    backend = setup.backend
+    sql = agg_sql(setup, 600)
+
+    result = benchmark(lambda: cache.execute(sql))
+    assert result.context.branches and result.context.branches[0][1] == 0
+
+    expected = backend.execute(sql.partition(" CURRENCY")[0])
+    assert sorted(result.rows) == sorted(expected.rows)
+
+
+def test_remote_aggregation_executes_correctly(setup, benchmark):
+    cache = setup.cache
+    backend = setup.backend
+    sql = agg_sql(setup, 3)
+
+    result = benchmark(lambda: cache.execute(sql))
+    assert result.plan.summary() == "remote"
+
+    expected = backend.execute(sql.partition(" CURRENCY")[0])
+    assert sorted(result.rows) == sorted(expected.rows)

@@ -1,0 +1,80 @@
+"""Benchmark: back-end offload as currency requirements relax (paper §1).
+
+The paper's core motivation for MTCache is reducing back-end load:
+"Suppose we have a back-end database server that is overloaded.  To reduce
+the query load, we replicate part of the database to other database
+servers that act as caches."  This bench quantifies that effect with the
+mixed-workload driver: a stream of guarded point lookups whose currency
+bounds sweep from strict to relaxed, reporting how many queries (and how
+many rows) still reach the back-end.
+
+Expected shape: back-end load is total at bound 0, decreases monotonically
+(up to sampling noise) as bounds relax, and vanishes once every request
+tolerates a full propagation cycle — the load-centric view of Figure 4.2.
+
+Run:  pytest benchmarks/test_bench_backend_offload.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.cache.backend import BackendServer
+from repro.cache.mtcache import MTCache
+from repro.workloads.driver import WorkloadDriver, point_lookup_factory
+
+INTERVAL = 8.0
+DELAY = 2.0
+QUERIES = 80
+
+
+def build_cache():
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE profile (uid INT NOT NULL, score INT NOT NULL, PRIMARY KEY (uid))"
+    )
+    rows = ", ".join(f"({i}, {i % 100})" for i in range(1, 201))
+    backend.execute(f"INSERT INTO profile VALUES {rows}")
+    backend.refresh_statistics()
+    cache = MTCache(backend)
+    cache.create_region("r", INTERVAL, DELAY, heartbeat_interval=0.5)
+    cache.create_matview("profile_copy", "profile", ["uid", "score"], region="r")
+    cache.run_for(INTERVAL + 1)
+    return cache
+
+
+BOUNDS = [0, 3, 5, 7, 9, 12, 30]
+
+
+def test_backend_offload(benchmark):
+    def run():
+        out = []
+        for bound in BOUNDS:
+            cache = build_cache()
+            driver = WorkloadDriver(cache, seed=17)
+            factory = point_lookup_factory("profile", "uid", (1, 200), alias="p")
+            report = driver.run(factory, [bound], n_queries=QUERIES, think_time=0.9)
+            out.append((bound, report))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\n\n=== Back-end offload vs currency bound "
+          f"(f={INTERVAL:g}, d={DELAY:g}, {QUERIES} lookups each) ===")
+    print(f"{'bound':>6} {'local %':>8} {'backend queries':>16} {'rows shipped':>13}")
+    for bound, report in results:
+        print(
+            f"{bound:6.0f} {report.local_fraction:8.1%} "
+            f"{report.remote_queries:16d} {report.rows_shipped:13d}"
+        )
+
+    by_bound = {bound: report for bound, report in results}
+    # Strict currency: everything still lands on the back-end.
+    assert by_bound[0].remote_queries == QUERIES
+    assert by_bound[0].local_fraction == 0.0
+    # Fully relaxed: the back-end sees nothing.
+    assert by_bound[30].remote_queries == 0
+    assert by_bound[30].local_fraction == 1.0
+    # Broad monotone decline of back-end load as bounds relax (allow small
+    # sampling wiggles between adjacent points).
+    loads = [by_bound[b].remote_queries for b in BOUNDS]
+    assert all(b <= a + QUERIES * 0.15 for a, b in zip(loads, loads[1:]))
+    assert loads[0] > loads[3] > loads[-1]

@@ -1,0 +1,136 @@
+"""Ablation benchmark: equi-depth histograms vs uniform interpolation.
+
+The paper's Q6/Q7 experiment hinges on cardinality estimates: the
+optimizer sends the 53-row range to the back-end's index and keeps the
+5,975-row range on the local view.  With *uniform* min/max interpolation
+those estimates collapse on skewed data — a range over a dense value
+region looks tiny, so the optimizer ships it to the back-end and ends up
+transferring almost the whole table.  Equi-depth histograms restore the
+estimate, and with it the plan.
+
+Setup: a 20k-row table whose ``score`` column is 95% concentrated in
+[0, 100] with a 5% tail out to 10,000; back-end has a secondary index on
+``score``, the cache view does not (exactly the Q6/Q7 asymmetry).
+
+Run:  pytest benchmarks/test_bench_histogram_ablation.py --benchmark-only -s
+"""
+
+import random
+
+import pytest
+
+from repro.cache.backend import BackendServer
+from repro.cache.mtcache import MTCache
+
+ROWS = 20_000
+DENSE_SQL = (
+    "SELECT m.id, m.score FROM metrics m WHERE m.score BETWEEN 0 AND 100 "
+    "CURRENCY BOUND 60 SEC ON (m)"
+)
+SPARSE_SQL = (
+    "SELECT m.id, m.score FROM metrics m WHERE m.score BETWEEN 5000 AND 5400 "
+    "CURRENCY BOUND 60 SEC ON (m)"
+)
+
+
+def build(strip_histograms):
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE metrics (id INT NOT NULL, score FLOAT NOT NULL, PRIMARY KEY (id))"
+    )
+    rng = random.Random(99)
+    batch = []
+    for i in range(1, ROWS + 1):
+        if rng.random() < 0.95:
+            score = rng.uniform(0, 100)  # dense head
+        else:
+            score = rng.uniform(100, 10_000)  # long tail
+        batch.append(f"({i}, {score:.2f})")
+        if len(batch) >= 5000:
+            backend.execute(f"INSERT INTO metrics VALUES {', '.join(batch)}")
+            batch.clear()
+    if batch:
+        backend.execute(f"INSERT INTO metrics VALUES {', '.join(batch)}")
+    backend.create_index("CREATE INDEX ix_score ON metrics (score)")
+    backend.refresh_statistics()
+    if strip_histograms:
+        for entry in backend.catalog.tables():
+            for stats in entry.stats.columns.values():
+                stats.histogram = None
+    cache = MTCache(backend)
+    cache.create_region("r", 10, 2, heartbeat_interval=1)
+    cache.create_matview("metrics_copy", "metrics", ["id", "score"], region="r")
+    if strip_histograms:
+        for view in cache.catalog.matviews():
+            for stats in view.stats.columns.values():
+                stats.histogram = None
+    cache.run_for(11)
+    return cache
+
+
+def run_case(cache, sql):
+    plan = cache.optimize(sql, use_cache=False)
+    result = cache.execute(sql)
+    shipped = sum(n for _, n in result.context.remote_queries)
+    return plan.summary(), plan.est_rows, len(result.rows), shipped
+
+
+def test_histogram_ablation(benchmark):
+    def run():
+        with_hist = build(strip_histograms=False)
+        without = build(strip_histograms=True)
+        return {
+            ("hist", "dense"): run_case(with_hist, DENSE_SQL),
+            ("uniform", "dense"): run_case(without, DENSE_SQL),
+            ("hist", "sparse"): run_case(with_hist, SPARSE_SQL),
+            ("uniform", "sparse"): run_case(without, SPARSE_SQL),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\n\n=== Histogram ablation: skewed score column (95% in [0,100]) ===")
+    print(f"{'stats':8} {'range':7} {'plan':25} {'est rows':>9} {'true rows':>10} {'shipped':>8}")
+    for (stats, case), (summary, est, true, shipped) in sorted(results.items()):
+        print(f"{stats:8} {case:7} {summary:25} {est:9.0f} {true:10d} {shipped:8d}")
+
+    hist_dense = results[("hist", "dense")]
+    unif_dense = results[("uniform", "dense")]
+    hist_sparse = results[("hist", "sparse")]
+
+    # Histograms estimate the dense range within ~30%; uniform is off by
+    # an order of magnitude (it sees 1% of the domain, truth is ~95%).
+    assert abs(hist_dense[1] - hist_dense[2]) <= 0.3 * hist_dense[2]
+    assert unif_dense[1] < 0.15 * unif_dense[2]
+
+    # The misestimate flips the plan: uniform ships the dense range to the
+    # back-end (nearly the whole table over the wire); histograms keep it
+    # local and ship nothing.
+    assert hist_dense[0] == "guarded(metrics_copy)"
+    assert hist_dense[3] == 0
+    assert unif_dense[0] == "remote"
+    assert unif_dense[3] == unif_dense[2] > 15_000
+
+    # The genuinely selective tail range goes remote either way (back-end
+    # index wins) — histograms don't just bias toward local plans.
+    assert hist_sparse[0] == "remote"
+
+
+def test_histogram_estimates_match_reality(benchmark):
+    cache = build(strip_histograms=False)
+
+    def estimates():
+        out = []
+        for lo, hi in ((0, 50), (0, 100), (200, 2000), (9000, 10000)):
+            sql = (
+                f"SELECT m.id FROM metrics m WHERE m.score BETWEEN {lo} AND {hi}"
+            )
+            _, est, _ = cache.backend.estimate(sql)
+            true = len(cache.backend.execute(sql).rows)
+            out.append((lo, hi, est, true))
+        return out
+
+    rows = benchmark.pedantic(estimates, rounds=1, iterations=1)
+    print("\n=== estimate vs truth ===")
+    for lo, hi, est, true in rows:
+        print(f"  [{lo:5d}, {hi:5d}]  est={est:8.0f}  true={true:8d}")
+        assert abs(est - true) <= max(0.35 * true, ROWS / 16)

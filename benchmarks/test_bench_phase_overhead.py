@@ -1,0 +1,133 @@
+"""Benchmark: Table 4.5 — currency-guard overhead by execution phase.
+
+The paper profiles the three phases of executing an already-optimized
+plan — *setup* (instantiate the executable tree, bind resources), *run*
+(produce rows) and *shutdown* — and attributes the guard overhead to each.
+Our iterator executor has the same structure (open / drain / close), so we
+measure per-phase times for the guarded and traditional local plans of
+GQ1–GQ3 and report the deltas.
+
+Expected shape (paper Table 4.5):
+
+* the **setup** overhead is independent of the output size (a SwitchUnion
+  and its selector are instantiated regardless of rows);
+* the **run** overhead contains a fixed part (evaluating the guard
+  predicate once) plus a per-row part, so it grows with the row count but
+  *shrinks* relative to the query's own run time (under 4% for the ~6000
+  row scan in the paper);
+* **shutdown** overhead is tiny.
+
+Run:  pytest benchmarks/test_bench_phase_overhead.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.engine.executor import ExecutionContext
+from repro.workloads.queries import guard_query
+
+ITERS = {"gq1": 600, "gq2": 600, "gq3": 80}
+_rows = {}
+
+
+def measure_phases(cache, plan, iterations, batches=7):
+    """Median-of-batches (setup, run, shutdown) averages, in seconds."""
+    root = plan.root()
+    for _ in range(5):
+        ctx = ExecutionContext(clock=cache.clock, timeline=cache.session)
+        cache.executor.execute(root, ctx=ctx, column_names=plan.column_names)
+    per_batch = max(iterations // batches, 1)
+    sums = []
+    for _ in range(batches):
+        setup = run = shutdown = 0.0
+        rows = 0
+        for _ in range(per_batch):
+            ctx = ExecutionContext(clock=cache.clock, timeline=cache.session)
+            result = cache.executor.execute(root, ctx=ctx, column_names=plan.column_names)
+            setup += result.timings.setup
+            run += result.timings.run
+            shutdown += result.timings.shutdown
+            rows = len(result.rows)
+        sums.append((setup / per_batch, run / per_batch, shutdown / per_batch, rows))
+    sums.sort(key=lambda t: t[0] + t[1] + t[2])
+    return sums[len(sums) // 2]
+
+
+def fresh_plans(setup, name):
+    cache = setup.cache
+    base = guard_query(name, setup.scale_factor)
+    head, _, _ = base.partition(" CURRENCY")
+    alias = "c" if "customer" in base else "o"
+    plain = cache.optimize(f"{head} CURRENCY BOUND UNBOUNDED ON ({alias})")
+    guarded = cache.optimize(base.replace("10 MIN", "45 SEC"))
+    assert "guarded" in guarded.summary()
+    return plain, guarded
+
+
+def settle_fresh(setup, bound=40.0, limit=200):
+    for _ in range(limit):
+        bounds = [a.staleness_bound() or 1e9 for a in setup.cache.agents.values()]
+        if all(b < bound for b in bounds):
+            return
+        setup.cache.run_for(0.5)
+    raise AssertionError("never fresh")
+
+
+@pytest.mark.parametrize("name", ["gq1", "gq2", "gq3"])
+def test_phase_overhead(execution_setup, benchmark, name):
+    setup = execution_setup
+    cache = setup.cache
+    plain, guarded = fresh_plans(setup, name)
+    settle_fresh(setup)
+
+    def run():
+        p = measure_phases(cache, plain, ITERS[name])
+        g = measure_phases(cache, guarded, ITERS[name])
+        return p, g
+
+    (p_setup, p_run, p_shut, rows), (g_setup, g_run, g_shut, _) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    _rows[name] = {
+        "rows": rows,
+        "setup": (g_setup - p_setup, p_setup),
+        "run": (g_run - p_run, p_run),
+        "shutdown": (g_shut - p_shut, p_shut),
+    }
+    # Sanity: phases measured, totals positive.
+    assert p_setup >= 0 and p_run > 0
+    assert g_setup >= 0 and g_run > 0
+
+
+def test_report_table_4_5(execution_setup, benchmark):
+    benchmark(lambda: None)
+    print("\n\n=== Table 4.5: local currency-guard overhead by phase ===")
+    print("(paper: setup overhead independent of output size; run overhead")
+    print(" fixed + per-row, relatively small for the big scan; shutdown tiny)")
+    print(f"{'query':6} {'rows':>6} | {'setup us':>9} {'setup %':>8} | "
+          f"{'run us':>9} {'run %':>7} | {'shut us':>8}")
+    for name in ("gq1", "gq2", "gq3"):
+        if name not in _rows:
+            continue
+        entry = _rows[name]
+        s_abs, s_base = entry["setup"]
+        r_abs, r_base = entry["run"]
+        d_abs, _ = entry["shutdown"]
+        s_rel = s_abs / s_base * 100 if s_base else float("nan")
+        r_rel = r_abs / r_base * 100 if r_base else float("nan")
+        print(
+            f"{name:6} {entry['rows']:6d} | {s_abs * 1e6:9.2f} {s_rel:8.1f} | "
+            f"{r_abs * 1e6:9.2f} {r_rel:7.1f} | {d_abs * 1e6:8.2f}"
+        )
+    if {"gq1", "gq3"} <= set(_rows):
+        # Run-phase *relative* overhead shrinks as the query grows.  The
+        # bound is deliberately loose: at these µs scales, Python timing
+        # noise can perturb individual runs (the paper's point — a fixed
+        # guard cost amortized over more rows — still shows in the trend).
+        r1 = _rows["gq1"]["run"][0] / _rows["gq1"]["run"][1]
+        r3 = _rows["gq3"]["run"][0] / _rows["gq3"]["run"][1]
+        assert r3 < max(r1, 0.6)
+        # Setup overhead stays the same order of magnitude regardless of
+        # output size (within generous noise bounds).
+        s1 = abs(_rows["gq1"]["setup"][0])
+        s3 = abs(_rows["gq3"]["setup"][0])
+        assert s3 < max(s1 * 25, 60e-6)

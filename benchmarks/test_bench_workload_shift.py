@@ -1,0 +1,126 @@
+"""Benchmark: Figure 4.2 — workload distribution between cache and back-end.
+
+(a) fraction of queries served locally vs the currency bound B, for
+    propagation delays d = 1, 5, 10 at refresh interval f = 100;
+(b) fraction served locally vs the refresh interval f, for B = 10 and
+    d = 1, 5, 8.
+
+Each point is *measured* by executing a guarded query at start times spread
+uniformly across the propagation cycle, and compared with the paper's
+formula (1): p = clamp((B − d) / f, 0, 1).  The measured curve may sit
+slightly below the analytic one — the heartbeat quantizes the staleness
+bound upward by up to one beat — which is exactly the conservatism a
+correct guard must have.
+
+Run:  pytest benchmarks/test_bench_workload_shift.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.cache.backend import BackendServer
+from repro.cache.mtcache import MTCache
+from repro.optimizer.cost import guard_probability
+
+HEARTBEAT = 0.5
+TRIALS = 60
+
+
+def build_cache(interval, delay):
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE kv (id INT NOT NULL, v INT NOT NULL, PRIMARY KEY (id))"
+    )
+    rows = ", ".join(f"({i}, {i})" for i in range(1, 40))
+    backend.execute(f"INSERT INTO kv VALUES {rows}")
+    backend.refresh_statistics()
+    cache = MTCache(backend)
+    cache.create_region("r", interval, delay, heartbeat_interval=HEARTBEAT)
+    cache.create_matview("kv_copy", "kv", ["id", "v"], region="r")
+    cache.run_for(interval + delay + 2 * HEARTBEAT)
+    return cache
+
+
+def measure_local_fraction(cache, bound, interval):
+    """Execute the guarded query TRIALS times, start times spread across
+    propagation cycles; return the fraction served locally."""
+    sql = f"SELECT k.id FROM kv k CURRENCY BOUND {bound} SEC ON (k)"
+    plan = cache.optimize(sql)
+    if plan.summary() == "remote":
+        return 0.0  # compile-time pruning: bound below the region delay
+    local = 0
+    step = interval / TRIALS * 6.37  # irrational-ish stride across cycles
+    from repro.engine.executor import ExecutionContext
+
+    for _ in range(TRIALS):
+        cache.run_for(step)
+        ctx = ExecutionContext(clock=cache.clock, timeline=cache.session)
+        result = cache.executor.execute(plan.root(), ctx=ctx, column_names=plan.column_names)
+        if ctx.branches and ctx.branches[0][1] == 0:
+            local += 1
+    return local / TRIALS
+
+
+FIG_A_DELAYS = [1.0, 5.0, 10.0]
+FIG_A_INTERVAL = 100.0
+FIG_A_BOUNDS = [0, 5, 10, 20, 40, 60, 80, 100, 120, 150]
+
+FIG_B_BOUND = 10.0
+FIG_B_DELAYS = [1.0, 5.0, 8.0]
+FIG_B_INTERVALS = [1, 2, 5, 10, 20, 40, 80, 100]
+
+
+@pytest.mark.parametrize("delay", FIG_A_DELAYS)
+def test_figure_4_2a_vs_currency_bound(benchmark, delay):
+    cache = build_cache(FIG_A_INTERVAL, delay)
+
+    def run():
+        return [
+            measure_local_fraction(cache, bound, FIG_A_INTERVAL)
+            for bound in FIG_A_BOUNDS
+        ]
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    analytic = [guard_probability(b, delay, FIG_A_INTERVAL) for b in FIG_A_BOUNDS]
+
+    print(f"\n\n=== Figure 4.2(a): % local vs bound (f={FIG_A_INTERVAL:g}, d={delay:g}) ===")
+    print(f"{'B':>5} {'measured':>9} {'analytic':>9}")
+    for bound, m, a in zip(FIG_A_BOUNDS, measured, analytic):
+        print(f"{bound:5.0f} {m:9.2%} {a:9.2%}")
+
+    slack = HEARTBEAT / FIG_A_INTERVAL + 0.12
+    for bound, m, a in zip(FIG_A_BOUNDS, measured, analytic):
+        # Never above the analytic curve beyond sampling noise; never below
+        # it by more than heartbeat conservatism + sampling noise.
+        assert m <= a + 0.12, (bound, m, a)
+        assert m >= a - slack, (bound, m, a)
+    # The shape: 0 below the delay, monotone, saturated at B >= d + f.
+    assert measured[0] == 0.0
+    assert measured[-1] == 1.0
+
+
+@pytest.mark.parametrize("delay", FIG_B_DELAYS)
+def test_figure_4_2b_vs_refresh_interval(benchmark, delay):
+    def run():
+        out = []
+        for interval in FIG_B_INTERVALS:
+            cache = build_cache(float(interval), delay)
+            out.append(measure_local_fraction(cache, FIG_B_BOUND, float(interval)))
+        return out
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    analytic = [guard_probability(FIG_B_BOUND, delay, float(f)) for f in FIG_B_INTERVALS]
+
+    print(f"\n\n=== Figure 4.2(b): % local vs refresh interval (B={FIG_B_BOUND:g}, d={delay:g}) ===")
+    print(f"{'f':>5} {'measured':>9} {'analytic':>9}")
+    for interval, m, a in zip(FIG_B_INTERVALS, measured, analytic):
+        print(f"{interval:5.0f} {m:9.2%} {a:9.2%}")
+
+    for interval, m, a in zip(FIG_B_INTERVALS, measured, analytic):
+        slack = HEARTBEAT / float(interval) + 0.15
+        assert m <= a + 0.12, (interval, m, a)
+        assert m >= a - slack, (interval, m, a)
+    # Paper's observation: while f <= B - d the query always runs locally;
+    # increasing f shifts work to the back-end, steeply at first.
+    saturated = [m for f, m in zip(FIG_B_INTERVALS, measured) if f <= FIG_B_BOUND - delay - HEARTBEAT]
+    assert all(m >= 0.85 for m in saturated)
+    assert measured[-1] < measured[0] + 1e-9 or measured[0] == 1.0

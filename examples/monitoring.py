@@ -1,0 +1,77 @@
+"""Operating an MTCache: status, query log, policies and recovery.
+
+A small ops-eye tour: watch region staleness with ``status()``, follow
+query routing through the query log, switch the guard fallback policy, and
+ride out an agent outage.
+
+Run:  python examples/monitoring.py
+"""
+
+from repro import BackendServer, MTCache
+
+
+def show_status(cache, title):
+    print(f"\n--- {title} ---")
+    for cid, info in sorted(cache.status().items()):
+        bound = info["staleness_bound"]
+        bound_text = f"{bound:6.2f}s" if bound is not None else "unknown"
+        print(f"  region {cid}: staleness <= {bound_text}")
+        for name, view in sorted(info["views"].items()):
+            print(f"    {name}: {view['rows']} rows, snapshot age "
+                  f"{view['snapshot_age']:.2f}s")
+
+
+def main():
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE sensors (sid INT NOT NULL, reading FLOAT NOT NULL, "
+        "PRIMARY KEY (sid))"
+    )
+    backend.execute(
+        "INSERT INTO sensors VALUES " + ", ".join(f"({i}, {i * 1.5})" for i in range(1, 21))
+    )
+    backend.refresh_statistics()
+
+    cache = MTCache(backend)
+    cache.execute("CREATE CURRENCY REGION sensor_r INTERVAL 8 SEC DELAY 2 SEC HEARTBEAT 1 SEC")
+    cache.execute(
+        "CREATE MATERIALIZED VIEW sensors_copy IN REGION sensor_r AS SELECT * FROM sensors"
+    )
+    cache.run_for(9)
+    show_status(cache, "after first propagation")
+
+    # Normal operation: dashboards tolerate 30 seconds.
+    dashboard = "SELECT s.sid, s.reading FROM sensors s CURRENCY BOUND 30 SEC ON (s)"
+    for _ in range(3):
+        cache.execute(dashboard)
+        cache.run_for(2.5)
+    print("\nquery log:", cache.query_log.summary())
+
+    # Maintenance: the distribution agent stops; staleness grows.
+    cache.agents["sensor_r"].stop()
+    cache.run_for(40)
+    show_status(cache, "during agent outage (40s, no propagation)")
+    during = cache.execute(dashboard)
+    print("dashboard during outage ->",
+          "local" if during.context.branches[0][1] == 0 else "remote fallback")
+
+    # Ops flips the policy to see which requirements would be violated if
+    # the back-end were unreachable too.
+    cache.fallback_policy = "serve_stale"
+    flagged = cache.execute(dashboard)
+    print("serve_stale policy      -> rows:", len(flagged.rows),
+          "| warnings:", flagged.warnings)
+    cache.fallback_policy = "remote"
+
+    # Recovery: the agent resumes, the replica catches up.
+    cache.agents["sensor_r"].start(cache.scheduler, interval=8)
+    cache.run_for(9)
+    show_status(cache, "after recovery")
+    after = cache.execute(dashboard)
+    print("dashboard after recovery ->",
+          "local" if after.context.branches[0][1] == 0 else "remote")
+    print("\nfinal query log:", cache.query_log.summary())
+
+
+if __name__ == "__main__":
+    main()

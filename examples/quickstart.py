@@ -1,0 +1,73 @@
+"""Quickstart: a back-end, a cache, one replicated view, one C&C query.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BackendServer, MTCache
+
+
+def main():
+    # ------------------------------------------------------------------
+    # 1. The back-end (master) database.
+    # ------------------------------------------------------------------
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE products (pid INT NOT NULL, name VARCHAR(30) NOT NULL, "
+        "price FLOAT NOT NULL, PRIMARY KEY (pid))"
+    )
+    backend.execute(
+        "INSERT INTO products VALUES (1, 'widget', 9.99), (2, 'gadget', 19.99), "
+        "(3, 'gizmo', 4.99)"
+    )
+    backend.refresh_statistics()
+
+    # ------------------------------------------------------------------
+    # 2. The mid-tier cache: one currency region, one materialized view.
+    #    The agent propagates every 10 (simulated) seconds with a 2-second
+    #    delivery delay; the region's heartbeat beats every second.
+    # ------------------------------------------------------------------
+    cache = MTCache(backend)
+    cache.create_region("r1", update_interval=10, update_delay=2, heartbeat_interval=1)
+    cache.create_matview("products_copy", "products", ["pid", "name", "price"], region="r1")
+    cache.run_for(11)  # let a propagation cycle complete
+
+    # ------------------------------------------------------------------
+    # 3. Queries with explicit currency & consistency constraints.
+    # ------------------------------------------------------------------
+    loose = cache.execute(
+        "SELECT p.pid, p.name, p.price FROM products p "
+        "CURRENCY BOUND 60 SEC ON (p)"
+    )
+    print("bound 60s  ->", loose.plan.summary(), "| branches:", loose.context.branches)
+    for row in loose.rows:
+        print("   ", row)
+
+    # A price change on the back-end...
+    cache.execute("UPDATE products SET price = 14.99 WHERE pid = 1")  # forwarded
+
+    # ...is not yet visible through the loose-bound local read...
+    stale_ok = cache.execute(
+        "SELECT p.price FROM products p WHERE p.pid = 1 CURRENCY BOUND 600 SEC ON (p)"
+    )
+    print("bound 600s ->", stale_ok.rows[0][0], "(stale but within bound)")
+
+    # ...but a tight bound forces the plan's remote branch, which sees it.
+    fresh = cache.execute(
+        "SELECT p.price FROM products p WHERE p.pid = 1 CURRENCY BOUND 1 SEC ON (p)"
+    )
+    print("bound 1s   ->", fresh.rows[0][0], "(remote branch:", fresh.plan.summary() + ")")
+
+    # No currency clause at all = traditional semantics: always current.
+    default = cache.execute("SELECT p.price FROM products p WHERE p.pid = 1")
+    print("no clause  ->", default.rows[0][0], "via", default.plan.summary())
+
+    # After the next propagation the local view catches up.
+    cache.run_for(12)
+    caught_up = cache.execute(
+        "SELECT p.price FROM products p WHERE p.pid = 1 CURRENCY BOUND 600 SEC ON (p)"
+    )
+    print("after sync ->", caught_up.rows[0][0], "| branches:", caught_up.context.branches)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Result caching with C&C-aware reuse (paper §1, third scenario).
+
+An application-level cache of SQL query results: each cached result
+remembers when it was computed; a later identical query reuses it only if
+the result's age is within the query's currency bound, otherwise the cache
+transparently recomputes — so the application is *always* guaranteed its
+stated requirement, even though it is hitting a cache.
+
+Run:  python examples/result_cache.py
+"""
+
+from repro import BackendServer
+from repro.resultcache import ResultCache
+
+
+def main():
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE quotes (sym VARCHAR(6) NOT NULL, px FLOAT NOT NULL, "
+        "PRIMARY KEY (sym))"
+    )
+    backend.execute(
+        "INSERT INTO quotes VALUES ('AAA', 10.0), ('BBB', 20.0), ('CCC', 30.0)"
+    )
+    backend.refresh_statistics()
+
+    cache = ResultCache(backend)
+    dashboard = "SELECT q.sym, q.px FROM quotes q CURRENCY BOUND {b} SEC ON (q)"
+
+    # A dashboard refreshing every few seconds tolerates 30-second staleness.
+    cache.execute(dashboard.format(b=30))      # miss: computed
+    cache.execute(dashboard.format(b=30))      # hit: served from cache
+    cache.execute(dashboard.format(b=300))     # hit: looser bound, same key
+    print("after 3 dashboard loads:", cache.stats)
+
+    # Prices move; the cached result is now stale data...
+    backend.execute("UPDATE quotes SET px = 11.5 WHERE sym = 'AAA'")
+    backend.clock.advance(20.0)
+
+    # ...but still within the dashboard's 30-second tolerance:
+    stale = cache.execute(dashboard.format(b=30))
+    print("within bound  ->", dict((s, p) for s, p in stale.rows)["aaa".upper()],
+          "(cached, 20s old)", cache.stats)
+
+    # A trading screen needs 5-second data: the same key fails the bound
+    # and is transparently recomputed.
+    fresh = cache.execute(dashboard.format(b=5))
+    print("tight bound   ->", dict((s, p) for s, p in fresh.rows)["AAA"],
+          "(recomputed)", cache.stats)
+
+    # Writes through the cache invalidate dependent results immediately.
+    cache.execute("UPDATE quotes SET px = 99.0 WHERE sym = 'BBB'")
+    after_write = cache.execute(dashboard.format(b=300))
+    print("after write   ->", dict((s, p) for s, p in after_write.rows)["BBB"],
+          "(invalidated + recomputed)", cache.stats)
+
+
+if __name__ == "__main__":
+    main()

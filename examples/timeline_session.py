@@ -1,0 +1,80 @@
+"""Timeline consistency (§2.3): making time move forward across queries.
+
+Without a TIMEORDERED bracket a session may read fresh data remotely and
+then *older* data from a lagging replica — even its own writes can vanish.
+Inside the bracket, MTCache's currency guards additionally check the
+session watermark, so later queries never use data older than what the
+session has already seen.
+
+Run:  python examples/timeline_session.py
+"""
+
+from repro import BackendServer, MTCache
+
+
+def build():
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE account (aid INT NOT NULL, balance FLOAT NOT NULL, "
+        "PRIMARY KEY (aid))"
+    )
+    backend.execute("INSERT INTO account VALUES (1, 100.0)")
+    backend.refresh_statistics()
+    cache = MTCache(backend)
+    cache.create_region("r1", update_interval=10, update_delay=2, heartbeat_interval=1)
+    cache.create_matview("account_copy", "account", ["aid", "balance"], region="r1")
+    cache.run_for(11)
+    return cache
+
+
+BALANCE_LOOSE = (
+    "SELECT a.balance FROM account a WHERE a.aid = 1 CURRENCY BOUND 600 SEC ON (a)"
+)
+BALANCE_FRESH = (
+    "SELECT a.balance FROM account a WHERE a.aid = 1 CURRENCY BOUND 0 SEC ON (a)"
+)
+
+
+def main():
+    # ------------------------------------------------------------------
+    # Anomaly without timeline consistency: a deposit "disappears".
+    # ------------------------------------------------------------------
+    cache = build()
+    cache.execute("UPDATE account SET balance = 150.0 WHERE aid = 1")  # deposit
+    fresh = cache.execute(BALANCE_FRESH).scalar()  # remote: sees 150
+    stale = cache.execute(BALANCE_LOOSE).scalar()  # lagging replica: 100!
+    print("without TIMEORDERED:")
+    print(f"  fresh read : {fresh:.2f}")
+    print(f"  next read  : {stale:.2f}   <- time moved backwards")
+
+    # ------------------------------------------------------------------
+    # With the bracket, the second read is forced to honor the watermark.
+    # ------------------------------------------------------------------
+    cache = build()
+    cache.execute("BEGIN TIMEORDERED")
+    cache.execute("UPDATE account SET balance = 150.0 WHERE aid = 1")
+    fresh = cache.execute(BALANCE_FRESH).scalar()
+    after = cache.execute(BALANCE_LOOSE)
+    print("with TIMEORDERED:")
+    print(f"  fresh read : {fresh:.2f}")
+    print(
+        f"  next read  : {after.scalar():.2f}   "
+        f"(branch: {'local' if after.context.branches and after.context.branches[0][1] == 0 else 'remote'})"
+    )
+    cache.execute("END TIMEORDERED")
+
+    # ------------------------------------------------------------------
+    # Once replication catches up, the bracketed session can use the
+    # replica again: its snapshot has passed the watermark.
+    # ------------------------------------------------------------------
+    cache.execute("BEGIN TIMEORDERED")
+    cache.execute(BALANCE_FRESH)
+    cache.run_for(13)  # replica catches up past the watermark
+    relaxed = cache.execute(BALANCE_LOOSE)
+    used = "local" if relaxed.context.branches and relaxed.context.branches[0][1] == 0 else "remote"
+    print(f"after propagation: next read = {relaxed.scalar():.2f} via {used} branch")
+    cache.execute("END TIMEORDERED")
+
+
+if __name__ == "__main__":
+    main()

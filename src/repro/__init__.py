@@ -1,0 +1,69 @@
+"""repro — Relaxed Currency and Consistency: "Good Enough" in SQL.
+
+A from-scratch reproduction of Guo, Larson, Ramakrishnan & Goldstein
+(SIGMOD 2004): explicit currency & consistency (C&C) constraints in SQL,
+enforced by a mid-tier database cache (MTCache) whose cost-based optimizer
+checks consistency at compile time and currency at run time through
+SwitchUnion operators with heartbeat-based currency guards.
+
+Quickstart::
+
+    from repro import BackendServer, MTCache
+
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE t (id INT NOT NULL, v FLOAT, PRIMARY KEY (id))"
+    )
+    backend.execute("INSERT INTO t VALUES (1, 10.0)")
+    backend.refresh_statistics()
+
+    cache = MTCache(backend)
+    cache.create_region("r1", update_interval=10, update_delay=2)
+    cache.create_matview("t_copy", "t", ["id", "v"], region="r1")
+
+    cache.run_for(15)  # let replication propagate
+    result = cache.execute("SELECT t.id, t.v FROM t CURRENCY BOUND 60 SEC ON (t)")
+    print(result.rows, result.plan.summary())
+"""
+
+from repro.cache.backend import BackendServer
+from repro.cache.mtcache import MTCache
+from repro.cc.constraint import CCConstraint, CCTuple, constraint_from_select
+from repro.cc.properties import BACKEND_REGION, ConsistencyProperty
+from repro.cc.timeline import TimelineSession
+from repro.common.clock import SimulatedClock, WallClock
+from repro.common.errors import (
+    ConsistencyError,
+    CurrencyError,
+    OptimizerError,
+    ParseError,
+    ReproError,
+)
+from repro.optimizer.cost import CostModel, guard_probability
+from repro.semantics.checker import ResultChecker
+from repro.sql.parser import parse, parse_expression
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BACKEND_REGION",
+    "BackendServer",
+    "CCConstraint",
+    "CCTuple",
+    "ConsistencyError",
+    "ConsistencyProperty",
+    "CostModel",
+    "CurrencyError",
+    "MTCache",
+    "OptimizerError",
+    "ParseError",
+    "ReproError",
+    "ResultChecker",
+    "SimulatedClock",
+    "TimelineSession",
+    "WallClock",
+    "constraint_from_select",
+    "guard_probability",
+    "parse",
+    "parse_expression",
+]

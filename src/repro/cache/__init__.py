@@ -1,0 +1,11 @@
+"""The two servers: the back-end (master) DBMS and MTCache, the mid-tier
+database cache enforcing C&C constraints."""
+
+from repro.cache.backend import BackendServer
+from repro.cache.mtcache import CachePlacement, MTCache
+
+__all__ = [
+    "BackendServer",
+    "CachePlacement",
+    "MTCache",
+]

@@ -1,0 +1,436 @@
+"""The back-end (master) database server.
+
+A complete single-node DBMS: catalog, heap storage, transactions with a
+replication log, the cost-based optimizer over base tables, and an
+iterator executor.  It also exposes the two endpoints MTCache needs:
+
+* ``execute_remote(sql)`` — run a shipped query and return its rows, and
+* ``estimate(select)`` — cost/cardinality estimates that the cache's shadow
+  statistics are built from.
+
+Single-block queries go through the cost-based optimizer; queries with
+derived tables or subqueries take the naive recursive path (scan, cross
+join, filter with a subquery runner, aggregate, sort).
+"""
+
+from repro.catalog.catalog import Catalog
+from repro.common.clock import SimulatedClock
+from repro.common.errors import ExecutionError, OptimizerError
+from repro.common.scheduler import EventScheduler
+from repro.engine import operators as ops
+from repro.engine.executor import ExecutionContext, Executor
+from repro.engine.expressions import (
+    ExpressionContext,
+    OutputCol,
+    RowBinding,
+    compile_expr,
+    make_env,
+)
+from repro.optimizer.cost import CostModel
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.placement import BackendPlacement
+from repro.replication.heartbeat import HEARTBEAT_TABLE, HeartbeatService, heartbeat_schema
+from repro.sql import ast
+from repro.sql.parser import parse
+from repro.txn.manager import TransactionManager
+
+
+class BackendServer:
+    """The master DBMS holding the up-to-date database state."""
+
+    def __init__(self, clock=None, scheduler=None, cost_model=None):
+        self.clock = clock or SimulatedClock()
+        self.scheduler = scheduler or EventScheduler(self.clock)
+        self.catalog = Catalog()
+        self.txn_manager = TransactionManager(self.clock)
+        self.cost_model = cost_model or CostModel()
+        self.placement = BackendPlacement(self.catalog, self.cost_model, clock=self.clock)
+        self.placement.expr_ctx = ExpressionContext(
+            clock=self.clock, subquery_runner=self._run_subquery
+        )
+        self.optimizer = Optimizer(self.placement)
+        self.executor = Executor(clock=self.clock)
+        self.heartbeats = HeartbeatService(self.txn_manager, self.clock, self.scheduler)
+        self._ensure_heartbeat_table()
+
+    def _ensure_heartbeat_table(self):
+        if not self.catalog.has_table(HEARTBEAT_TABLE):
+            entry = self.catalog.create_table(HEARTBEAT_TABLE, heartbeat_schema(), primary_key=["cid"])
+            self.txn_manager.register_table(entry.table)
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def create_table(self, sql_or_stmt):
+        """CREATE TABLE from SQL text or a parsed statement."""
+        stmt = parse(sql_or_stmt) if isinstance(sql_or_stmt, str) else sql_or_stmt
+        entry = self.catalog.create_table_from_ast(stmt)
+        self.txn_manager.register_table(entry.table)
+        return entry
+
+    def create_index(self, sql_or_stmt):
+        stmt = parse(sql_or_stmt) if isinstance(sql_or_stmt, str) else sql_or_stmt
+        table = self.catalog.table(stmt.table).table
+        return table.create_index(stmt.name, stmt.columns, unique=stmt.unique, clustered=stmt.clustered)
+
+    def refresh_statistics(self, table_name=None):
+        """Recompute statistics (all tables, or one)."""
+        entries = [self.catalog.table(table_name)] if table_name else self.catalog.tables()
+        for entry in entries:
+            entry.refresh_stats()
+
+    def schedule_statistics_refresh(self, interval, caches=()):
+        """Periodically recompute statistics (auto-stats maintenance).
+
+        Any attached caches passed in ``caches`` get their shadow and view
+        statistics refreshed in the same tick (which also invalidates
+        their compiled-plan caches — statistics changes can change plans).
+        Returns the scheduler event (cancel() to stop).
+        """
+
+        def tick():
+            self.refresh_statistics()
+            for cache in caches:
+                cache.refresh_shadow_stats()
+
+        return self.scheduler.every(interval, tick, name="auto-stats")
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def execute(self, sql_or_stmt, ctx=None):
+        """Execute any supported statement.
+
+        SELECT returns a QueryResult; DML returns the number of affected
+        rows; DDL returns the created object.
+        """
+        stmt = parse(sql_or_stmt) if isinstance(sql_or_stmt, str) else sql_or_stmt
+        if isinstance(stmt, ast.Explain):
+            return self.explain(stmt.select)
+        if isinstance(stmt, ast.Select):
+            return self.execute_select(stmt, ctx=ctx)
+        if isinstance(stmt, ast.Insert):
+            return self._execute_insert(stmt)
+        if isinstance(stmt, ast.Update):
+            return self._execute_update(stmt)
+        if isinstance(stmt, ast.Delete):
+            return self._execute_delete(stmt)
+        if isinstance(stmt, ast.CreateTable):
+            return self.create_table(stmt)
+        if isinstance(stmt, ast.CreateIndex):
+            return self.create_index(stmt)
+        raise ExecutionError(f"unsupported statement: {type(stmt).__name__}")
+
+    def execute_remote(self, sql):
+        """Endpoint for the cache's RemoteQuery operator: rows only."""
+        result = self.execute(sql)
+        return result.rows
+
+    def estimate(self, select):
+        """(cost, rows, width) estimate for a Select AST or SQL string."""
+        if isinstance(select, str):
+            select = parse(select)
+        try:
+            plan = self.optimizer.optimize(select, self.catalog)
+            return plan.cost, plan.est_rows, plan.est_width
+        except OptimizerError:
+            # Naive-path queries: charge a generous default.
+            total = sum(e.stats.row_count for e in self.catalog.tables())
+            return self.cost_model.seq_scan(max(total, 1.0)) * 2.0, max(total, 1.0), 64.0
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+    def execute_select(self, select, ctx=None):
+        ctx = ctx or ExecutionContext(clock=self.clock)
+        try:
+            plan = self.optimizer.optimize(select, self.catalog)
+        except OptimizerError:
+            return self._execute_naive(select, ctx)
+        root = plan.root()
+        return self.executor.execute(root, ctx=ctx, column_names=plan.column_names)
+
+    def optimize(self, select):
+        """Expose the optimizer (plan inspection in tests/benches)."""
+        if isinstance(select, str):
+            select = parse(select)
+        return self.optimizer.optimize(select, self.catalog)
+
+    def explain(self, select):
+        """EXPLAIN: a one-column result of plan-description lines."""
+        from repro.engine.executor import PhaseTimings, QueryResult
+
+        if isinstance(select, str):
+            select = parse(select)
+        try:
+            plan = self.optimizer.optimize(select, self.catalog)
+            lines = [
+                f"summary: {plan.summary()}",
+                f"estimated cost: {plan.cost:.1f}",
+                f"estimated rows: {plan.est_rows:.0f}",
+            ] + plan.explain().splitlines()
+        except OptimizerError:
+            root, _, _ = self._build_naive(select)
+            lines = ["summary: naive plan"] + root.explain().splitlines()
+        ctx = ExecutionContext(clock=self.clock)
+        return QueryResult(["plan"], [(line,) for line in lines], PhaseTimings(), ctx)
+
+    # ------------------------------------------------------------------
+    # Naive recursive path (derived tables, HAVING subqueries, ...)
+    # ------------------------------------------------------------------
+    def _execute_naive(self, select, ctx):
+        root, binding, names = self._build_naive(select, outer_binding=None)
+        return self.executor.execute(root, ctx=ctx, column_names=names)
+
+    def _run_subquery(self, select, outer_binding, outer_env):
+        """Subquery runner wired into expression contexts."""
+        root, _, _ = self._build_naive(select, outer_binding=outer_binding)
+        ctx = ExecutionContext(clock=self.clock)
+        root.open(ctx, outer_env)
+        try:
+            return list(root.rows())
+        finally:
+            root.close()
+
+    def _build_naive(self, select, outer_binding=None):
+        """Construct a straightforward plan for an arbitrary Select block.
+
+        Cross joins all FROM items, filters with the full WHERE (subqueries
+        included), then applies aggregation / projection / distinct / order
+        / limit.  Correlated references resolve through ``outer_binding``.
+        """
+        expr_ctx = self.placement.expr_ctx
+
+        # FROM items -> (operator, binding) pairs
+        sources = []
+        for item in select.from_items:
+            if isinstance(item, ast.FromSubquery):
+                inner_root, inner_binding, inner_names = self._build_naive(
+                    item.select, outer_binding=outer_binding
+                )
+                inner_ctx = ExecutionContext(clock=self.clock)
+                inner_root.open(inner_ctx)
+                try:
+                    inner_rows = list(inner_root.rows())
+                finally:
+                    inner_root.close()
+                binding = RowBinding([OutputCol(n, item.alias) for n in inner_names])
+                sources.append((ops.Materialized(inner_rows, binding), binding))
+            else:
+                entry = self.catalog.table(item.name)
+                binding = RowBinding(
+                    [OutputCol(c.name, item.alias) for c in entry.schema.columns]
+                )
+                sources.append((ops.SeqScan(entry.table, binding), binding))
+
+        root, binding = sources[0]
+        for next_root, next_binding in sources[1:]:
+            binding = binding.concat(next_binding)
+            root = ops.HashJoin(root, next_root, [], [], binding)
+
+        binding = RowBinding(binding.columns, outer=outer_binding)
+        root.output = binding
+
+        if select.where is not None:
+            predicate = compile_expr(select.where, binding, expr_ctx)
+            root = ops.Filter(root, predicate, output=binding)
+
+        # Aggregation or plain projection (same restricted shapes as the
+        # cost-based path).
+        has_agg = bool(select.group_by) or any(
+            isinstance(node, ast.FuncCall) and node.is_aggregate
+            for item in select.items
+            if item.expr is not None
+            for node in item.expr.walk()
+        )
+
+        pre_binding = binding  # before projection, for ORDER BY placement
+        pre_root = root
+        names = []
+        if has_agg:
+            group_refs = [g for g in select.group_by]
+            agg_items = []
+            for item in select.items:
+                if item.star:
+                    raise ExecutionError("* not supported with aggregation")
+                expr = item.expr
+                if isinstance(expr, ast.FuncCall) and expr.is_aggregate:
+                    arg = None if expr.star or not expr.args else expr.args[0]
+                    agg_items.append(("agg", expr, item.output_name(), expr.name, arg))
+                else:
+                    agg_items.append(("group", expr, item.output_name(), None, None))
+            agg_binding = RowBinding(
+                [OutputCol(g.name, g.qualifier) for g in group_refs]
+                + [OutputCol(name) for kind, _, name, _, _ in agg_items if kind == "agg"],
+                outer=outer_binding,
+            )
+            group_fns = [compile_expr(g, binding, expr_ctx) for g in group_refs]
+            specs = [
+                ops.AggregateSpec(
+                    func, compile_expr(arg, binding, expr_ctx) if arg is not None else None
+                )
+                for kind, _, _, func, arg in agg_items
+                if kind == "agg"
+            ]
+            having = (
+                compile_expr(select.having, agg_binding, expr_ctx)
+                if select.having is not None
+                else None
+            )
+            root = ops.HashAggregate(root, group_fns, specs, agg_binding, having=having)
+            out_exprs = []
+            for kind, expr, name, _, _ in agg_items:
+                if kind == "group":
+                    out_exprs.append(compile_expr(expr, agg_binding, expr_ctx))
+                else:
+                    out_exprs.append(
+                        compile_expr(ast.ColumnRef(name), agg_binding, expr_ctx)
+                    )
+                names.append(name)
+            binding = RowBinding([OutputCol(n) for n in names], outer=outer_binding)
+            root = ops.Project(root, out_exprs, binding)
+        else:
+            exprs = []
+            for item in select.items:
+                if item.star:
+                    for col in binding.columns:
+                        if item.star_qualifier and col.qualifier != item.star_qualifier:
+                            continue
+                        exprs.append(
+                            compile_expr(
+                                ast.ColumnRef(col.name, qualifier=col.qualifier),
+                                binding,
+                                expr_ctx,
+                            )
+                        )
+                        names.append(col.name)
+                else:
+                    exprs.append(compile_expr(item.expr, binding, expr_ctx))
+                    names.append(item.output_name())
+            binding = RowBinding([OutputCol(n) for n in names], outer=outer_binding)
+            root = ops.Project(root, exprs, binding)
+
+        if select.distinct:
+            root = ops.Distinct(root)
+        if select.order_by:
+            from repro.optimizer.optimizer import _sort_placement, rebind_to_output
+
+            placement = (
+                "post"
+                if has_agg
+                else _sort_placement(select.order_by, pre_binding, binding)
+            )
+            if placement == "pre":
+                # Sort on non-selected columns: rebuild with the sort
+                # inserted below the projection.
+                key_fns = [
+                    compile_expr(o.expr, pre_binding, expr_ctx) for o in select.order_by
+                ]
+                descending = [o.descending for o in select.order_by]
+                sorted_child = ops.Sort(pre_root, key_fns, descending, output=pre_binding)
+                # root is Project(pre_root) (possibly under Distinct); swap
+                # the child of the projection.
+                project = root.child if isinstance(root, ops.Distinct) else root
+                project.child = sorted_child
+            else:
+                key_fns = [
+                    compile_expr(rebind_to_output(o.expr, binding), binding, expr_ctx)
+                    for o in select.order_by
+                ]
+                descending = [o.descending for o in select.order_by]
+                root = ops.Sort(root, key_fns, descending, output=binding)
+        if select.limit is not None:
+            root = ops.Limit(root, select.limit)
+        return root, binding, names
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def _execute_insert(self, stmt):
+        entry = self.catalog.table(stmt.table)
+        schema = entry.schema
+        columns = stmt.columns or schema.names()
+        positions = {c: schema.index_of(c) for c in columns}
+        expr_ctx = self.placement.expr_ctx
+        empty = RowBinding([])
+
+        rows = []
+        for value_row in stmt.rows:
+            if len(value_row) != len(columns):
+                raise ExecutionError(
+                    f"INSERT arity mismatch: {len(value_row)} values, {len(columns)} columns"
+                )
+            values = [None] * len(schema)
+            for column, expr in zip(columns, value_row):
+                fn = compile_expr(expr, empty, expr_ctx)
+                values[positions[column]] = fn(make_env(()))
+            rows.append(tuple(values))
+
+        def _apply(txn):
+            for row in rows:
+                txn.insert(stmt.table, row)
+
+        self.txn_manager.run(_apply)
+        return len(rows)
+
+    def _target_rows(self, table_name, where):
+        """(pk, values) of rows matching a DML WHERE clause."""
+        entry = self.catalog.table(table_name)
+        table = entry.table
+        binding = RowBinding(
+            [OutputCol(c.name, table_name) for c in entry.schema.columns]
+        )
+        predicate = (
+            compile_expr(where, binding, self.placement.expr_ctx)
+            if where is not None
+            else None
+        )
+        ci = table.clustered_index()
+        if ci is None:
+            raise ExecutionError(f"table {table_name} needs a primary key for DML")
+        out = []
+        for _, values in table.scan():
+            if predicate is None or predicate(make_env(values)) is True:
+                out.append((ci.key_of(values), values))
+        return entry, out
+
+    def _execute_update(self, stmt):
+        entry, targets = self._target_rows(stmt.table, stmt.where)
+        schema = entry.schema
+        binding = RowBinding([OutputCol(c.name, stmt.table) for c in schema.columns])
+        expr_ctx = self.placement.expr_ctx
+        compiled = [
+            (schema.index_of(column), compile_expr(expr, binding, expr_ctx))
+            for column, expr in stmt.assignments
+        ]
+
+        def _apply(txn):
+            for pk, values in targets:
+                new_values = list(values)
+                env = make_env(values)
+                for position, fn in compiled:
+                    new_values[position] = fn(env)
+                txn.update(stmt.table, pk, new_values)
+
+        self.txn_manager.run(_apply)
+        return len(targets)
+
+    def _execute_delete(self, stmt):
+        _, targets = self._target_rows(stmt.table, stmt.where)
+
+        def _apply(txn):
+            for pk, _ in targets:
+                txn.delete(stmt.table, pk)
+
+        self.txn_manager.run(_apply)
+        return len(targets)
+
+    # ------------------------------------------------------------------
+    # Simulation helpers
+    # ------------------------------------------------------------------
+    def run_for(self, seconds):
+        """Advance simulated time, firing heartbeats and other events."""
+        return self.scheduler.run_for(seconds)
+
+    def __repr__(self):
+        return f"<BackendServer tables={sorted(t.name for t in self.catalog.tables())}>"

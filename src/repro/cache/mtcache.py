@@ -1,0 +1,742 @@
+"""MTCache: the mid-tier database cache (paper §3).
+
+The cache DBMS holds a *shadow* copy of the back-end schema (empty tables,
+back-end statistics), local materialized views grouped into currency
+regions, and the local heartbeat tables those regions replicate.  All
+queries are submitted here; the optimizer decides — entirely cost-based —
+whether to compute each piece locally, remotely, or mixed, subject to the
+query's C&C constraint:
+
+* consistency is enforced at compile time through delivered/required plan
+  properties;
+* currency is enforced at run time by SwitchUnion operators whose selector
+  (the *currency guard*) tests the region's replicated heartbeat;
+* inserts/deletes/updates are forwarded transparently to the back-end.
+"""
+
+from repro.catalog.catalog import Catalog
+from repro.cc.properties import BACKEND_REGION, ConsistencyProperty
+from repro.cc.timeline import TimelineSession
+from repro.common.errors import CatalogError, CurrencyError, OptimizerError
+from repro.engine import operators as ops
+from repro.engine.executor import ExecutionContext, Executor, PhaseTimings, QueryResult
+from repro.engine.expressions import OutputCol, RowBinding, compile_expr
+from repro.optimizer.candidates import Candidate
+from repro.optimizer.cost import guard_probability
+from repro.optimizer.optimizer import Optimizer, OptimizedPlan
+from repro.optimizer.placement import PlacementProvider, combine_conjuncts
+from repro.optimizer.query_info import analyze_select
+from repro.replication.agent import DistributionAgent
+from repro.replication.heartbeat import heartbeat_schema, local_heartbeat_name
+from repro.sql import ast
+from repro.sql.compare import equal_ignoring_qualifiers
+from repro.sql.parser import parse, parse_expression
+from repro.storage.table import HeapTable
+
+
+class CachePlacement(PlacementProvider):
+    """Placement provider for the cache: local views + remote queries.
+
+    ``probability_aware`` toggles the §3.2.4 guard-probability term in the
+    SwitchUnion cost.  When off, guarded plans are costed as if the guard
+    always passed (p = 1) — the ablation baseline: the optimizer then
+    overestimates how useful a rarely-fresh replica is.
+    """
+
+    def __init__(self, mtcache, cost_model, probability_aware=True):
+        super().__init__(cost_model, clock=mtcache.clock)
+        self.mtcache = mtcache
+        self.probability_aware = probability_aware
+
+    # ------------------------------------------------------------------
+    # Local views (with currency guards)
+    # ------------------------------------------------------------------
+    def access_candidates(self, operand, query_info):
+        candidates = []
+        bound = query_info.constraint.bound_for(operand.alias)
+        if bound <= 0:
+            return candidates  # local data can never be 0-stale
+        for view in self._matching_views(operand):
+            region = self.mtcache.catalog.region(view.region)
+            if bound < region.update_delay and bound != ast.UNBOUNDED:
+                # Compile-time pruning: the region can never guarantee the
+                # requested currency (paper §3.2.2, last paragraph).
+                continue
+            candidates.extend(self._view_candidates(operand, query_info, view, region, bound))
+        return candidates
+
+    def _matching_views(self, operand):
+        """View matching: same base table, covering columns, predicate
+        implied by the query's conjuncts."""
+        for view in self.mtcache.catalog.matviews_on(operand.table_name):
+            if not operand.needed_columns <= set(view.columns):
+                continue
+            if view.predicate is not None and not any(
+                equal_ignoring_qualifiers(view.predicate, conjunct)
+                for conjunct in operand.conjuncts
+            ):
+                continue
+            yield view
+
+    def _view_candidates(self, operand, query_info, view, region, bound):
+        alias = operand.alias
+        skip = tuple(
+            conjunct
+            for conjunct in operand.conjuncts
+            if view.predicate is not None
+            and equal_ignoring_qualifiers(view.predicate, conjunct)
+        )
+        binding = RowBinding([OutputCol(c, alias) for c in view.columns])
+        local_delivered = ConsistencyProperty.single(region.cid, [alias])
+        locals_ = self.base_table_candidates(
+            view.table,
+            alias,
+            operand.conjuncts,
+            operand.sargs,
+            view.stats,
+            local_delivered,
+            "view",
+            binding=binding,
+            skip_conjuncts=skip,
+        )
+        if bound == ast.UNBOUNDED:
+            # No guard needed: any staleness is acceptable.  (Consistency
+            # still matters, hence the region id in the property.)
+            return locals_
+
+        # Finite bound: wrap each local alternative in a SwitchUnion whose
+        # selector is the currency guard over the region's local heartbeat.
+        remote = self._operand_remote_candidate(operand)
+        if self.probability_aware:
+            p = guard_probability(bound, region.update_delay, region.update_interval)
+        else:
+            p = 1.0
+        guarded = []
+        common_binding = remote.binding  # needed columns, sorted
+        needed = sorted(operand.needed_columns)
+        delivered = ConsistencyProperty.single(("guarded", region.cid, bound), [alias])
+        for local in locals_:
+            def build(local=local, remote=remote, view=view, bound=bound,
+                      needed=needed, common_binding=common_binding):
+                # Project the local branch to the remote branch's column
+                # order so both SwitchUnion inputs agree — unless the view
+                # already produces exactly those columns in that order.
+                if [c.name for c in local.binding.columns] == needed:
+                    local_branch = local.operator()
+                else:
+                    exprs = [
+                        compile_expr(ast.ColumnRef(c, qualifier=operand.alias),
+                                     local.binding, self.expr_ctx)
+                        for c in needed
+                    ]
+                    local_branch = ops.Project(local.operator(), exprs, common_binding)
+                selector = self.mtcache.make_currency_guard(view, bound)
+                return ops.SwitchUnion(
+                    [local_branch, remote.operator()],
+                    selector,
+                    common_binding,
+                    label=view.name,
+                )
+
+            cost = self.cost_model.switch_union(
+                p, local.cost + self.cost_model.project(local.rows), remote.cost
+            )
+            guarded.append(
+                Candidate(
+                    build,
+                    cost,
+                    local.rows,
+                    remote.width,
+                    common_binding,
+                    delivered,
+                    [alias],
+                    "guarded-view",
+                    detail=f"{view.name}|{local.kind}",
+                )
+            )
+        return guarded
+
+    # ------------------------------------------------------------------
+    # Remote candidates
+    # ------------------------------------------------------------------
+    def _operand_remote_candidate(self, operand):
+        """A remote query fetching one operand (σπ of a base table)."""
+        needed = sorted(operand.needed_columns)
+        select = ast.Select(
+            [ast.SelectItem(ast.ColumnRef(c, qualifier=operand.alias)) for c in needed],
+            [ast.FromTable(operand.table_name, operand.alias)],
+            where=combine_conjuncts(operand.conjuncts),
+        )
+        binding = RowBinding([OutputCol(c, operand.alias) for c in needed])
+        width = sum(operand.stats.column(c).avg_width for c in needed)
+        return self._remote_candidate(
+            select, binding, [operand.alias], "remote-fetch", width=width
+        )
+
+    def subset_remote_candidate(self, aliases, query_info):
+        """One remote query computing the σπ⋈ of an alias subset."""
+        aliases = frozenset(aliases)
+        items = []
+        binding_cols = []
+        from_items = []
+        conjuncts = []
+        width = 0.0
+        for alias in sorted(aliases):
+            operand = query_info.operand(alias)
+            from_items.append(ast.FromTable(operand.table_name, alias))
+            for column in sorted(operand.needed_columns):
+                items.append(ast.SelectItem(ast.ColumnRef(column, qualifier=alias)))
+                binding_cols.append(OutputCol(column, alias))
+                width += operand.stats.column(column).avg_width
+            conjuncts.extend(operand.conjuncts)
+        for jc in query_info.join_conjuncts:
+            if jc.left_alias in aliases and jc.right_alias in aliases:
+                conjuncts.append(jc.expr)
+        for conjunct in query_info.residual_conjuncts:
+            refs = {r.qualifier for r in conjunct.column_refs() if r.qualifier}
+            if refs <= aliases:
+                conjuncts.append(conjunct)
+        select = ast.Select(items, from_items, where=combine_conjuncts(conjuncts))
+        binding = RowBinding(binding_cols)
+        return self._remote_candidate(select, binding, aliases, "remote-subset", width=width)
+
+    def whole_query_candidate(self, query_info):
+        """Ship the entire statement (minus the currency clause)."""
+        original = query_info.select
+        select = ast.Select(
+            original.items,
+            original.from_items,
+            where=original.where,
+            group_by=original.group_by,
+            having=original.having,
+            order_by=original.order_by,
+            distinct=original.distinct,
+            currency=None,
+            limit=original.limit,
+        )
+        binding = RowBinding([OutputCol(name) for _, name in query_info.items])
+        return self._remote_candidate(
+            select,
+            binding,
+            query_info.aliases(),
+            "remote-query",
+            width=self._items_width(query_info),
+        )
+
+    @staticmethod
+    def _items_width(query_info):
+        """Estimated byte width of the query's output row (what the whole-
+        query remote plan actually ships)."""
+        width = 0.0
+        for expr, _ in query_info.items:
+            if isinstance(expr, ast.ColumnRef):
+                for alias in query_info.aliases():
+                    operand = query_info.operand(alias)
+                    if (expr.qualifier in (None, alias)) and operand.schema.has_column(expr.name):
+                        width += operand.stats.column(expr.name).avg_width
+                        break
+                else:
+                    width += 8.0
+            else:
+                width += 8.0
+        return width
+
+    def _remote_candidate(self, select, binding, aliases, kind, width=None):
+        backend = self.mtcache.backend
+        sql = select.to_sql()
+        cost, rows, est_width = backend.estimate(select)
+        if width is None or width <= 0:
+            width = est_width
+        total = cost + self.cost_model.transfer(rows, max(width, 1.0))
+        delivered = ConsistencyProperty.single(BACKEND_REGION, aliases)
+
+        def build(sql=sql, binding=binding):
+            return ops.RemoteQuery(sql, binding, self.mtcache.remote_executor)
+
+        return Candidate(build, total, rows, width, binding, delivered, aliases, kind, detail=sql[:60])
+
+
+class QueryLogEntry:
+    """One executed query, as remembered by the monitoring log."""
+
+    __slots__ = ("sql", "summary", "branches", "remote_queries", "rows",
+                 "elapsed", "sim_time", "warnings")
+
+    def __init__(self, sql, summary, branches, remote_queries, rows, elapsed,
+                 sim_time, warnings):
+        self.sql = sql
+        self.summary = summary
+        self.branches = branches
+        self.remote_queries = remote_queries
+        self.rows = rows
+        self.elapsed = elapsed
+        self.sim_time = sim_time
+        self.warnings = warnings
+
+    @property
+    def served_locally(self):
+        return bool(self.branches) and all(i == 0 for _, i in self.branches)
+
+    def __repr__(self):
+        where = "local" if self.served_locally else "remote/mixed"
+        return f"QueryLogEntry({self.sql[:40]!r}... {where}, {self.rows} rows)"
+
+
+class QueryLog:
+    """A bounded ring of QueryLogEntry records."""
+
+    def __init__(self, capacity=200):
+        self.capacity = capacity
+        self._entries = []
+
+    def record(self, entry):
+        self._entries.append(entry)
+        if len(self._entries) > self.capacity:
+            del self._entries[: len(self._entries) - self.capacity]
+
+    def recent(self, n=10):
+        return list(self._entries[-n:])
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def clear(self):
+        self._entries.clear()
+
+    def summary(self):
+        """Aggregate counters over the retained window."""
+        total = len(self._entries)
+        local = sum(1 for e in self._entries if e.served_locally)
+        remote_queries = sum(len(e.remote_queries) for e in self._entries)
+        return {
+            "queries": total,
+            "local": local,
+            "local_fraction": local / total if total else 0.0,
+            "remote_queries": remote_queries,
+        }
+
+
+class MTCache:
+    """The cache DBMS front-end applications talk to.
+
+    ``fallback_policy`` controls what a currency guard does when the local
+    data is not fresh enough (paper §1's possible actions):
+
+    * ``"remote"`` (default) — transparently use the back-end branch;
+    * ``"error"`` — abort the request with :class:`CurrencyError`;
+    * ``"serve_stale"`` — return the local data anyway, attaching a
+      violation warning to the result (``result.warnings``).
+    """
+
+    FALLBACK_POLICIES = ("remote", "error", "serve_stale")
+
+    def __init__(self, backend, cost_model=None, fallback_policy="remote", plan_cache_size=128):
+        if fallback_policy not in self.FALLBACK_POLICIES:
+            raise ValueError(f"unknown fallback policy: {fallback_policy!r}")
+        self._fallback_policy = fallback_policy
+        #: Compiled-plan cache (paper §3.2: "This approach requires
+        #: re-optimization only if a view's consistency properties
+        #: change").  Keyed by SQL text; invalidated whenever the catalog
+        #: changes in a way that can affect plan choice or validity.
+        self._plan_cache = {}
+        self._plan_cache_size = plan_cache_size
+        self.plan_cache_stats = {"hits": 0, "misses": 0, "invalidations": 0}
+        #: Ring buffer of recent query executions (monitoring aid).
+        self.query_log = QueryLog()
+        self.backend = backend
+        self.clock = backend.clock
+        self.scheduler = backend.scheduler
+        self.catalog = Catalog()
+        self.cost_model = cost_model or backend.cost_model
+        self.placement = CachePlacement(self, self.cost_model)
+        self.optimizer = Optimizer(self.placement)
+        self.executor = Executor(clock=self.clock)
+        self.session = TimelineSession()
+        self.agents = {}  # cid -> DistributionAgent
+        self._local_heartbeats = {}  # cid -> HeapTable
+        self.mirror_backend()
+
+    # ------------------------------------------------------------------
+    # Plan cache
+    # ------------------------------------------------------------------
+    @property
+    def fallback_policy(self):
+        return self._fallback_policy
+
+    @fallback_policy.setter
+    def fallback_policy(self, value):
+        if value not in self.FALLBACK_POLICIES:
+            raise ValueError(f"unknown fallback policy: {value!r}")
+        if value != self._fallback_policy:
+            self._fallback_policy = value
+            # Cached plans embed guard selectors built under the old policy.
+            self.invalidate_plans()
+
+    def invalidate_plans(self):
+        """Drop all cached plans (view/region/statistics changes)."""
+        if self._plan_cache:
+            self.plan_cache_stats["invalidations"] += 1
+        self._plan_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Shadow database
+    # ------------------------------------------------------------------
+    def mirror_backend(self):
+        """(Re)create shadow tables for every back-end table, carrying the
+        back-end's statistics but no data (paper §3, step 1)."""
+        for entry in self.backend.catalog.tables():
+            if not self.catalog.has_table(entry.name):
+                shadow = self.catalog.create_table(
+                    entry.name,
+                    entry.schema,
+                    primary_key=entry.table.primary_key,
+                    shadow=True,
+                )
+            else:
+                shadow = self.catalog.table(entry.name)
+            shadow.stats = entry.stats
+
+    def refresh_shadow_stats(self):
+        """Recompute back-end statistics and copy them into the shadow."""
+        self.backend.refresh_statistics()
+        self.mirror_backend()
+        for view in self.catalog.matviews():
+            self._refresh_view_stats(view)
+        self.invalidate_plans()
+
+    def _refresh_view_stats(self, view):
+        base_stats = self.backend.catalog.table(view.base_table).stats
+        stats = base_stats.project(view.columns)
+        if view.predicate is not None:
+            _, rows, _ = self.backend.estimate(
+                ast.Select(
+                    [ast.SelectItem(ast.ColumnRef(view.columns[0]))],
+                    [ast.FromTable(view.base_table)],
+                    where=view.predicate,
+                )
+            )
+            stats = stats.scaled(rows / max(base_stats.row_count, 1))
+        view.stats = stats
+
+    # ------------------------------------------------------------------
+    # Regions, agents, views
+    # ------------------------------------------------------------------
+    def create_region(self, cid, update_interval, update_delay, heartbeat_interval=2.0):
+        """Create a currency region with its agent and heartbeat plumbing."""
+        region = self.catalog.create_region(cid, update_interval, update_delay)
+        self.backend.heartbeats.register_region(cid, beat_interval=heartbeat_interval)
+        local_hb = HeapTable(local_heartbeat_name(cid), heartbeat_schema(), primary_key=["cid"])
+        self._local_heartbeats[cid] = local_hb
+        agent = DistributionAgent(
+            region, self.backend.catalog, self.backend.txn_manager.log, self.catalog, self.clock
+        )
+        agent.attach_heartbeat(local_hb)
+        agent.start(self.scheduler, interval=update_interval)
+        self.agents[cid] = agent
+        self.invalidate_plans()
+        return region
+
+    def create_matview(self, name, base_table, columns, predicate=None, region=None):
+        """Define and populate a local materialized view (paper §3, steps
+        2–3): the matching replication subscription is created and the view
+        is populated immediately."""
+        if region is None:
+            raise CatalogError("a materialized view must belong to a currency region")
+        if isinstance(predicate, str):
+            predicate = parse_expression(predicate)
+        view = self.catalog.create_matview(
+            name, base_table, columns, predicate=predicate, region=region
+        )
+        self.agents[region].subscribe(view)
+        self._refresh_view_stats(view)
+        self.invalidate_plans()
+        return view
+
+    def drop_matview(self, name):
+        """Drop a local materialized view and its subscription."""
+        view = self.catalog.drop_matview(name)
+        agent = self.agents.get(view.region)
+        if agent is not None:
+            agent.unsubscribe(view)
+        self.invalidate_plans()
+        return view
+
+    def drop_region(self, cid):
+        """Drop an (empty) currency region: stop its agent and heartbeat."""
+        region = self.catalog.drop_region(cid)
+        agent = self.agents.pop(cid, None)
+        if agent is not None:
+            agent.stop()
+        self.backend.heartbeats.stop(cid)
+        self._local_heartbeats.pop(cid, None)
+        self.invalidate_plans()
+        return region
+
+    def create_view_index(self, view_name, index_name, columns, unique=False):
+        view = self.catalog.matview(view_name)
+        index = view.table.create_index(index_name, columns, unique=unique)
+        self.invalidate_plans()
+        return index
+
+    # ------------------------------------------------------------------
+    # Currency guards
+    # ------------------------------------------------------------------
+    def make_currency_guard(self, view, bound):
+        """The selector of a SwitchUnion: 0 = local branch, 1 = remote.
+
+        Equivalent to the paper's predicate
+        ``EXISTS (SELECT 1 FROM Heartbeat_R WHERE TimeStamp > getdate() - B)``
+        plus, inside a TIMEORDERED bracket, the timeline watermark test.
+        """
+        heartbeat = self._local_heartbeats[view.region]
+        clock = self.clock
+        policy = self.fallback_policy
+
+        def selector(ctx):
+            ts = None
+            for _, values in heartbeat.scan():
+                ts = values[1]
+                break
+            fresh = ts is not None and ts > clock.now() - bound
+            timely = ctx.timeline is None or ctx.timeline.admits(view.snapshot_time)
+            if fresh and timely:
+                ctx.record_snapshot(view.snapshot_time)
+                return 0
+            if policy == "remote":
+                return 1
+            staleness = float("inf") if ts is None else clock.now() - ts
+            message = (
+                f"currency constraint not met by {view.name}: staleness bound "
+                f"{staleness:.3f}s exceeds {bound:g}s"
+                if not fresh
+                else f"timeline constraint not met by {view.name}"
+            )
+            if policy == "error":
+                raise CurrencyError(message)
+            # serve_stale: return the data but flag the violation.
+            ctx.record_warning(message)
+            ctx.record_snapshot(view.snapshot_time)
+            return 0
+
+        return selector
+
+    def remote_executor(self, sql):
+        """Connection to the back-end used by RemoteQuery operators."""
+        return self.backend.execute_remote(sql)
+
+    # ------------------------------------------------------------------
+    # Query processing
+    # ------------------------------------------------------------------
+    def optimize(self, sql_or_select, use_cache=True):
+        """Optimize a SELECT; returns an OptimizedPlan.
+
+        Dynamic plans are cached by SQL text and reused until the cache's
+        consistency-relevant state changes (views, regions, statistics);
+        the run-time currency guards keep reused plans correct across
+        replication progress.  Complex queries (derived tables /
+        subqueries) are shipped whole.
+        """
+        if isinstance(sql_or_select, str):
+            key = sql_or_select
+            cached = self._plan_cache.get(key) if use_cache else None
+            if cached is not None:
+                self.plan_cache_stats["hits"] += 1
+                return cached
+            select = parse(sql_or_select)
+        else:
+            key = None
+            select = sql_or_select
+        query_info = analyze_select(select, self.catalog)
+        if query_info.complex or query_info.post_conjuncts or query_info.semi_joins:
+            # Subquery-bearing statements ship to the back-end wholesale;
+            # the master trivially satisfies any C&C constraint.
+            candidate = self._ship_whole(select, query_info)
+            plan = OptimizedPlan(candidate, [name for _, name in query_info.items], query_info)
+        else:
+            plan = self.optimizer.optimize_info(query_info)
+        if key is not None and use_cache:
+            self.plan_cache_stats["misses"] += 1
+            if len(self._plan_cache) >= self._plan_cache_size:
+                self._plan_cache.pop(next(iter(self._plan_cache)))
+            self._plan_cache[key] = plan
+        return plan
+
+    def _ship_whole(self, select, query_info):
+        stripped = ast.Select(
+            select.items,
+            select.from_items,
+            where=select.where,
+            group_by=select.group_by,
+            having=select.having,
+            order_by=select.order_by,
+            distinct=select.distinct,
+            currency=None,
+            limit=select.limit,
+        )
+        sql = stripped.to_sql()
+        names = [name for _, name in query_info.items] if query_info.items else []
+        binding = RowBinding([OutputCol(n) for n in names])
+
+        def build(sql=sql, binding=binding):
+            return ops.RemoteQuery(sql, binding, self.remote_executor)
+
+        delivered = ConsistencyProperty.single(BACKEND_REGION, query_info.constraint.operands)
+        cost, rows, width = self.backend.estimate(stripped)
+        return Candidate(
+            build,
+            cost + self.cost_model.transfer(rows, max(width, 1.0)),
+            rows,
+            width,
+            binding,
+            delivered,
+            query_info.constraint.operands or {"__all__"},
+            "remote-query",
+            detail=sql[:60],
+        )
+
+    def execute(self, sql_or_stmt):
+        """Execute any statement submitted to the cache."""
+        stmt = parse(sql_or_stmt) if isinstance(sql_or_stmt, str) else sql_or_stmt
+        if isinstance(stmt, ast.BeginTimeordered):
+            self.session.begin()
+            return None
+        if isinstance(stmt, ast.EndTimeordered):
+            self.session.end()
+            return None
+        if isinstance(stmt, ast.Explain):
+            return self.explain(stmt.select)
+        if isinstance(stmt, ast.Select):
+            sql_text = sql_or_stmt if isinstance(sql_or_stmt, str) else None
+            return self.execute_select(stmt, sql_text=sql_text)
+        if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
+            # All DML is forwarded transparently to the back-end (§3 step 5).
+            return self.backend.execute(stmt)
+        if isinstance(stmt, ast.CreateRegion):
+            kwargs = {}
+            if stmt.heartbeat is not None:
+                kwargs["heartbeat_interval"] = stmt.heartbeat
+            return self.create_region(stmt.name, stmt.interval, stmt.delay, **kwargs)
+        if isinstance(stmt, ast.CreateMatview):
+            return self._create_matview_from_ast(stmt)
+        raise OptimizerError(f"unsupported statement on the cache: {type(stmt).__name__}")
+
+    def _create_matview_from_ast(self, stmt):
+        """CREATE MATERIALIZED VIEW: validate the defining select against
+        the prototype's restrictions (single-table projection/selection)."""
+        select = stmt.select
+        if len(select.from_items) != 1 or not isinstance(select.from_items[0], ast.FromTable):
+            raise CatalogError("a materialized view must select from one base table")
+        if select.group_by or select.having or select.distinct or select.order_by:
+            raise CatalogError(
+                "materialized views are projections/selections of one table"
+            )
+        base = select.from_items[0].name
+        base_entry = self.catalog.table(base)
+        columns = []
+        for item in select.items:
+            if item.star:
+                columns.extend(base_entry.schema.names())
+            elif isinstance(item.expr, ast.ColumnRef):
+                columns.append(item.expr.name)
+            else:
+                raise CatalogError("materialized view items must be plain columns")
+        return self.create_matview(
+            stmt.name, base, columns, predicate=select.where, region=stmt.region
+        )
+
+    def execute_select(self, select, sql_text=None):
+        # Optimizing by SQL text engages the compiled-plan cache.
+        plan = self.optimize(sql_text if sql_text is not None else select)
+        ctx = ExecutionContext(clock=self.clock, timeline=self.session)
+        root = plan.root()
+        result = None
+        if isinstance(root, ops.RemoteQuery) and not plan.column_names:
+            # Complex shipped query with unknown output shape (e.g. ``*`` of
+            # a derived table): execute directly on the back-end.
+            backend_result = self.backend.execute(parse(root.sql))
+            ctx.record_remote_query(root.sql, len(backend_result.rows))
+            result = QueryResult(
+                backend_result.columns, backend_result.rows, backend_result.timings, ctx
+            )
+        else:
+            result = self.executor.execute(root, ctx=ctx, column_names=plan.column_names)
+        self._observe_timeline(ctx)
+        result.plan = plan
+        self.query_log.record(
+            QueryLogEntry(
+                sql_text if sql_text is not None else select.to_sql(),
+                plan.summary() if hasattr(plan, "summary") else "?",
+                list(ctx.branches),
+                list(ctx.remote_queries),
+                len(result.rows),
+                result.timings.total,
+                self.clock.now(),
+                list(ctx.warnings),
+            )
+        )
+        return result
+
+    def explain(self, select):
+        """EXPLAIN on the cache: the plan the optimizer would run, with the
+        normalized C&C constraint it enforces."""
+        if isinstance(select, str):
+            select = parse(select)
+        plan = self.optimize(select)
+        constraint = plan.query_info.constraint
+        lines = [
+            f"summary: {plan.summary()}",
+            f"estimated cost: {plan.cost:.1f}",
+            f"constraint: {constraint!r}",
+        ] + plan.explain().splitlines()
+        ctx = ExecutionContext(clock=self.clock)
+        return QueryResult(["plan"], [(line,) for line in lines], PhaseTimings(), ctx)
+
+    def status(self):
+        """Monitoring snapshot: per-region staleness and view freshness.
+
+        Returns a dict keyed by region cid with the catalog estimates, the
+        live heartbeat staleness bound, and each view's snapshot age.
+        """
+        now = self.clock.now()
+        out = {}
+        for region in self.catalog.regions():
+            agent = self.agents.get(region.cid)
+            views = {}
+            for name in region.view_names:
+                view = self.catalog.matview(name)
+                views[name] = {
+                    "rows": view.table.row_count,
+                    "snapshot_age": now - view.snapshot_time,
+                    "applied_txn": view.applied_txn,
+                }
+            out[region.cid] = {
+                "update_interval": region.update_interval,
+                "update_delay": region.update_delay,
+                "staleness_bound": agent.staleness_bound() if agent else None,
+                "views": views,
+            }
+        return out
+
+    def _observe_timeline(self, ctx):
+        if not self.session.active:
+            return
+        for snapshot_time in ctx.snapshots_used:
+            self.session.observe(snapshot_time)
+        if ctx.remote_queries:
+            self.session.observe(self.clock.now())
+
+    # ------------------------------------------------------------------
+    # Simulation helpers
+    # ------------------------------------------------------------------
+    def run_for(self, seconds):
+        """Advance simulated time (heartbeats, agents)."""
+        return self.scheduler.run_for(seconds)
+
+    def __repr__(self):
+        return (
+            f"<MTCache views={[v.name for v in self.catalog.matviews()]} "
+            f"regions={[r.cid for r in self.catalog.regions()]}>"
+        )

@@ -1,0 +1,14 @@
+"""Catalog: table/view/index metadata, statistics, currency-region info."""
+
+from repro.catalog.catalog import Catalog, MatViewDef, RegionInfo, TableEntry
+from repro.catalog.statistics import ColumnStats, Histogram, TableStats
+
+__all__ = [
+    "Catalog",
+    "ColumnStats",
+    "Histogram",
+    "MatViewDef",
+    "RegionInfo",
+    "TableEntry",
+    "TableStats",
+]

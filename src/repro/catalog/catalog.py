@@ -1,0 +1,258 @@
+"""The catalog: metadata for tables, materialized views and regions.
+
+The cache DBMS keeps a *shadow* catalog: the same table definitions as the
+back-end (so name resolution and statistics work identically) while the
+actual shadow heaps stay empty.  Local data lives only in materialized
+views, each assigned to a currency region, exactly as the prototype in the
+paper (§3: three catalog columns ``cid``, ``update_interval``,
+``update_delay``).
+"""
+
+from repro.common.errors import CatalogError
+from repro.catalog.statistics import TableStats
+from repro.storage.schema import Column, DataType, Schema
+from repro.storage.table import HeapTable
+
+#: SQL type name -> DataType
+_TYPE_MAP = {
+    "int": DataType.INT,
+    "integer": DataType.INT,
+    "float": DataType.FLOAT,
+    "real": DataType.FLOAT,
+    "string": DataType.STRING,
+    "varchar": DataType.STRING,
+    "text": DataType.STRING,
+    "bool": DataType.BOOL,
+    "boolean": DataType.BOOL,
+    "timestamp": DataType.TIMESTAMP,
+}
+
+
+def data_type_from_sql(type_name):
+    """Map a SQL type name to a DataType."""
+    try:
+        return _TYPE_MAP[type_name.lower()]
+    except KeyError:
+        raise CatalogError(f"unknown SQL type: {type_name}") from None
+
+
+class TableEntry:
+    """Catalog entry for a base table."""
+
+    def __init__(self, table, stats=None, shadow=False):
+        self.table = table
+        self.stats = stats or TableStats()
+        #: True on the cache: definition exists but the heap is empty and
+        #: statistics describe the back-end data.
+        self.shadow = shadow
+
+    @property
+    def name(self):
+        return self.table.name
+
+    @property
+    def schema(self):
+        return self.table.schema
+
+    def refresh_stats(self):
+        """Recompute statistics from the actual heap contents."""
+        self.stats = TableStats.from_table(self.table)
+        return self.stats
+
+    def __repr__(self):
+        kind = "shadow" if self.shadow else "base"
+        return f"<TableEntry {self.name} ({kind}, {self.stats.row_count} rows)>"
+
+
+class RegionInfo:
+    """A currency region: the unit of mutual consistency on the cache.
+
+    ``update_interval`` and ``update_delay`` mirror the catalog columns the
+    paper added; they are *estimates used for cost estimation* — run-time
+    correctness comes from the heartbeat check, never from these numbers.
+    """
+
+    def __init__(self, cid, update_interval, update_delay):
+        self.cid = cid
+        self.update_interval = float(update_interval)
+        self.update_delay = float(update_delay)
+        self.view_names = []
+
+    def __repr__(self):
+        return (
+            f"RegionInfo(cid={self.cid!r}, interval={self.update_interval}, "
+            f"delay={self.update_delay}, views={self.view_names})"
+        )
+
+
+class MatViewDef:
+    """A local materialized view: SELECT <columns> FROM <base> [WHERE <pred>].
+
+    The view's rows are stored in a local heap table and maintained by a
+    distribution agent.  ``region`` is the currency region id (``cid``).
+    """
+
+    def __init__(self, name, base_table, columns, predicate=None, region=None, table=None):
+        self.name = name.lower()
+        self.base_table = base_table.lower()
+        self.columns = [c.lower() for c in columns]
+        self.predicate = predicate  # Expr over unqualified base columns, or None
+        self.region = region
+        self.table = table  # local HeapTable holding the view rows
+        self.stats = TableStats()
+        #: id of the last back-end transaction applied to this view.
+        self.applied_txn = 0
+        #: commit time of that transaction (the view's snapshot time).
+        self.snapshot_time = 0.0
+
+    @property
+    def schema(self):
+        return self.table.schema
+
+    def definition_sql(self):
+        sql = f"SELECT {', '.join(self.columns)} FROM {self.base_table}"
+        if self.predicate is not None:
+            sql += f" WHERE {self.predicate.to_sql()}"
+        return sql
+
+    def __repr__(self):
+        return f"<MatViewDef {self.name} = {self.definition_sql()} region={self.region}>"
+
+
+class Catalog:
+    """Name -> metadata for one DBMS instance (back-end or cache)."""
+
+    def __init__(self):
+        self._tables = {}
+        self._views = {}
+        self._regions = {}
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def create_table(self, name, schema, primary_key=None, shadow=False):
+        name = name.lower()
+        if name in self._tables or name in self._views:
+            raise CatalogError(f"name already in use: {name}")
+        table = HeapTable(name, schema, primary_key=primary_key)
+        entry = TableEntry(table, shadow=shadow)
+        self._tables[name] = entry
+        return entry
+
+    def create_table_from_ast(self, stmt, shadow=False):
+        """Create a table from a parsed CREATE TABLE statement."""
+        columns = [
+            Column(c.name, data_type_from_sql(c.type_name), nullable=c.nullable)
+            for c in stmt.columns
+        ]
+        return self.create_table(stmt.name, Schema(columns), primary_key=stmt.primary_key, shadow=shadow)
+
+    def drop_table(self, name):
+        name = name.lower()
+        if name not in self._tables:
+            raise CatalogError(f"unknown table: {name}")
+        del self._tables[name]
+
+    def table(self, name):
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table: {name}") from None
+
+    def has_table(self, name):
+        return name.lower() in self._tables
+
+    def tables(self):
+        return list(self._tables.values())
+
+    # ------------------------------------------------------------------
+    # Materialized views (cache side)
+    # ------------------------------------------------------------------
+    def create_matview(self, name, base_table, columns, predicate=None, region=None):
+        """Define a local materialized view over a (shadow) base table."""
+        name = name.lower()
+        if name in self._tables or name in self._views:
+            raise CatalogError(f"name already in use: {name}")
+        base = self.table(base_table)
+        view_schema = base.schema.project(columns)
+        pk = None
+        if base.table.primary_key and all(c in [x.lower() for x in columns] for c in base.table.primary_key):
+            pk = base.table.primary_key
+        table = HeapTable(name, view_schema, primary_key=pk)
+        view = MatViewDef(name, base_table, columns, predicate=predicate, region=region, table=table)
+        self._views[name] = view
+        if region is not None:
+            self.region(region).view_names.append(name)
+        return view
+
+    def drop_matview(self, name):
+        name = name.lower()
+        view = self.matview(name)
+        if view.region is not None:
+            region = self._regions.get(view.region)
+            if region is not None and name in region.view_names:
+                region.view_names.remove(name)
+        del self._views[name]
+        return view
+
+    def drop_region(self, cid):
+        region = self.region(cid)
+        if region.view_names:
+            raise CatalogError(
+                f"region {cid} still has views: {region.view_names}"
+            )
+        del self._regions[cid]
+        return region
+
+    def matview(self, name):
+        try:
+            return self._views[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown materialized view: {name}") from None
+
+    def has_matview(self, name):
+        return name.lower() in self._views
+
+    def matviews(self):
+        return list(self._views.values())
+
+    def matviews_on(self, base_table):
+        base_table = base_table.lower()
+        return [v for v in self._views.values() if v.base_table == base_table]
+
+    # ------------------------------------------------------------------
+    # Currency regions
+    # ------------------------------------------------------------------
+    def create_region(self, cid, update_interval, update_delay):
+        if cid in self._regions:
+            raise CatalogError(f"region already exists: {cid}")
+        region = RegionInfo(cid, update_interval, update_delay)
+        self._regions[cid] = region
+        return region
+
+    def region(self, cid):
+        try:
+            return self._regions[cid]
+        except KeyError:
+            raise CatalogError(f"unknown currency region: {cid}") from None
+
+    def regions(self):
+        return list(self._regions.values())
+
+    # ------------------------------------------------------------------
+    # Resolution helpers
+    # ------------------------------------------------------------------
+    def resolve(self, name):
+        """Return the TableEntry or MatViewDef for ``name``."""
+        name = name.lower()
+        if name in self._tables:
+            return self._tables[name]
+        if name in self._views:
+            return self._views[name]
+        raise CatalogError(f"unknown table or view: {name}")
+
+    def __repr__(self):
+        return (
+            f"<Catalog tables={sorted(self._tables)} views={sorted(self._views)} "
+            f"regions={sorted(self._regions)}>"
+        )

@@ -1,0 +1,227 @@
+"""Table and column statistics for cardinality estimation.
+
+MTCache's shadow database keeps statistics that describe the *back-end*
+data even though the local shadow tables are empty — that is what lets the
+cache optimizer cost remote plans realistically.  :class:`TableStats`
+objects are therefore value objects that can be computed on the back-end
+and installed verbatim into the cache catalog.
+
+Selectivity estimation is the classic System-R style: uniform distributions
+within [min, max], independence across predicates, 1/ndv for equality.
+"""
+
+import bisect
+
+DEFAULT_EQ_SELECTIVITY = 0.01
+DEFAULT_RANGE_SELECTIVITY = 0.33
+DEFAULT_ROW_WIDTH = 32  # bytes, used when no schema info is available
+HISTOGRAM_BUCKETS = 32
+HISTOGRAM_MIN_VALUES = 16  # below this, uniform interpolation is fine
+
+
+class Histogram:
+    """An equi-depth histogram over a numeric column.
+
+    ``boundaries`` has ``n+1`` entries delimiting ``n`` buckets that each
+    hold (approximately) the same number of rows, so the estimated
+    fraction of rows in a range is the number of buckets it covers (with
+    linear interpolation inside partial buckets).  Far more robust than
+    min/max interpolation on skewed data.
+    """
+
+    __slots__ = ("boundaries",)
+
+    def __init__(self, boundaries):
+        if len(boundaries) < 2:
+            raise ValueError("a histogram needs at least one bucket")
+        self.boundaries = list(boundaries)
+
+    @classmethod
+    def from_values(cls, values, buckets=HISTOGRAM_BUCKETS):
+        """Build from a list of numeric values (must be non-empty)."""
+        ordered = sorted(values)
+        n = len(ordered)
+        buckets = max(1, min(buckets, n))
+        boundaries = [ordered[0]]
+        for i in range(1, buckets):
+            boundaries.append(ordered[(i * n) // buckets])
+        boundaries.append(ordered[-1])
+        return cls(boundaries)
+
+    @property
+    def bucket_count(self):
+        return len(self.boundaries) - 1
+
+    def _fraction_le(self, value):
+        """Approximate fraction of rows with column value <= ``value``."""
+        bounds = self.boundaries
+        if value < bounds[0]:
+            return 0.0
+        if value >= bounds[-1]:
+            return 1.0
+        i = bisect.bisect_right(bounds, value) - 1
+        i = min(i, self.bucket_count - 1)
+        lo, hi = bounds[i], bounds[i + 1]
+        inside = 0.0 if hi == lo else (float(value) - float(lo)) / (float(hi) - float(lo))
+        return (i + inside) / self.bucket_count
+
+    def _fraction_lt(self, value):
+        """Approximate fraction of rows with column value < ``value``.
+
+        Distinct from ``_fraction_le`` when duplicates span whole buckets
+        (e.g. a column that is one value 80% of the time).
+        """
+        bounds = self.boundaries
+        if value <= bounds[0]:
+            return 0.0
+        if value > bounds[-1]:
+            return 1.0
+        i = bisect.bisect_left(bounds, value) - 1
+        i = min(max(i, 0), self.bucket_count - 1)
+        lo, hi = bounds[i], bounds[i + 1]
+        inside = 0.0 if hi == lo else (float(value) - float(lo)) / (float(hi) - float(lo))
+        return (i + inside) / self.bucket_count
+
+    def selectivity(self, low=None, high=None):
+        """Estimated fraction of rows with low <= value <= high."""
+        lo_frac = 0.0 if low is None else self._fraction_lt(low)
+        hi_frac = 1.0 if high is None else self._fraction_le(high)
+        return max(0.0, min(1.0, hi_frac - lo_frac))
+
+    def __repr__(self):
+        return f"Histogram({self.bucket_count} buckets, [{self.boundaries[0]}..{self.boundaries[-1]}])"
+
+
+class ColumnStats:
+    """Min/max/ndv/null-count summary of one column, plus an optional
+    equi-depth histogram for numeric columns."""
+
+    __slots__ = ("min", "max", "ndv", "null_count", "avg_width", "histogram")
+
+    def __init__(self, min=None, max=None, ndv=0, null_count=0, avg_width=8, histogram=None):
+        self.min = min
+        self.max = max
+        self.ndv = ndv
+        self.null_count = null_count
+        self.avg_width = avg_width
+        self.histogram = histogram
+
+    @classmethod
+    def from_values(cls, values, with_histogram=True):
+        """Compute stats from an iterable of column values."""
+        non_null = []
+        null_count = 0
+        for v in values:
+            if v is None:
+                null_count += 1
+            else:
+                non_null.append(v)
+        if not non_null:
+            return cls(null_count=null_count)
+        widths = [len(v) if isinstance(v, str) else 8 for v in non_null]
+        histogram = None
+        numeric = all(
+            isinstance(v, (int, float)) and not isinstance(v, bool) for v in non_null
+        )
+        if with_histogram and numeric and len(non_null) >= HISTOGRAM_MIN_VALUES:
+            histogram = Histogram.from_values(non_null)
+        return cls(
+            min=min(non_null),
+            max=max(non_null),
+            ndv=len(set(non_null)),
+            null_count=null_count,
+            avg_width=sum(widths) / len(widths),
+            histogram=histogram,
+        )
+
+    def eq_selectivity(self):
+        """Estimated fraction of rows matching ``col = const``."""
+        if self.ndv > 0:
+            return 1.0 / self.ndv
+        return DEFAULT_EQ_SELECTIVITY
+
+    def range_selectivity(self, low=None, high=None, low_inclusive=True, high_inclusive=True):
+        """Estimated fraction of rows with low <= col <= high.
+
+        Prefers the equi-depth histogram when available; otherwise linear
+        interpolation within [min, max]; falls back to a default when the
+        column is non-numeric or stats are missing.
+        """
+        numeric_bounds = (low is None or isinstance(low, (int, float))) and (
+            high is None or isinstance(high, (int, float))
+        )
+        if self.histogram is not None and numeric_bounds:
+            return self.histogram.selectivity(low=low, high=high)
+        if (
+            not numeric_bounds
+            or self.min is None
+            or self.max is None
+            or not isinstance(self.min, (int, float))
+            or isinstance(self.min, bool)
+        ):
+            return DEFAULT_RANGE_SELECTIVITY
+        span = float(self.max) - float(self.min)
+        if span <= 0:
+            # Single-valued column: predicate either keeps all rows or none;
+            # estimate optimistically that the value falls inside the range.
+            lo_ok = low is None or low <= self.min
+            hi_ok = high is None or high >= self.max
+            return 1.0 if (lo_ok and hi_ok) else 0.0
+        lo = float(self.min) if low is None else max(float(low), float(self.min))
+        hi = float(self.max) if high is None else min(float(high), float(self.max))
+        if hi < lo:
+            return 0.0
+        return min(1.0, max(0.0, (hi - lo) / span))
+
+    def __repr__(self):
+        return f"ColumnStats(min={self.min}, max={self.max}, ndv={self.ndv})"
+
+
+class TableStats:
+    """Row count plus per-column stats for one table (or view)."""
+
+    def __init__(self, row_count=0, columns=None, row_width=None):
+        self.row_count = row_count
+        self.columns = dict(columns or {})
+        self._row_width = row_width
+
+    @classmethod
+    def from_table(cls, table):
+        """Compute full statistics by scanning a heap table."""
+        rows = [values for _, values in table.scan()]
+        columns = {}
+        for i, col in enumerate(table.schema.columns):
+            columns[col.name] = ColumnStats.from_values(r[i] for r in rows)
+        return cls(row_count=len(rows), columns=columns)
+
+    def column(self, name):
+        """Stats for one column; returns an empty ColumnStats if unknown."""
+        return self.columns.get(name.lower(), ColumnStats())
+
+    @property
+    def row_width(self):
+        """Average row width in bytes."""
+        if self._row_width is not None:
+            return self._row_width
+        if not self.columns:
+            return DEFAULT_ROW_WIDTH
+        return sum(c.avg_width for c in self.columns.values())
+
+    def project(self, column_names):
+        """Stats restricted to a subset of columns (for projection views)."""
+        names = [c.lower() for c in column_names]
+        return TableStats(
+            row_count=self.row_count,
+            columns={n: self.columns[n] for n in names if n in self.columns},
+        )
+
+    def scaled(self, selectivity):
+        """Stats after applying a filter with the given selectivity."""
+        return TableStats(
+            row_count=max(1, int(round(self.row_count * selectivity))) if self.row_count else 0,
+            columns=dict(self.columns),
+            row_width=self._row_width,
+        )
+
+    def __repr__(self):
+        return f"TableStats(rows={self.row_count}, cols={sorted(self.columns)})"

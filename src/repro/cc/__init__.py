@@ -1,0 +1,29 @@
+"""Currency & consistency constraint model (the paper's §2 and §3.2).
+
+* :mod:`repro.cc.constraint` — C&C constraints, normalization (§3.2.1).
+* :mod:`repro.cc.properties` — required/delivered consistency plan
+  properties and the satisfaction / violation / conflict rules (§3.2.2).
+* :mod:`repro.cc.timeline` — session timeline consistency (§2.3).
+"""
+
+from repro.cc.constraint import CCConstraint, CCTuple, constraint_from_select
+from repro.cc.properties import (
+    BACKEND_REGION,
+    ConsistencyProperty,
+    is_conflicting,
+    satisfies,
+    violates,
+)
+from repro.cc.timeline import TimelineSession
+
+__all__ = [
+    "BACKEND_REGION",
+    "CCConstraint",
+    "CCTuple",
+    "ConsistencyProperty",
+    "TimelineSession",
+    "constraint_from_select",
+    "is_conflicting",
+    "satisfies",
+    "violates",
+]

@@ -1,0 +1,176 @@
+"""Required and delivered consistency plan properties (paper §3.2.2).
+
+The *required* property of a query is its normalized
+:class:`~repro.cc.constraint.CCConstraint`.  The *delivered* property of a
+physical (sub)plan is a set of ``<region, operand-set>`` tuples: which
+currency region each input operand's data comes from.  The rules below are
+the paper's verbatim:
+
+* **Conflicting** — one operand delivered from two different regions (e.g.
+  a join of two projection views of the same table living in different
+  regions) can never satisfy any constraint.
+* **Satisfaction** (complete plans) — not conflicting, and every required
+  consistency class is contained in a single delivered group.
+* **Violation** (partial plans, for early pruning) — conflicting, or some
+  delivered group straddles two required classes (it can then never end up
+  inside a single class).
+
+SwitchUnion needs special care: it *selects* one child at run time, so two
+operands are only guaranteed mutually consistent if they are grouped
+together in **every** child.  We model that by intersecting the children's
+partitions, labelling each resulting group with the tuple of per-child
+regions.
+"""
+
+#: Reserved region id for data fetched from the back-end (master) server.
+#: All remote fetches within one query execution see the latest snapshot and
+#: are mutually consistent (the simulation executes queries serially, which
+#: is the Strict-2PL reading of the paper's model).
+BACKEND_REGION = "__backend__"
+
+
+class ConsistencyProperty:
+    """A delivered consistency property: tuples of (region id, operands).
+
+    Region ids are ordinarily strings (region ``cid`` or BACKEND_REGION);
+    SwitchUnion produces composite ids — tuples of the per-child ids — which
+    compare equal only when every child agreed.
+    """
+
+    def __init__(self, groups=()):
+        # Mapping region -> frozenset(operands) would lose conflicting
+        # duplicates, so store a list of (region, frozenset) pairs.
+        self.groups = [(r, frozenset(o.lower() for o in ops)) for r, ops in groups]
+
+    @classmethod
+    def single(cls, region, operands):
+        return cls([(region, operands)])
+
+    @property
+    def operands(self):
+        out = set()
+        for _, ops in self.groups:
+            out |= ops
+        return out
+
+    def region_of(self, operand):
+        """Region the operand is delivered from (first match)."""
+        operand = operand.lower()
+        for region, ops in self.groups:
+            if operand in ops:
+                return region
+        return None
+
+    # ------------------------------------------------------------------
+    # Combination rules, one per operator category (paper §3.2.2)
+    # ------------------------------------------------------------------
+    def copy(self):
+        """Single-input operators (filter/project/aggregate/sort) pass the
+        property through unchanged."""
+        return ConsistencyProperty(self.groups)
+
+    def join(self, other):
+        """Join operators union the children's tuples, merging tuples with
+        equal region ids."""
+        merged = {}
+        extras = []
+        for region, ops in list(self.groups) + list(other.groups):
+            if region in merged:
+                merged[region] = merged[region] | ops
+            else:
+                merged[region] = ops
+        out = [(region, ops) for region, ops in merged.items()]
+        return ConsistencyProperty(out + extras)
+
+    @staticmethod
+    def switch_union(children):
+        """Delivered property of a SwitchUnion over ``children`` properties.
+
+        Operands must be identical across children (they compute the same
+        logical expression).  Two operands stay grouped only if grouped in
+        every child; the group's region id becomes the tuple of per-child
+        region ids.
+        """
+        if not children:
+            return ConsistencyProperty()
+        operand_set = children[0].operands
+        for child in children[1:]:
+            if child.operands != operand_set:
+                raise ValueError(
+                    "SwitchUnion children must cover the same operands: "
+                    f"{sorted(operand_set)} vs {sorted(child.operands)}"
+                )
+        # Signature of an operand = tuple of the group it belongs to per
+        # child; operands with equal signatures stay together.
+        signatures = {}
+        for op in operand_set:
+            signature = tuple(child.region_of(op) for child in children)
+            signatures.setdefault(signature, set()).add(op)
+        groups = [(signature, frozenset(ops)) for signature, ops in signatures.items()]
+        return ConsistencyProperty(sorted(groups, key=lambda g: sorted(g[1])))
+
+    def __eq__(self, other):
+        return isinstance(other, ConsistencyProperty) and sorted(
+            self.groups, key=str
+        ) == sorted(other.groups, key=str)
+
+    def __repr__(self):
+        inner = ", ".join(f"<{r!r}: {sorted(ops)}>" for r, ops in self.groups)
+        return "ConsistencyProperty{" + inner + "}"
+
+
+def is_conflicting(delivered):
+    """Paper's *conflicting consistency property* rule: two tuples with
+    different regions share an operand."""
+    for i, (region_i, ops_i) in enumerate(delivered.groups):
+        for region_j, ops_j in delivered.groups[i + 1 :]:
+            if ops_i & ops_j and region_i != region_j:
+                return True
+    return False
+
+
+def satisfies(delivered, required):
+    """Paper's *consistency satisfaction rule* (complete plans only):
+    not conflicting, and every required class fits in one delivered group."""
+    if is_conflicting(delivered):
+        return False
+    for cc_tuple in required:
+        if not any(cc_tuple.operands <= ops for _, ops in delivered.groups):
+            return False
+    return True
+
+
+def violates(delivered, required):
+    """Early-pruning rule for partial plans: True when no completion of the
+    plan can satisfy ``required``.
+
+    The paper's literal rule (2) — *some delivered group intersects more
+    than one required class* — would also prune the always-valid full-remote
+    plan whenever a query has two consistency classes (the single back-end
+    group intersects both, yet trivially satisfies the constraint).  We use
+    the sound variant instead: a required class is unsatisfiable once its
+    operands are delivered from two *different* regions, because subsequent
+    operators only ever merge groups with equal region ids.  The literal
+    rule is kept as :func:`violates_paper_literal` for comparison.
+    """
+    if is_conflicting(delivered):
+        return True
+    for cc_tuple in required:
+        regions = set()
+        for region, ops in delivered.groups:
+            if ops & cc_tuple.operands:
+                regions.add(region)
+                if len(regions) > 1:
+                    return True
+    return False
+
+
+def violates_paper_literal(delivered, required):
+    """The violation rule exactly as printed in the paper (§3.2.2)."""
+    if is_conflicting(delivered):
+        return True
+    for _, ops in delivered.groups:
+        touched = sum(1 for cc_tuple in required if ops & cc_tuple.operands)
+        if touched > 1:
+            return True
+    return False

@@ -1,0 +1,50 @@
+"""Timeline (inter-statement) consistency — paper §2.3 and appendix §8.7.
+
+Queries within a ``BEGIN TIMEORDERED … END TIMEORDERED`` bracket must
+perceive time as moving forward: a later query may not use data older than
+the data used by any earlier query in the bracket.  We track this with a
+*watermark* — the largest snapshot time used so far.  During the bracket,
+currency guards additionally require the local view's snapshot time to be at
+least the watermark; remote reads (always the latest snapshot) trivially
+qualify and advance the watermark to the current time.
+
+Forward movement of time is **not** enforced by default; the session opts in
+explicitly, exactly as the paper specifies.
+"""
+
+from repro.common.errors import ConsistencyError
+
+
+class TimelineSession:
+    """Per-session timeline consistency state."""
+
+    def __init__(self):
+        self.active = False
+        self.watermark = 0.0
+
+    def begin(self):
+        if self.active:
+            raise ConsistencyError("already inside a TIMEORDERED bracket")
+        self.active = True
+        self.watermark = 0.0
+
+    def end(self):
+        if not self.active:
+            raise ConsistencyError("END TIMEORDERED outside a bracket")
+        self.active = False
+        self.watermark = 0.0
+
+    def admits(self, snapshot_time):
+        """Can data with the given snapshot time be used by the next query?"""
+        if not self.active:
+            return True
+        return snapshot_time >= self.watermark
+
+    def observe(self, snapshot_time):
+        """Record that a query consumed data as of ``snapshot_time``."""
+        if self.active and snapshot_time > self.watermark:
+            self.watermark = snapshot_time
+
+    def __repr__(self):
+        state = f"watermark={self.watermark}" if self.active else "inactive"
+        return f"<TimelineSession {state}>"

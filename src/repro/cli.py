@@ -1,0 +1,217 @@
+"""An interactive shell for exploring C&C queries against MTCache.
+
+Run ``python -m repro.cli`` to get a prompt wired to the paper's §4
+environment (TPCD back-end + cust_prj / orders_prj cache).  Type SQL —
+including CURRENCY clauses — or meta-commands:
+
+.. code-block:: text
+
+    \\advance N      advance simulated time by N seconds
+    \\now            show the simulated clock
+    \\regions        per-region staleness and view freshness
+    \\views          materialized view definitions
+    \\tables         back-end tables and row counts
+    \\plan SQL       shorthand for EXPLAIN SQL
+    \\help           this text
+    \\quit           leave
+
+The shell is also importable: :class:`Shell` consumes command lines and
+writes to any file-like object, which is how the tests drive it.
+"""
+
+import sys
+
+from repro.common.errors import ReproError
+
+HELP = """Commands:
+  SQL statements (SELECT/INSERT/UPDATE/DELETE, EXPLAIN SELECT ...,
+  BEGIN TIMEORDERED / END TIMEORDERED) run against the cache.
+  \\advance N   advance simulated time by N seconds
+  \\now         show the simulated clock
+  \\regions     per-region staleness and view freshness
+  \\views       materialized view definitions
+  \\tables      back-end tables and row counts
+  \\plan SQL    shorthand for EXPLAIN SQL
+  \\log [N]     last N executed queries with their routing
+  \\help        this text
+  \\quit        leave
+"""
+
+
+class Shell:
+    """Dispatches command lines against an MTCache."""
+
+    def __init__(self, cache, out=None):
+        self.cache = cache
+        self.out = out or sys.stdout
+        self.done = False
+
+    def write(self, text=""):
+        print(text, file=self.out)
+
+    # ------------------------------------------------------------------
+    def handle(self, line):
+        """Process one input line; returns False when the shell should
+        exit."""
+        line = line.strip()
+        if not line:
+            return True
+        try:
+            if line.startswith("\\"):
+                self._meta(line)
+            else:
+                self._sql(line.rstrip(";"))
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+        except Exception as exc:  # surface, don't crash the shell
+            self.write(f"internal error: {type(exc).__name__}: {exc}")
+        return not self.done
+
+    # ------------------------------------------------------------------
+    def _meta(self, line):
+        parts = line.split(None, 1)
+        command = parts[0].lower()
+        argument = parts[1] if len(parts) > 1 else ""
+        if command in ("\\quit", "\\q", "\\exit"):
+            self.done = True
+        elif command == "\\help":
+            self.write(HELP)
+        elif command == "\\advance":
+            seconds = float(argument)
+            fired = self.cache.run_for(seconds)
+            self.write(f"advanced {seconds:g}s (events fired: {fired}); "
+                       f"now = {self.cache.clock.now():g}")
+        elif command == "\\now":
+            self.write(f"simulated time: {self.cache.clock.now():g}")
+        elif command == "\\regions":
+            self._regions()
+        elif command == "\\views":
+            for view in self.cache.catalog.matviews():
+                self.write(f"{view.name} = {view.definition_sql()}  "
+                           f"[region {view.region}]")
+        elif command == "\\tables":
+            for entry in self.cache.backend.catalog.tables():
+                self.write(f"{entry.name}: {entry.table.row_count} rows")
+        elif command == "\\plan":
+            self._sql(f"EXPLAIN {argument.rstrip(';')}")
+        elif command == "\\log":
+            n = int(argument) if argument else 10
+            entries = self.cache.query_log.recent(n)
+            if not entries:
+                self.write("(no queries logged)")
+            for entry in entries:
+                where = "local" if entry.served_locally else "remote/mixed"
+                self.write(
+                    f"t={entry.sim_time:8.2f} {where:12} rows={entry.rows:<6} "
+                    f"{entry.summary:35} {entry.sql[:60]}"
+                )
+            stats = self.cache.query_log.summary()
+            self.write(
+                f"window: {stats['queries']} queries, "
+                f"{stats['local_fraction']:.0%} local, "
+                f"{stats['remote_queries']} back-end queries"
+            )
+        else:
+            self.write(f"unknown command {command!r}; try \\help")
+
+    def _regions(self):
+        status = self.cache.status()
+        if not status:
+            self.write("(no currency regions)")
+            return
+        for cid, info in sorted(status.items()):
+            bound = info["staleness_bound"]
+            bound_text = f"{bound:.2f}s" if bound is not None else "unknown"
+            self.write(
+                f"{cid}: interval={info['update_interval']:g} "
+                f"delay={info['update_delay']:g} staleness<= {bound_text}"
+            )
+            for name, view in sorted(info["views"].items()):
+                self.write(
+                    f"  {name}: {view['rows']} rows, "
+                    f"snapshot age {view['snapshot_age']:.2f}s"
+                )
+
+    # ------------------------------------------------------------------
+    def _sql(self, sql):
+        result = self.cache.execute(sql)
+        if result is None:  # BEGIN/END TIMEORDERED
+            self.write("ok")
+            return
+        if isinstance(result, int):
+            self.write(f"{result} row(s) affected")
+            return
+        if hasattr(result, "columns"):
+            self._print_result(result)
+            return
+        self.write("ok")
+
+    def _print_result(self, result, max_rows=25):
+        if result.columns == ["plan"]:
+            for (line,) in result.rows:
+                self.write(line)
+            return
+        widths = [
+            max(len(str(col)), *(len(self._fmt(r[i])) for r in result.rows), 1)
+            if result.rows
+            else len(str(col))
+            for i, col in enumerate(result.columns)
+        ]
+        header = " | ".join(c.ljust(w) for c, w in zip(result.columns, widths))
+        self.write(header)
+        self.write("-+-".join("-" * w for w in widths))
+        for row in result.rows[:max_rows]:
+            self.write(" | ".join(self._fmt(v).ljust(w) for v, w in zip(row, widths)))
+        if len(result.rows) > max_rows:
+            self.write(f"... ({len(result.rows)} rows total)")
+        else:
+            self.write(f"({len(result.rows)} row(s))")
+        if result.plan is not None and hasattr(result.plan, "summary"):
+            self.write(f"plan: {result.plan.summary()}")
+        if result.context is not None and result.context.branches:
+            branches = ", ".join(
+                f"{label}->{'local' if index == 0 else 'remote'}"
+                for label, index in result.context.branches
+            )
+            self.write(f"guards: {branches}")
+        for warning in getattr(result, "warnings", []):
+            self.write(f"warning: {warning}")
+
+    @staticmethod
+    def _fmt(value):
+        if isinstance(value, float):
+            return f"{value:g}"
+        return str(value)
+
+
+def run_script(cache, lines, out=None):
+    """Feed a sequence of command lines to a Shell (testing hook)."""
+    shell = Shell(cache, out=out)
+    for line in lines:
+        if not shell.handle(line):
+            break
+    return shell
+
+
+def main(argv=None):
+    """Entry point: the paper's environment plus an interactive loop."""
+    print("building the paper's SIGMOD'04 environment (TPCD + MTCache)...")
+    from repro.workloads.experiment import build_paper_setup
+
+    setup = build_paper_setup(scale_factor=0.002)
+    shell = Shell(setup.cache)
+    print("ready. \\help for commands; try:")
+    print("  SELECT c.c_custkey, c.c_name FROM customer c "
+          "WHERE c.c_custkey < 5 CURRENCY BOUND 10 MIN ON (c)")
+    while True:
+        try:
+            line = input("mtcache> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        if not shell.handle(line):
+            return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Shared infrastructure: errors, clocks, event scheduling and value types."""
+
+from repro.common.clock import Clock, SimulatedClock, WallClock
+from repro.common.errors import (
+    CatalogError,
+    ConsistencyError,
+    CurrencyError,
+    ExecutionError,
+    OptimizerError,
+    ParseError,
+    ReplicationError,
+    ReproError,
+    StorageError,
+    TransactionError,
+)
+from repro.common.scheduler import EventScheduler, ScheduledEvent
+
+__all__ = [
+    "CatalogError",
+    "Clock",
+    "ConsistencyError",
+    "CurrencyError",
+    "EventScheduler",
+    "ExecutionError",
+    "OptimizerError",
+    "ParseError",
+    "ReplicationError",
+    "ReproError",
+    "ScheduledEvent",
+    "SimulatedClock",
+    "StorageError",
+    "TransactionError",
+    "WallClock",
+]

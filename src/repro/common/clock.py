@@ -1,0 +1,58 @@
+"""Clock abstractions.
+
+The paper's currency guarantees are all expressed in terms of elapsed wall
+time (staleness bounds, propagation intervals, heartbeat timestamps).  To make
+experiments deterministic we run the whole system — transaction commit
+timestamps, distribution agents, heartbeats and the ``getdate()`` SQL function
+— off a single :class:`Clock`.  Production code would use :class:`WallClock`;
+tests and benchmarks use :class:`SimulatedClock`, advanced explicitly or by an
+:class:`~repro.common.scheduler.EventScheduler`.
+"""
+
+import time
+
+
+class Clock:
+    """Abstract time source.  Times are floats in seconds."""
+
+    def now(self):
+        """Return the current time in seconds."""
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Real time, via :func:`time.monotonic` offset to an epoch of zero."""
+
+    def __init__(self):
+        self._epoch = time.monotonic()
+
+    def now(self):
+        return time.monotonic() - self._epoch
+
+
+class SimulatedClock(Clock):
+    """A manually advanced clock for deterministic simulation.
+
+    Time never moves backwards; :meth:`advance` with a negative delta raises
+    ``ValueError``.
+    """
+
+    def __init__(self, start=0.0):
+        self._now = float(start)
+
+    def now(self):
+        return self._now
+
+    def advance(self, delta):
+        """Move time forward by ``delta`` seconds and return the new time."""
+        if delta < 0:
+            raise ValueError(f"cannot move time backwards (delta={delta})")
+        self._now += delta
+        return self._now
+
+    def set(self, t):
+        """Jump to absolute time ``t`` (must not be in the past)."""
+        if t < self._now:
+            raise ValueError(f"cannot move time backwards (now={self._now}, t={t})")
+        self._now = float(t)
+        return self._now

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so applications can catch
+everything raised by this package with a single ``except`` clause while still
+being able to distinguish subsystems.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ParseError(ReproError):
+    """Raised when SQL text cannot be tokenized or parsed.
+
+    Carries the approximate character position to help users locate the
+    offending token.
+    """
+
+    def __init__(self, message, position=None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class CatalogError(ReproError):
+    """Raised for unknown or duplicate tables, views, indexes or columns."""
+
+
+class StorageError(ReproError):
+    """Raised by the storage layer (bad rows, key violations, missing rows)."""
+
+
+class TransactionError(ReproError):
+    """Raised for illegal transaction state transitions."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a physical plan fails during execution."""
+
+
+class OptimizerError(ReproError):
+    """Raised when no valid plan exists for a query.
+
+    The most common cause is a consistency constraint that no combination of
+    local views and remote queries can satisfy (which cannot happen when a
+    back-end is reachable, since the back-end always satisfies the tightest
+    constraint).
+    """
+
+
+class ConsistencyError(ReproError):
+    """Raised when a delivered result would violate a consistency constraint."""
+
+
+class CurrencyError(ReproError):
+    """Raised when a currency bound cannot be met (e.g. no remote fallback)."""
+
+
+class ReplicationError(ReproError):
+    """Raised by the replication subsystem (bad subscriptions, regions)."""

@@ -1,0 +1,99 @@
+"""A small discrete-event scheduler driving the simulated clock.
+
+Distribution agents and heartbeat services register periodic events; tests
+and benchmarks call :meth:`EventScheduler.run_until` to advance simulated
+time, firing events in timestamp order.  Ties are broken by registration
+order so runs are fully deterministic.
+"""
+
+import heapq
+import itertools
+
+
+class ScheduledEvent:
+    """A one-shot or periodic callback scheduled on the simulator timeline."""
+
+    __slots__ = ("time", "seq", "callback", "period", "cancelled", "name")
+
+    def __init__(self, time, seq, callback, period=None, name=""):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.period = period
+        self.cancelled = False
+        self.name = name
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def cancel(self):
+        """Prevent any future firings of this event."""
+        self.cancelled = True
+
+    def __repr__(self):
+        kind = "periodic" if self.period else "one-shot"
+        return f"<ScheduledEvent {self.name or self.callback!r} {kind} t={self.time}>"
+
+
+class EventScheduler:
+    """Fires callbacks in simulated-time order against a SimulatedClock."""
+
+    def __init__(self, clock):
+        self.clock = clock
+        self._heap = []
+        self._counter = itertools.count()
+
+    def at(self, when, callback, name=""):
+        """Schedule ``callback`` to fire once at absolute time ``when``."""
+        if when < self.clock.now():
+            raise ValueError(f"cannot schedule in the past ({when} < {self.clock.now()})")
+        event = ScheduledEvent(when, next(self._counter), callback, name=name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(self, delay, callback, name=""):
+        """Schedule ``callback`` to fire once ``delay`` seconds from now."""
+        return self.at(self.clock.now() + delay, callback, name=name)
+
+    def every(self, period, callback, start=None, name=""):
+        """Schedule ``callback`` to fire every ``period`` seconds.
+
+        The first firing is at ``start`` (absolute) if given, else one period
+        from now.
+        """
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        first = start if start is not None else self.clock.now() + period
+        event = ScheduledEvent(first, next(self._counter), callback, period=period, name=name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run_until(self, t):
+        """Fire all events with time <= ``t``, then set the clock to ``t``.
+
+        Returns the number of callbacks fired.  Periodic events are
+        rescheduled after each firing; callbacks may schedule further events.
+        """
+        fired = 0
+        while self._heap and self._heap[0].time <= t:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.set(max(event.time, self.clock.now()))
+            event.callback()
+            fired += 1
+            if event.period and not event.cancelled:
+                event.time += event.period
+                event.seq = next(self._counter)
+                heapq.heappush(self._heap, event)
+        self.clock.set(max(t, self.clock.now()))
+        return fired
+
+    def run_for(self, delta):
+        """Advance simulated time by ``delta`` seconds, firing due events."""
+        return self.run_until(self.clock.now() + delta)
+
+    @property
+    def pending(self):
+        """Number of scheduled (non-cancelled) events still in the queue."""
+        return sum(1 for e in self._heap if not e.cancelled)

@@ -1,0 +1,50 @@
+"""Physical execution engine: iterator operators with explicit
+setup / run / shutdown phases, plus expression compilation."""
+
+from repro.engine.expressions import ExpressionContext, OutputCol, RowBinding, compile_expr
+from repro.engine.executor import ExecutionContext, Executor, PhaseTimings, QueryResult
+from repro.engine.operators import (
+    Distinct,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    IndexNLJoin,
+    IndexRangeScan,
+    IndexSeek,
+    Limit,
+    Materialized,
+    MergeJoin,
+    PhysicalOperator,
+    Project,
+    RemoteQuery,
+    SeqScan,
+    Sort,
+    SwitchUnion,
+)
+
+__all__ = [
+    "Distinct",
+    "ExecutionContext",
+    "Executor",
+    "ExpressionContext",
+    "Filter",
+    "Materialized",
+    "HashAggregate",
+    "HashJoin",
+    "IndexNLJoin",
+    "IndexRangeScan",
+    "IndexSeek",
+    "Limit",
+    "MergeJoin",
+    "OutputCol",
+    "PhaseTimings",
+    "PhysicalOperator",
+    "Project",
+    "QueryResult",
+    "RemoteQuery",
+    "RowBinding",
+    "SeqScan",
+    "Sort",
+    "SwitchUnion",
+    "compile_expr",
+]

@@ -1,0 +1,138 @@
+"""Plan execution with per-phase timing.
+
+The paper's Table 4.5 breaks query execution into three phases — *setup
+plan*, *run plan*, *shutdown plan* — and attributes currency-guard overhead
+to each.  :class:`Executor` reproduces that structure: ``open`` the operator
+tree (setup), drain the row stream (run), ``close`` it (shutdown), timing
+each phase with a high-resolution counter.
+"""
+
+import time
+
+
+class PhaseTimings:
+    """Elapsed seconds per execution phase."""
+
+    __slots__ = ("setup", "run", "shutdown")
+
+    def __init__(self, setup=0.0, run=0.0, shutdown=0.0):
+        self.setup = setup
+        self.run = run
+        self.shutdown = shutdown
+
+    @property
+    def total(self):
+        return self.setup + self.run + self.shutdown
+
+    def __repr__(self):
+        return (
+            f"PhaseTimings(setup={self.setup * 1e3:.3f}ms, run={self.run * 1e3:.3f}ms, "
+            f"shutdown={self.shutdown * 1e3:.3f}ms)"
+        )
+
+
+class ExecutionContext:
+    """Per-execution services and bookkeeping.
+
+    Records SwitchUnion branch decisions and remote queries issued, so
+    callers (and tests) can see exactly how a dynamic plan behaved.
+    """
+
+    def __init__(self, clock=None, timeline=None):
+        self.clock = clock
+        self.timeline = timeline
+        self.branches = []  # (label, chosen index)
+        self.remote_queries = []  # (sql, row count)
+        #: Snapshot times of the local views actually read, for timeline
+        #: watermark accounting.
+        self.snapshots_used = []
+        #: Constraint-violation warnings (serve-stale fallback policy).
+        self.warnings = []
+
+    def record_branch(self, label, index):
+        self.branches.append((label, index))
+
+    def record_remote_query(self, sql, n_rows):
+        self.remote_queries.append((sql, n_rows))
+
+    def record_snapshot(self, snapshot_time):
+        self.snapshots_used.append(snapshot_time)
+
+    def record_warning(self, message):
+        self.warnings.append(message)
+
+    @property
+    def used_local(self):
+        """True if any SwitchUnion chose its local branch (index 0)."""
+        return any(index == 0 for _, index in self.branches)
+
+    @property
+    def all_local(self):
+        """True if every SwitchUnion chose its local branch."""
+        return bool(self.branches) and all(index == 0 for _, index in self.branches)
+
+
+class QueryResult:
+    """Rows, column names, timings and provenance of one query execution."""
+
+    def __init__(self, columns, rows, timings, context, plan=None):
+        self.columns = list(columns)
+        self.rows = list(rows)
+        self.timings = timings
+        self.context = context
+        self.plan = plan
+
+    @property
+    def warnings(self):
+        """Constraint-violation warnings recorded during execution."""
+        return self.context.warnings if self.context is not None else []
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def as_dicts(self):
+        """Rows as a list of column-name -> value dicts."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def scalar(self):
+        """The single value of a 1x1 result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise ValueError(f"result is not scalar: {len(self.rows)} rows")
+        return self.rows[0][0]
+
+    def column(self, name):
+        """All values of one column."""
+        i = self.columns.index(name.lower())
+        return [row[i] for row in self.rows]
+
+    def __repr__(self):
+        return f"QueryResult(columns={self.columns}, rows={len(self.rows)})"
+
+
+class Executor:
+    """Runs a physical operator tree through its three phases."""
+
+    def __init__(self, clock=None, timer=time.perf_counter):
+        self.clock = clock
+        self.timer = timer
+
+    def execute(self, plan, ctx=None, column_names=None):
+        """Execute ``plan`` and return a :class:`QueryResult`."""
+        ctx = ctx or ExecutionContext(clock=self.clock)
+        timer = self.timer
+
+        t0 = timer()
+        plan.open(ctx)
+        t1 = timer()
+        rows = list(plan.rows())
+        t2 = timer()
+        plan.close()
+        t3 = timer()
+
+        timings = PhaseTimings(setup=t1 - t0, run=t2 - t1, shutdown=t3 - t2)
+        if column_names is None:
+            column_names = [c.name for c in plan.output.columns]
+        return QueryResult(column_names, rows, timings, ctx, plan=plan)

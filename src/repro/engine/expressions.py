@@ -1,0 +1,304 @@
+"""Compilation of AST expressions to row-evaluator closures.
+
+Operators exchange plain tuples; a :class:`RowBinding` describes which
+(qualifier, name) pair each tuple position holds, so :func:`compile_expr`
+can resolve column references to positions once, at plan build time, rather
+than per row.
+
+Correlated subqueries (EXISTS / IN (SELECT …)) are supported through the
+:class:`ExpressionContext`'s ``subquery_runner`` callback: the engine that
+owns the plan supplies a function that executes a Select AST given the
+current outer row environment.  This keeps the expression layer independent
+of the planner.
+"""
+
+from repro.common.errors import ExecutionError
+from repro.sql import ast
+
+
+class OutputCol:
+    """One column of an operator's output: an optional qualifier + name."""
+
+    __slots__ = ("qualifier", "name")
+
+    def __init__(self, name, qualifier=None):
+        self.name = name.lower()
+        self.qualifier = qualifier.lower() if qualifier else None
+
+    def matches(self, ref):
+        """Does this output column match a ColumnRef?"""
+        if ref.name != self.name:
+            return False
+        return ref.qualifier is None or ref.qualifier == self.qualifier
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, OutputCol)
+            and self.name == other.name
+            and self.qualifier == other.qualifier
+        )
+
+    def __repr__(self):
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+class RowBinding:
+    """Resolves column references against an ordered list of OutputCols."""
+
+    def __init__(self, columns, outer=None):
+        self.columns = list(columns)
+        #: Optional enclosing binding for correlated subqueries.  Positions
+        #: resolved against the outer binding are returned as ("outer", pos).
+        self.outer = outer
+
+    def __len__(self):
+        return len(self.columns)
+
+    def resolve(self, ref):
+        """Return ("local", position) or ("outer", locator) for a ColumnRef."""
+        matches = [i for i, col in enumerate(self.columns) if col.matches(ref)]
+        if len(matches) == 1:
+            return ("local", matches[0])
+        if len(matches) > 1:
+            raise ExecutionError(f"ambiguous column reference: {ref.to_sql()}")
+        if self.outer is not None:
+            return ("outer", self.outer.resolve(ref))
+        raise ExecutionError(
+            f"unresolved column reference: {ref.to_sql()} (have {self.columns})"
+        )
+
+    def concat(self, other):
+        """Binding for the concatenation of two rows (joins)."""
+        return RowBinding(self.columns + other.columns, outer=self.outer)
+
+    def __repr__(self):
+        return f"RowBinding({self.columns})"
+
+
+class ExpressionContext:
+    """Run-time services expressions may need."""
+
+    def __init__(self, clock=None, subquery_runner=None):
+        self.clock = clock
+        self.subquery_runner = subquery_runner
+
+    def now(self):
+        if self.clock is None:
+            raise ExecutionError("GETDATE() used without a clock in context")
+        return self.clock.now()
+
+
+class _Env:
+    """Run-time row environment: the local row plus optional outer env."""
+
+    __slots__ = ("row", "outer")
+
+    def __init__(self, row, outer=None):
+        self.row = row
+        self.outer = outer
+
+    def fetch(self, locator):
+        scope, pos = locator
+        if scope == "local":
+            return self.row[pos]
+        if self.outer is None:
+            raise ExecutionError("correlated reference with no outer row")
+        return self.outer.fetch(pos)
+
+
+def compile_expr(expr, binding, ctx=None):
+    """Compile ``expr`` into a callable ``fn(env) -> value``.
+
+    ``env`` is an :class:`_Env`; most callers use :func:`evaluator`, which
+    wraps the closure to accept a bare row tuple.
+    """
+    ctx = ctx or ExpressionContext()
+
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda env: value
+
+    if isinstance(expr, ast.ColumnRef):
+        locator = binding.resolve(expr)
+        return lambda env: env.fetch(locator)
+
+    if isinstance(expr, ast.BinaryOp):
+        left = compile_expr(expr.left, binding, ctx)
+        right = compile_expr(expr.right, binding, ctx)
+        return _binary(expr.op, left, right)
+
+    if isinstance(expr, ast.UnaryOp):
+        operand = compile_expr(expr.operand, binding, ctx)
+        if expr.op == "not":
+            def _not(env):
+                v = operand(env)
+                return None if v is None else (not v)
+
+            return _not
+        return lambda env: None if operand(env) is None else -operand(env)
+
+    if isinstance(expr, ast.IsNull):
+        operand = compile_expr(expr.operand, binding, ctx)
+        if expr.negated:
+            return lambda env: operand(env) is not None
+        return lambda env: operand(env) is None
+
+    if isinstance(expr, ast.Between):
+        operand = compile_expr(expr.operand, binding, ctx)
+        low = compile_expr(expr.low, binding, ctx)
+        high = compile_expr(expr.high, binding, ctx)
+        negated = expr.negated
+
+        def _between(env):
+            v = operand(env)
+            lo = low(env)
+            hi = high(env)
+            if v is None or lo is None or hi is None:
+                return None
+            result = lo <= v <= hi
+            return (not result) if negated else result
+
+        return _between
+
+    if isinstance(expr, ast.InList):
+        operand = compile_expr(expr.operand, binding, ctx)
+        items = [compile_expr(i, binding, ctx) for i in expr.items]
+        negated = expr.negated
+
+        def _in(env):
+            v = operand(env)
+            if v is None:
+                return None
+            result = any(item(env) == v for item in items)
+            return (not result) if negated else result
+
+        return _in
+
+    if isinstance(expr, ast.FuncCall):
+        return _compile_func(expr, binding, ctx)
+
+    if isinstance(expr, ast.ExistsSubquery):
+        if ctx.subquery_runner is None:
+            raise ExecutionError("subqueries are not available in this context")
+        select = expr.select
+        negated = expr.negated
+        runner = ctx.subquery_runner
+
+        def _exists(env):
+            # The runner receives the outer binding so correlated references
+            # inside the subquery can be compiled against it.
+            rows = runner(select, binding, env)
+            found = any(True for _ in rows)
+            return (not found) if negated else found
+
+        return _exists
+
+    if isinstance(expr, ast.InSubquery):
+        if ctx.subquery_runner is None:
+            raise ExecutionError("subqueries are not available in this context")
+        operand = compile_expr(expr.operand, binding, ctx)
+        select = expr.select
+        negated = expr.negated
+        runner = ctx.subquery_runner
+
+        def _in_subquery(env):
+            v = operand(env)
+            if v is None:
+                return None
+            found = False
+            saw_null = False
+            for row in runner(select, binding, env):
+                if row[0] is None:
+                    saw_null = True
+                elif row[0] == v:
+                    found = True
+                    break
+            if found:
+                return False if negated else True
+            if saw_null:
+                return None  # three-valued IN: unknown, filtered by WHERE
+            return True if negated else False
+
+        return _in_subquery
+
+    raise ExecutionError(f"cannot compile expression: {expr!r}")
+
+
+def _binary(op, left, right):
+    if op == "and":
+        def _and(env):
+            l = left(env)
+            if l is False:
+                return False
+            r = right(env)
+            if r is False:
+                return False
+            if l is None or r is None:
+                return None
+            return True
+
+        return _and
+    if op == "or":
+        def _or(env):
+            l = left(env)
+            if l is True:
+                return True
+            r = right(env)
+            if r is True:
+                return True
+            if l is None or r is None:
+                return None
+            return False
+
+        return _or
+
+    def _null_guard(fn):
+        def wrapped(env):
+            l = left(env)
+            r = right(env)
+            if l is None or r is None:
+                return None
+            return fn(l, r)
+
+        return wrapped
+
+    table = {
+        "=": lambda l, r: l == r,
+        "<>": lambda l, r: l != r,
+        "<": lambda l, r: l < r,
+        "<=": lambda l, r: l <= r,
+        ">": lambda l, r: l > r,
+        ">=": lambda l, r: l >= r,
+        "+": lambda l, r: l + r,
+        "-": lambda l, r: l - r,
+        "*": lambda l, r: l * r,
+        "/": lambda l, r: l / r,
+        "%": lambda l, r: l % r,
+    }
+    try:
+        return _null_guard(table[op])
+    except KeyError:
+        raise ExecutionError(f"unsupported binary operator: {op}") from None
+
+
+def _compile_func(expr, binding, ctx):
+    name = expr.name
+    if name == "getdate":
+        return lambda env: ctx.now()
+    if expr.is_aggregate:
+        raise ExecutionError(
+            f"aggregate {name.upper()} outside of an aggregation operator"
+        )
+    raise ExecutionError(f"unknown function: {name}")
+
+
+def evaluator(expr, binding, ctx=None):
+    """Compile ``expr`` and wrap it to accept a bare row tuple."""
+    fn = compile_expr(expr, binding, ctx)
+    return lambda row: fn(_Env(row))
+
+
+def make_env(row, outer=None):
+    """Public constructor for row environments (used by join operators and
+    subquery runners)."""
+    return _Env(row, outer)

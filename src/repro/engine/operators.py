@@ -1,0 +1,776 @@
+"""Physical operators.
+
+Every operator follows the classic iterator protocol, split into explicit
+phases so the executor can time them (the paper's Table 4.5 profiles
+*setup plan*, *run plan* and *shutdown plan*):
+
+* ``open(ctx, outer_env=None)`` — bind resources, evaluate SwitchUnion
+  selectors, issue remote queries;
+* ``rows()`` — a generator producing result tuples;
+* ``close()`` — release state.
+
+Operators expose ``output`` — a :class:`~repro.engine.expressions.RowBinding`
+describing their result columns — which parent operators use to compile
+expressions at plan-build time.
+"""
+
+from repro.common.errors import ExecutionError
+from repro.engine.expressions import make_env
+
+
+class PhysicalOperator:
+    """Base class for all physical operators."""
+
+    #: RowBinding of the produced rows; set by subclasses.
+    output = None
+
+    def open(self, ctx, outer_env=None):
+        raise NotImplementedError
+
+    def rows(self):
+        raise NotImplementedError
+
+    def close(self):
+        pass
+
+    # -- introspection -------------------------------------------------
+    def children(self):
+        return ()
+
+    def explain(self, depth=0):
+        """Render the operator tree as an indented string."""
+        line = "  " * depth + self.describe()
+        parts = [line]
+        for child in self.children():
+            parts.append(child.explain(depth + 1))
+        return "\n".join(parts)
+
+    def describe(self):
+        return type(self).__name__
+
+    def walk(self):
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+class SeqScan(PhysicalOperator):
+    """Full scan of a heap table (base table or local materialized view)."""
+
+    def __init__(self, table, output, predicate=None):
+        self.table = table
+        self.output = output
+        self.predicate = predicate  # compiled fn(env) or None
+        self._outer_env = None
+
+    def open(self, ctx, outer_env=None):
+        self._outer_env = outer_env
+
+    def rows(self):
+        predicate = self.predicate
+        outer = self._outer_env
+        if predicate is None:
+            for _, values in self.table.scan():
+                yield values
+        else:
+            for _, values in self.table.scan():
+                if predicate(make_env(values, outer)) is True:
+                    yield values
+
+    def describe(self):
+        return f"SeqScan({self.table.name})"
+
+
+class IndexSeek(PhysicalOperator):
+    """Point lookup: equality on an index key prefix, optional residual."""
+
+    def __init__(self, table, index, key_fns, output, predicate=None):
+        self.table = table
+        self.index = index
+        self.key_fns = list(key_fns)  # fn(env of outer) -> key component
+        self.output = output
+        self.predicate = predicate
+        self._outer_env = None
+
+    def open(self, ctx, outer_env=None):
+        self._outer_env = outer_env
+
+    def rows(self):
+        outer = self._outer_env
+        env = make_env((), outer)
+        key = tuple(fn(env) for fn in self.key_fns)
+        if len(key) == len(self.index.key_positions):
+            rid_iter = self.index.seek(key)
+        else:
+            rid_iter = (rid for _, rid in self.index.range(low=key, high=key))
+        for rid in rid_iter:
+            values = self.table.row(rid)
+            if self.predicate is None or self.predicate(make_env(values, outer)) is True:
+                yield values
+
+    def describe(self):
+        return f"IndexSeek({self.table.name}.{self.index.name})"
+
+
+class IndexRangeScan(PhysicalOperator):
+    """Range scan low <= key <= high over an index prefix."""
+
+    def __init__(
+        self,
+        table,
+        index,
+        output,
+        low=None,
+        high=None,
+        low_inclusive=True,
+        high_inclusive=True,
+        predicate=None,
+    ):
+        self.table = table
+        self.index = index
+        self.output = output
+        self.low = low
+        self.high = high
+        self.low_inclusive = low_inclusive
+        self.high_inclusive = high_inclusive
+        self.predicate = predicate
+        self._outer_env = None
+
+    def open(self, ctx, outer_env=None):
+        self._outer_env = outer_env
+
+    def rows(self):
+        outer = self._outer_env
+        for _, rid in self.index.range(
+            low=self.low,
+            high=self.high,
+            low_inclusive=self.low_inclusive,
+            high_inclusive=self.high_inclusive,
+        ):
+            values = self.table.row(rid)
+            if self.predicate is None or self.predicate(make_env(values, outer)) is True:
+                yield values
+
+    def describe(self):
+        return (
+            f"IndexRangeScan({self.table.name}.{self.index.name} "
+            f"[{self.low}..{self.high}])"
+        )
+
+
+class Filter(PhysicalOperator):
+    def __init__(self, child, predicate, output=None):
+        self.child = child
+        self.predicate = predicate
+        self.output = output or child.output
+        self._outer_env = None
+
+    def children(self):
+        return (self.child,)
+
+    def open(self, ctx, outer_env=None):
+        self._outer_env = outer_env
+        self.child.open(ctx, outer_env)
+
+    def rows(self):
+        predicate = self.predicate
+        outer = self._outer_env
+        for row in self.child.rows():
+            if predicate(make_env(row, outer)) is True:
+                yield row
+
+    def close(self):
+        self.child.close()
+
+    def describe(self):
+        return "Filter"
+
+
+class Project(PhysicalOperator):
+    def __init__(self, child, exprs, output):
+        self.child = child
+        self.exprs = list(exprs)  # compiled fns
+        self.output = output
+        self._outer_env = None
+
+    def children(self):
+        return (self.child,)
+
+    def open(self, ctx, outer_env=None):
+        self._outer_env = outer_env
+        self.child.open(ctx, outer_env)
+
+    def rows(self):
+        exprs = self.exprs
+        outer = self._outer_env
+        for row in self.child.rows():
+            env = make_env(row, outer)
+            yield tuple(fn(env) for fn in exprs)
+
+    def close(self):
+        self.child.close()
+
+    def describe(self):
+        return f"Project({self.output.columns})"
+
+
+class HashJoin(PhysicalOperator):
+    """Equality hash join; the right child is the build side."""
+
+    def __init__(self, left, right, left_key_fns, right_key_fns, output, residual=None):
+        self.left = left
+        self.right = right
+        self.left_key_fns = list(left_key_fns)
+        self.right_key_fns = list(right_key_fns)
+        self.output = output
+        self.residual = residual
+        self._outer_env = None
+        self._hash_table = None
+
+    def children(self):
+        return (self.left, self.right)
+
+    def open(self, ctx, outer_env=None):
+        self._outer_env = outer_env
+        self.left.open(ctx, outer_env)
+        self.right.open(ctx, outer_env)
+        self._hash_table = {}
+        for row in self.right.rows():
+            env = make_env(row, outer_env)
+            key = tuple(fn(env) for fn in self.right_key_fns)
+            if any(k is None for k in key):
+                continue
+            self._hash_table.setdefault(key, []).append(row)
+
+    def rows(self):
+        outer = self._outer_env
+        table = self._hash_table
+        residual = self.residual
+        for left_row in self.left.rows():
+            env = make_env(left_row, outer)
+            key = tuple(fn(env) for fn in self.left_key_fns)
+            if any(k is None for k in key):
+                continue
+            for right_row in table.get(key, ()):
+                combined = left_row + right_row
+                if residual is None or residual(make_env(combined, outer)) is True:
+                    yield combined
+
+    def close(self):
+        self._hash_table = None
+        self.left.close()
+        self.right.close()
+
+    def describe(self):
+        return "HashJoin"
+
+
+class MergeJoin(PhysicalOperator):
+    """Equality merge join; both children must deliver key-sorted rows."""
+
+    def __init__(self, left, right, left_key_fns, right_key_fns, output, residual=None):
+        self.left = left
+        self.right = right
+        self.left_key_fns = list(left_key_fns)
+        self.right_key_fns = list(right_key_fns)
+        self.output = output
+        self.residual = residual
+        self._outer_env = None
+
+    def children(self):
+        return (self.left, self.right)
+
+    def open(self, ctx, outer_env=None):
+        self._outer_env = outer_env
+        self.left.open(ctx, outer_env)
+        self.right.open(ctx, outer_env)
+
+    def _key(self, fns, row):
+        env = make_env(row, self._outer_env)
+        return tuple(fn(env) for fn in fns)
+
+    def rows(self):
+        outer = self._outer_env
+        residual = self.residual
+        left_iter = iter(self.left.rows())
+        right_iter = iter(self.right.rows())
+        left_row = next(left_iter, None)
+        right_row = next(right_iter, None)
+        while left_row is not None and right_row is not None:
+            lk = self._key(self.left_key_fns, left_row)
+            rk = self._key(self.right_key_fns, right_row)
+            if None in lk or lk < rk:
+                left_row = next(left_iter, None)
+            elif None in rk or rk < lk:
+                right_row = next(right_iter, None)
+            else:
+                # Gather the full duplicate block on the right.
+                block = [right_row]
+                right_row = next(right_iter, None)
+                while right_row is not None and self._key(self.right_key_fns, right_row) == lk:
+                    block.append(right_row)
+                    right_row = next(right_iter, None)
+                while left_row is not None and self._key(self.left_key_fns, left_row) == lk:
+                    for r in block:
+                        combined = left_row + r
+                        if residual is None or residual(make_env(combined, outer)) is True:
+                            yield combined
+                    left_row = next(left_iter, None)
+
+    def close(self):
+        self.left.close()
+        self.right.close()
+
+    def describe(self):
+        return "MergeJoin"
+
+
+class HashSemiJoin(PhysicalOperator):
+    """Semi join: emit each left row with at least one key match on the
+    right (SQL ``x IN (SELECT …)`` semantics for non-null keys).
+
+    Output rows are the *left* rows unchanged — the right side only
+    filters.  Null keys never match, per SQL's three-valued IN.
+    """
+
+    def __init__(self, left, right, left_key_fns, right_key_fns, output=None):
+        self.left = left
+        self.right = right
+        self.left_key_fns = list(left_key_fns)
+        self.right_key_fns = list(right_key_fns)
+        self.output = output or left.output
+        self._outer_env = None
+        self._keys = None
+
+    def children(self):
+        return (self.left, self.right)
+
+    def open(self, ctx, outer_env=None):
+        self._outer_env = outer_env
+        self.left.open(ctx, outer_env)
+        self.right.open(ctx, outer_env)
+        self._keys = set()
+        for row in self.right.rows():
+            env = make_env(row, outer_env)
+            key = tuple(fn(env) for fn in self.right_key_fns)
+            if any(k is None for k in key):
+                continue
+            self._keys.add(key)
+
+    def rows(self):
+        keys = self._keys
+        outer = self._outer_env
+        for row in self.left.rows():
+            env = make_env(row, outer)
+            key = tuple(fn(env) for fn in self.left_key_fns)
+            if any(k is None for k in key):
+                continue
+            if key in keys:
+                yield row
+
+    def close(self):
+        self._keys = None
+        self.left.close()
+        self.right.close()
+
+    def describe(self):
+        return "HashSemiJoin"
+
+
+class HashAntiJoin(PhysicalOperator):
+    """Anti join: emit each left row with *no* key match on the right —
+    SQL ``x NOT IN (SELECT …)`` semantics, including the NULL trap: if the
+    right side produced any NULL key, no row qualifies (the comparison is
+    unknown for every row), and left rows with NULL keys never qualify.
+    """
+
+    def __init__(self, left, right, left_key_fns, right_key_fns, output=None):
+        self.left = left
+        self.right = right
+        self.left_key_fns = list(left_key_fns)
+        self.right_key_fns = list(right_key_fns)
+        self.output = output or left.output
+        self._outer_env = None
+        self._keys = None
+        self._right_had_null = False
+
+    def children(self):
+        return (self.left, self.right)
+
+    def open(self, ctx, outer_env=None):
+        self._outer_env = outer_env
+        self.left.open(ctx, outer_env)
+        self.right.open(ctx, outer_env)
+        self._keys = set()
+        self._right_had_null = False
+        for row in self.right.rows():
+            env = make_env(row, outer_env)
+            key = tuple(fn(env) for fn in self.right_key_fns)
+            if any(k is None for k in key):
+                self._right_had_null = True
+            else:
+                self._keys.add(key)
+
+    def rows(self):
+        if self._right_had_null:
+            return
+        keys = self._keys
+        outer = self._outer_env
+        for row in self.left.rows():
+            env = make_env(row, outer)
+            key = tuple(fn(env) for fn in self.left_key_fns)
+            if any(k is None for k in key):
+                continue
+            if key not in keys:
+                yield row
+
+    def close(self):
+        self._keys = None
+        self.left.close()
+        self.right.close()
+
+    def describe(self):
+        return "HashAntiJoin"
+
+
+class IndexNLJoin(PhysicalOperator):
+    """Index nested-loops join: for each outer row, seek the inner index.
+
+    The inner side is an operator subtree (usually an IndexSeek) whose key
+    functions reference the outer row through the correlated environment.
+    """
+
+    def __init__(self, outer, inner, output, residual=None):
+        self.outer = outer
+        self.inner = inner
+        self.output = output
+        self.residual = residual
+        self._ctx = None
+        self._outer_env = None
+
+    def children(self):
+        return (self.outer, self.inner)
+
+    def open(self, ctx, outer_env=None):
+        self._ctx = ctx
+        self._outer_env = outer_env
+        self.outer.open(ctx, outer_env)
+
+    def rows(self):
+        ctx = self._ctx
+        residual = self.residual
+        for outer_row in self.outer.rows():
+            env = make_env(outer_row, self._outer_env)
+            self.inner.open(ctx, env)
+            try:
+                for inner_row in self.inner.rows():
+                    combined = outer_row + inner_row
+                    if residual is None or residual(make_env(combined, self._outer_env)) is True:
+                        yield combined
+            finally:
+                self.inner.close()
+
+    def close(self):
+        self.outer.close()
+
+    def describe(self):
+        return "IndexNLJoin"
+
+
+class Sort(PhysicalOperator):
+    """Full in-memory sort."""
+
+    def __init__(self, child, key_fns, descending, output=None):
+        self.child = child
+        self.key_fns = list(key_fns)
+        self.descending = list(descending)
+        self.output = output or child.output
+        self._outer_env = None
+
+    def children(self):
+        return (self.child,)
+
+    def open(self, ctx, outer_env=None):
+        self._outer_env = outer_env
+        self.child.open(ctx, outer_env)
+
+    def rows(self):
+        outer = self._outer_env
+
+        def sort_key(row):
+            env = make_env(row, outer)
+            return tuple(fn(env) for fn in self.key_fns)
+
+        buffered = list(self.child.rows())
+        # Stable multi-key sort with mixed ASC/DESC: sort by each key from
+        # the least significant to the most significant.
+        for pos in range(len(self.key_fns) - 1, -1, -1):
+            fn = self.key_fns[pos]
+            desc = self.descending[pos]
+
+            def one_key(row, fn=fn):
+                env = make_env(row, outer)
+                v = fn(env)
+                # Sort NULLs first (before any value).
+                return (v is not None, v)
+
+            buffered.sort(key=one_key, reverse=desc)
+        return iter(buffered)
+
+    def close(self):
+        self.child.close()
+
+    def describe(self):
+        return "Sort"
+
+
+class _Accumulator:
+    """State for one aggregate function over one group."""
+
+    __slots__ = ("func", "count", "total", "best", "seen")
+
+    def __init__(self, func):
+        self.func = func
+        self.count = 0
+        self.total = None
+        self.best = None
+        self.seen = False
+
+    def add(self, value):
+        if self.func == "count":
+            # COUNT(expr) counts non-null; COUNT(*) is passed a sentinel.
+            if value is not None:
+                self.count += 1
+            return
+        if value is None:
+            return
+        self.seen = True
+        if self.func in ("sum", "avg"):
+            self.total = value if self.total is None else self.total + value
+            self.count += 1
+        elif self.func == "min":
+            self.best = value if self.best is None else min(self.best, value)
+        elif self.func == "max":
+            self.best = value if self.best is None else max(self.best, value)
+
+    def result(self):
+        if self.func == "count":
+            return self.count
+        if not self.seen:
+            return None
+        if self.func == "sum":
+            return self.total
+        if self.func == "avg":
+            return self.total / self.count
+        return self.best
+
+
+class AggregateSpec:
+    """One aggregate in the select list: func name + argument evaluator.
+
+    ``arg_fn`` is None for COUNT(*).
+    """
+
+    __slots__ = ("func", "arg_fn")
+
+    def __init__(self, func, arg_fn=None):
+        self.func = func
+        self.arg_fn = arg_fn
+
+
+class HashAggregate(PhysicalOperator):
+    """Hash grouping with the standard SQL aggregates.
+
+    Output rows are ``group_values + aggregate_values``.  With no grouping
+    expressions a single row is produced even for empty input (SQL scalar
+    aggregate semantics).
+    """
+
+    def __init__(self, child, group_fns, agg_specs, output, having=None):
+        self.child = child
+        self.group_fns = list(group_fns)
+        self.agg_specs = list(agg_specs)
+        self.output = output
+        self.having = having
+        self._outer_env = None
+
+    def children(self):
+        return (self.child,)
+
+    def open(self, ctx, outer_env=None):
+        self._outer_env = outer_env
+        self.child.open(ctx, outer_env)
+
+    def rows(self):
+        outer = self._outer_env
+        groups = {}
+        for row in self.child.rows():
+            env = make_env(row, outer)
+            key = tuple(fn(env) for fn in self.group_fns)
+            accs = groups.get(key)
+            if accs is None:
+                accs = [_Accumulator(s.func) for s in self.agg_specs]
+                groups[key] = accs
+            for spec, acc in zip(self.agg_specs, accs):
+                value = 1 if spec.arg_fn is None else spec.arg_fn(env)
+                acc.add(value)
+        if not groups and not self.group_fns:
+            groups[()] = [_Accumulator(s.func) for s in self.agg_specs]
+        having = self.having
+        for key, accs in groups.items():
+            out = key + tuple(acc.result() for acc in accs)
+            if having is None or having(make_env(out, outer)) is True:
+                yield out
+
+    def close(self):
+        self.child.close()
+
+    def describe(self):
+        names = [s.func for s in self.agg_specs]
+        return f"HashAggregate(groups={len(self.group_fns)}, aggs={names})"
+
+
+class Distinct(PhysicalOperator):
+    def __init__(self, child):
+        self.child = child
+        self.output = child.output
+
+    def children(self):
+        return (self.child,)
+
+    def open(self, ctx, outer_env=None):
+        self.child.open(ctx, outer_env)
+
+    def rows(self):
+        seen = set()
+        for row in self.child.rows():
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    def close(self):
+        self.child.close()
+
+    def describe(self):
+        return "Distinct"
+
+
+class Limit(PhysicalOperator):
+    def __init__(self, child, limit):
+        self.child = child
+        self.limit = limit
+        self.output = child.output
+
+    def children(self):
+        return (self.child,)
+
+    def open(self, ctx, outer_env=None):
+        self.child.open(ctx, outer_env)
+
+    def rows(self):
+        remaining = self.limit
+        if remaining <= 0:
+            return
+        for row in self.child.rows():
+            yield row
+            remaining -= 1
+            if remaining == 0:
+                return
+
+    def close(self):
+        self.child.close()
+
+    def describe(self):
+        return f"Limit({self.limit})"
+
+
+class Materialized(PhysicalOperator):
+    """A buffered row set used as a plan source (derived tables, tests)."""
+
+    def __init__(self, rows, output):
+        self._rows = list(rows)
+        self.output = output
+
+    def open(self, ctx, outer_env=None):
+        pass
+
+    def rows(self):
+        return iter(self._rows)
+
+    def describe(self):
+        return f"Materialized({len(self._rows)} rows)"
+
+
+class SwitchUnion(PhysicalOperator):
+    """The paper's SwitchUnion: N inputs plus a selector expression.
+
+    At open time the selector picks exactly one input; the others are never
+    touched.  MTCache uses two-input SwitchUnions whose selector is a
+    *currency guard* over the local heartbeat table: input 0 is the local
+    (view) branch, input 1 the remote fallback.
+    """
+
+    def __init__(self, inputs, selector, output, label=""):
+        if not inputs:
+            raise ExecutionError("SwitchUnion needs at least one input")
+        self.inputs = list(inputs)
+        self.selector = selector  # fn(ctx) -> int in [0, len(inputs))
+        self.output = output
+        self.label = label
+        self.chosen = None
+        #: The most recent selector decision; survives close() so callers
+        #: (e.g. the semantics checker) can inspect which branch ran.
+        self.last_chosen = None
+
+    def children(self):
+        return tuple(self.inputs)
+
+    def open(self, ctx, outer_env=None):
+        index = self.selector(ctx)
+        if not 0 <= index < len(self.inputs):
+            raise ExecutionError(f"SwitchUnion selector returned {index}")
+        self.chosen = index
+        self.last_chosen = index
+        ctx.record_branch(self.label or "switchunion", index)
+        self.inputs[index].open(ctx, outer_env)
+
+    def rows(self):
+        return self.inputs[self.chosen].rows()
+
+    def close(self):
+        if self.chosen is not None:
+            self.inputs[self.chosen].close()
+            self.chosen = None
+
+    def describe(self):
+        return f"SwitchUnion({self.label})"
+
+
+class RemoteQuery(PhysicalOperator):
+    """Ship a SQL query to the back-end server and stream its result.
+
+    ``remote_executor`` is a callable ``(sql) -> (rows, n_cols)`` provided
+    by the cache's connection to the back-end.  The query is issued during
+    ``open`` (binding phase), mirroring the paper's observation that remote
+    binding makes plan setup more expensive.
+    """
+
+    def __init__(self, sql, output, remote_executor):
+        self.sql = sql
+        self.output = output
+        self.remote_executor = remote_executor
+        self._buffered = None
+
+    def open(self, ctx, outer_env=None):
+        rows = self.remote_executor(self.sql)
+        self._buffered = rows
+        ctx.record_remote_query(self.sql, len(rows))
+
+    def rows(self):
+        return iter(self._buffered)
+
+    def close(self):
+        self._buffered = None
+
+    def describe(self):
+        return f"RemoteQuery({self.sql})"

@@ -1,0 +1,28 @@
+"""Cost-based query optimizer with integrated C&C checking.
+
+The optimizer mirrors the paper's §3.2: the normalized C&C constraint is the
+*required* consistency property; every candidate plan carries a *delivered*
+consistency property computed bottom-up; conflicting/violating candidates
+are pruned as early as possible; and local view accesses under a finite
+currency bound are wrapped in SwitchUnion operators with currency guards,
+costed with the guard probability ``p = clamp((B − d) / f, 0, 1)``.
+"""
+
+from repro.optimizer.cost import CostModel, guard_probability
+from repro.optimizer.candidates import Candidate
+from repro.optimizer.optimizer import Optimizer, OptimizedPlan
+from repro.optimizer.placement import BackendPlacement, PlacementProvider
+from repro.optimizer.query_info import OperandInfo, QueryInfo, analyze_select
+
+__all__ = [
+    "BackendPlacement",
+    "Candidate",
+    "CostModel",
+    "OperandInfo",
+    "OptimizedPlan",
+    "Optimizer",
+    "PlacementProvider",
+    "QueryInfo",
+    "analyze_select",
+    "guard_probability",
+]

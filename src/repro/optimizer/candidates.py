@@ -1,0 +1,79 @@
+"""Plan candidates: costed, property-carrying plan fragments.
+
+The optimizer's search space is a table of candidates per operand subset.
+Each candidate knows how to *build* its physical operator tree on demand
+(losing candidates never construct operators), its estimated cost / output
+cardinality / row width, the :class:`RowBinding` of its output, and its
+delivered consistency property.
+"""
+
+
+class Candidate:
+    """A costed plan fragment covering a set of FROM-clause operands."""
+
+    __slots__ = (
+        "build",
+        "cost",
+        "rows",
+        "width",
+        "binding",
+        "delivered",
+        "aliases",
+        "kind",
+        "detail",
+        "sort_order",
+        "_built",
+    )
+
+    def __init__(
+        self,
+        build,
+        cost,
+        rows,
+        width,
+        binding,
+        delivered,
+        aliases,
+        kind,
+        detail="",
+        sort_order=(),
+    ):
+        self.build = build
+        self.cost = cost
+        self.rows = rows
+        self.width = width
+        self.binding = binding
+        self.delivered = delivered
+        self.aliases = frozenset(aliases)
+        #: A short machine-checkable tag: "seq", "index", "remote",
+        #: "local-view", "guarded-view", "hash-join", "nl-join",
+        #: "merge-join", "remote-subset", "remote-query", ...
+        self.kind = kind
+        self.detail = detail
+        #: Delivered sort property: tuple of (qualifier, column) pairs the
+        #: output is ordered by, ascending.  The classic plan property the
+        #: paper models its consistency property on.
+        self.sort_order = tuple(sort_order)
+        self._built = None
+
+    def operator(self):
+        """Build (once) and return the physical operator tree."""
+        if self._built is None:
+            self._built = self.build()
+        return self._built
+
+    def signature(self):
+        """Canonical form of the delivered properties, used to keep the
+        best candidate per property during dynamic programming.  Includes
+        the sort order: an ordered-but-costlier plan may still win once a
+        merge join above exploits the order."""
+        return (
+            frozenset((region, ops) for region, ops in self.delivered.groups),
+            self.sort_order,
+        )
+
+    def __repr__(self):
+        return (
+            f"Candidate({self.kind}:{self.detail} aliases={sorted(self.aliases)} "
+            f"cost={self.cost:.1f} rows={self.rows:.0f})"
+        )

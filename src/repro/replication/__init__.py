@@ -1,0 +1,21 @@
+"""Replication: heartbeat service and distribution agents maintaining the
+cache's materialized views one region at a time, in commit order."""
+
+from repro.replication.agent import DistributionAgent
+from repro.replication.heartbeat import (
+    HEARTBEAT_TABLE,
+    HeartbeatService,
+    heartbeat_schema,
+    local_heartbeat_name,
+)
+from repro.replication.row_refresh import RowRefreshAgent, RowSync
+
+__all__ = [
+    "DistributionAgent",
+    "HEARTBEAT_TABLE",
+    "HeartbeatService",
+    "RowRefreshAgent",
+    "RowSync",
+    "heartbeat_schema",
+    "local_heartbeat_name",
+]

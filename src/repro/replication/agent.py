@@ -1,0 +1,252 @@
+"""Distribution agents (paper §3.1).
+
+A distribution agent owns one currency region: the set of local materialized
+views it refreshes, plus the region's local heartbeat table.  On every wake
+it replays the back-end replication log *in commit order*, one transaction
+at a time, applying each change to every subscribed view whose predicate the
+row satisfies.  Because a region's views are only ever updated together by
+the same agent, they are mutually consistent at all times — which is the
+invariant the compile-time consistency checker relies on.
+
+The propagation **delay** models delivery latency: an agent waking at time
+``t`` applies transactions committed up to ``t − delay``, so immediately
+after propagation the region's data is exactly ``delay`` stale — the bottom
+of the paper's Figure 3.2 sawtooth.
+"""
+
+from repro.common.errors import ReplicationError
+from repro.engine.expressions import OutputCol, RowBinding, evaluator
+from repro.replication.heartbeat import HEARTBEAT_TABLE, local_heartbeat_name
+from repro.txn.log import Operation
+
+
+class _ViewSubscription:
+    """Precompiled application state for one materialized view."""
+
+    def __init__(self, view, base_table):
+        self.view = view
+        base_schema = base_table.schema
+        self.positions = [base_schema.index_of(c) for c in view.columns]
+        if view.predicate is not None:
+            binding = RowBinding([OutputCol(c.name) for c in base_schema.columns])
+            self.predicate = evaluator(view.predicate, binding)
+        else:
+            self.predicate = None
+        # Position of the base table's primary-key columns inside the view
+        # row, used to locate rows for UPDATE/DELETE application.
+        if not base_table.primary_key:
+            raise ReplicationError(
+                f"base table {base_table.name} needs a primary key for replication"
+            )
+        view_cols = [c.lower() for c in view.columns]
+        for pk_col in base_table.primary_key:
+            if pk_col not in view_cols:
+                raise ReplicationError(
+                    f"view {view.view_name if hasattr(view, 'view_name') else view.name}: "
+                    f"primary key column {pk_col} must be included for replication"
+                )
+
+    def project(self, base_values):
+        return tuple(base_values[p] for p in self.positions)
+
+    def satisfies(self, base_values):
+        return self.predicate is None or self.predicate(base_values) is True
+
+
+class DistributionAgent:
+    """Propagates committed back-end changes to one currency region."""
+
+    def __init__(self, region_info, backend_catalog, replication_log, cache_catalog, clock):
+        self.region = region_info
+        self.backend_catalog = backend_catalog
+        self.log = replication_log
+        self.cache_catalog = cache_catalog
+        self.clock = clock
+        self.applied_txn = 0
+        self.snapshot_time = 0.0
+        self._subscriptions = {}  # base table name -> [_ViewSubscription]
+        self._local_heartbeat = None
+        self._event = None
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def attach_heartbeat(self, local_heartbeat_table):
+        """Register the cache-local heartbeat table for this region."""
+        self._local_heartbeat = local_heartbeat_table
+
+    def subscribe(self, view):
+        """Subscribe a materialized view and populate it from the back-end.
+
+        To keep the whole region on a single snapshot, any pending changes
+        are first propagated with zero delay, bringing existing views to
+        "now"; the new view is then populated by scanning the base table.
+        """
+        base_entry = self.backend_catalog.table(view.base_table)
+        subscription = _ViewSubscription(view, base_entry.table)
+        self.propagate(cutoff=self.clock.now())
+        view.table.truncate()
+        for _, values in base_entry.table.scan():
+            if subscription.satisfies(values):
+                view.table.insert(subscription.project(values))
+        now = self.clock.now()
+        view.applied_txn = self.applied_txn
+        view.snapshot_time = now
+        self._subscriptions.setdefault(view.base_table, []).append(subscription)
+        # The region as a whole is now synchronized to "now".
+        self.snapshot_time = now
+        self._sync_views_metadata()
+
+    def unsubscribe(self, view):
+        """Remove a view's subscription (it stops receiving updates)."""
+        subscriptions = self._subscriptions.get(view.base_table, [])
+        self._subscriptions[view.base_table] = [
+            s for s in subscriptions if s.view is not view
+        ]
+        if not self._subscriptions[view.base_table]:
+            del self._subscriptions[view.base_table]
+
+    def start(self, scheduler, interval=None):
+        """Begin periodic propagation on the scheduler."""
+        interval = interval if interval is not None else self.region.update_interval
+        if self._event is not None:
+            self._event.cancel()
+        self._event = scheduler.every(
+            interval, self.propagate, name=f"agent:{self.region.cid}"
+        )
+        return self._event
+
+    def stop(self):
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def propagate(self, cutoff=None):
+        """Apply all log records committed at or before ``cutoff``.
+
+        The default cutoff is ``now − update_delay``.  Returns the number of
+        records applied.
+        """
+        if cutoff is None:
+            cutoff = self.clock.now() - self.region.update_delay
+        if cutoff < self.snapshot_time:
+            return 0
+        applied = 0
+        for record in self.log.records:
+            if record.txn_id <= self.applied_txn:
+                continue
+            if record.commit_time > cutoff:
+                break
+            if self._apply(record):
+                applied += 1
+            self.applied_txn = max(self.applied_txn, record.txn_id)
+        self.snapshot_time = max(self.snapshot_time, cutoff)
+        self._sync_views_metadata()
+        return applied
+
+    def _sync_views_metadata(self):
+        for subs in self._subscriptions.values():
+            for sub in subs:
+                sub.view.applied_txn = self.applied_txn
+                sub.view.snapshot_time = self.snapshot_time
+
+    def _apply(self, record):
+        """Apply one log record; returns True if anything changed locally."""
+        if record.table == HEARTBEAT_TABLE:
+            return self._apply_heartbeat(record)
+        subscriptions = self._subscriptions.get(record.table)
+        if not subscriptions:
+            return False
+        changed = False
+        for sub in subscriptions:
+            if self._apply_to_view(sub, record):
+                changed = True
+        return changed
+
+    def _apply_to_view(self, sub, record):
+        view_table = sub.view.table
+        ci = view_table.clustered_index()
+        if record.op is Operation.INSERT:
+            if sub.satisfies(record.values):
+                view_table.insert(sub.project(record.values), xtime=record.txn_id,
+                                  commit_time=record.commit_time)
+                return True
+            return False
+        # UPDATE / DELETE: locate the current local row by primary key.
+        rid = None
+        for candidate in ci.seek(record.pk):
+            rid = candidate
+            break
+        if record.op is Operation.DELETE:
+            if rid is not None:
+                view_table.delete(rid)
+                return True
+            return False
+        # UPDATE: the row may enter, leave, or change within the view.
+        now_in = sub.satisfies(record.values)
+        if rid is not None and now_in:
+            view_table.update(rid, sub.project(record.values), xtime=record.txn_id,
+                              commit_time=record.commit_time)
+            return True
+        if rid is not None and not now_in:
+            view_table.delete(rid)
+            return True
+        if rid is None and now_in:
+            view_table.insert(sub.project(record.values), xtime=record.txn_id,
+                              commit_time=record.commit_time)
+            return True
+        return False
+
+    def _apply_heartbeat(self, record):
+        """Replicate this region's heartbeat row into the local table."""
+        if self._local_heartbeat is None:
+            return False
+        cid = record.pk[0]
+        if cid != self.region.cid:
+            return False
+        if record.op is not Operation.INSERT and record.op is not Operation.UPDATE:
+            return False
+        existing = None
+        for rid, values in self._local_heartbeat.scan():
+            if values[0] == cid:
+                existing = rid
+                break
+        if existing is None:
+            self._local_heartbeat.insert(record.values, xtime=record.txn_id,
+                                         commit_time=record.commit_time)
+        else:
+            self._local_heartbeat.update(existing, record.values, xtime=record.txn_id,
+                                         commit_time=record.commit_time)
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def local_heartbeat_value(self):
+        """The replicated heartbeat timestamp (None before first beat)."""
+        if self._local_heartbeat is None:
+            return None
+        for _, values in self._local_heartbeat.scan():
+            return values[1]
+        return None
+
+    def staleness_bound(self):
+        """Guaranteed upper bound on this region's staleness, from the
+        local heartbeat (None if no heartbeat has arrived yet)."""
+        ts = self.local_heartbeat_value()
+        if ts is None:
+            return None
+        return self.clock.now() - ts
+
+    def __repr__(self):
+        return (
+            f"<DistributionAgent region={self.region.cid} applied_txn={self.applied_txn} "
+            f"snapshot_time={self.snapshot_time:.3f}>"
+        )
+
+    @staticmethod
+    def local_heartbeat_table_name(cid):
+        return local_heartbeat_name(cid)

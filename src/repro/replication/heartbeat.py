@@ -1,0 +1,79 @@
+"""The heartbeat mechanism (paper §3.1).
+
+A global ``heartbeat`` table on the back-end holds one row per currency
+region: ``(cid, ts)``.  At regular intervals each region's "heart beats" —
+a stored-procedure-like job sets the row's timestamp to the current time
+*through the transaction manager*, so heartbeat updates flow down the
+replication log like any other update and are applied to the cache by the
+region's distribution agent in commit order.
+
+The replicated copy on the cache (one single-row table per region, named by
+:func:`local_heartbeat_name`) therefore always carries a timestamp ``T``
+such that **all** back-end updates up to ``T`` have been applied locally:
+at wall-clock time ``t`` the region's data is guaranteed no more than
+``t − T`` stale.  That difference is exactly what currency guards test.
+"""
+
+from repro.storage.schema import Column, DataType, Schema
+
+#: Name of the global heartbeat table on the back-end.
+HEARTBEAT_TABLE = "heartbeat"
+
+
+def heartbeat_schema():
+    """Schema shared by the global and local heartbeat tables."""
+    return Schema(
+        [
+            Column("cid", DataType.STRING, nullable=False),
+            Column("ts", DataType.FLOAT, nullable=False),
+        ]
+    )
+
+
+def local_heartbeat_name(cid):
+    """Name of the cache-local heartbeat table for region ``cid``."""
+    return f"heartbeat_{cid}".lower()
+
+
+class HeartbeatService:
+    """Beats region rows in the back-end heartbeat table.
+
+    Each region may beat at its own rate (the reason the paper prefers one
+    row per region over a single shared row).
+    """
+
+    def __init__(self, txn_manager, clock, scheduler=None):
+        self.txn_manager = txn_manager
+        self.clock = clock
+        self.scheduler = scheduler
+        self._events = {}
+
+    def register_region(self, cid, beat_interval=2.0, start=True):
+        """Create the region's heartbeat row and optionally start beating."""
+        def _insert(txn):
+            txn.insert(HEARTBEAT_TABLE, (cid, self.clock.now()))
+
+        self.txn_manager.run(_insert)
+        if start and self.scheduler is not None:
+            self.start(cid, beat_interval)
+
+    def start(self, cid, beat_interval):
+        if cid in self._events:
+            self._events[cid].cancel()
+        self._events[cid] = self.scheduler.every(
+            beat_interval, lambda: self.beat(cid), name=f"heartbeat:{cid}"
+        )
+
+    def stop(self, cid):
+        event = self._events.pop(cid, None)
+        if event is not None:
+            event.cancel()
+
+    def beat(self, cid):
+        """Set the region's heartbeat timestamp to the current time."""
+        now = self.clock.now()
+
+        def _update(txn):
+            txn.update(HEARTBEAT_TABLE, (cid,), (cid, now))
+
+        self.txn_manager.run(_update)

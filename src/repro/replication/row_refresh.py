@@ -1,0 +1,156 @@
+"""Row-level view refresh (quasi-copy-style maintenance).
+
+The paper's related work contrasts its transactional, commit-order
+replication with maintenance-centric schemes (quasi-copies, divergence
+caching) that refresh *individual objects* independently.  A view
+maintained that way is generally **not** snapshot consistent across rows —
+each row reflects the master at its own refresh time — but every row (or
+every group refreshed together) is internally consistent.  This is exactly
+the situation the appendix's per-group consistency model (§8.6) describes,
+and the reason the paper's currency clause has ``BY`` grouping columns.
+
+:class:`RowRefreshAgent` maintains a materialized view by copying rows
+straight from the master, one row or one group at a time, recording each
+row's *sync point* (the master transaction id it reflects).  The
+:mod:`repro.semantics.groups` checker consumes those sync points to decide
+which grouping granularities the view can satisfy.
+
+Views maintained this way are deliberately *not* registered with the
+cost-based optimizer (which requires region-level snapshot consistency,
+like the paper's prototype); they exist to make the appendix's finer
+granularities executable and testable.
+"""
+
+from repro.common.errors import ReplicationError
+from repro.engine.expressions import OutputCol, RowBinding, evaluator
+
+
+class RowSync:
+    """Sync metadata for one view row."""
+
+    __slots__ = ("sync_txn", "refresh_time")
+
+    def __init__(self, sync_txn, refresh_time):
+        self.sync_txn = sync_txn
+        self.refresh_time = refresh_time
+
+    def __repr__(self):
+        return f"RowSync(txn={self.sync_txn}, t={self.refresh_time:.3f})"
+
+
+class RowRefreshAgent:
+    """Maintains a view by refreshing individual rows from the master."""
+
+    def __init__(self, view, backend_catalog, txn_manager, clock):
+        self.view = view
+        self.backend_catalog = backend_catalog
+        self.txn_manager = txn_manager
+        self.clock = clock
+        base_entry = backend_catalog.table(view.base_table)
+        self.base_table = base_entry.table
+        if not self.base_table.primary_key:
+            raise ReplicationError(
+                f"row refresh needs a primary key on {view.base_table}"
+            )
+        self._positions = [
+            self.base_table.schema.index_of(c) for c in view.columns
+        ]
+        if view.predicate is not None:
+            binding = RowBinding(
+                [OutputCol(c.name) for c in self.base_table.schema.columns]
+            )
+            self._predicate = evaluator(view.predicate, binding)
+        else:
+            self._predicate = None
+        #: pk -> RowSync for every row currently in the view.
+        self.sync = {}
+        self._round_robin = 0
+
+    # ------------------------------------------------------------------
+    def _project(self, values):
+        return tuple(values[p] for p in self._positions)
+
+    def _satisfies(self, values):
+        return self._predicate is None or self._predicate(values) is True
+
+    def refresh_row(self, pk):
+        """Bring one row (identified by master pk) up to date.
+
+        Reads the master's current committed state: the row is inserted,
+        updated or deleted in the view accordingly, and its sync point set
+        to the master's latest transaction.  Returns True if the view
+        changed.
+        """
+        pk = tuple(pk)
+        sync = RowSync(self.txn_manager.last_txn_id, self.clock.now())
+        master_rid = self.base_table.pk_lookup(pk)
+        view_table = self.view.table
+        view_rid = None
+        ci = view_table.clustered_index()
+        if ci is not None:
+            for rid in ci.seek(pk):
+                view_rid = rid
+                break
+
+        if master_rid is None or not self._satisfies(self.base_table.row(master_rid)):
+            self.sync.pop(pk, None)
+            if view_rid is not None:
+                view_table.delete(view_rid)
+                return True
+            return False
+
+        values = self._project(self.base_table.row(master_rid))
+        self.sync[pk] = sync
+        if view_rid is None:
+            view_table.insert(values, xtime=sync.sync_txn, commit_time=sync.refresh_time)
+            return True
+        if view_table.row(view_rid) != values:
+            view_table.update(view_rid, values, xtime=sync.sync_txn,
+                              commit_time=sync.refresh_time)
+            return True
+        # Value unchanged, but the sync point still advances.
+        return False
+
+    def refresh_group(self, by_positions, group_key):
+        """Refresh every master row whose by-column values equal
+        ``group_key`` — the whole group moves to one snapshot together."""
+        refreshed = 0
+        for _, values in list(self.base_table.scan()):
+            if tuple(values[p] for p in by_positions) == tuple(group_key):
+                self.refresh_row(self.base_table.clustered_index().key_of(values))
+                refreshed += 1
+        return refreshed
+
+    def refresh_round(self, n=1):
+        """Refresh ``n`` rows round-robin over the master's current keys."""
+        keys = [key for key, _ in self.base_table.clustered_index().scan()]
+        if not keys:
+            return 0
+        refreshed = 0
+        for _ in range(n):
+            key = keys[self._round_robin % len(keys)]
+            self._round_robin += 1
+            self.refresh_row(key)
+            refreshed += 1
+        return refreshed
+
+    def refresh_all(self):
+        """Refresh every row; afterwards the view is snapshot consistent."""
+        master_keys = {key for key, _ in self.base_table.clustered_index().scan()}
+        for key in list(self.sync):
+            if key not in master_keys:
+                self.refresh_row(key)
+        count = 0
+        for key in sorted(master_keys):
+            self.refresh_row(key)
+            count += 1
+        self.view.applied_txn = self.txn_manager.last_txn_id
+        self.view.snapshot_time = self.clock.now()
+        return count
+
+    def sync_of(self, pk):
+        """The sync point recorded for one view row (None if unknown)."""
+        return self.sync.get(tuple(pk))
+
+    def __repr__(self):
+        return f"<RowRefreshAgent view={self.view.name} rows={len(self.sync)}>"

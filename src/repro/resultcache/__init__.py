@@ -1,0 +1,5 @@
+"""Query-result caching with C&C-aware reuse (paper §1, third scenario)."""
+
+from repro.resultcache.cache import CachedResult, ResultCache
+
+__all__ = ["CachedResult", "ResultCache"]

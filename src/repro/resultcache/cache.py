@@ -1,0 +1,171 @@
+"""A C&C-aware SQL result cache.
+
+The paper's third motivating scenario (§1): a component that caches SQL
+query results so they can be reused when the same query is submitted
+again.  "The cache can easily keep track of the staleness of its cached
+results and if a result does not satisfy a query's currency requirements,
+transparently recompute it.  In this way, an application can always be
+assured that its currency requirements are met."
+
+:class:`ResultCache` fronts any executor with an ``execute(sql)`` method
+(a :class:`~repro.cache.backend.BackendServer` or an
+:class:`~repro.cache.mtcache.MTCache`).  Results are keyed by the query
+text *without* its currency clause, so the same cached rows can serve
+requests with different bounds; each entry remembers the snapshot time it
+was computed at, and a lookup succeeds only if
+
+* ``now − snapshot_time`` is within the incoming query's currency bound
+  (the *minimum* bound across its constraint tuples — result rows mix all
+  inputs, so the tightest bound governs), and
+* the entry has not been explicitly invalidated.
+
+Statements that are not SELECTs pass straight through and, being writes,
+invalidate cached results derived from the written table.
+"""
+
+from repro.cc.constraint import constraint_from_select
+from repro.sql import ast
+from repro.sql.parser import parse
+
+
+class CachedResult:
+    """One cached query result plus its provenance."""
+
+    __slots__ = ("key", "rows", "columns", "snapshot_time", "tables", "hits")
+
+    def __init__(self, key, rows, columns, snapshot_time, tables):
+        self.key = key
+        self.rows = rows
+        self.columns = columns
+        self.snapshot_time = snapshot_time
+        self.tables = frozenset(tables)
+        self.hits = 0
+
+    def age(self, now):
+        return now - self.snapshot_time
+
+    def __repr__(self):
+        return f"CachedResult({self.key!r}, rows={len(self.rows)}, t={self.snapshot_time:.3f})"
+
+
+class ResultCache:
+    """Caches SELECT results and reuses them under currency bounds."""
+
+    def __init__(self, executor, clock=None, max_entries=256):
+        self.executor = executor
+        self.clock = clock if clock is not None else executor.clock
+        self.max_entries = max_entries
+        self._entries = {}  # key -> CachedResult
+        self.stats = {"hits": 0, "misses": 0, "recomputes": 0, "invalidations": 0}
+
+    # ------------------------------------------------------------------
+    def execute(self, sql):
+        """Execute with caching; non-SELECTs pass through (and invalidate)."""
+        stmt = parse(sql) if isinstance(sql, str) else sql
+        if not isinstance(stmt, ast.Select):
+            result = self.executor.execute(stmt)
+            if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
+                self.invalidate_table(stmt.table)
+            return result
+        return self._execute_select(stmt)
+
+    def _execute_select(self, select):
+        key = self._key_of(select)
+        bound = self._effective_bound(select)
+        now = self.clock.now()
+
+        entry = self._entries.get(key)
+        if entry is not None and entry.age(now) <= bound:
+            entry.hits += 1
+            self.stats["hits"] += 1
+            return entry
+
+        if entry is not None:
+            self.stats["recomputes"] += 1
+        else:
+            self.stats["misses"] += 1
+
+        # Recompute: strip the currency clause — the underlying executor is
+        # asked for a current answer, which then serves any future bound.
+        stripped = self._strip_currency(select)
+        result = self.executor.execute(stripped)
+        fresh = CachedResult(
+            key,
+            list(result.rows),
+            list(result.columns),
+            now,
+            self._tables_of(select),
+        )
+        self._store(fresh)
+        return fresh
+
+    # ------------------------------------------------------------------
+    def invalidate_table(self, table):
+        """Drop every cached result that read ``table``."""
+        table = table.lower()
+        doomed = [k for k, e in self._entries.items() if table in e.tables]
+        for key in doomed:
+            del self._entries[key]
+        self.stats["invalidations"] += len(doomed)
+        return len(doomed)
+
+    def clear(self):
+        self._entries.clear()
+
+    def __len__(self):
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _strip_currency(select):
+        if select.currency is None:
+            return select
+        return ast.Select(
+            select.items,
+            select.from_items,
+            where=select.where,
+            group_by=select.group_by,
+            having=select.having,
+            order_by=select.order_by,
+            distinct=select.distinct,
+            currency=None,
+            limit=select.limit,
+        )
+
+    @classmethod
+    def _key_of(cls, select):
+        return cls._strip_currency(select).to_sql()
+
+    @staticmethod
+    def _effective_bound(select):
+        """The tightest bound across the normalized constraint (a cached
+        result mixes all inputs, so the minimum governs)."""
+        constraint, _ = constraint_from_select(select)
+        bounds = [t.bound for t in constraint]
+        return min(bounds) if bounds else 0.0
+
+    @staticmethod
+    def _tables_of(select):
+        tables = set()
+        stack = [select]
+        while stack:
+            block = stack.pop()
+            for item in block.from_items:
+                if isinstance(item, ast.FromSubquery):
+                    stack.append(item.select)
+                else:
+                    tables.add(item.name)
+            for expr in (block.where, block.having):
+                if expr is None:
+                    continue
+                for node in expr.walk():
+                    if isinstance(node, (ast.ExistsSubquery, ast.InSubquery)):
+                        stack.append(node.select)
+        return tables
+
+    def _store(self, entry):
+        if len(self._entries) >= self.max_entries and entry.key not in self._entries:
+            # Evict the least-recently-useful entry (fewest hits, oldest).
+            victim = min(self._entries.values(), key=lambda e: (e.hits, e.snapshot_time))
+            del self._entries[victim.key]
+        self._entries[entry.key] = entry

@@ -1,0 +1,35 @@
+"""Formal C&C semantics (paper appendix §8) and the end-to-end checker."""
+
+from repro.semantics.model import (
+    HistoryView,
+    currency,
+    delta_consistency_bound,
+    distance,
+    is_snapshot_consistent,
+    stale_point,
+    xtime,
+)
+from repro.semantics.checker import CheckReport, ResultChecker, Violation
+from repro.semantics.groups import (
+    GroupConsistencyChecker,
+    GroupReport,
+    group_delta,
+    validity_interval,
+)
+
+__all__ = [
+    "CheckReport",
+    "GroupConsistencyChecker",
+    "GroupReport",
+    "HistoryView",
+    "ResultChecker",
+    "Violation",
+    "group_delta",
+    "validity_interval",
+    "currency",
+    "delta_consistency_bound",
+    "distance",
+    "is_snapshot_consistent",
+    "stale_point",
+    "xtime",
+]

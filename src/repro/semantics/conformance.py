@@ -1,0 +1,129 @@
+"""A randomized conformance harness for C&C guarantee checking.
+
+Drives an MTCache with a random interleaving of back-end updates,
+simulated-time advances and guarded queries, verifying **every** result
+with the :class:`~repro.semantics.checker.ResultChecker`.  This is the
+library form of the reproduction's strongest test: whatever the schedule,
+results are equivalent to evaluating the query on snapshots satisfying the
+normalized constraint.
+
+Use it against your own cache topology::
+
+    harness = ConformanceHarness(cache, tables=["kv"], seed=7)
+    outcome = harness.run(steps=200)
+    assert outcome.ok, outcome.failures
+"""
+
+import random
+
+from repro.semantics.checker import ResultChecker
+
+
+class ConformanceOutcome:
+    """What a conformance run observed."""
+
+    def __init__(self):
+        self.steps = 0
+        self.queries = 0
+        self.updates = 0
+        self.local_queries = 0
+        self.failures = []  # (sql, violations)
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    def __repr__(self):
+        status = "ok" if self.ok else f"{len(self.failures)} FAILURES"
+        return (
+            f"ConformanceOutcome({status}, steps={self.steps}, "
+            f"queries={self.queries}, updates={self.updates}, "
+            f"local={self.local_queries})"
+        )
+
+
+class ConformanceHarness:
+    """Randomized workload + per-query verification for one MTCache."""
+
+    #: Currency bounds sampled for generated queries (seconds).
+    DEFAULT_BOUNDS = (0, 1, 3, 8, 20, 120, 10_000)
+
+    def __init__(self, cache, tables, seed=42, bounds=None, deep=True):
+        self.cache = cache
+        self.backend = cache.backend
+        self.tables = list(tables)
+        self.rng = random.Random(seed)
+        self.bounds = list(bounds or self.DEFAULT_BOUNDS)
+        self.checker = ResultChecker(cache, deep=deep)
+
+    # ------------------------------------------------------------------
+    # Step generators
+    # ------------------------------------------------------------------
+    def _random_update(self):
+        table = self.rng.choice(self.tables)
+        entry = self.backend.catalog.table(table)
+        heap = entry.table
+        rows = [values for _, values in heap.scan()]
+        if not rows:
+            return
+        schema = entry.schema
+        pk_columns = heap.primary_key
+        victim = self.rng.choice(rows)
+        # Update one non-key numeric column, if any.
+        for i, col in enumerate(schema.columns):
+            if col.name in pk_columns:
+                continue
+            if isinstance(victim[i], bool) or not isinstance(victim[i], (int, float)):
+                continue
+            pk_predicate = " AND ".join(
+                f"{c} = {victim[schema.index_of(c)]!r}" for c in pk_columns
+            )
+            delta = self.rng.randint(1, 9)
+            self.backend.execute(
+                f"UPDATE {table} SET {col.name} = {col.name} + {delta} "
+                f"WHERE {pk_predicate}"
+            )
+            return
+
+    def _random_query_sql(self):
+        table = self.rng.choice(self.tables)
+        entry = self.backend.catalog.table(table)
+        alias = "q"
+        columns = ", ".join(f"{alias}.{c}" for c in entry.schema.names()[:3])
+        bound = self.rng.choice(self.bounds)
+        predicate = ""
+        pk = entry.table.primary_key[0]
+        if self.rng.random() < 0.5:
+            stats = entry.stats.column(pk)
+            if isinstance(stats.min, int) and isinstance(stats.max, int) and stats.max > stats.min:
+                threshold = self.rng.randint(stats.min, stats.max)
+                predicate = f" WHERE {alias}.{pk} < {threshold}"
+        return (
+            f"SELECT {columns} FROM {table} {alias}{predicate} "
+            f"CURRENCY BOUND {bound} SEC ON ({alias})"
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, steps=100, max_advance=10.0):
+        """Execute a random schedule; returns a ConformanceOutcome."""
+        outcome = ConformanceOutcome()
+        for _ in range(steps):
+            outcome.steps += 1
+            roll = self.rng.random()
+            if roll < 0.3:
+                self._random_update()
+                outcome.updates += 1
+            elif roll < 0.55:
+                self.cache.run_for(self.rng.uniform(0.2, max_advance))
+            else:
+                sql = self._random_query_sql()
+                result = self.cache.execute(sql)
+                outcome.queries += 1
+                if result.context.branches and all(
+                    index == 0 for _, index in result.context.branches
+                ):
+                    outcome.local_queries += 1
+                report = self.checker.check(sql, result)
+                if not report.ok:
+                    outcome.failures.append((sql, report.violations))
+        return outcome

@@ -1,0 +1,166 @@
+"""Per-group consistency (appendix §8.6) made executable.
+
+A currency clause may carry grouping columns — ``CURRENCY BOUND 10 MIN ON
+(R) BY R.isbn`` — meaning rows of R *within the same isbn group* must come
+from one snapshot, while different groups may come from different
+snapshots.  With transactional replication (whole regions on one snapshot)
+this is vacuous; with row-level refresh
+(:class:`~repro.replication.row_refresh.RowRefreshAgent`) it is not, and
+this module decides which granularities a view's current state satisfies:
+
+* :func:`validity_interval` — the master-transaction interval over which a
+  copy synchronized at some point remains identical to the master;
+* :func:`group_delta` — the appendix's Δ-consistency bound of a set of
+  copies (0 ⇔ snapshot consistent);
+* :class:`GroupConsistencyChecker` — groups a view's rows by arbitrary
+  columns and reports per-group Δ bounds.
+"""
+
+import itertools
+
+from repro.semantics.model import HistoryView
+
+
+def validity_interval(history, table, pk, sync_txn):
+    """[lo, hi] — the copy equals the master's state for every snapshot
+    ``H_m`` with ``lo <= m <= hi`` (hi is None when still current).
+
+    ``lo`` is the last transaction modifying the object at or before the
+    sync point; ``hi`` is the transaction *before* the next modification.
+    """
+    modifications = history.modifications_of(table, pk)
+    lo = 0
+    hi = None
+    for txn in modifications:
+        if txn <= sync_txn:
+            lo = txn
+        else:
+            hi = txn - 1
+            break
+    return lo, hi
+
+
+def intervals_intersect(intervals, last_txn):
+    """Do all validity intervals share a common snapshot?"""
+    lo = 0
+    hi = last_txn
+    for interval_lo, interval_hi in intervals:
+        lo = max(lo, interval_lo)
+        hi = min(hi, interval_hi if interval_hi is not None else last_txn)
+    return lo <= hi
+
+
+def group_delta(history, table, members):
+    """Δ-consistency bound (in transaction time) of a set of copies.
+
+    ``members`` is an iterable of ``(pk, sync_txn)``.  Two copies are at
+    distance 0 exactly when their validity intervals intersect — i.e. some
+    snapshot contains both; otherwise the distance is the transaction gap
+    between the intervals.  The appendix defines distance through
+    ``currency(A, H_m)``; in continuous time the two formulations agree,
+    but the interval form is exact for discrete transaction ids (the
+    measure-zero instant at which a copy "just became stale" matters
+    there), and it preserves the appendix's key property:
+    **Δ-bound 0 ⇔ snapshot consistent** (1-D Helly: pairwise-intersecting
+    intervals share a common point).
+    """
+    members = list(members)
+    last = history.last_txn
+    intervals = []
+    for pk, sync in members:
+        lo, hi = validity_interval(history, table, pk, sync)
+        intervals.append((lo, hi if hi is not None else last))
+    delta = 0
+    for (lo_a, hi_a), (lo_b, hi_b) in itertools.combinations(intervals, 2):
+        if hi_a < lo_b:
+            delta = max(delta, lo_b - hi_a)
+        elif hi_b < lo_a:
+            delta = max(delta, lo_a - hi_b)
+    return delta
+
+
+class GroupReport:
+    """Per-group Δ bounds for one grouping of a view."""
+
+    def __init__(self, by_columns, deltas):
+        self.by_columns = tuple(by_columns)
+        #: group key -> Δ bound (transaction time)
+        self.deltas = deltas
+
+    @property
+    def max_delta(self):
+        return max(self.deltas.values(), default=0)
+
+    @property
+    def consistent(self):
+        """True when every group is snapshot consistent (Δ = 0)."""
+        return self.max_delta == 0
+
+    def inconsistent_groups(self):
+        return sorted(k for k, d in self.deltas.items() if d > 0)
+
+    def __repr__(self):
+        return (
+            f"GroupReport(by={list(self.by_columns)}, groups={len(self.deltas)}, "
+            f"max_delta={self.max_delta})"
+        )
+
+
+class GroupConsistencyChecker:
+    """Checks which consistency granularities a view's state satisfies."""
+
+    def __init__(self, backend):
+        self.backend = backend
+        self.history = HistoryView(backend.txn_manager.log)
+
+    def _members(self, view, sync_of):
+        """(pk, group-key source values, sync_txn) per view row."""
+        table = view.table
+        ci = table.clustered_index()
+        if ci is None:
+            raise ValueError(f"view {view.name} has no primary key")
+        out = []
+        for rid, values in table.scan():
+            pk = ci.key_of(values)
+            sync = sync_of(pk)
+            if sync is None:
+                continue
+            out.append((pk, values, sync.sync_txn))
+        return out
+
+    def check(self, view, sync_of, by_columns=None):
+        """Report per-group Δ bounds.
+
+        ``sync_of(pk)`` returns the RowSync for a view row (e.g.
+        ``RowRefreshAgent.sync_of``).  ``by_columns=None`` checks the whole
+        view as a single group (table-level consistency); otherwise rows
+        are grouped on the named view columns.
+        """
+        members = self._members(view, sync_of)
+        if by_columns is None:
+            deltas = {
+                (): group_delta(
+                    self.history, view.base_table, [(pk, sync) for pk, _, sync in members]
+                )
+            }
+            return GroupReport((), deltas)
+        positions = [view.table.schema.index_of(c) for c in by_columns]
+        groups = {}
+        for pk, values, sync in members:
+            key = tuple(values[p] for p in positions)
+            groups.setdefault(key, []).append((pk, sync))
+        deltas = {
+            key: group_delta(self.history, view.base_table, group)
+            for key, group in groups.items()
+        }
+        return GroupReport(by_columns, deltas)
+
+    def finest_satisfied(self, view, sync_of, candidate_groupings):
+        """Of the given groupings (coarsest first), return those whose
+        every group is snapshot consistent right now."""
+        satisfied = []
+        for by_columns in candidate_groupings:
+            report = self.check(view, sync_of, by_columns=by_columns)
+            if report.consistent:
+                satisfied.append(tuple(by_columns) if by_columns else ())
+        return satisfied

@@ -1,0 +1,170 @@
+"""The appendix's database model, made executable.
+
+The master database's committed history is exactly the replication log: a
+sequence of row-level changes grouped into transactions ``T_1 … T_n`` with
+monotonically increasing ids (timestamps).  :class:`HistoryView` replays a
+prefix ``H_n`` to reconstruct the snapshot after any transaction, and the
+module functions implement the appendix's definitions:
+
+* ``xtime(O, H_n)`` — the id of the last transaction in ``H_n`` modifying
+  object ``O`` (an object here is one row, identified by table + pk);
+* ``stale_point(C, H_n)`` — the first transaction after a copy's sync point
+  that modified the master (the moment the copy became stale);
+* ``currency(C, H_n)`` — how long the copy has been stale;
+* ``distance(A, B, H_n)`` and Δ-consistency for object sets.
+
+Objects are identified as ``(table, pk)`` pairs; copies are described by
+their sync transaction id (all changes up to that id applied).
+"""
+
+from repro.common.errors import ReproError
+
+
+class HistoryView:
+    """Replayable view over the replication log (the history ``H``)."""
+
+    def __init__(self, log):
+        self.log = log
+
+    @property
+    def last_txn(self):
+        """n for the full history H_n."""
+        last = 0
+        for record in self.log.records:
+            last = max(last, record.txn_id)
+        return last
+
+    def commit_time_of(self, txn_id):
+        """Wall-clock commit time of transaction ``txn_id`` (None if no
+        such transaction appears in the log)."""
+        for record in self.log.records:
+            if record.txn_id == txn_id:
+                return record.commit_time
+        return None
+
+    def last_txn_at_or_before(self, time):
+        """Largest txn id with commit_time <= ``time``."""
+        last = 0
+        for record in self.log.records:
+            if record.commit_time <= time:
+                last = max(last, record.txn_id)
+            else:
+                break
+        return last
+
+    def snapshot(self, table, up_to_txn=None):
+        """Reconstruct ``{pk: row values}`` of one table after ``H_n``."""
+        state = {}
+        for record in self.log.records:
+            if record.table != table:
+                continue
+            if up_to_txn is not None and record.txn_id > up_to_txn:
+                break
+            if record.values is None:
+                state.pop(record.pk, None)
+            else:
+                state[record.pk] = record.values
+        return state
+
+    def modifications_of(self, table, pk):
+        """All txn ids that modified object (table, pk), in order."""
+        return [
+            record.txn_id
+            for record in self.log.records
+            if record.table == table and record.pk == pk
+        ]
+
+
+def xtime(history, table, pk, up_to_txn=None):
+    """xtime(O, H_n): last transaction modifying the object (0 if never)."""
+    last = 0
+    for txn_id in history.modifications_of(table, pk):
+        if up_to_txn is not None and txn_id > up_to_txn:
+            break
+        last = txn_id
+    return last
+
+
+def stale_point(history, table, pk, sync_txn, up_to_txn=None):
+    """stale(C, H_n) for a copy of (table, pk) synchronized at ``sync_txn``.
+
+    Returns the id of the first transaction modifying the master after the
+    sync point; if the copy is not stale, returns ``up_to_txn`` (i.e.
+    ``xtime(T_n)``), per the appendix convention.
+    """
+    n = up_to_txn if up_to_txn is not None else history.last_txn
+    for txn_id in history.modifications_of(table, pk):
+        if sync_txn < txn_id <= n:
+            return txn_id
+    return n
+
+
+def currency(history, table, pk, sync_txn, up_to_txn=None):
+    """currency(C, H_n) = xtime(T_n) − stale(C, H_n), in *transaction time*.
+
+    Zero when the copy is identical to the master.  To convert to wall
+    time use ``HistoryView.commit_time_of``.
+    """
+    n = up_to_txn if up_to_txn is not None else history.last_txn
+    return n - stale_point(history, table, pk, sync_txn, up_to_txn=n)
+
+
+def wall_clock_currency(history, table, pk, sync_txn, at_time):
+    """Staleness of a copy in wall-clock seconds at time ``at_time``.
+
+    0 if the master has not been modified since the sync point; otherwise
+    ``at_time − commit_time(stale point)``.
+    """
+    n = history.last_txn_at_or_before(at_time)
+    sp = stale_point(history, table, pk, sync_txn, up_to_txn=n)
+    if sp <= sync_txn or sp == 0:
+        return 0.0
+    modified_after_sync = any(
+        sync_txn < txn_id <= n for txn_id in history.modifications_of(table, pk)
+    )
+    if not modified_after_sync:
+        return 0.0
+    commit = history.commit_time_of(sp)
+    if commit is None:
+        return 0.0
+    return max(0.0, at_time - commit)
+
+
+def is_snapshot_consistent(history, objects, up_to_txn):
+    """Are the given copies all snapshot consistent w.r.t. ``H_n``?
+
+    ``objects`` is an iterable of ``(table, pk, value, sync_txn)``; each
+    copy's value must equal the object's value in the snapshot, which by
+    construction holds when its sync point covers ``up_to_txn``'s state of
+    that object.  We check values directly against the replayed snapshot.
+    """
+    by_table = {}
+    for table, pk, value, _sync in objects:
+        by_table.setdefault(table, []).append((pk, value))
+    for table, pairs in by_table.items():
+        state = history.snapshot(table, up_to_txn=up_to_txn)
+        for pk, value in pairs:
+            if state.get(pk) != value:
+                return False
+    return True
+
+
+def distance(history, sync_a, sync_b):
+    """distance(A, B, H_n) between two copies (appendix §8.5).
+
+    With ``xtime(A) <= xtime(B) = T_m``, the distance is ``currency(A, H_m)``
+    measured in transaction time: how far A lags the snapshot B is current
+    in.  For table-level copies synchronized at txn ids this reduces to the
+    count of intervening transactions.
+    """
+    lo, hi = sorted((sync_a, sync_b))
+    return hi - lo
+
+
+def delta_consistency_bound(sync_points):
+    """Δ-consistency bound of a set of copies: the max pairwise distance,
+    which for totally ordered sync points is max − min."""
+    points = list(sync_points)
+    if not points:
+        raise ReproError("delta_consistency_bound of an empty set")
+    return max(points) - min(points)

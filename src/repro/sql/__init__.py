@@ -1,0 +1,16 @@
+"""SQL front-end: lexer, AST and parser for the supported SQL subset,
+including the paper's new CURRENCY clause."""
+
+from repro.sql import ast
+from repro.sql.lexer import Lexer, Token, TokenType
+from repro.sql.parser import Parser, parse, parse_expression
+
+__all__ = [
+    "Lexer",
+    "Parser",
+    "Token",
+    "TokenType",
+    "ast",
+    "parse",
+    "parse_expression",
+]

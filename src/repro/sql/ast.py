@@ -1,0 +1,521 @@
+"""Abstract syntax trees for the SQL subset, including the CURRENCY clause.
+
+Every node knows how to render itself back to SQL (``to_sql``).  This is not
+just a debugging aid: MTCache ships the remote branches of its plans to the
+back-end server as SQL text, so faithful round-tripping is part of the
+execution path.
+"""
+
+from repro.common.errors import ParseError
+
+#: Currency bound value meaning "any staleness is acceptable".
+UNBOUNDED = float("inf")
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+class Expr:
+    """Base class for scalar expressions."""
+
+    def to_sql(self):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.to_sql()})"
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self):
+        return hash(self.to_sql())
+
+    def children(self):
+        """Child expressions, for generic tree walks."""
+        return ()
+
+    def walk(self):
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def column_refs(self):
+        """All ColumnRef nodes in this expression."""
+        return [n for n in self.walk() if isinstance(n, ColumnRef)]
+
+
+class Literal(Expr):
+    def __init__(self, value):
+        self.value = value
+
+    def to_sql(self):
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(self.value)
+
+
+class ColumnRef(Expr):
+    """A possibly qualified column reference, e.g. ``c.c_custkey``."""
+
+    def __init__(self, name, qualifier=None):
+        self.name = name.lower()
+        self.qualifier = qualifier.lower() if qualifier else None
+
+    def to_sql(self):
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+    @property
+    def full_name(self):
+        return self.to_sql()
+
+
+class BinaryOp(Expr):
+    """Arithmetic, comparison and boolean binary operators."""
+
+    COMPARISONS = frozenset(["=", "<>", "!=", "<", "<=", ">", ">="])
+    BOOLEAN = frozenset(["and", "or"])
+    ARITHMETIC = frozenset(["+", "-", "*", "/", "%"])
+
+    def __init__(self, op, left, right):
+        self.op = op.lower()
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+    def to_sql(self):
+        op = self.op.upper() if self.op in self.BOOLEAN else self.op
+        return f"({self.left.to_sql()} {op} {self.right.to_sql()})"
+
+
+class UnaryOp(Expr):
+    """NOT and unary minus."""
+
+    def __init__(self, op, operand):
+        self.op = op.lower()
+        self.operand = operand
+
+    def children(self):
+        return (self.operand,)
+
+    def to_sql(self):
+        op = "NOT " if self.op == "not" else "-"
+        return f"({op}{self.operand.to_sql()})"
+
+
+class IsNull(Expr):
+    def __init__(self, operand, negated=False):
+        self.operand = operand
+        self.negated = negated
+
+    def children(self):
+        return (self.operand,)
+
+    def to_sql(self):
+        tail = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.to_sql()} {tail})"
+
+
+class Between(Expr):
+    def __init__(self, operand, low, high, negated=False):
+        self.operand = operand
+        self.low = low
+        self.high = high
+        self.negated = negated
+
+    def children(self):
+        return (self.operand, self.low, self.high)
+
+    def to_sql(self):
+        neg = "NOT " if self.negated else ""
+        return f"({self.operand.to_sql()} {neg}BETWEEN {self.low.to_sql()} AND {self.high.to_sql()})"
+
+
+class InList(Expr):
+    def __init__(self, operand, items, negated=False):
+        self.operand = operand
+        self.items = list(items)
+        self.negated = negated
+
+    def children(self):
+        return tuple([self.operand] + self.items)
+
+    def to_sql(self):
+        neg = "NOT " if self.negated else ""
+        inner = ", ".join(i.to_sql() for i in self.items)
+        return f"({self.operand.to_sql()} {neg}IN ({inner}))"
+
+
+class FuncCall(Expr):
+    """Scalar and aggregate function calls (COUNT/SUM/AVG/MIN/MAX/GETDATE)."""
+
+    AGGREGATES = frozenset(["count", "sum", "avg", "min", "max"])
+
+    def __init__(self, name, args, star=False):
+        self.name = name.lower()
+        self.args = list(args)
+        self.star = star  # COUNT(*)
+
+    def children(self):
+        return tuple(self.args)
+
+    @property
+    def is_aggregate(self):
+        return self.name in self.AGGREGATES
+
+    def to_sql(self):
+        if self.star:
+            return f"{self.name.upper()}(*)"
+        inner = ", ".join(a.to_sql() for a in self.args)
+        return f"{self.name.upper()}({inner})"
+
+
+class ExistsSubquery(Expr):
+    def __init__(self, select, negated=False):
+        self.select = select
+        self.negated = negated
+
+    def to_sql(self):
+        neg = "NOT " if self.negated else ""
+        return f"({neg}EXISTS ({self.select.to_sql()}))"
+
+
+class InSubquery(Expr):
+    def __init__(self, operand, select, negated=False):
+        self.operand = operand
+        self.select = select
+        self.negated = negated
+
+    def children(self):
+        return (self.operand,)
+
+    def to_sql(self):
+        neg = "NOT " if self.negated else ""
+        return f"({self.operand.to_sql()} {neg}IN ({self.select.to_sql()}))"
+
+
+# ----------------------------------------------------------------------
+# Currency clause (the paper's §2 contribution)
+# ----------------------------------------------------------------------
+class CurrencySpec:
+    """One triple of the currency clause:
+
+    * ``bound`` — maximum staleness in seconds (``UNBOUNDED`` allowed);
+    * ``targets`` — aliases of the inputs forming one consistency class;
+    * ``by_columns`` — optional grouping columns splitting the class into
+      per-group consistency groups (paper example: ``(R) BY R.isbn``).
+    """
+
+    def __init__(self, bound, targets, by_columns=()):
+        if bound < 0:
+            raise ParseError(f"currency bound must be non-negative, got {bound}")
+        self.bound = float(bound)
+        self.targets = [t.lower() for t in targets]
+        self.by_columns = list(by_columns)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, CurrencySpec)
+            and self.bound == other.bound
+            and self.targets == other.targets
+            and self.by_columns == other.by_columns
+        )
+
+    def to_sql(self):
+        if self.bound == UNBOUNDED:
+            head = "UNBOUNDED"
+        elif self.bound == int(self.bound):
+            head = f"{int(self.bound)} SEC"
+        else:
+            head = f"{self.bound} SEC"
+        clause = f"{head} ON ({', '.join(self.targets)})"
+        if self.by_columns:
+            clause += " BY " + ", ".join(c.to_sql() for c in self.by_columns)
+        return clause
+
+    def __repr__(self):
+        return f"CurrencySpec({self.to_sql()})"
+
+
+class CurrencyClause:
+    """``CURRENCY BOUND spec, spec, ...`` attached to one SFW block."""
+
+    def __init__(self, specs):
+        self.specs = list(specs)
+
+    def __eq__(self, other):
+        return isinstance(other, CurrencyClause) and self.specs == other.specs
+
+    def to_sql(self):
+        return "CURRENCY BOUND " + ", ".join(s.to_sql() for s in self.specs)
+
+    def __repr__(self):
+        return f"CurrencyClause({self.to_sql()})"
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+class Statement:
+    def to_sql(self):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.to_sql()})"
+
+
+class SelectItem:
+    """One item of the select list: an expression with an optional alias."""
+
+    def __init__(self, expr, alias=None, star=False, star_qualifier=None):
+        self.expr = expr
+        self.alias = alias.lower() if alias else None
+        self.star = star
+        self.star_qualifier = star_qualifier.lower() if star_qualifier else None
+
+    def to_sql(self):
+        if self.star:
+            return f"{self.star_qualifier}.*" if self.star_qualifier else "*"
+        sql = self.expr.to_sql()
+        if self.alias:
+            sql += f" AS {self.alias}"
+        return sql
+
+    def output_name(self):
+        """The column name this item produces in the result schema."""
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.name
+        return self.expr.to_sql()
+
+    def __repr__(self):
+        return f"SelectItem({self.to_sql()})"
+
+
+class FromTable:
+    """A base table (or view) reference in the FROM clause."""
+
+    def __init__(self, name, alias=None):
+        self.name = name.lower()
+        self.alias = (alias or name).lower()
+
+    def to_sql(self):
+        if self.alias != self.name:
+            return f"{self.name} {self.alias}"
+        return self.name
+
+    def __repr__(self):
+        return f"FromTable({self.to_sql()})"
+
+
+class FromSubquery:
+    """A derived table: ``(SELECT ...) alias``."""
+
+    def __init__(self, select, alias):
+        self.select = select
+        self.alias = alias.lower()
+
+    def to_sql(self):
+        return f"({self.select.to_sql()}) {self.alias}"
+
+    def __repr__(self):
+        return f"FromSubquery({self.alias})"
+
+
+class OrderItem:
+    def __init__(self, expr, descending=False):
+        self.expr = expr
+        self.descending = descending
+
+    def to_sql(self):
+        return self.expr.to_sql() + (" DESC" if self.descending else "")
+
+
+class Select(Statement):
+    """A Select-From-Where block, optionally with a currency clause."""
+
+    def __init__(
+        self,
+        items,
+        from_items,
+        where=None,
+        group_by=None,
+        having=None,
+        order_by=None,
+        distinct=False,
+        currency=None,
+        limit=None,
+    ):
+        self.items = list(items)
+        self.from_items = list(from_items)
+        self.where = where
+        self.group_by = list(group_by or [])
+        self.having = having
+        self.order_by = list(order_by or [])
+        self.distinct = distinct
+        self.currency = currency
+        self.limit = limit
+
+    def to_sql(self):
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(i.to_sql() for i in self.items))
+        parts.append("FROM")
+        parts.append(", ".join(f.to_sql() for f in self.from_items))
+        if self.where is not None:
+            parts.append(f"WHERE {self.where.to_sql()}")
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(g.to_sql() for g in self.group_by))
+        if self.having is not None:
+            parts.append(f"HAVING {self.having.to_sql()}")
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.to_sql() for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        if self.currency is not None:
+            parts.append(self.currency.to_sql())
+        return " ".join(parts)
+
+
+class Insert(Statement):
+    def __init__(self, table, columns, rows):
+        self.table = table.lower()
+        self.columns = [c.lower() for c in columns] if columns else None
+        self.rows = [tuple(r) for r in rows]  # rows of Expr
+
+    def to_sql(self):
+        cols = f" ({', '.join(self.columns)})" if self.columns else ""
+        values = ", ".join("(" + ", ".join(v.to_sql() for v in row) + ")" for row in self.rows)
+        return f"INSERT INTO {self.table}{cols} VALUES {values}"
+
+
+class Update(Statement):
+    def __init__(self, table, assignments, where=None):
+        self.table = table.lower()
+        self.assignments = [(c.lower(), e) for c, e in assignments]
+        self.where = where
+
+    def to_sql(self):
+        sets = ", ".join(f"{c} = {e.to_sql()}" for c, e in self.assignments)
+        sql = f"UPDATE {self.table} SET {sets}"
+        if self.where is not None:
+            sql += f" WHERE {self.where.to_sql()}"
+        return sql
+
+
+class Delete(Statement):
+    def __init__(self, table, where=None):
+        self.table = table.lower()
+        self.where = where
+
+    def to_sql(self):
+        sql = f"DELETE FROM {self.table}"
+        if self.where is not None:
+            sql += f" WHERE {self.where.to_sql()}"
+        return sql
+
+
+class ColumnDef:
+    def __init__(self, name, type_name, nullable=True):
+        self.name = name.lower()
+        self.type_name = type_name.lower()
+        self.nullable = nullable
+
+    def to_sql(self):
+        null = "" if self.nullable else " NOT NULL"
+        return f"{self.name} {self.type_name.upper()}{null}"
+
+
+class CreateTable(Statement):
+    def __init__(self, name, columns, primary_key=None):
+        self.name = name.lower()
+        self.columns = list(columns)
+        self.primary_key = [c.lower() for c in primary_key] if primary_key else None
+
+    def to_sql(self):
+        defs = [c.to_sql() for c in self.columns]
+        if self.primary_key:
+            defs.append(f"PRIMARY KEY ({', '.join(self.primary_key)})")
+        return f"CREATE TABLE {self.name} ({', '.join(defs)})"
+
+
+class CreateIndex(Statement):
+    def __init__(self, name, table, columns, unique=False, clustered=False):
+        self.name = name.lower()
+        self.table = table.lower()
+        self.columns = [c.lower() for c in columns]
+        self.unique = unique
+        self.clustered = clustered
+
+    def to_sql(self):
+        mods = ("UNIQUE " if self.unique else "") + ("CLUSTERED " if self.clustered else "")
+        return f"CREATE {mods}INDEX {self.name} ON {self.table} ({', '.join(self.columns)})"
+
+
+class CreateRegion(Statement):
+    """CREATE CURRENCY REGION — cache-side DDL for a currency region."""
+
+    def __init__(self, name, interval, delay, heartbeat=None):
+        self.name = name.lower()
+        self.interval = float(interval)
+        self.delay = float(delay)
+        self.heartbeat = float(heartbeat) if heartbeat is not None else None
+
+    def to_sql(self):
+        sql = (
+            f"CREATE CURRENCY REGION {self.name} "
+            f"INTERVAL {self.interval:g} SEC DELAY {self.delay:g} SEC"
+        )
+        if self.heartbeat is not None:
+            sql += f" HEARTBEAT {self.heartbeat:g} SEC"
+        return sql
+
+
+class CreateMatview(Statement):
+    """CREATE MATERIALIZED VIEW ... IN REGION r AS SELECT ...
+
+    The defining select is restricted to a single-table
+    projection/selection, as in the paper's prototype.
+    """
+
+    def __init__(self, name, region, select):
+        self.name = name.lower()
+        self.region = region.lower()
+        self.select = select
+
+    def to_sql(self):
+        return (
+            f"CREATE MATERIALIZED VIEW {self.name} IN REGION {self.region} "
+            f"AS {self.select.to_sql()}"
+        )
+
+
+class Explain(Statement):
+    """EXPLAIN <select>: return the chosen plan instead of executing it."""
+
+    def __init__(self, select):
+        self.select = select
+
+    def to_sql(self):
+        return f"EXPLAIN {self.select.to_sql()}"
+
+
+class BeginTimeordered(Statement):
+    def to_sql(self):
+        return "BEGIN TIMEORDERED"
+
+
+class EndTimeordered(Statement):
+    def to_sql(self):
+        return "END TIMEORDERED"

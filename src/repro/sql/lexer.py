@@ -1,0 +1,159 @@
+"""A hand-written SQL tokenizer.
+
+Produces a flat list of :class:`Token` objects.  Keywords are recognized
+case-insensitively; identifiers are lower-cased (the engine is
+case-insensitive like most SQL systems).  String literals use single quotes
+with ``''`` as the escape for a quote.
+"""
+
+import enum
+
+from repro.common.errors import ParseError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+#: Reserved words.  CURRENCY/BOUND/ON/BY and the time units implement the
+#: paper's currency clause; TIMEORDERED implements §2.3 timeline sessions.
+KEYWORDS = frozenset(
+    """
+    select from where group by having order asc desc distinct as and or not
+    in between like exists is null insert into values update set delete
+    create table index unique clustered primary key view materialized
+    currency bound on timeordered begin end explain
+    region interval delay heartbeat
+    int integer float real string varchar text bool boolean timestamp
+    ms sec second seconds min minute minutes hour hours day days
+    inner join left outer true false getdate unbounded
+    limit union all
+    """.split()
+)
+
+OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%")
+PUNCT = "(),."
+
+
+class Token:
+    __slots__ = ("type", "value", "pos")
+
+    def __init__(self, type_, value, pos):
+        self.type = type_
+        self.value = value
+        self.pos = pos
+
+    def is_keyword(self, *words):
+        return self.type is TokenType.KEYWORD and self.value in words
+
+    def __repr__(self):
+        return f"Token({self.type.value}, {self.value!r})"
+
+
+class Lexer:
+    """Tokenizes SQL text."""
+
+    def __init__(self, text):
+        self.text = text
+        self.pos = 0
+
+    def tokens(self):
+        """Return the full token list, terminated by an EOF token."""
+        out = []
+        while True:
+            token = self._next()
+            out.append(token)
+            if token.type is TokenType.EOF:
+                return out
+
+    def _peek(self, offset=0):
+        i = self.pos + offset
+        return self.text[i] if i < len(self.text) else ""
+
+    def _next(self):
+        self._skip_whitespace_and_comments()
+        if self.pos >= len(self.text):
+            return Token(TokenType.EOF, "", self.pos)
+        start = self.pos
+        ch = self.text[self.pos]
+
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._number(start)
+        if ch == "'":
+            return self._string(start)
+        if ch.isalpha() or ch == "_":
+            return self._word(start)
+        for op in OPERATORS:
+            if self.text.startswith(op, self.pos):
+                self.pos += len(op)
+                return Token(TokenType.OPERATOR, op, start)
+        if ch in PUNCT:
+            self.pos += 1
+            return Token(TokenType.PUNCT, ch, start)
+        raise ParseError(f"unexpected character {ch!r}", start)
+
+    def _skip_whitespace_and_comments(self):
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch.isspace():
+                self.pos += 1
+            elif self.text.startswith("--", self.pos):
+                nl = self.text.find("\n", self.pos)
+                self.pos = len(self.text) if nl < 0 else nl + 1
+            elif self.text.startswith("/*", self.pos):
+                end = self.text.find("*/", self.pos + 2)
+                if end < 0:
+                    raise ParseError("unterminated block comment", self.pos)
+                self.pos = end + 2
+            else:
+                return
+
+    def _number(self, start):
+        is_float = False
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch.isdigit():
+                self.pos += 1
+            elif ch == "." and not is_float:
+                is_float = True
+                self.pos += 1
+            else:
+                break
+        text = self.text[start : self.pos]
+        value = float(text) if is_float else int(text)
+        return Token(TokenType.NUMBER, value, start)
+
+    def _string(self, start):
+        self.pos += 1  # opening quote
+        chunks = []
+        while True:
+            if self.pos >= len(self.text):
+                raise ParseError("unterminated string literal", start)
+            ch = self.text[self.pos]
+            if ch == "'":
+                if self._peek(1) == "'":  # escaped quote
+                    chunks.append("'")
+                    self.pos += 2
+                    continue
+                self.pos += 1
+                return Token(TokenType.STRING, "".join(chunks), start)
+            chunks.append(ch)
+            self.pos += 1
+
+    def _word(self, start):
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch.isalnum() or ch == "_":
+                self.pos += 1
+            else:
+                break
+        word = self.text[start : self.pos].lower()
+        if word in KEYWORDS:
+            return Token(TokenType.KEYWORD, word, start)
+        return Token(TokenType.IDENT, word, start)

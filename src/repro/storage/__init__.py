@@ -1,0 +1,15 @@
+"""Storage layer: schemas, heap tables with row transaction timestamps,
+and ordered secondary indexes."""
+
+from repro.storage.schema import Column, DataType, Schema
+from repro.storage.index import Index
+from repro.storage.table import HeapTable, RowVersion
+
+__all__ = [
+    "Column",
+    "DataType",
+    "HeapTable",
+    "Index",
+    "RowVersion",
+    "Schema",
+]

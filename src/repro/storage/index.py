@@ -1,0 +1,134 @@
+"""Ordered indexes over heap tables.
+
+An :class:`Index` maps key tuples (values of the indexed columns) to row ids
+in the owning :class:`~repro.storage.table.HeapTable`.  Entries are kept in a
+sorted list so both point lookups (bisect) and range scans are efficient —
+the in-memory analogue of a B-tree.  A *clustered* index here only means the
+optimizer treats the table as ordered by that key; the heap itself is not
+physically reordered.
+"""
+
+import bisect
+
+from repro.common.errors import StorageError
+
+#: Sentinels that sort below/above every real value, used for open-ended
+#: range scans over heterogeneous key tuples.
+class _NegInf:
+    def __lt__(self, other):
+        return True
+
+    def __gt__(self, other):
+        return False
+
+    def __repr__(self):
+        return "-inf"
+
+
+class _PosInf:
+    def __lt__(self, other):
+        return False
+
+    def __gt__(self, other):
+        return True
+
+    def __repr__(self):
+        return "+inf"
+
+
+NEG_INF = _NegInf()
+POS_INF = _PosInf()
+
+
+class Index:
+    """A sorted (key, rowid) index over a heap table."""
+
+    def __init__(self, name, column_names, key_positions, unique=False, clustered=False):
+        self.name = name
+        self.column_names = list(column_names)
+        self.key_positions = list(key_positions)
+        self.unique = unique
+        self.clustered = clustered
+        # Parallel sorted arrays: _keys[i] corresponds to _rids[i].  Keys are
+        # (key_tuple, rowid) pairs so duplicates stay ordered and removable.
+        self._entries = []
+
+    def __len__(self):
+        return len(self._entries)
+
+    def key_of(self, row):
+        """Extract this index's key tuple from a full table row."""
+        return tuple(row[p] for p in self.key_positions)
+
+    def insert(self, row, rid):
+        key = self.key_of(row)
+        entry = (key, rid)
+        pos = bisect.bisect_left(self._entries, entry)
+        if self.unique:
+            # Any entry with the same key (regardless of rid) is a violation.
+            if pos < len(self._entries) and self._entries[pos][0] == key:
+                raise StorageError(f"unique index {self.name}: duplicate key {key}")
+            if pos > 0 and self._entries[pos - 1][0] == key:
+                raise StorageError(f"unique index {self.name}: duplicate key {key}")
+        self._entries.insert(pos, entry)
+
+    def delete(self, row, rid):
+        key = self.key_of(row)
+        entry = (key, rid)
+        pos = bisect.bisect_left(self._entries, entry)
+        if pos >= len(self._entries) or self._entries[pos] != entry:
+            raise StorageError(f"index {self.name}: missing entry {entry}")
+        del self._entries[pos]
+
+    def seek(self, key):
+        """Yield row ids whose key equals ``key`` (a tuple)."""
+        key = tuple(key)
+        pos = bisect.bisect_left(self._entries, (key, -1))
+        while pos < len(self._entries) and self._entries[pos][0] == key:
+            yield self._entries[pos][1]
+            pos += 1
+
+    def range(self, low=None, high=None, low_inclusive=True, high_inclusive=True):
+        """Yield (key, rid) pairs with low <= key <= high, in key order.
+
+        ``low``/``high`` are *prefix* tuples: a bound shorter than the full
+        key matches on the prefix.  ``None`` means unbounded on that side.
+        """
+        n = len(self.key_positions)
+        if low is None:
+            start = 0
+        else:
+            low = tuple(low)
+            if low_inclusive:
+                # (padded_key,) sorts before any (padded_key, rid) entry, so
+                # bisect_left lands on the first entry with key >= low.
+                probe = (low + (NEG_INF,) * (n - len(low)),)
+                start = bisect.bisect_left(self._entries, probe)
+            else:
+                # Pad with +inf so every key sharing the prefix sorts below
+                # the probe; bisect_right lands just past the last of them.
+                probe = (low + (POS_INF,) * (n - len(low)), POS_INF)
+                start = bisect.bisect_right(self._entries, probe)
+        for i in range(start, len(self._entries)):
+            key, rid = self._entries[i]
+            if high is not None:
+                prefix = key[: len(high)]
+                if high_inclusive:
+                    if prefix > tuple(high):
+                        break
+                else:
+                    if prefix >= tuple(high):
+                        break
+            yield key, rid
+
+    def scan(self):
+        """Yield all (key, rid) pairs in key order."""
+        return iter(self._entries)
+
+    def clear(self):
+        self._entries = []
+
+    def __repr__(self):
+        kind = "clustered" if self.clustered else "secondary"
+        uniq = " unique" if self.unique else ""
+        return f"<Index {self.name} {kind}{uniq} on {self.column_names} ({len(self)} entries)>"

@@ -1,0 +1,129 @@
+"""Relational schemas.
+
+A :class:`Schema` is an ordered list of :class:`Column` objects.  Rows are
+plain tuples positionally aligned with the schema; the schema provides name
+resolution (optionally qualified, e.g. ``c.c_custkey``), projection helpers
+and value validation.
+"""
+
+import enum
+
+from repro.common.errors import CatalogError, StorageError
+
+
+class DataType(enum.Enum):
+    """Supported column types.
+
+    TIMESTAMP values are floats in simulated seconds — the same unit the
+    clocks use — so currency arithmetic never needs conversions.
+    """
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    BOOL = "bool"
+    TIMESTAMP = "timestamp"
+
+    def validate(self, value):
+        """Return True if ``value`` is acceptable for this type (None is
+        handled by Column.nullable, not here)."""
+        if self is DataType.INT:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is DataType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is DataType.STRING:
+            return isinstance(value, str)
+        if self is DataType.BOOL:
+            return isinstance(value, bool)
+        if self is DataType.TIMESTAMP:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        return False  # pragma: no cover - exhaustive enum
+
+
+class Column:
+    """A named, typed column."""
+
+    __slots__ = ("name", "dtype", "nullable")
+
+    def __init__(self, name, dtype, nullable=True):
+        if not name:
+            raise CatalogError("column name must be non-empty")
+        self.name = name.lower()
+        self.dtype = dtype
+        self.nullable = nullable
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Column)
+            and self.name == other.name
+            and self.dtype == other.dtype
+            and self.nullable == other.nullable
+        )
+
+    def __hash__(self):
+        return hash((self.name, self.dtype, self.nullable))
+
+    def __repr__(self):
+        null = "" if self.nullable else " NOT NULL"
+        return f"Column({self.name} {self.dtype.value}{null})"
+
+
+class Schema:
+    """An ordered collection of columns with fast name lookup."""
+
+    def __init__(self, columns):
+        self.columns = list(columns)
+        self._by_name = {}
+        for i, col in enumerate(self.columns):
+            if col.name in self._by_name:
+                raise CatalogError(f"duplicate column name: {col.name}")
+            self._by_name[col.name] = i
+
+    def __len__(self):
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def __eq__(self, other):
+        return isinstance(other, Schema) and self.columns == other.columns
+
+    def names(self):
+        """Return the column names in order."""
+        return [c.name for c in self.columns]
+
+    def has_column(self, name):
+        return name.lower() in self._by_name
+
+    def index_of(self, name):
+        """Return the position of column ``name`` or raise CatalogError."""
+        try:
+            return self._by_name[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown column: {name!r} (have {self.names()})") from None
+
+    def column(self, name):
+        return self.columns[self.index_of(name)]
+
+    def project(self, names):
+        """Return a new Schema with just the named columns, in given order."""
+        return Schema([self.column(n) for n in names])
+
+    def validate_row(self, row):
+        """Raise StorageError unless ``row`` conforms to this schema."""
+        if len(row) != len(self.columns):
+            raise StorageError(
+                f"row arity {len(row)} does not match schema arity {len(self.columns)}"
+            )
+        for value, col in zip(row, self.columns):
+            if value is None:
+                if not col.nullable:
+                    raise StorageError(f"column {col.name} is NOT NULL")
+                continue
+            if not col.dtype.validate(value):
+                raise StorageError(
+                    f"value {value!r} is not valid for column {col.name} ({col.dtype.value})"
+                )
+
+    def __repr__(self):
+        return f"Schema({', '.join(self.names())})"

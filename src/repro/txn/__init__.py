@@ -1,0 +1,12 @@
+"""Transactions: commit ordering, history and the replication log."""
+
+from repro.txn.log import LogRecord, Operation, ReplicationLog
+from repro.txn.manager import Transaction, TransactionManager
+
+__all__ = [
+    "LogRecord",
+    "Operation",
+    "ReplicationLog",
+    "Transaction",
+    "TransactionManager",
+]

@@ -1,0 +1,88 @@
+"""The replication log.
+
+Every committed write on the master database appends :class:`LogRecord`
+entries in commit order.  The log serves two consumers:
+
+* distribution agents (``repro.replication``) replay a prefix of it, one
+  transaction at a time, to bring cached views forward — mirroring SQL
+  Server's transactional replication; and
+* the semantics checker (``repro.semantics``) replays prefixes to
+  reconstruct the database snapshot ``H_n`` after any transaction ``T_n``.
+
+Records identify rows by primary-key value, so replicas can apply them
+without sharing row ids with the master heap.
+"""
+
+import enum
+
+
+class Operation(enum.Enum):
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+
+
+class LogRecord:
+    """One row-level change within a committed transaction."""
+
+    __slots__ = ("txn_id", "commit_time", "table", "op", "pk", "values", "old_values", "seq")
+
+    def __init__(self, txn_id, commit_time, table, op, pk, values=None, old_values=None, seq=0):
+        self.txn_id = txn_id
+        self.commit_time = commit_time
+        self.table = table
+        self.op = op
+        self.pk = pk
+        self.values = values
+        self.old_values = old_values
+        self.seq = seq
+
+    def __repr__(self):
+        return (
+            f"LogRecord(txn={self.txn_id}, t={self.commit_time:.3f}, "
+            f"{self.op.value} {self.table} pk={self.pk})"
+        )
+
+
+class ReplicationLog:
+    """An append-only, globally ordered log of committed changes."""
+
+    def __init__(self):
+        self._records = []
+
+    def append(self, record):
+        record.seq = len(self._records)
+        self._records.append(record)
+
+    def __len__(self):
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def records(self):
+        return self._records
+
+    def records_for(self, table, after_txn=0, up_to_commit_time=None):
+        """Yield records for ``table`` with txn_id > after_txn, optionally
+        restricted to commit_time <= up_to_commit_time, in log order."""
+        for record in self._records:
+            if record.table != table:
+                continue
+            if record.txn_id <= after_txn:
+                continue
+            if up_to_commit_time is not None and record.commit_time > up_to_commit_time:
+                continue
+            yield record
+
+    def last_txn_before(self, commit_time):
+        """Return the id of the last transaction committed at or before
+        ``commit_time`` (0 if none)."""
+        last = 0
+        for record in self._records:
+            if record.commit_time <= commit_time:
+                last = max(last, record.txn_id)
+            else:
+                break
+        return last

@@ -1,0 +1,28 @@
+"""Workloads: TPC-D-style data, the bookstore schema from §2, the paper's
+experiment queries, and the full experimental setup of §4."""
+
+from repro.workloads.bookstore import load_bookstore
+from repro.workloads.driver import DriverReport, WorkloadDriver, point_lookup_factory
+from repro.workloads.experiment import PaperSetup, build_paper_setup
+from repro.workloads.queries import (
+    GUARD_QUERIES,
+    PLAN_CHOICE_QUERIES,
+    guard_query,
+    plan_choice_query,
+)
+from repro.workloads.tpcd import apply_paper_scale_stats, load_tpcd
+
+__all__ = [
+    "DriverReport",
+    "GUARD_QUERIES",
+    "PLAN_CHOICE_QUERIES",
+    "PaperSetup",
+    "WorkloadDriver",
+    "apply_paper_scale_stats",
+    "build_paper_setup",
+    "guard_query",
+    "load_bookstore",
+    "load_tpcd",
+    "plan_choice_query",
+    "point_lookup_factory",
+]

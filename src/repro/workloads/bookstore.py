@@ -1,0 +1,93 @@
+"""The online-bookstore schema of the paper's §2 (Books / Reviews / Sales).
+
+Used by the examples and by tests exercising the currency-clause semantics
+(E1–E4, Q1–Q3 of Figures 2.1/2.2).
+"""
+
+import random
+
+BOOKS_DDL = """
+CREATE TABLE books (
+    isbn INT NOT NULL,
+    title VARCHAR(40) NOT NULL,
+    author VARCHAR(25) NOT NULL,
+    price FLOAT NOT NULL,
+    stock INT NOT NULL,
+    PRIMARY KEY (isbn)
+)
+"""
+
+REVIEWS_DDL = """
+CREATE TABLE reviews (
+    review_id INT NOT NULL,
+    isbn INT NOT NULL,
+    rating INT NOT NULL,
+    reviewer VARCHAR(25) NOT NULL,
+    PRIMARY KEY (review_id)
+)
+"""
+
+SALES_DDL = """
+CREATE TABLE sales (
+    sale_id INT NOT NULL,
+    isbn INT NOT NULL,
+    year INT NOT NULL,
+    amount FLOAT NOT NULL,
+    PRIMARY KEY (sale_id)
+)
+"""
+
+
+def load_bookstore(backend, n_books=200, seed=7):
+    """Create and populate the bookstore tables through logged txns."""
+    backend.create_table(BOOKS_DDL)
+    backend.create_table(REVIEWS_DDL)
+    backend.create_table(SALES_DDL)
+    backend.create_index("CREATE INDEX idx_reviews_isbn ON reviews (isbn)")
+    backend.create_index("CREATE INDEX idx_sales_isbn ON sales (isbn)")
+
+    rng = random.Random(seed)
+
+    def load_books(txn):
+        for isbn in range(1, n_books + 1):
+            txn.insert(
+                "books",
+                (
+                    isbn,
+                    f"Title #{isbn:05d}",
+                    f"Author {1 + isbn % 37}",
+                    round(rng.uniform(5.0, 120.0), 2),
+                    rng.randint(0, 500),
+                ),
+            )
+
+    def load_reviews(txn):
+        review_id = 0
+        for isbn in range(1, n_books + 1):
+            for _ in range(rng.randint(0, 5)):
+                review_id += 1
+                txn.insert(
+                    "reviews",
+                    (review_id, isbn, rng.randint(1, 5), f"Reader {rng.randint(1, 99)}"),
+                )
+
+    def load_sales(txn):
+        sale_id = 0
+        for isbn in range(1, n_books + 1):
+            for _ in range(rng.randint(0, 8)):
+                sale_id += 1
+                txn.insert(
+                    "sales",
+                    (
+                        sale_id,
+                        isbn,
+                        rng.choice([2001, 2002, 2003]),
+                        round(rng.uniform(5.0, 240.0), 2),
+                    ),
+                )
+
+    backend.txn_manager.run(load_books)
+    backend.txn_manager.run(load_reviews)
+    backend.txn_manager.run(load_sales)
+    backend.refresh_statistics()
+    return backend

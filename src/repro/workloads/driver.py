@@ -1,0 +1,90 @@
+"""A mixed-workload driver for MTCache experiments.
+
+Executes a stream of queries against the cache with configurable currency
+bounds and think times (simulated), collecting the load-split metrics the
+paper's motivation talks about: how much work stays on the cache versus
+how many queries — and how many rows — still hit the back-end server.
+"""
+
+import random
+
+
+class DriverReport:
+    """Aggregated outcome of one driver run."""
+
+    def __init__(self):
+        self.queries = 0
+        self.local = 0
+        self.remote_queries = 0
+        self.rows_shipped = 0
+        self.rows_returned = 0
+        self.by_bound = {}  # bound -> [local, total]
+        self.warnings = 0
+
+    @property
+    def local_fraction(self):
+        return self.local / self.queries if self.queries else 0.0
+
+    def local_fraction_for(self, bound):
+        local, total = self.by_bound.get(bound, (0, 0))
+        return local / total if total else 0.0
+
+    def record(self, bound, result):
+        self.queries += 1
+        self.rows_returned += len(result.rows)
+        served_locally = bool(result.context.branches) and all(
+            index == 0 for _, index in result.context.branches
+        )
+        if served_locally:
+            self.local += 1
+        self.remote_queries += len(result.context.remote_queries)
+        self.rows_shipped += sum(n for _, n in result.context.remote_queries)
+        local, total = self.by_bound.get(bound, (0, 0))
+        self.by_bound[bound] = (local + (1 if served_locally else 0), total + 1)
+        self.warnings += len(result.warnings)
+
+    def __repr__(self):
+        return (
+            f"DriverReport(queries={self.queries}, local={self.local_fraction:.1%}, "
+            f"remote_queries={self.remote_queries}, rows_shipped={self.rows_shipped})"
+        )
+
+
+class WorkloadDriver:
+    """Runs query streams against an MTCache on the simulated clock."""
+
+    def __init__(self, cache, seed=42):
+        self.cache = cache
+        self.rng = random.Random(seed)
+
+    def run(self, query_factory, bounds, n_queries, think_time=1.0):
+        """Execute ``n_queries`` queries.
+
+        ``query_factory(rng, bound)`` returns SQL text for one request;
+        ``bounds`` is a list of currency bounds sampled uniformly; between
+        queries the simulated clock advances by an exponential think time
+        with the given mean (so arrivals spread across propagation cycles).
+        """
+        report = DriverReport()
+        for _ in range(n_queries):
+            bound = self.rng.choice(bounds)
+            sql = query_factory(self.rng, bound)
+            result = self.cache.execute(sql)
+            report.record(bound, result)
+            self.cache.run_for(self.rng.expovariate(1.0 / think_time))
+        return report
+
+
+def point_lookup_factory(table, key_column, key_range, alias=None):
+    """A query factory for guarded point lookups with a random key."""
+    alias = alias or table[0]
+
+    def factory(rng, bound):
+        key = rng.randint(*key_range)
+        return (
+            f"SELECT {alias}.* FROM {table} {alias} "
+            f"WHERE {alias}.{key_column} = {key} "
+            f"CURRENCY BOUND {bound} SEC ON ({alias})"
+        )
+
+    return factory

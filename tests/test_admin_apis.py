@@ -1,0 +1,126 @@
+"""Tests for administrative APIs: dropping views and regions, and the
+IN-list selectivity support added alongside them."""
+
+import pytest
+
+from repro.cache.backend import BackendServer
+from repro.cache.mtcache import MTCache
+from repro.common.errors import CatalogError
+
+
+@pytest.fixture()
+def cache():
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE t (id INT NOT NULL, v INT NOT NULL, PRIMARY KEY (id))"
+    )
+    rows = ", ".join(f"({i}, {i % 10})" for i in range(1, 101))
+    backend.execute(f"INSERT INTO t VALUES {rows}")
+    backend.refresh_statistics()
+    cache = MTCache(backend)
+    cache.create_region("r1", 10, 2, heartbeat_interval=1)
+    cache.create_matview("t_copy", "t", ["id", "v"], region="r1")
+    cache.run_for(11)
+    return cache
+
+
+LOCAL_Q = "SELECT x.id FROM t x CURRENCY BOUND 600 SEC ON (x)"
+
+
+class TestDropMatview:
+    def test_dropped_view_no_longer_used(self, cache):
+        assert cache.execute(LOCAL_Q).plan.summary() == "guarded(t_copy)"
+        cache.drop_matview("t_copy")
+        assert cache.execute(LOCAL_Q).plan.summary() == "remote"
+
+    def test_dropped_view_stops_receiving_updates(self, cache):
+        view = cache.drop_matview("t_copy")
+        rows_before = view.table.row_count
+        cache.backend.execute("INSERT INTO t VALUES (999, 1)")
+        cache.run_for(20.0)
+        assert view.table.row_count == rows_before
+
+    def test_region_forgets_view(self, cache):
+        cache.drop_matview("t_copy")
+        assert cache.catalog.region("r1").view_names == []
+
+    def test_drop_unknown_view(self, cache):
+        with pytest.raises(CatalogError):
+            cache.drop_matview("nope")
+
+    def test_other_views_unaffected(self, cache):
+        cache.create_matview("t2", "t", ["id"], region="r1")
+        cache.drop_matview("t_copy")
+        cache.backend.execute("INSERT INTO t VALUES (999, 1)")
+        cache.run_for(20.0)
+        assert cache.catalog.matview("t2").table.row_count == 101
+
+
+class TestDropRegion:
+    def test_drop_empty_region(self, cache):
+        cache.drop_matview("t_copy")
+        cache.drop_region("r1")
+        with pytest.raises(CatalogError):
+            cache.catalog.region("r1")
+        assert "r1" not in cache.agents
+
+    def test_drop_nonempty_region_rejected(self, cache):
+        with pytest.raises(CatalogError):
+            cache.drop_region("r1")
+
+    def test_dropped_region_stops_heartbeats(self, cache):
+        cache.drop_matview("t_copy")
+        cache.drop_region("r1")
+        hb = cache.backend.catalog.table("heartbeat").table
+        (values,) = [v for _, v in hb.scan()]
+        before = values[1]
+        cache.run_for(10.0)
+        (values,) = [v for _, v in hb.scan()]
+        assert values[1] == before
+
+    def test_region_can_be_recreated(self, cache):
+        cache.drop_matview("t_copy")
+        cache.drop_region("r1")
+        # The back-end heartbeat row survives; recreating the region with
+        # the same cid must fail on the duplicate row, so use a new cid.
+        cache.create_region("r1b", 5, 1)
+        cache.create_matview("t_again", "t", ["id", "v"], region="r1b")
+        cache.run_for(6)
+        assert cache.execute(LOCAL_Q).plan.summary() == "guarded(t_again)"
+
+
+class TestInListSelectivity:
+    def test_sarg_extracted(self, cache):
+        from repro.optimizer.query_info import analyze_select
+        from repro.sql.parser import parse
+
+        info = analyze_select(
+            parse("SELECT x.id FROM t x WHERE x.v IN (1, 2, 3)"), cache.backend.catalog
+        )
+        sargs = info.operand("x").sargs
+        assert len(sargs) == 1
+        assert sargs[0].op == "in"
+        assert sargs[0].value == (1, 2, 3)
+
+    def test_estimate_scales_with_list_size(self, cache):
+        backend = cache.backend
+        _, rows_small, _ = backend.estimate("SELECT x.id FROM t x WHERE x.v IN (1)")
+        _, rows_large, _ = backend.estimate(
+            "SELECT x.id FROM t x WHERE x.v IN (1, 2, 3, 4)"
+        )
+        assert rows_small < rows_large
+
+    def test_non_constant_items_not_sargified(self, cache):
+        from repro.optimizer.query_info import analyze_select
+        from repro.sql.parser import parse
+
+        info = analyze_select(
+            parse("SELECT x.id FROM t x WHERE x.v IN (1, x.id)"), cache.backend.catalog
+        )
+        assert not info.operand("x").sargs
+
+    def test_execution_correct(self, cache):
+        result = cache.backend.execute("SELECT x.id FROM t x WHERE x.v IN (1, 2)")
+        assert sorted(r[0] for r in result.rows) == sorted(
+            i for i in range(1, 101) if i % 10 in (1, 2)
+        )

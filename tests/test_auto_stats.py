@@ -1,0 +1,109 @@
+"""Tests for scheduled statistics refresh and pre-settle guard behavior."""
+
+import pytest
+
+from repro.cache.backend import BackendServer
+from repro.cache.mtcache import MTCache
+from repro.workloads.tpcd import generate_orders
+
+
+def make_env():
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE t (id INT NOT NULL, v INT NOT NULL, PRIMARY KEY (id))"
+    )
+    backend.execute("INSERT INTO t VALUES (1, 1)")
+    backend.refresh_statistics()
+    cache = MTCache(backend)
+    cache.create_region("r", 10, 2, heartbeat_interval=1)
+    cache.create_matview("t_copy", "t", ["id", "v"], region="r")
+    return backend, cache
+
+
+class TestAutoStats:
+    def test_backend_stats_refresh_on_schedule(self):
+        backend, cache = make_env()
+        backend.schedule_statistics_refresh(5.0)
+        values = ", ".join(f"({i}, {i})" for i in range(2, 50))
+        backend.execute(f"INSERT INTO t VALUES {values}")
+        assert backend.catalog.table("t").stats.row_count == 1  # stale stats
+        backend.run_for(5.0)
+        assert backend.catalog.table("t").stats.row_count == 49
+
+    def test_attached_cache_shadow_follows(self):
+        backend, cache = make_env()
+        backend.schedule_statistics_refresh(5.0, caches=[cache])
+        values = ", ".join(f"({i}, {i})" for i in range(2, 50))
+        backend.execute(f"INSERT INTO t VALUES {values}")
+        backend.run_for(5.0)
+        assert cache.catalog.table("t").stats.row_count == 49
+
+    def test_refresh_invalidates_plan_cache(self):
+        backend, cache = make_env()
+        cache.run_for(11.0)
+        backend.schedule_statistics_refresh(5.0, caches=[cache])
+        sql = "SELECT x.id FROM t x CURRENCY BOUND 60 SEC ON (x)"
+        first = cache.optimize(sql)
+        backend.run_for(5.0)
+        assert cache.optimize(sql) is not first
+
+    def test_cancelable(self):
+        backend, cache = make_env()
+        event = backend.schedule_statistics_refresh(5.0)
+        backend.execute("INSERT INTO t VALUES (2, 2)")
+        event.cancel()
+        backend.run_for(20.0)
+        assert backend.catalog.table("t").stats.row_count == 1
+
+
+class TestPreSettleGuards:
+    def test_fresh_subscription_is_immediately_usable(self):
+        # Subscribing resyncs the region to "now", including the heartbeat
+        # row, so a brand-new view can serve guarded queries right away.
+        _, cache = make_env()
+        result = cache.execute("SELECT x.id FROM t x CURRENCY BOUND 600 SEC ON (x)")
+        assert result.context.branches == [("t_copy", 0)]
+
+    def test_missing_heartbeat_fails_closed(self):
+        # If the replicated heartbeat row is somehow absent, the guard has
+        # no staleness guarantee and must choose the remote branch.
+        _, cache = make_env()
+        cache._local_heartbeats["r"].truncate()
+        result = cache.execute("SELECT x.id FROM t x CURRENCY BOUND 600 SEC ON (x)")
+        assert result.context.branches == [("t_copy", 1)]
+
+    def test_unbounded_query_may_use_unsettled_view(self):
+        _, cache = make_env()
+        result = cache.execute(
+            "SELECT x.id FROM t x CURRENCY BOUND UNBOUNDED ON (x)"
+        )
+        assert result.context.remote_queries == []
+
+
+class TestSkewedOrders:
+    def test_zero_skew_roughly_uniform(self):
+        orders = list(generate_orders(0.001, skew=0.0))
+        counts = {}
+        for custkey, *_ in orders:
+            counts[custkey] = counts.get(custkey, 0) + 1
+        assert max(counts.values()) <= 13
+
+    def test_skew_creates_heavy_hitters(self):
+        orders = list(generate_orders(0.001, skew=0.9))
+        counts = {}
+        for custkey, *_ in orders:
+            counts[custkey] = counts.get(custkey, 0) + 1
+        # Low-key customers get far more orders than the tail.
+        head = counts.get(1, 0) + counts.get(2, 0)
+        tail = counts.get(max(counts), 0) + counts.get(max(counts) - 1, 0)
+        assert head > 3 * max(tail, 1)
+
+    def test_orderkeys_still_unique(self):
+        orders = list(generate_orders(0.001, skew=0.7))
+        keys = [(o[0], o[1]) for o in orders]
+        assert len(keys) == len(set(keys))
+
+    def test_deterministic(self):
+        a = list(generate_orders(0.001, skew=0.5, seed=3))
+        b = list(generate_orders(0.001, skew=0.5, seed=3))
+        assert a == b

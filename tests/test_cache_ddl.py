@@ -1,0 +1,159 @@
+"""Tests for the cache-side DDL: CREATE CURRENCY REGION and
+CREATE MATERIALIZED VIEW ... IN REGION ... AS SELECT ..."""
+
+import pytest
+
+from repro.cache.backend import BackendServer
+from repro.cache.mtcache import MTCache
+from repro.common.errors import CatalogError, ParseError
+from repro.sql import ast
+from repro.sql.parser import parse
+
+
+@pytest.fixture()
+def cache():
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE goods (gid INT NOT NULL, kind INT NOT NULL, price FLOAT NOT NULL, "
+        "PRIMARY KEY (gid))"
+    )
+    backend.execute(
+        "INSERT INTO goods VALUES (1, 1, 5.0), (2, 1, 50.0), (3, 2, 500.0)"
+    )
+    backend.refresh_statistics()
+    return MTCache(backend)
+
+
+class TestParsing:
+    def test_create_region(self):
+        stmt = parse("CREATE CURRENCY REGION cr1 INTERVAL 15 SEC DELAY 5 SEC")
+        assert isinstance(stmt, ast.CreateRegion)
+        assert stmt.name == "cr1"
+        assert stmt.interval == 15.0
+        assert stmt.delay == 5.0
+        assert stmt.heartbeat is None
+
+    def test_create_region_with_heartbeat_and_units(self):
+        stmt = parse(
+            "CREATE CURRENCY REGION cr1 INTERVAL 1 MIN DELAY 500 MS HEARTBEAT 2 SEC"
+        )
+        assert stmt.interval == 60.0
+        assert stmt.delay == 0.5
+        assert stmt.heartbeat == 2.0
+
+    def test_create_matview(self):
+        stmt = parse(
+            "CREATE MATERIALIZED VIEW g IN REGION cr1 AS "
+            "SELECT gid, price FROM goods WHERE price < 100"
+        )
+        assert isinstance(stmt, ast.CreateMatview)
+        assert stmt.name == "g"
+        assert stmt.region == "cr1"
+
+    def test_round_trips(self):
+        for sql in (
+            "CREATE CURRENCY REGION cr1 INTERVAL 15 SEC DELAY 5 SEC",
+            "CREATE MATERIALIZED VIEW g IN REGION cr1 AS SELECT gid FROM goods",
+        ):
+            stmt = parse(sql)
+            assert parse(stmt.to_sql()).to_sql() == stmt.to_sql()
+
+    def test_missing_pieces_rejected(self):
+        bad = [
+            "CREATE CURRENCY REGION cr1 INTERVAL 15 SEC",
+            "CREATE CURRENCY REGION cr1 DELAY 5 SEC INTERVAL 15 SEC",
+            "CREATE MATERIALIZED VIEW g AS SELECT gid FROM goods",
+            "CREATE MATERIALIZED VIEW g IN REGION r1 SELECT gid FROM goods",
+        ]
+        for sql in bad:
+            with pytest.raises(ParseError):
+                parse(sql)
+
+
+class TestExecution:
+    def test_full_ddl_flow(self, cache):
+        cache.execute("CREATE CURRENCY REGION fast INTERVAL 8 SEC DELAY 2 SEC HEARTBEAT 1 SEC")
+        view = cache.execute(
+            "CREATE MATERIALIZED VIEW goods_copy IN REGION fast AS "
+            "SELECT gid, kind, price FROM goods"
+        )
+        assert view.table.row_count == 3
+        cache.run_for(9)
+        result = cache.execute(
+            "SELECT g.gid FROM goods g CURRENCY BOUND 60 SEC ON (g)"
+        )
+        assert result.plan.summary() == "guarded(goods_copy)"
+
+    def test_star_expansion_in_view_ddl(self, cache):
+        cache.execute("CREATE CURRENCY REGION r INTERVAL 8 SEC DELAY 2 SEC")
+        view = cache.execute(
+            "CREATE MATERIALIZED VIEW all_goods IN REGION r AS SELECT * FROM goods"
+        )
+        assert view.columns == ["gid", "kind", "price"]
+
+    def test_predicate_view_via_ddl(self, cache):
+        cache.execute("CREATE CURRENCY REGION r INTERVAL 8 SEC DELAY 2 SEC")
+        view = cache.execute(
+            "CREATE MATERIALIZED VIEW cheap IN REGION r AS "
+            "SELECT gid, price FROM goods WHERE price < 100"
+        )
+        assert view.table.row_count == 2
+
+    def test_region_ddl_via_shell(self, cache):
+        import io
+
+        from repro.cli import run_script
+
+        out = io.StringIO()
+        run_script(
+            cache,
+            [
+                "CREATE CURRENCY REGION r INTERVAL 8 SEC DELAY 2 SEC",
+                "CREATE MATERIALIZED VIEW v IN REGION r AS SELECT gid FROM goods",
+                "\\regions",
+            ],
+            out=out,
+        )
+        assert "v: 3 rows" in out.getvalue()
+
+    def test_unknown_region_rejected(self, cache):
+        with pytest.raises(CatalogError):
+            cache.execute(
+                "CREATE MATERIALIZED VIEW v IN REGION missing AS SELECT gid FROM goods"
+            )
+
+    def test_aggregating_view_rejected(self, cache):
+        cache.execute("CREATE CURRENCY REGION r INTERVAL 8 SEC DELAY 2 SEC")
+        with pytest.raises(CatalogError):
+            cache.execute(
+                "CREATE MATERIALIZED VIEW v IN REGION r AS "
+                "SELECT kind, COUNT(*) AS n FROM goods GROUP BY kind"
+            )
+
+    def test_join_view_rejected(self, cache):
+        cache.backend.create_table(
+            "CREATE TABLE other (id INT NOT NULL, PRIMARY KEY (id))"
+        )
+        cache.mirror_backend()
+        cache.execute("CREATE CURRENCY REGION r INTERVAL 8 SEC DELAY 2 SEC")
+        with pytest.raises(CatalogError):
+            cache.execute(
+                "CREATE MATERIALIZED VIEW v IN REGION r AS "
+                "SELECT g.gid FROM goods g, other o WHERE g.gid = o.id"
+            )
+
+    def test_expression_items_rejected(self, cache):
+        cache.execute("CREATE CURRENCY REGION r INTERVAL 8 SEC DELAY 2 SEC")
+        with pytest.raises(CatalogError):
+            cache.execute(
+                "CREATE MATERIALIZED VIEW v IN REGION r AS "
+                "SELECT price * 2 AS p2 FROM goods"
+            )
+
+    def test_backend_rejects_cache_ddl(self, cache):
+        from repro.common.errors import ReproError
+
+        with pytest.raises(ReproError):
+            cache.backend.execute(
+                "CREATE CURRENCY REGION r INTERVAL 8 SEC DELAY 2 SEC"
+            )

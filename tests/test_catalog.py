@@ -1,0 +1,210 @@
+"""Tests for the catalog and statistics."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog, data_type_from_sql
+from repro.catalog.statistics import ColumnStats, TableStats
+from repro.common.errors import CatalogError
+from repro.sql.parser import parse, parse_expression
+from repro.storage.schema import Column, DataType, Schema
+
+
+def schema():
+    return Schema(
+        [
+            Column("id", DataType.INT, nullable=False),
+            Column("name", DataType.STRING),
+            Column("v", DataType.FLOAT),
+        ]
+    )
+
+
+class TestTypeMapping:
+    def test_aliases(self):
+        assert data_type_from_sql("INT") is DataType.INT
+        assert data_type_from_sql("integer") is DataType.INT
+        assert data_type_from_sql("varchar") is DataType.STRING
+        assert data_type_from_sql("REAL") is DataType.FLOAT
+        assert data_type_from_sql("boolean") is DataType.BOOL
+        assert data_type_from_sql("timestamp") is DataType.TIMESTAMP
+
+    def test_unknown_type(self):
+        with pytest.raises(CatalogError):
+            data_type_from_sql("blob")
+
+
+class TestCatalogTables:
+    def test_create_and_lookup(self):
+        catalog = Catalog()
+        catalog.create_table("T", schema(), primary_key=["id"])
+        assert catalog.has_table("t")
+        assert catalog.table("T").name == "t"
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.create_table("t", schema())
+        with pytest.raises(CatalogError):
+            catalog.create_table("T", schema())
+
+    def test_from_ast(self):
+        catalog = Catalog()
+        stmt = parse("CREATE TABLE x (a INT NOT NULL, b VARCHAR(5), PRIMARY KEY (a))")
+        entry = catalog.create_table_from_ast(stmt)
+        assert entry.schema.names() == ["a", "b"]
+        assert entry.table.primary_key == ["a"]
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.create_table("t", schema())
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+
+    def test_drop_missing(self):
+        with pytest.raises(CatalogError):
+            Catalog().drop_table("t")
+
+    def test_unknown_table(self):
+        with pytest.raises(CatalogError):
+            Catalog().table("nope")
+
+    def test_refresh_stats(self):
+        catalog = Catalog()
+        entry = catalog.create_table("t", schema(), primary_key=["id"])
+        entry.table.insert((1, "a", 2.0))
+        entry.table.insert((2, "b", 4.0))
+        stats = entry.refresh_stats()
+        assert stats.row_count == 2
+        assert stats.column("v").min == 2.0
+
+
+class TestCatalogViews:
+    def make(self):
+        catalog = Catalog()
+        catalog.create_table("base", schema(), primary_key=["id"])
+        catalog.create_region("r1", 10.0, 2.0)
+        return catalog
+
+    def test_create_matview(self):
+        catalog = self.make()
+        view = catalog.create_matview("v", "base", ["id", "v"], region="r1")
+        assert view.schema.names() == ["id", "v"]
+        assert view.table.primary_key == ["id"]
+        assert catalog.region("r1").view_names == ["v"]
+
+    def test_view_without_pk_columns_has_no_pk(self):
+        catalog = self.make()
+        view = catalog.create_matview("v", "base", ["name", "v"], region="r1")
+        assert view.table.primary_key is None
+
+    def test_matviews_on(self):
+        catalog = self.make()
+        catalog.create_matview("v1", "base", ["id"], region="r1")
+        catalog.create_matview("v2", "base", ["id", "v"], region="r1")
+        assert {v.name for v in catalog.matviews_on("base")} == {"v1", "v2"}
+
+    def test_name_collision_with_table(self):
+        catalog = self.make()
+        with pytest.raises(CatalogError):
+            catalog.create_matview("base", "base", ["id"], region="r1")
+
+    def test_definition_sql(self):
+        catalog = self.make()
+        pred = parse_expression("v > 5")
+        view = catalog.create_matview("v1", "base", ["id", "v"], predicate=pred, region="r1")
+        assert view.definition_sql() == "SELECT id, v FROM base WHERE (v > 5)"
+
+    def test_resolve(self):
+        catalog = self.make()
+        catalog.create_matview("v1", "base", ["id"], region="r1")
+        assert catalog.resolve("base").name == "base"
+        assert catalog.resolve("v1").name == "v1"
+        with pytest.raises(CatalogError):
+            catalog.resolve("zzz")
+
+
+class TestRegions:
+    def test_create_and_lookup(self):
+        catalog = Catalog()
+        region = catalog.create_region("cr1", 15, 5)
+        assert region.update_interval == 15.0
+        assert catalog.region("cr1") is region
+
+    def test_duplicate_region(self):
+        catalog = Catalog()
+        catalog.create_region("cr1", 15, 5)
+        with pytest.raises(CatalogError):
+            catalog.create_region("cr1", 10, 5)
+
+    def test_unknown_region(self):
+        with pytest.raises(CatalogError):
+            Catalog().region("zzz")
+
+
+class TestColumnStats:
+    def test_from_values(self):
+        stats = ColumnStats.from_values([3, 1, 2, 2, None])
+        assert stats.min == 1
+        assert stats.max == 3
+        assert stats.ndv == 3
+        assert stats.null_count == 1
+
+    def test_from_empty(self):
+        stats = ColumnStats.from_values([])
+        assert stats.min is None
+        assert stats.ndv == 0
+
+    def test_string_width(self):
+        stats = ColumnStats.from_values(["ab", "abcd"])
+        assert stats.avg_width == 3.0
+
+    def test_eq_selectivity(self):
+        assert ColumnStats(ndv=100).eq_selectivity() == 0.01
+        assert ColumnStats().eq_selectivity() == 0.01  # default
+
+    def test_range_selectivity_interpolates(self):
+        stats = ColumnStats(min=0.0, max=100.0, ndv=100)
+        assert stats.range_selectivity(low=0, high=50) == pytest.approx(0.5)
+        assert stats.range_selectivity(low=25, high=75) == pytest.approx(0.5)
+
+    def test_range_selectivity_clamps(self):
+        stats = ColumnStats(min=0.0, max=100.0)
+        assert stats.range_selectivity(low=-50, high=200) == 1.0
+        assert stats.range_selectivity(low=150, high=200) == 0.0
+
+    def test_range_selectivity_open_ended(self):
+        stats = ColumnStats(min=0.0, max=100.0)
+        assert stats.range_selectivity(low=90) == pytest.approx(0.1)
+        assert stats.range_selectivity(high=10) == pytest.approx(0.1)
+
+    def test_range_selectivity_non_numeric_defaults(self):
+        stats = ColumnStats(min="a", max="z")
+        assert stats.range_selectivity(low="b") == 0.33
+
+    def test_single_valued_column(self):
+        stats = ColumnStats(min=5.0, max=5.0)
+        assert stats.range_selectivity(low=0, high=10) == 1.0
+        assert stats.range_selectivity(low=6, high=10) == 0.0
+
+
+class TestTableStats:
+    def test_project(self):
+        stats = TableStats(row_count=10, columns={"a": ColumnStats(ndv=5), "b": ColumnStats()})
+        projected = stats.project(["a"])
+        assert projected.row_count == 10
+        assert set(projected.columns) == {"a"}
+
+    def test_scaled(self):
+        stats = TableStats(row_count=100)
+        assert stats.scaled(0.25).row_count == 25
+        assert stats.scaled(0.0001).row_count == 1  # never zero when nonempty
+
+    def test_row_width_default(self):
+        assert TableStats().row_width == 32
+
+    def test_row_width_from_columns(self):
+        stats = TableStats(columns={"a": ColumnStats(avg_width=8), "b": ColumnStats(avg_width=12)})
+        assert stats.row_width == 20
+
+    def test_unknown_column_returns_empty(self):
+        stats = TableStats()
+        assert stats.column("zzz").ndv == 0

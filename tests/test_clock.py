@@ -1,0 +1,161 @@
+"""Tests for clocks and the discrete-event scheduler."""
+
+import pytest
+
+from repro.common.clock import SimulatedClock, WallClock
+from repro.common.scheduler import EventScheduler
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now() == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimulatedClock(start=5.0).now() == 5.0
+
+    def test_advance(self):
+        clock = SimulatedClock()
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+        clock.advance(0.5)
+        assert clock.now() == 3.0
+
+    def test_advance_returns_new_time(self):
+        clock = SimulatedClock()
+        assert clock.advance(1.0) == 1.0
+
+    def test_advance_rejects_negative(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_set_absolute(self):
+        clock = SimulatedClock()
+        clock.set(10.0)
+        assert clock.now() == 10.0
+
+    def test_set_rejects_past(self):
+        clock = SimulatedClock(start=5.0)
+        with pytest.raises(ValueError):
+            clock.set(4.0)
+
+    def test_zero_advance_allowed(self):
+        clock = SimulatedClock()
+        clock.advance(0.0)
+        assert clock.now() == 0.0
+
+
+class TestWallClock:
+    def test_monotone(self):
+        clock = WallClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a >= 0.0
+
+
+class TestEventScheduler:
+    def setup_method(self):
+        self.clock = SimulatedClock()
+        self.scheduler = EventScheduler(self.clock)
+        self.fired = []
+
+    def test_one_shot_fires_at_time(self):
+        self.scheduler.at(5.0, lambda: self.fired.append(self.clock.now()))
+        self.scheduler.run_until(10.0)
+        assert self.fired == [5.0]
+        assert self.clock.now() == 10.0
+
+    def test_one_shot_does_not_fire_early(self):
+        self.scheduler.at(5.0, lambda: self.fired.append("x"))
+        self.scheduler.run_until(4.9)
+        assert self.fired == []
+
+    def test_after_schedules_relative(self):
+        self.clock.advance(3.0)
+        self.scheduler.after(2.0, lambda: self.fired.append(self.clock.now()))
+        self.scheduler.run_until(10.0)
+        assert self.fired == [5.0]
+
+    def test_cannot_schedule_in_past(self):
+        self.clock.advance(5.0)
+        with pytest.raises(ValueError):
+            self.scheduler.at(4.0, lambda: None)
+
+    def test_periodic_fires_repeatedly(self):
+        self.scheduler.every(2.0, lambda: self.fired.append(self.clock.now()))
+        self.scheduler.run_until(7.0)
+        assert self.fired == [2.0, 4.0, 6.0]
+
+    def test_periodic_with_explicit_start(self):
+        self.scheduler.every(5.0, lambda: self.fired.append(self.clock.now()), start=1.0)
+        self.scheduler.run_until(12.0)
+        assert self.fired == [1.0, 6.0, 11.0]
+
+    def test_periodic_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            self.scheduler.every(0.0, lambda: None)
+
+    def test_cancel_stops_future_firings(self):
+        event = self.scheduler.every(1.0, lambda: self.fired.append(self.clock.now()))
+        self.scheduler.run_until(2.5)
+        event.cancel()
+        self.scheduler.run_until(10.0)
+        assert self.fired == [1.0, 2.0]
+
+    def test_events_fire_in_time_order(self):
+        self.scheduler.at(3.0, lambda: self.fired.append("b"))
+        self.scheduler.at(1.0, lambda: self.fired.append("a"))
+        self.scheduler.at(7.0, lambda: self.fired.append("c"))
+        self.scheduler.run_until(10.0)
+        assert self.fired == ["a", "b", "c"]
+
+    def test_tie_broken_by_registration_order(self):
+        self.scheduler.at(5.0, lambda: self.fired.append("first"))
+        self.scheduler.at(5.0, lambda: self.fired.append("second"))
+        self.scheduler.run_until(5.0)
+        assert self.fired == ["first", "second"]
+
+    def test_callback_may_schedule_more_events(self):
+        def chain():
+            self.fired.append(self.clock.now())
+            if self.clock.now() < 3.0:
+                self.scheduler.after(1.0, chain)
+
+        self.scheduler.after(1.0, chain)
+        self.scheduler.run_until(10.0)
+        assert self.fired == [1.0, 2.0, 3.0]
+
+    def test_run_until_returns_fire_count(self):
+        self.scheduler.every(1.0, lambda: None)
+        assert self.scheduler.run_until(3.5) == 3
+
+    def test_run_for_advances_relative(self):
+        self.clock.advance(2.0)
+        self.scheduler.run_for(3.0)
+        assert self.clock.now() == 5.0
+
+    def test_clock_shows_event_time_during_callback(self):
+        self.scheduler.at(4.0, lambda: self.fired.append(self.clock.now()))
+        self.scheduler.run_until(100.0)
+        assert self.fired == [4.0]
+
+    def test_pending_counts_live_events(self):
+        event = self.scheduler.at(5.0, lambda: None)
+        self.scheduler.every(1.0, lambda: None)
+        assert self.scheduler.pending == 2
+        event.cancel()
+        assert self.scheduler.pending == 1
+
+    def test_two_periodic_events_interleave(self):
+        self.scheduler.every(2.0, lambda: self.fired.append(("a", self.clock.now())))
+        self.scheduler.every(3.0, lambda: self.fired.append(("b", self.clock.now())))
+        self.scheduler.run_until(6.0)
+        # At the t=6 tie, 'b' fires first: it was rescheduled at t=3,
+        # before 'a' was rescheduled at t=4.
+        assert self.fired == [
+            ("a", 2.0),
+            ("b", 3.0),
+            ("a", 4.0),
+            ("b", 6.0),
+            ("a", 6.0),
+        ]

@@ -1,0 +1,239 @@
+"""Tests for C&C constraints and normalization (paper §2, §3.2.1).
+
+The example clauses E1–E4 (Figure 2.1) and multi-block queries Q2/Q3
+(Figure 2.2) are exercised exactly as printed.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConsistencyError
+from repro.cc.constraint import CCConstraint, CCTuple, constraint_from_select
+from repro.sql import ast
+from repro.sql.parser import parse
+
+
+def normalized(sql):
+    constraint, operands = constraint_from_select(parse(sql))
+    return constraint, operands
+
+
+JOIN = (
+    "SELECT b.isbn, r.rating FROM books b, reviews r WHERE b.isbn = r.isbn"
+)
+
+
+class TestPaperExamplesSingleBlock:
+    def test_e1_shared_bound_one_class(self):
+        constraint, _ = normalized(JOIN + " CURRENCY BOUND 10 MIN ON (b, r)")
+        assert len(constraint) == 1
+        t = constraint.tuples[0]
+        assert t.bound == 600.0
+        assert t.operands == frozenset({"b", "r"})
+
+    def test_e2_two_classes_different_bounds(self):
+        constraint, _ = normalized(
+            JOIN + " CURRENCY BOUND 10 MIN ON (b), 30 MIN ON (r)"
+        )
+        assert len(constraint) == 2
+        assert constraint.bound_for("b") == 600.0
+        assert constraint.bound_for("r") == 1800.0
+        assert constraint.class_of("b") == frozenset({"b"})
+
+    def test_e3_by_columns_preserved(self):
+        constraint, _ = normalized(
+            JOIN + " CURRENCY BOUND 10 MIN ON (b) BY b.isbn, 30 MIN ON (r) BY r.isbn"
+        )
+        by_cols = {
+            c.to_sql() for t in constraint for c in t.by_columns
+        }
+        assert by_cols == {"b.isbn", "r.isbn"}
+
+    def test_e4_single_class_with_grouping(self):
+        constraint, _ = normalized(
+            JOIN + " CURRENCY BOUND 10 MIN ON (b, r) BY b.isbn"
+        )
+        assert len(constraint) == 1
+        assert constraint.tuples[0].operands == frozenset({"b", "r"})
+
+
+class TestDefaults:
+    def test_no_clause_gives_tight_default(self):
+        constraint, operands = normalized(JOIN)
+        assert operands == {"b", "r"}
+        assert len(constraint) == 1
+        t = constraint.tuples[0]
+        assert t.bound == 0.0
+        assert t.operands == frozenset({"b", "r"})
+
+    def test_unmentioned_operand_gets_zero_singleton(self):
+        constraint, _ = normalized(JOIN + " CURRENCY BOUND 10 MIN ON (b)")
+        assert constraint.bound_for("b") == 600.0
+        assert constraint.bound_for("r") == 0.0
+        assert constraint.class_of("r") == frozenset({"r"})
+
+    def test_bound_for_unknown_operand_unbounded(self):
+        constraint, _ = normalized(JOIN + " CURRENCY BOUND 10 MIN ON (b, r)")
+        assert constraint.bound_for("zzz") == ast.UNBOUNDED
+
+
+class TestMultiBlock:
+    def test_paper_q2_derived_table_merges_to_five_minutes(self):
+        # Figure 2.2 Q2: outer "5 min on (s, t)" with derived table t over
+        # (b, r) at "10 min on (b, r)" -> least restrictive satisfying
+        # constraint is "5 min on (s, b, r)".
+        sql = (
+            "SELECT s.qty, t.isbn FROM sales s, "
+            "(SELECT b.isbn AS isbn FROM books b, reviews r "
+            " WHERE b.isbn = r.isbn CURRENCY BOUND 10 MIN ON (b, r)) t "
+            "WHERE s.isbn = t.isbn CURRENCY BOUND 5 MIN ON (s, t)"
+        )
+        constraint, operands = normalized(sql)
+        assert operands == {"s", "b", "r"}
+        assert len(constraint) == 1
+        t = constraint.tuples[0]
+        assert t.bound == 300.0
+        assert t.operands == frozenset({"s", "b", "r"})
+
+    def test_paper_q3_subquery_joins_outer_class(self):
+        # Figure 2.2 Q3: the WHERE-subquery's clause places s in b's class;
+        # since the outer clause has (b, r) together, all three merge.
+        sql = (
+            "SELECT b.isbn FROM books b, reviews r "
+            "WHERE b.isbn = r.isbn AND EXISTS ("
+            "SELECT s.sale_id FROM sales s WHERE s.isbn = b.isbn "
+            "CURRENCY BOUND 10 MIN ON (s, b)) "
+            "CURRENCY BOUND 10 MIN ON (b, r)"
+        )
+        constraint, operands = normalized(sql)
+        assert operands == {"b", "r", "s"}
+        assert len(constraint) == 1
+        assert constraint.tuples[0].operands == frozenset({"b", "r", "s"})
+
+    def test_q3_variant_subquery_independent(self):
+        sql = (
+            "SELECT b.isbn FROM books b, reviews r "
+            "WHERE b.isbn = r.isbn AND EXISTS ("
+            "SELECT s.sale_id FROM sales s WHERE s.isbn = b.isbn "
+            "CURRENCY BOUND 10 MIN ON (s)) "
+            "CURRENCY BOUND 10 MIN ON (b, r)"
+        )
+        constraint, _ = normalized(sql)
+        assert constraint.class_of("s") == frozenset({"s"})
+        assert constraint.class_of("b") == frozenset({"b", "r"})
+
+    def test_clause_referencing_unknown_alias_raises(self):
+        with pytest.raises(ConsistencyError):
+            normalized(JOIN + " CURRENCY BOUND 5 SEC ON (zzz)")
+
+    def test_duplicate_alias_raises(self):
+        with pytest.raises(ConsistencyError):
+            normalized("SELECT 1 x FROM t, t CURRENCY BOUND 5 SEC ON (t)")
+
+
+class TestNormalizationAlgebra:
+    def test_merge_takes_min_bound(self):
+        raw = CCConstraint([CCTuple(10.0, ["a", "b"]), CCTuple(5.0, ["b", "c"])])
+        result = raw.normalize()
+        assert len(result) == 1
+        assert result.tuples[0].bound == 5.0
+        assert result.tuples[0].operands == frozenset({"a", "b", "c"})
+
+    def test_disjoint_tuples_untouched(self):
+        raw = CCConstraint([CCTuple(10.0, ["a"]), CCTuple(5.0, ["b"])])
+        result = raw.normalize()
+        assert len(result) == 2
+
+    def test_transitive_merge(self):
+        raw = CCConstraint(
+            [CCTuple(10.0, ["a", "b"]), CCTuple(20.0, ["c", "d"]), CCTuple(30.0, ["b", "c"])]
+        )
+        result = raw.normalize()
+        assert len(result) == 1
+        assert result.tuples[0].bound == 10.0
+
+    def test_expansion_of_views(self):
+        raw = CCConstraint([CCTuple(5.0, ["v"])])
+        result = raw.normalize(expansion={"v": {"x", "y"}})
+        assert result.tuples[0].operands == frozenset({"x", "y"})
+
+    def test_nested_expansion(self):
+        raw = CCConstraint([CCTuple(5.0, ["v"])])
+        result = raw.normalize(expansion={"v": {"w", "x"}, "w": {"y"}})
+        assert result.tuples[0].operands == frozenset({"x", "y"})
+
+    def test_cyclic_expansion_raises(self):
+        raw = CCConstraint([CCTuple(5.0, ["v"])])
+        with pytest.raises(ConsistencyError):
+            raw.normalize(expansion={"v": {"w"}, "w": {"v"}})
+
+    def test_union(self):
+        a = CCConstraint([CCTuple(5.0, ["a"])])
+        b = CCConstraint([CCTuple(6.0, ["b"])])
+        assert len(a.union(b)) == 2
+
+    def test_is_normalized(self):
+        assert CCConstraint([CCTuple(1.0, ["a"]), CCTuple(2.0, ["b"])]).is_normalized()
+        assert not CCConstraint(
+            [CCTuple(1.0, ["a", "b"]), CCTuple(2.0, ["b"])]
+        ).is_normalized()
+
+    def test_default_constructor(self):
+        c = CCConstraint.default(["a", "b"])
+        assert c.tuples[0].bound == 0.0
+        assert c.tuples[0].operands == frozenset({"a", "b"})
+
+    def test_default_empty(self):
+        assert len(CCConstraint.default([])) == 0
+
+
+@st.composite
+def raw_constraints(draw):
+    operand_pool = ["a", "b", "c", "d", "e", "f"]
+    n = draw(st.integers(min_value=1, max_value=5))
+    tuples = []
+    for _ in range(n):
+        size = draw(st.integers(min_value=1, max_value=3))
+        operands = draw(
+            st.lists(st.sampled_from(operand_pool), min_size=size, max_size=size, unique=True)
+        )
+        bound = draw(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+        tuples.append(CCTuple(bound, operands))
+    return CCConstraint(tuples)
+
+
+class TestNormalizationProperties:
+    @settings(max_examples=100)
+    @given(raw_constraints())
+    def test_normalize_yields_disjoint_tuples(self, raw):
+        assert raw.normalize().is_normalized()
+
+    @settings(max_examples=100)
+    @given(raw_constraints())
+    def test_normalize_preserves_operands(self, raw):
+        assert raw.normalize().operands == raw.operands
+
+    @settings(max_examples=100)
+    @given(raw_constraints())
+    def test_normalize_idempotent(self, raw):
+        once = raw.normalize()
+        twice = once.normalize()
+        assert once == twice
+
+    @settings(max_examples=100)
+    @given(raw_constraints())
+    def test_bounds_never_increase(self, raw):
+        result = raw.normalize()
+        for t in raw.tuples:
+            for operand in t.operands:
+                assert result.bound_for(operand) <= t.bound
+
+    @settings(max_examples=100)
+    @given(raw_constraints())
+    def test_merged_bound_is_min_of_members(self, raw):
+        result = raw.normalize()
+        for t in result.tuples:
+            touching = [
+                r.bound for r in raw.tuples if r.operands & t.operands
+            ]
+            assert t.bound == min(touching)

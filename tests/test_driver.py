@@ -1,0 +1,89 @@
+"""Tests for the mixed-workload driver."""
+
+import pytest
+
+from repro.cache.backend import BackendServer
+from repro.cache.mtcache import MTCache
+from repro.workloads.driver import DriverReport, WorkloadDriver, point_lookup_factory
+
+
+@pytest.fixture()
+def cache():
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE kv (id INT NOT NULL, v INT NOT NULL, PRIMARY KEY (id))"
+    )
+    rows = ", ".join(f"({i}, {i})" for i in range(1, 51))
+    backend.execute(f"INSERT INTO kv VALUES {rows}")
+    backend.refresh_statistics()
+    cache = MTCache(backend)
+    cache.create_region("r1", 8, 2, heartbeat_interval=1)
+    cache.create_matview("kv_copy", "kv", ["id", "v"], region="r1")
+    cache.run_for(9)
+    return cache
+
+
+class TestDriverReport:
+    def test_empty_report(self):
+        report = DriverReport()
+        assert report.local_fraction == 0.0
+        assert report.local_fraction_for(5) == 0.0
+
+    def test_record_accumulates(self, cache):
+        report = DriverReport()
+        result = cache.execute(
+            "SELECT k.id FROM kv k CURRENCY BOUND 600 SEC ON (k)"
+        )
+        report.record(600, result)
+        assert report.queries == 1
+        assert report.local == 1
+        assert report.rows_returned == 50
+
+    def test_remote_counted(self, cache):
+        report = DriverReport()
+        result = cache.execute("SELECT k.id FROM kv k")  # default: remote
+        report.record(0, result)
+        assert report.local == 0
+        assert report.remote_queries == 1
+        assert report.rows_shipped == 50
+
+
+class TestWorkloadDriver:
+    def test_run_is_deterministic_per_seed(self, cache):
+        factory = point_lookup_factory("kv", "id", (1, 50), alias="k")
+        a = WorkloadDriver(cache, seed=7).run(factory, [60], n_queries=10)
+        assert a.queries == 10
+        assert a.rows_returned == 10  # one row per lookup
+
+    def test_loose_bounds_stay_local(self, cache):
+        factory = point_lookup_factory("kv", "id", (1, 50), alias="k")
+        report = WorkloadDriver(cache, seed=3).run(
+            factory, [10_000], n_queries=15, think_time=2.0
+        )
+        assert report.local_fraction == 1.0
+        assert report.remote_queries == 0
+
+    def test_tight_bounds_go_remote(self, cache):
+        factory = point_lookup_factory("kv", "id", (1, 50), alias="k")
+        report = WorkloadDriver(cache, seed=3).run(
+            factory, [0], n_queries=10, think_time=2.0
+        )
+        assert report.local_fraction == 0.0
+        assert report.remote_queries == 10
+
+    def test_mixed_bounds_split(self, cache):
+        factory = point_lookup_factory("kv", "id", (1, 50), alias="k")
+        report = WorkloadDriver(cache, seed=11).run(
+            factory, [0, 10_000], n_queries=30, think_time=1.5
+        )
+        assert report.local_fraction_for(10_000) == 1.0
+        assert report.local_fraction_for(0) == 0.0
+        assert 0.0 < report.local_fraction < 1.0
+
+    def test_intermediate_bound_partial(self, cache):
+        factory = point_lookup_factory("kv", "id", (1, 50), alias="k")
+        # bound 5 with f=8, d=2: p = 3/8 analytically.
+        report = WorkloadDriver(cache, seed=23).run(
+            factory, [5], n_queries=60, think_time=1.3
+        )
+        assert 0.05 < report.local_fraction < 0.8

@@ -1,0 +1,160 @@
+"""Tests for expression compilation, including SQL NULL semantics."""
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.common.errors import ExecutionError
+from repro.engine.expressions import (
+    ExpressionContext,
+    OutputCol,
+    RowBinding,
+    evaluator,
+    make_env,
+)
+from repro.sql.parser import parse_expression
+
+
+def run(sql, row=(), columns=(), clock=None):
+    binding = RowBinding([OutputCol(name, qualifier) for qualifier, name in columns])
+    ctx = ExpressionContext(clock=clock)
+    return evaluator(parse_expression(sql), binding, ctx)(row)
+
+
+class TestLiteralsAndColumns:
+    def test_integer_literal(self):
+        assert run("42") == 42
+
+    def test_string_literal(self):
+        assert run("'abc'") == "abc"
+
+    def test_null_literal(self):
+        assert run("NULL") is None
+
+    def test_booleans(self):
+        assert run("TRUE") is True
+        assert run("FALSE") is False
+
+    def test_column_by_name(self):
+        assert run("a", row=(7,), columns=[("t", "a")]) == 7
+
+    def test_column_qualified(self):
+        columns = [("t", "a"), ("u", "a")]
+        assert run("t.a", row=(1, 2), columns=columns) == 1
+        assert run("u.a", row=(1, 2), columns=columns) == 2
+
+    def test_ambiguous_column_raises(self):
+        with pytest.raises(ExecutionError):
+            run("a", row=(1, 2), columns=[("t", "a"), ("u", "a")])
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ExecutionError):
+            run("zz", row=(1,), columns=[("t", "a")])
+
+
+class TestArithmetic:
+    def test_add_mul(self):
+        assert run("1 + 2 * 3") == 7
+
+    def test_division_float(self):
+        assert run("7 / 2") == 3.5
+
+    def test_modulo(self):
+        assert run("7 % 3") == 1
+
+    def test_unary_minus(self):
+        assert run("-a", row=(5,), columns=[("t", "a")]) == -5
+
+    def test_null_propagates(self):
+        assert run("a + 1", row=(None,), columns=[("t", "a")]) is None
+
+
+class TestComparisons:
+    def test_basic(self):
+        assert run("3 < 5") is True
+        assert run("3 > 5") is False
+        assert run("3 = 3") is True
+        assert run("3 <> 3") is False
+        assert run("3 <= 3") is True
+        assert run("3 >= 4") is False
+
+    def test_null_comparison_is_null(self):
+        assert run("a = 1", row=(None,), columns=[("t", "a")]) is None
+
+    def test_between(self):
+        assert run("a BETWEEN 2 AND 4", row=(3,), columns=[("t", "a")]) is True
+        assert run("a BETWEEN 2 AND 4", row=(5,), columns=[("t", "a")]) is False
+
+    def test_not_between(self):
+        assert run("a NOT BETWEEN 2 AND 4", row=(5,), columns=[("t", "a")]) is True
+
+    def test_between_null(self):
+        assert run("a BETWEEN 2 AND 4", row=(None,), columns=[("t", "a")]) is None
+
+    def test_in_list(self):
+        assert run("a IN (1, 2, 3)", row=(2,), columns=[("t", "a")]) is True
+        assert run("a IN (1, 2, 3)", row=(9,), columns=[("t", "a")]) is False
+
+    def test_not_in_list(self):
+        assert run("a NOT IN (1, 2)", row=(9,), columns=[("t", "a")]) is True
+
+    def test_is_null(self):
+        assert run("a IS NULL", row=(None,), columns=[("t", "a")]) is True
+        assert run("a IS NULL", row=(1,), columns=[("t", "a")]) is False
+        assert run("a IS NOT NULL", row=(1,), columns=[("t", "a")]) is True
+
+
+class TestBooleanLogic:
+    def test_and_or(self):
+        assert run("1 = 1 AND 2 = 2") is True
+        assert run("1 = 1 AND 2 = 3") is False
+        assert run("1 = 2 OR 2 = 2") is True
+
+    def test_three_valued_and(self):
+        # NULL AND FALSE = FALSE; NULL AND TRUE = NULL
+        assert run("a = 1 AND 1 = 2", row=(None,), columns=[("t", "a")]) is False
+        assert run("a = 1 AND 1 = 1", row=(None,), columns=[("t", "a")]) is None
+
+    def test_three_valued_or(self):
+        # NULL OR TRUE = TRUE; NULL OR FALSE = NULL
+        assert run("a = 1 OR 1 = 1", row=(None,), columns=[("t", "a")]) is True
+        assert run("a = 1 OR 1 = 2", row=(None,), columns=[("t", "a")]) is None
+
+    def test_not_null_is_null(self):
+        assert run("NOT a = 1", row=(None,), columns=[("t", "a")]) is None
+
+
+class TestFunctions:
+    def test_getdate_uses_clock(self):
+        clock = SimulatedClock(start=123.0)
+        assert run("GETDATE()", clock=clock) == 123.0
+
+    def test_getdate_without_clock_raises(self):
+        with pytest.raises(ExecutionError):
+            run("GETDATE()")
+
+    def test_aggregate_outside_aggregation_raises(self):
+        with pytest.raises(ExecutionError):
+            run("COUNT(*)")
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(ExecutionError):
+            run("frobnicate(1)")
+
+
+class TestCorrelatedResolution:
+    def test_outer_binding_fallback(self):
+        outer = RowBinding([OutputCol("x", "o")])
+        inner = RowBinding([OutputCol("y", "i")], outer=outer)
+        fn = evaluator(parse_expression("o.x + i.y"), inner)
+        # evaluator builds an env without outer; construct manually instead
+        from repro.engine.expressions import compile_expr
+
+        fn = compile_expr(parse_expression("o.x + i.y"), inner)
+        outer_env = make_env((10,))
+        env = make_env((5,), outer_env)
+        assert fn(env) == 15
+
+    def test_subquery_without_runner_raises(self):
+        binding = RowBinding([OutputCol("a", "t")])
+        with pytest.raises(ExecutionError):
+            evaluator(parse_expression("EXISTS (SELECT 1 FROM s)"), binding)

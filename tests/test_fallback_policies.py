@@ -1,0 +1,96 @@
+"""Tests for the guard fallback policies (paper §1: when requirements are
+not met the system may route, return an error, or return data flagged)."""
+
+import pytest
+
+from repro.cache.backend import BackendServer
+from repro.cache.mtcache import MTCache
+from repro.common.errors import CurrencyError
+
+
+def make_env(policy):
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE t (id INT NOT NULL, v INT NOT NULL, PRIMARY KEY (id))"
+    )
+    backend.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+    backend.refresh_statistics()
+    cache = MTCache(backend, fallback_policy=policy)
+    cache.create_region("r1", 10.0, 2.0, heartbeat_interval=1.0)
+    cache.create_matview("t_copy", "t", ["id", "v"], region="r1")
+    cache.run_for(11.0)
+    return backend, cache
+
+
+TIGHT = "SELECT x.id, x.v FROM t x CURRENCY BOUND 3 SEC ON (x)"
+LOOSE = "SELECT x.id, x.v FROM t x CURRENCY BOUND 600 SEC ON (x)"
+
+
+def go_stale(cache):
+    cache.run_for(4.0)  # mid-cycle: heartbeat bound > 3s
+
+
+class TestUnknownPolicy:
+    def test_rejected_at_construction(self):
+        backend = BackendServer()
+        with pytest.raises(ValueError):
+            MTCache(backend, fallback_policy="shrug")
+
+
+class TestRemotePolicy:
+    def test_default_routes_to_backend(self):
+        _, cache = make_env("remote")
+        go_stale(cache)
+        result = cache.execute(TIGHT)
+        assert result.context.branches == [("t_copy", 1)]
+        assert result.warnings == []
+
+
+class TestErrorPolicy:
+    def test_raises_when_stale(self):
+        _, cache = make_env("error")
+        go_stale(cache)
+        with pytest.raises(CurrencyError):
+            cache.execute(TIGHT)
+
+    def test_passes_when_fresh(self):
+        _, cache = make_env("error")
+        result = cache.execute(LOOSE)
+        assert result.context.branches == [("t_copy", 0)]
+
+    def test_error_mentions_view_and_bound(self):
+        _, cache = make_env("error")
+        go_stale(cache)
+        with pytest.raises(CurrencyError, match="t_copy.*3"):
+            cache.execute(TIGHT)
+
+    def test_timeline_violation_also_errors(self):
+        _, cache = make_env("error")
+        cache.execute("BEGIN TIMEORDERED")
+        cache.execute("SELECT x.id FROM t x")  # remote -> watermark = now
+        with pytest.raises(CurrencyError, match="timeline"):
+            cache.execute(LOOSE)
+        cache.execute("END TIMEORDERED")
+
+
+class TestServeStalePolicy:
+    def test_serves_local_with_warning(self):
+        backend, cache = make_env("serve_stale")
+        backend.execute("INSERT INTO t VALUES (3, 30)")
+        go_stale(cache)
+        result = cache.execute(TIGHT)
+        assert result.context.branches == [("t_copy", 0)]
+        assert len(result.rows) == 2  # stale: new row not visible
+        assert len(result.warnings) == 1
+        assert "t_copy" in result.warnings[0]
+
+    def test_no_warning_when_fresh(self):
+        _, cache = make_env("serve_stale")
+        result = cache.execute(LOOSE)
+        assert result.warnings == []
+
+    def test_warning_carries_staleness(self):
+        _, cache = make_env("serve_stale")
+        go_stale(cache)
+        result = cache.execute(TIGHT)
+        assert "exceeds 3" in result.warnings[0]

@@ -1,0 +1,136 @@
+"""Final polish tests: statement reprs, log introspection, scheduler-driven
+end-to-end timing, and cross-component sanity."""
+
+import pytest
+
+from repro.cache.backend import BackendServer
+from repro.cache.mtcache import MTCache
+from repro.sql import ast
+from repro.sql.parser import parse
+
+
+class TestStatementRendering:
+    CASES = [
+        ("SELECT a FROM t", ast.Select),
+        ("INSERT INTO t VALUES (1)", ast.Insert),
+        ("UPDATE t SET a = 1", ast.Update),
+        ("DELETE FROM t", ast.Delete),
+        ("CREATE TABLE t (a INT)", ast.CreateTable),
+        ("CREATE INDEX i ON t (a)", ast.CreateIndex),
+        ("BEGIN TIMEORDERED", ast.BeginTimeordered),
+        ("END TIMEORDERED", ast.EndTimeordered),
+        ("EXPLAIN SELECT a FROM t", ast.Explain),
+        ("CREATE CURRENCY REGION r INTERVAL 5 SEC DELAY 1 SEC", ast.CreateRegion),
+        (
+            "CREATE MATERIALIZED VIEW v IN REGION r AS SELECT a FROM t",
+            ast.CreateMatview,
+        ),
+    ]
+
+    @pytest.mark.parametrize("sql,node", CASES)
+    def test_type_and_repr(self, sql, node):
+        stmt = parse(sql)
+        assert isinstance(stmt, node)
+        assert node.__name__ in repr(stmt)
+        # Every statement's to_sql must reparse to the same type.
+        assert isinstance(parse(stmt.to_sql()), node)
+
+
+class TestLogIntrospection:
+    def test_log_repr(self):
+        backend = BackendServer()
+        backend.create_table("CREATE TABLE t (a INT NOT NULL, PRIMARY KEY (a))")
+        backend.execute("INSERT INTO t VALUES (1)")
+        record = backend.txn_manager.log.records[0]
+        assert "insert" in repr(record)
+        assert "t" in repr(record)
+
+    def test_committed_list(self):
+        backend = BackendServer()
+        backend.create_table("CREATE TABLE t (a INT NOT NULL, PRIMARY KEY (a))")
+        backend.clock.advance(3.0)
+        backend.execute("INSERT INTO t VALUES (1)")
+        assert backend.txn_manager.committed == [(1, 3.0)]
+
+
+class TestSchedulerDrivenEndToEnd:
+    def test_everything_on_one_timeline(self):
+        """Heartbeats, two agents at different rates, writes and guarded
+        reads all driven by a single scheduler, with exact staleness math."""
+        backend = BackendServer()
+        backend.create_table(
+            "CREATE TABLE t (a INT NOT NULL, b INT NOT NULL, PRIMARY KEY (a))"
+        )
+        backend.execute("INSERT INTO t VALUES (1, 1)")
+        backend.refresh_statistics()
+        cache = MTCache(backend)
+        cache.create_region("fast", 4.0, 1.0, heartbeat_interval=0.5)
+        cache.create_region("slow", 16.0, 4.0, heartbeat_interval=2.0)
+        v_fast = cache.create_matview("t_fast", "t", ["a", "b"], region="fast")
+        v_slow = cache.create_matview("t_slow", "t", ["a", "b"], region="slow")
+        cache.run_for(16.5)
+        # fast last woke at t=16 (cutoff 15); slow at t=16 (cutoff 12).
+        assert v_fast.snapshot_time == pytest.approx(15.0)
+        assert v_slow.snapshot_time == pytest.approx(12.0)
+        # A bound of 3s is only satisfiable by the fast region right now.
+        result = cache.execute("SELECT x.a FROM t x CURRENCY BOUND 3 SEC ON (x)")
+        assert result.context.branches[0][0] == "t_fast"
+        assert result.context.branches[0][1] == 0
+
+    def test_view_choice_respects_region_freshness_costs(self):
+        backend = BackendServer()
+        backend.create_table(
+            "CREATE TABLE t (a INT NOT NULL, b INT NOT NULL, PRIMARY KEY (a))"
+        )
+        rows = ", ".join(f"({i}, {i})" for i in range(1, 101))
+        backend.execute(f"INSERT INTO t VALUES {rows}")
+        backend.refresh_statistics()
+        cache = MTCache(backend)
+        cache.create_region("fast", 4.0, 1.0, heartbeat_interval=0.5)
+        cache.create_region("slow", 40.0, 5.0, heartbeat_interval=2.0)
+        cache.create_matview("t_fast", "t", ["a", "b"], region="fast")
+        cache.create_matview("t_slow", "t", ["a", "b"], region="slow")
+        cache.run_for(41.0)
+        # With a 6-second bound, the fast region's guard passes with
+        # p = 1 while the slow region's p = (6-5)/40: the optimizer must
+        # prefer the fast view purely through the cost model.
+        plan = cache.optimize("SELECT x.a FROM t x CURRENCY BOUND 6 SEC ON (x)",
+                              use_cache=False)
+        assert "t_fast" in plan.summary()
+
+
+class TestDefaultSemanticsPreserved:
+    """The paper's §3.2.1 promise: queries without a currency clause keep
+    their traditional (always-current) semantics no matter what replicas
+    exist."""
+
+    def test_plain_queries_always_current(self):
+        backend = BackendServer()
+        backend.create_table(
+            "CREATE TABLE t (a INT NOT NULL, b INT NOT NULL, PRIMARY KEY (a))"
+        )
+        backend.execute("INSERT INTO t VALUES (1, 1)")
+        backend.refresh_statistics()
+        cache = MTCache(backend)
+        cache.create_region("r", 60.0, 1.0, heartbeat_interval=1.0)
+        cache.create_matview("t_copy", "t", ["a", "b"], region="r")
+        cache.run_for(61.0)
+        for i in range(2, 6):
+            cache.execute(f"INSERT INTO t VALUES ({i}, {i})")
+            result = cache.execute("SELECT x.a FROM t x WHERE x.a = %d" % i)
+            assert result.rows == [(i,)], "uncommitted-visibility broke"
+
+    def test_explicit_zero_bound_equivalent_to_no_clause(self):
+        backend = BackendServer()
+        backend.create_table("CREATE TABLE t (a INT NOT NULL, PRIMARY KEY (a))")
+        backend.execute("INSERT INTO t VALUES (1)")
+        backend.refresh_statistics()
+        cache = MTCache(backend)
+        cache.create_region("r", 10.0, 1.0)
+        cache.create_matview("t_copy", "t", ["a"], region="r")
+        cache.run_for(11.0)
+        plain = cache.optimize("SELECT x.a FROM t x", use_cache=False)
+        zero = cache.optimize(
+            "SELECT x.a FROM t x CURRENCY BOUND 0 SEC ON (x)", use_cache=False
+        )
+        assert plain.summary() == zero.summary() == "remote"

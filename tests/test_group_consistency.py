@@ -1,0 +1,229 @@
+"""Tests for per-group consistency (§8.6) and row-level refresh.
+
+A view maintained by row-level refresh is per-row consistent but not, in
+general, snapshot consistent — exactly the regime where the currency
+clause's BY grouping columns matter.
+"""
+
+import pytest
+
+from repro.cache.backend import BackendServer
+from repro.catalog.catalog import Catalog
+from repro.replication.row_refresh import RowRefreshAgent
+from repro.semantics.groups import (
+    GroupConsistencyChecker,
+    group_delta,
+    intervals_intersect,
+    validity_interval,
+)
+from repro.semantics.model import HistoryView
+
+
+def make_env():
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE reviews (review_id INT NOT NULL, isbn INT NOT NULL, "
+        "rating INT NOT NULL, PRIMARY KEY (review_id))"
+    )
+    # Two isbn groups, two reviews each.
+    backend.execute(
+        "INSERT INTO reviews VALUES (1, 100, 5), (2, 100, 4), (3, 200, 3), (4, 200, 2)"
+    )
+    backend.refresh_statistics()
+
+    catalog = Catalog()
+    catalog.create_table("reviews", backend.catalog.table("reviews").schema,
+                         primary_key=["review_id"], shadow=True)
+    catalog.create_region("rr", 10.0, 0.0)
+    view = catalog.create_matview(
+        "reviews_copy", "reviews", ["review_id", "isbn", "rating"], region="rr"
+    )
+    agent = RowRefreshAgent(view, backend.catalog, backend.txn_manager, backend.clock)
+    agent.refresh_all()
+    return backend, view, agent
+
+
+class TestValidityIntervals:
+    def test_unmodified_copy_valid_forever(self):
+        backend, _, _ = make_env()
+        history = HistoryView(backend.txn_manager.log)
+        lo, hi = validity_interval(history, "reviews", (1,), sync_txn=1)
+        assert lo == 1
+        assert hi is None
+
+    def test_modified_copy_interval_closes(self):
+        backend, _, _ = make_env()
+        backend.execute("UPDATE reviews SET rating = 1 WHERE review_id = 1")  # txn 2
+        history = HistoryView(backend.txn_manager.log)
+        lo, hi = validity_interval(history, "reviews", (1,), sync_txn=1)
+        assert (lo, hi) == (1, 1)
+        lo, hi = validity_interval(history, "reviews", (1,), sync_txn=2)
+        assert (lo, hi) == (2, None)
+
+    def test_intersection(self):
+        assert intervals_intersect([(1, 3), (2, None)], last_txn=5)
+        assert not intervals_intersect([(1, 1), (3, None)], last_txn=5)
+
+
+class TestGroupDelta:
+    def test_same_sync_zero(self):
+        backend, _, _ = make_env()
+        history = HistoryView(backend.txn_manager.log)
+        assert group_delta(history, "reviews", [((1,), 1), ((2,), 1)]) == 0
+
+    def test_unmodified_rows_zero_even_with_different_syncs(self):
+        backend, _, _ = make_env()
+        history = HistoryView(backend.txn_manager.log)
+        # Neither row modified after txn 1: both copies current at txn 1.
+        assert group_delta(history, "reviews", [((1,), 1), ((2,), 1)]) == 0
+
+    def test_refresh_of_unmodified_row_keeps_delta_zero(self):
+        backend, _, _ = make_env()
+        backend.execute("UPDATE reviews SET rating = 1 WHERE review_id = 1")  # txn 2
+        history = HistoryView(backend.txn_manager.log)
+        # Row 1's copy predates its update; row 2 re-synced later but its
+        # master never changed — both copies match snapshot H_1: delta 0.
+        assert group_delta(history, "reviews", [((1,), 1), ((2,), 2)]) == 0
+
+    def test_divergent_group_positive(self):
+        backend, _, _ = make_env()
+        backend.execute("UPDATE reviews SET rating = 1 WHERE review_id = 1")  # txn 2
+        backend.execute("UPDATE reviews SET rating = 1 WHERE review_id = 2")  # txn 3
+        history = HistoryView(backend.txn_manager.log)
+        # Row 1 synced before its update (valid only in H_1); row 2 synced
+        # after its own update (valid from H_3): no common snapshot.
+        assert group_delta(history, "reviews", [((1,), 1), ((2,), 3)]) > 0
+
+    def test_singleton_group_always_zero(self):
+        backend, _, _ = make_env()
+        history = HistoryView(backend.txn_manager.log)
+        assert group_delta(history, "reviews", [((1,), 1)]) == 0
+
+
+class TestRowRefreshAgent:
+    def test_refresh_all_populates(self):
+        _, view, agent = make_env()
+        assert view.table.row_count == 4
+        assert len(agent.sync) == 4
+
+    def test_refresh_row_updates_value(self):
+        backend, view, agent = make_env()
+        backend.execute("UPDATE reviews SET rating = 1 WHERE review_id = 1")
+        agent.refresh_row((1,))
+        rid = view.table.pk_lookup((1,))
+        assert view.table.row(rid)[2] == 1
+
+    def test_refresh_row_deletes_gone_row(self):
+        backend, view, agent = make_env()
+        backend.execute("DELETE FROM reviews WHERE review_id = 4")
+        agent.refresh_row((4,))
+        assert view.table.pk_lookup((4,)) is None
+        assert (4,) not in agent.sync
+
+    def test_refresh_row_inserts_new_row(self):
+        backend, view, agent = make_env()
+        backend.execute("INSERT INTO reviews VALUES (5, 100, 4)")
+        agent.refresh_row((5,))
+        assert view.table.pk_lookup((5,)) is not None
+
+    def test_refresh_round_cycles(self):
+        backend, view, agent = make_env()
+        backend.execute("UPDATE reviews SET rating = 1 WHERE review_id = 2")
+        agent.refresh_round(4)  # touches every row once
+        rid = view.table.pk_lookup((2,))
+        assert view.table.row(rid)[2] == 1
+
+    def test_predicate_respected(self):
+        backend, _, _ = make_env()
+        from repro.sql.parser import parse_expression
+
+        catalog = Catalog()
+        catalog.create_region("rr2", 10.0, 0.0)
+        catalog.create_table("reviews", backend.catalog.table("reviews").schema,
+                             primary_key=["review_id"], shadow=True)
+        view = catalog.create_matview(
+            "good_reviews", "reviews", ["review_id", "isbn", "rating"],
+            predicate=parse_expression("rating >= 4"), region="rr2",
+        )
+        agent = RowRefreshAgent(view, backend.catalog, backend.txn_manager, backend.clock)
+        agent.refresh_all()
+        assert view.table.row_count == 2
+        # A row dropping below the predicate leaves the view on refresh.
+        backend.execute("UPDATE reviews SET rating = 1 WHERE review_id = 1")
+        agent.refresh_row((1,))
+        assert view.table.pk_lookup((1,)) is None
+
+
+class TestGroupConsistencyChecker:
+    def test_fresh_view_consistent_at_all_granularities(self):
+        backend, view, agent = make_env()
+        checker = GroupConsistencyChecker(backend)
+        assert checker.check(view, agent.sync_of).consistent  # table level
+        assert checker.check(view, agent.sync_of, by_columns=["isbn"]).consistent
+        assert checker.check(view, agent.sync_of, by_columns=["review_id"]).consistent
+
+    def test_partial_refresh_breaks_table_level_only(self):
+        backend, view, agent = make_env()
+        # Group 200's master changes first (invalidating its copies), then
+        # group 100's; refreshing only group 100 leaves the view with
+        # copies valid strictly before and strictly after txn 2 — no
+        # common snapshot, though each isbn group has one.
+        backend.execute("UPDATE reviews SET rating = 1 WHERE review_id = 3")  # txn 2
+        backend.execute("UPDATE reviews SET rating = 1 WHERE review_id = 1")  # txn 3
+        agent.refresh_group([view.table.schema.index_of("isbn")], (100,))
+        checker = GroupConsistencyChecker(backend)
+
+        table_level = checker.check(view, agent.sync_of)
+        by_isbn = checker.check(view, agent.sync_of, by_columns=["isbn"])
+        by_pk = checker.check(view, agent.sync_of, by_columns=["review_id"])
+
+        assert not table_level.consistent  # group 200 is stale, 100 fresh
+        assert by_isbn.consistent  # each isbn group on one snapshot
+        assert by_pk.consistent  # rows always self-consistent
+
+    def test_intra_group_divergence_detected(self):
+        backend, view, agent = make_env()
+        # Both rows of isbn group 100 change on the master; only row 2 is
+        # re-synced.  Row 1's copy is valid only before txn 2, row 2's only
+        # from txn 3 on: the group spans snapshots.
+        backend.execute("UPDATE reviews SET rating = 9 WHERE review_id = 1")  # txn 2
+        backend.execute("UPDATE reviews SET rating = 8 WHERE review_id = 2")  # txn 3
+        agent.refresh_row((2,))
+        checker = GroupConsistencyChecker(backend)
+        by_isbn = checker.check(view, agent.sync_of, by_columns=["isbn"])
+        assert not by_isbn.consistent
+        assert (100,) in by_isbn.inconsistent_groups()
+        # Per-row granularity is still fine.
+        assert checker.check(view, agent.sync_of, by_columns=["review_id"]).consistent
+
+    def test_refresh_group_restores_consistency(self):
+        backend, view, agent = make_env()
+        backend.execute("UPDATE reviews SET rating = 1 WHERE review_id = 2")
+        agent.refresh_row((1,))
+        backend.execute("UPDATE reviews SET rating = 2 WHERE review_id = 1")
+        agent.refresh_row((2,))
+        agent.refresh_group([view.table.schema.index_of("isbn")], (100,))
+        checker = GroupConsistencyChecker(backend)
+        assert checker.check(view, agent.sync_of, by_columns=["isbn"]).consistent
+
+    def test_finest_satisfied(self):
+        backend, view, agent = make_env()
+        backend.execute("UPDATE reviews SET rating = 1 WHERE review_id = 3")  # txn 2
+        backend.execute("UPDATE reviews SET rating = 1 WHERE review_id = 1")  # txn 3
+        agent.refresh_group([view.table.schema.index_of("isbn")], (100,))
+        checker = GroupConsistencyChecker(backend)
+        satisfied = checker.finest_satisfied(
+            view, agent.sync_of, [None, ["isbn"], ["review_id"]]
+        )
+        assert () not in satisfied  # table level broken
+        assert ("isbn",) in satisfied
+        assert ("review_id",) in satisfied
+
+    def test_refresh_all_restores_everything(self):
+        backend, view, agent = make_env()
+        backend.execute("UPDATE reviews SET rating = 1 WHERE review_id = 1")
+        agent.refresh_row((1,))
+        backend.execute("UPDATE reviews SET rating = 1 WHERE review_id = 4")
+        agent.refresh_all()
+        checker = GroupConsistencyChecker(backend)
+        assert checker.check(view, agent.sync_of).consistent

@@ -1,0 +1,112 @@
+"""Hypothesis properties for the §8.6 group-consistency model driven by
+random row-refresh schedules."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cache.backend import BackendServer
+from repro.catalog.catalog import Catalog
+from repro.replication.row_refresh import RowRefreshAgent
+from repro.semantics.groups import GroupConsistencyChecker, group_delta, validity_interval
+from repro.semantics.model import HistoryView
+
+N_ROWS = 8
+
+
+def build():
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE obj (id INT NOT NULL, grp INT NOT NULL, val INT NOT NULL, "
+        "PRIMARY KEY (id))"
+    )
+    rows = ", ".join(f"({i}, {i % 3}, {i * 10})" for i in range(1, N_ROWS + 1))
+    backend.execute(f"INSERT INTO obj VALUES {rows}")
+    backend.refresh_statistics()
+    catalog = Catalog()
+    catalog.create_table("obj", backend.catalog.table("obj").schema,
+                         primary_key=["id"], shadow=True)
+    catalog.create_region("rr", 10.0, 0.0)
+    view = catalog.create_matview("obj_copy", "obj", ["id", "grp", "val"], region="rr")
+    agent = RowRefreshAgent(view, backend.catalog, backend.txn_manager, backend.clock)
+    agent.refresh_all()
+    return backend, view, agent
+
+
+# A schedule step: update a row's master value, or refresh one view row.
+schedules = st.lists(
+    st.one_of(
+        st.tuples(st.just("update"), st.integers(1, N_ROWS)),
+        st.tuples(st.just("refresh"), st.integers(1, N_ROWS)),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+class TestRowRefreshProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(schedule=schedules)
+    def test_per_row_granularity_always_consistent(self, schedule):
+        backend, view, agent = build()
+        for kind, row_id in schedule:
+            if kind == "update":
+                backend.execute(f"UPDATE obj SET val = val + 1 WHERE id = {row_id}")
+            else:
+                agent.refresh_row((row_id,))
+        checker = GroupConsistencyChecker(backend)
+        assert checker.check(view, agent.sync_of, by_columns=["id"]).consistent
+
+    @settings(max_examples=40, deadline=None)
+    @given(schedule=schedules)
+    def test_refresh_all_restores_snapshot_consistency(self, schedule):
+        backend, view, agent = build()
+        for kind, row_id in schedule:
+            if kind == "update":
+                backend.execute(f"UPDATE obj SET val = val + 1 WHERE id = {row_id}")
+            else:
+                agent.refresh_row((row_id,))
+        agent.refresh_all()
+        checker = GroupConsistencyChecker(backend)
+        assert checker.check(view, agent.sync_of).consistent
+
+    @settings(max_examples=40, deadline=None)
+    @given(schedule=schedules)
+    def test_view_values_match_master_at_sync_points(self, schedule):
+        backend, view, agent = build()
+        for kind, row_id in schedule:
+            if kind == "update":
+                backend.execute(f"UPDATE obj SET val = val + 1 WHERE id = {row_id}")
+            else:
+                agent.refresh_row((row_id,))
+        history = HistoryView(backend.txn_manager.log)
+        ci = view.table.clustered_index()
+        for _, values in view.table.scan():
+            pk = ci.key_of(values)
+            sync = agent.sync_of(pk)
+            snapshot = history.snapshot("obj", up_to_txn=sync.sync_txn)
+            assert snapshot.get(pk) == values
+
+    @settings(max_examples=40, deadline=None)
+    @given(schedule=schedules)
+    def test_zero_delta_iff_intervals_intersect(self, schedule):
+        backend, view, agent = build()
+        for kind, row_id in schedule:
+            if kind == "update":
+                backend.execute(f"UPDATE obj SET val = val + 1 WHERE id = {row_id}")
+            else:
+                agent.refresh_row((row_id,))
+        history = HistoryView(backend.txn_manager.log)
+        members = [
+            (pk, agent.sync_of(pk).sync_txn)
+            for pk in sorted(agent.sync)
+        ]
+        delta = group_delta(history, "obj", members)
+        last = history.last_txn
+        lo = 0
+        hi = last
+        for pk, sync in members:
+            ilo, ihi = validity_interval(history, "obj", pk, sync)
+            lo = max(lo, ilo)
+            hi = min(hi, ihi if ihi is not None else last)
+        intersects = lo <= hi
+        assert (delta == 0) == intersects

@@ -1,0 +1,75 @@
+"""Tests for the heartbeat service: per-region rates, stop/start, and the
+replication-log visibility of beats."""
+
+import pytest
+
+from repro.cache.backend import BackendServer
+from repro.replication.heartbeat import HEARTBEAT_TABLE, local_heartbeat_name
+
+
+@pytest.fixture()
+def backend():
+    return BackendServer()
+
+
+class TestHeartbeatService:
+    def test_register_creates_row(self, backend):
+        backend.heartbeats.register_region("r1", beat_interval=2.0, start=False)
+        hb = backend.catalog.table(HEARTBEAT_TABLE).table
+        assert hb.row_count == 1
+        rows = [v for _, v in hb.scan()]
+        assert rows[0][0] == "r1"
+
+    def test_beats_update_timestamp(self, backend):
+        backend.heartbeats.register_region("r1", beat_interval=2.0)
+        backend.run_for(7.0)
+        hb = backend.catalog.table(HEARTBEAT_TABLE).table
+        (values,) = [v for _, v in hb.scan()]
+        assert values[1] == 6.0  # last beat at t=6
+
+    def test_beats_go_through_the_log(self, backend):
+        backend.heartbeats.register_region("r1", beat_interval=1.0)
+        before = len(backend.txn_manager.log)
+        backend.run_for(3.0)
+        assert len(backend.txn_manager.log) == before + 3
+
+    def test_per_region_rates(self, backend):
+        backend.heartbeats.register_region("fast", beat_interval=1.0)
+        backend.heartbeats.register_region("slow", beat_interval=5.0)
+        backend.run_for(5.0)
+        hb = backend.catalog.table(HEARTBEAT_TABLE).table
+        values = {v[0]: v[1] for _, v in hb.scan()}
+        assert values["fast"] == 5.0
+        assert values["slow"] == 5.0
+        backend.run_for(3.0)
+        values = {v[0]: v[1] for _, v in hb.scan()}
+        assert values["fast"] == 8.0
+        assert values["slow"] == 5.0  # next slow beat at t=10
+
+    def test_stop_halts_beats(self, backend):
+        backend.heartbeats.register_region("r1", beat_interval=1.0)
+        backend.run_for(2.0)
+        backend.heartbeats.stop("r1")
+        backend.run_for(5.0)
+        hb = backend.catalog.table(HEARTBEAT_TABLE).table
+        (values,) = [v for _, v in hb.scan()]
+        assert values[1] == 2.0
+
+    def test_restart_with_new_rate(self, backend):
+        backend.heartbeats.register_region("r1", beat_interval=5.0)
+        backend.heartbeats.start("r1", 1.0)  # re-arm faster
+        backend.run_for(3.0)
+        hb = backend.catalog.table(HEARTBEAT_TABLE).table
+        (values,) = [v for _, v in hb.scan()]
+        assert values[1] == 3.0
+
+    def test_local_heartbeat_name(self):
+        assert local_heartbeat_name("CR1") == "heartbeat_cr1"
+
+    def test_manual_beat(self, backend):
+        backend.heartbeats.register_region("r1", beat_interval=100.0, start=False)
+        backend.clock.advance(42.0)
+        backend.heartbeats.beat("r1")
+        hb = backend.catalog.table(HEARTBEAT_TABLE).table
+        (values,) = [v for _, v in hb.scan()]
+        assert values[1] == 42.0

@@ -1,0 +1,120 @@
+"""Tests for equi-depth histograms and their use in selectivity."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog.statistics import ColumnStats, Histogram
+
+
+class TestHistogramConstruction:
+    def test_uniform_boundaries(self):
+        hist = Histogram.from_values(list(range(100)), buckets=4)
+        assert hist.bucket_count == 4
+        assert hist.boundaries[0] == 0
+        assert hist.boundaries[-1] == 99
+
+    def test_fewer_values_than_buckets(self):
+        hist = Histogram.from_values([1, 2, 3], buckets=32)
+        assert hist.bucket_count <= 3
+
+    def test_single_value_column(self):
+        hist = Histogram.from_values([7] * 50)
+        assert hist.selectivity(low=7, high=7) == pytest.approx(1.0)
+        assert hist.selectivity(low=8) == 0.0
+
+    def test_requires_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram([5])
+
+
+class TestHistogramSelectivity:
+    def test_full_range(self):
+        hist = Histogram.from_values(list(range(100)))
+        assert hist.selectivity() == 1.0
+
+    def test_half_range_uniform(self):
+        hist = Histogram.from_values(list(range(1000)))
+        assert hist.selectivity(low=0, high=499) == pytest.approx(0.5, abs=0.05)
+
+    def test_out_of_range(self):
+        hist = Histogram.from_values(list(range(100)))
+        assert hist.selectivity(low=200) == 0.0
+        assert hist.selectivity(high=-5) == 0.0
+
+    def test_open_ended(self):
+        hist = Histogram.from_values(list(range(1000)))
+        assert hist.selectivity(low=900) == pytest.approx(0.1, abs=0.05)
+        assert hist.selectivity(high=100) == pytest.approx(0.1, abs=0.05)
+
+    def test_skewed_data_beats_uniform_interpolation(self):
+        # 90% of values in [0, 10], 10% in [990, 1000]: a range over the
+        # dense region must estimate ~0.9, not ~1%.
+        values = [random.Random(1).uniform(0, 10) for _ in range(900)] + [
+            random.Random(2).uniform(990, 1000) for _ in range(100)
+        ]
+        stats = ColumnStats.from_values(values)
+        estimated = stats.range_selectivity(low=0, high=10)
+        assert estimated == pytest.approx(0.9, abs=0.05)
+        # Min/max interpolation alone would have said ~1%:
+        no_hist = ColumnStats(min=min(values), max=max(values))
+        assert no_hist.range_selectivity(low=0, high=10) < 0.05
+
+    def test_heavy_duplicates(self):
+        values = [5] * 800 + list(range(100, 300))
+        hist = Histogram.from_values(values)
+        assert hist.selectivity(low=5, high=5) == pytest.approx(0.8, abs=0.08)
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10_000), min_size=20, max_size=300),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_estimate_close_to_truth(self, values, a, b):
+        low, high = sorted((a, b))
+        hist = Histogram.from_values(values)
+        truth = sum(1 for v in values if low <= v <= high) / len(values)
+        estimate = hist.selectivity(low=low, high=high)
+        # One bucket of slack either way plus interpolation error.
+        slack = 2.0 / hist.bucket_count + 0.1
+        assert abs(estimate - truth) <= slack
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                    min_size=20, max_size=200))
+    def test_monotone_in_high_bound(self, values):
+        hist = Histogram.from_values(values)
+        lo = min(values)
+        points = sorted({lo + (max(values) - lo) * f for f in (0.1, 0.4, 0.7, 1.0)})
+        estimates = [hist.selectivity(low=None, high=p) for p in points]
+        assert estimates == sorted(estimates)
+
+
+class TestColumnStatsIntegration:
+    def test_histogram_built_for_numeric(self):
+        stats = ColumnStats.from_values(list(range(50)))
+        assert stats.histogram is not None
+
+    def test_no_histogram_for_strings(self):
+        stats = ColumnStats.from_values([f"s{i}" for i in range(50)])
+        assert stats.histogram is None
+
+    def test_no_histogram_for_tiny_columns(self):
+        stats = ColumnStats.from_values([1, 2, 3])
+        assert stats.histogram is None
+
+    def test_opt_out(self):
+        stats = ColumnStats.from_values(list(range(50)), with_histogram=False)
+        assert stats.histogram is None
+
+    def test_non_numeric_bound_falls_back(self):
+        stats = ColumnStats.from_values(list(range(50)))
+        # A string bound cannot use the numeric histogram.
+        assert 0.0 <= stats.range_selectivity(low="x") <= 1.0
+
+    def test_nulls_excluded(self):
+        stats = ColumnStats.from_values([None] * 10 + list(range(40)))
+        assert stats.histogram is not None
+        assert stats.null_count == 10

@@ -1,0 +1,160 @@
+"""End-to-end scenario tests: availability, recovery, multi-session flows.
+
+These exercise the system the way the paper's introduction motivates it:
+replication lag changing under the application's feet while its stated
+C&C requirements keep being honored.
+"""
+
+import pytest
+
+from repro.cache.backend import BackendServer
+from repro.cache.mtcache import MTCache
+from repro.semantics.checker import ResultChecker
+from repro.workloads.bookstore import load_bookstore
+
+
+def make_shop(interval=10.0, delay=2.0):
+    backend = BackendServer()
+    load_bookstore(backend, n_books=40)
+    cache = MTCache(backend)
+    cache.create_region("books_r", interval, delay, heartbeat_interval=1.0)
+    cache.create_matview("books_copy", "books", ["isbn", "title", "price", "stock"],
+                         region="books_r")
+    cache.run_for(interval + 1)
+    return backend, cache
+
+
+PRICE_Q = (
+    "SELECT b.price FROM books b WHERE b.isbn = 7 CURRENCY BOUND {b} SEC ON (b)"
+)
+
+
+class TestReplicationLagScenario:
+    """The paper's opening example: replication reconfigured from 30s to
+    5min — which queries still get what they asked for?"""
+
+    def test_slower_propagation_shifts_queries_remote(self):
+        backend, cache = make_shop(interval=5.0)
+        fine = cache.execute(PRICE_Q.format(b=30))
+        assert fine.context.branches[0][1] == 0  # local is fine at 5s lag
+
+        # Operations reconfigures replication to a 60-second interval.
+        agent = cache.agents["books_r"]
+        agent.stop()
+        region = cache.catalog.region("books_r")
+        region.update_interval = 60.0
+        agent.start(cache.scheduler, interval=60.0)
+        cache.run_for(45.0)  # mid-cycle: data now ~45s stale
+
+        # The 30-second requirement is no longer met by the replica; the
+        # system notices (unlike the status quo the paper criticizes) and
+        # routes to the back-end.
+        strict = cache.execute(PRICE_Q.format(b=30))
+        assert strict.context.branches[0][1] == 1
+        # A 5-minute tolerance still happily uses the replica.
+        relaxed = cache.execute(PRICE_Q.format(b=300))
+        assert relaxed.context.branches[0][1] == 0
+
+    def test_guarantees_hold_through_reconfiguration(self):
+        backend, cache = make_shop(interval=5.0)
+        checker = ResultChecker(cache)
+        agent = cache.agents["books_r"]
+        agent.stop()
+        agent.start(cache.scheduler, interval=40.0)
+        for advance in (3.0, 17.0, 29.0, 44.0):
+            cache.run_for(advance)
+            backend.execute("UPDATE books SET price = price + 1 WHERE isbn = 7")
+            sql = PRICE_Q.format(b=20)
+            result = cache.execute(sql)
+            report = checker.check(sql, result)
+            assert report.ok, report.violations
+
+
+class TestAgentOutageScenario:
+    """A stopped distribution agent (replica effectively unavailable for
+    maintenance): queries keep their guarantees via the back-end, and the
+    replica resumes service after recovery."""
+
+    def test_outage_and_recovery(self):
+        backend, cache = make_shop(interval=10.0, delay=2.0)
+        agent = cache.agents["books_r"]
+        agent.stop()
+        cache.run_for(120.0)  # replica goes very stale during the outage
+
+        during = cache.execute(PRICE_Q.format(b=60))
+        assert during.context.branches[0][1] == 1  # guard routes remote
+
+        agent.start(cache.scheduler, interval=10.0)
+        cache.run_for(11.0)
+        after = cache.execute(PRICE_Q.format(b=60))
+        assert after.context.branches[0][1] == 0  # replica serving again
+
+    def test_results_always_correct_during_outage(self):
+        backend, cache = make_shop()
+        checker = ResultChecker(cache)
+        cache.agents["books_r"].stop()
+        backend.execute("UPDATE books SET stock = 0 WHERE isbn = 3")
+        cache.run_for(50.0)
+        sql = "SELECT b.isbn, b.stock FROM books b WHERE b.isbn = 3 CURRENCY BOUND 10 SEC ON (b)"
+        result = cache.execute(sql)
+        assert result.rows == [(3, 0)]  # must reflect the update (remote)
+        assert checker.check(sql, result).ok
+
+
+class TestMixedReadWriteSession:
+    def test_order_workflow(self):
+        backend, cache = make_shop()
+        # A purchase: read price (can be slightly stale), write the stock
+        # decrement (forwarded), then verify under timeline consistency.
+        price = cache.execute(PRICE_Q.format(b=60)).scalar()
+        assert price > 0
+        stock_before = backend.execute(
+            "SELECT b.stock FROM books b WHERE b.isbn = 7"
+        ).scalar()
+        cache.execute("BEGIN TIMEORDERED")
+        cache.execute("UPDATE books SET stock = stock - 1 WHERE isbn = 7")
+        # Prime the watermark with a current read, then confirm the write
+        # is visible to the session even though the replica lags.
+        cache.execute("SELECT b.isbn FROM books b WHERE b.isbn = 7 CURRENCY BOUND 0 SEC ON (b)")
+        stock_seen = cache.execute(
+            "SELECT b.stock FROM books b WHERE b.isbn = 7 CURRENCY BOUND 600 SEC ON (b)"
+        ).scalar()
+        cache.execute("END TIMEORDERED")
+        assert stock_seen == stock_before - 1
+
+    def test_two_interleaved_sessions_independent_watermarks(self):
+        backend, cache = make_shop()
+        # Our MTCache holds one session; emulate a second cache front-end
+        # sharing the same back-end and views would share state, so instead
+        # verify the watermark resets between brackets.
+        cache.execute("BEGIN TIMEORDERED")
+        cache.execute("SELECT b.isbn FROM books b CURRENCY BOUND 0 SEC ON (b)")
+        forced_remote = cache.execute(
+            "SELECT b.isbn FROM books b CURRENCY BOUND 600 SEC ON (b)"
+        )
+        assert forced_remote.context.branches[0][1] == 1
+        cache.execute("END TIMEORDERED")
+        # Outside (or in a fresh bracket) the replica is admissible again.
+        fresh = cache.execute("SELECT b.isbn FROM books b CURRENCY BOUND 600 SEC ON (b)")
+        assert fresh.context.branches[0][1] == 0
+
+
+class TestConsistencyAcrossViewsScenario:
+    def test_price_and_stock_views_same_region_join_consistently(self):
+        backend, cache = make_shop()
+        cache.create_matview("prices", "books", ["isbn", "price"], region="books_r")
+        cache.create_matview("stocks", "books", ["isbn", "stock"], region="books_r")
+        cache.run_for(11.0)
+        checker = ResultChecker(cache)
+        backend.execute("UPDATE books SET price = 1.0, stock = 1 WHERE isbn = 2")
+        sql = (
+            "SELECT p.isbn, p.price, s.stock FROM books p, books s "
+            "WHERE p.isbn = s.isbn AND p.isbn = 2 "
+            "CURRENCY BOUND 600 SEC ON (p, s)"
+        )
+        result = cache.execute(sql)
+        report = checker.check(sql, result)
+        assert report.ok, report.violations
+        # Both columns reflect the same snapshot: either both old or both new.
+        (isbn, price, stock) = result.rows[0]
+        assert (price == 1.0) == (stock == 1)

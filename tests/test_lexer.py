@@ -1,0 +1,101 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.sql.lexer import Lexer, TokenType
+
+
+def tokens_of(sql):
+    return [t for t in Lexer(sql).tokens() if t.type is not TokenType.EOF]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        for text in ("SELECT", "select", "SeLeCt"):
+            (token,) = tokens_of(text)
+            assert token.type is TokenType.KEYWORD
+            assert token.value == "select"
+
+    def test_identifiers_lowercased(self):
+        (token,) = tokens_of("MyTable")
+        assert token.type is TokenType.IDENT
+        assert token.value == "mytable"
+
+    def test_identifier_with_underscore_and_digits(self):
+        (token,) = tokens_of("c_custkey2")
+        assert token.value == "c_custkey2"
+
+    def test_integer(self):
+        (token,) = tokens_of("42")
+        assert token.type is TokenType.NUMBER
+        assert token.value == 42
+        assert isinstance(token.value, int)
+
+    def test_float(self):
+        (token,) = tokens_of("3.75")
+        assert token.value == 3.75
+        assert isinstance(token.value, float)
+
+    def test_leading_dot_float(self):
+        (token,) = tokens_of(".5")
+        assert token.value == 0.5
+
+    def test_string_literal(self):
+        (token,) = tokens_of("'hello'")
+        assert token.type is TokenType.STRING
+        assert token.value == "hello"
+
+    def test_string_with_escaped_quote(self):
+        (token,) = tokens_of("'it''s'")
+        assert token.value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokens_of("'oops")
+
+    def test_operators(self):
+        values = [t.value for t in tokens_of("<= >= <> != = < > + - * / %")]
+        assert values == ["<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%"]
+
+    def test_punct(self):
+        values = [t.value for t in tokens_of("( ) , .")]
+        assert values == ["(", ")", ",", "."]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokens_of("@")
+
+    def test_eof_token_terminates(self):
+        tokens = Lexer("select").tokens()
+        assert tokens[-1].type is TokenType.EOF
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert [t.value for t in tokens_of("select -- comment\n 1")] == ["select", 1]
+
+    def test_line_comment_at_eof(self):
+        assert [t.value for t in tokens_of("select -- trailing")] == ["select"]
+
+    def test_block_comment(self):
+        assert [t.value for t in tokens_of("select /* x */ 1")] == ["select", 1]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokens_of("select /* oops")
+
+
+class TestCurrencyTokens:
+    def test_currency_clause_tokens(self):
+        values = [t.value for t in tokens_of("CURRENCY BOUND 10 MIN ON (B, R)")]
+        assert values == ["currency", "bound", 10, "min", "on", "(", "b", ",", "r", ")"]
+
+    def test_timeordered(self):
+        values = [t.value for t in tokens_of("BEGIN TIMEORDERED")]
+        assert values == ["begin", "timeordered"]
+
+    def test_units_are_keywords(self):
+        for unit in ("ms", "sec", "seconds", "min", "minutes", "hour", "day"):
+            (token,) = tokens_of(unit)
+            assert token.type is TokenType.KEYWORD

@@ -1,0 +1,126 @@
+"""Tests for sort-property tracking and merge-join generation."""
+
+import pytest
+
+from repro.cache.backend import BackendServer
+from repro.optimizer.optimizer import _align_merge_keys
+from repro.sql import ast
+
+
+def ref(qualifier, name):
+    return ast.ColumnRef(name, qualifier=qualifier)
+
+
+class TestAlignMergeKeys:
+    def test_single_key_aligned(self):
+        out = _align_merge_keys(
+            [("l", "k")], [("r", "k")], [ref("l", "k")], [ref("r", "k")]
+        )
+        assert out is not None
+        left, right = out
+        assert left[0].name == "k" and right[0].name == "k"
+
+    def test_key_not_in_sort_order(self):
+        assert (
+            _align_merge_keys([("l", "other")], [("r", "k")], [ref("l", "k")], [ref("r", "k")])
+            is None
+        )
+
+    def test_right_side_misaligned(self):
+        assert (
+            _align_merge_keys(
+                [("l", "a"), ("l", "b")],
+                [("r", "b"), ("r", "a")],
+                [ref("l", "a"), ref("l", "b")],
+                [ref("r", "a"), ref("r", "b")],
+            )
+            is None
+        )
+
+    def test_two_keys_aligned_any_conjunct_order(self):
+        out = _align_merge_keys(
+            [("l", "a"), ("l", "b")],
+            [("r", "a"), ("r", "b")],
+            [ref("l", "b"), ref("l", "a")],
+            [ref("r", "b"), ref("r", "a")],
+        )
+        assert out is not None
+        left, right = out
+        assert [r.name for r in left] == ["a", "b"]
+
+    def test_empty_refs(self):
+        assert _align_merge_keys([("l", "a")], [("r", "a")], [], []) is None
+
+    def test_partial_prefix_rejected(self):
+        # Only one of the two join keys is covered by the sort order.
+        assert (
+            _align_merge_keys(
+                [("l", "a")],
+                [("r", "a")],
+                [ref("l", "a"), ref("l", "b")],
+                [ref("r", "a"), ref("r", "b")],
+            )
+            is None
+        )
+
+
+@pytest.fixture()
+def server():
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE big1 (k INT NOT NULL, v FLOAT NOT NULL, PRIMARY KEY (k))"
+    )
+    backend.create_table(
+        "CREATE TABLE big2 (k INT NOT NULL, w FLOAT NOT NULL, PRIMARY KEY (k))"
+    )
+    rows1 = ", ".join(f"({i}, {float(i)})" for i in range(1, 801))
+    rows2 = ", ".join(f"({i}, {float(-i)})" for i in range(1, 801))
+    backend.execute(f"INSERT INTO big1 VALUES {rows1}")
+    backend.execute(f"INSERT INTO big2 VALUES {rows2}")
+    backend.refresh_statistics()
+    return backend
+
+
+class TestMergeJoinChosen:
+    def test_full_pk_join_uses_merge(self, server):
+        # Both sides clustered on the join key and unfiltered: the ordered
+        # scans + merge join beat build+probe hashing.
+        plan = server.optimize("SELECT a.v, b.w FROM big1 a, big2 b WHERE a.k = b.k")
+        assert "MergeJoin" in plan.explain(), plan.explain()
+
+    def test_merge_join_result_correct(self, server):
+        result = server.execute(
+            "SELECT a.k, a.v, b.w FROM big1 a, big2 b WHERE a.k = b.k"
+        )
+        assert len(result.rows) == 800
+        for k, v, w in result.rows:
+            assert v == float(k)
+            assert w == float(-k)
+
+    def test_matches_hash_join_semantics(self, server):
+        # Compare against a forced non-merge execution by disturbing the
+        # order: a selective index path keeps hash join competitive.
+        sql = "SELECT a.k FROM big1 a, big2 b WHERE a.k = b.k AND a.v < 50"
+        result = server.execute(sql)
+        assert sorted(r[0] for r in result.rows) == list(range(1, 50))
+
+    def test_ordered_scan_costlier_than_heap_scan(self, server):
+        from repro.optimizer.query_info import analyze_select
+        from repro.sql.parser import parse
+
+        info = analyze_select(parse("SELECT a.v FROM big1 a"), server.catalog)
+        candidates = server.placement.access_candidates(info.operand("a"), info)
+        by_kind = {c.kind: c for c in candidates}
+        assert "base-ordered" in by_kind
+        assert by_kind["base-ordered"].cost > by_kind["base-seq"].cost
+        assert by_kind["base-ordered"].sort_order == (("a", "k"),)
+
+    def test_secondary_index_delivers_sort(self, server):
+        server.execute("CREATE INDEX ix_v ON big1 (v)")
+        from repro.optimizer.query_info import analyze_select
+        from repro.sql.parser import parse
+
+        info = analyze_select(parse("SELECT a.k FROM big1 a WHERE a.v > 700"), server.catalog)
+        candidates = server.placement.access_candidates(info.operand("a"), info)
+        index_candidates = [c for c in candidates if c.kind == "base-index"]
+        assert any(c.sort_order == (("a", "v"),) for c in index_candidates)

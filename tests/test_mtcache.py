@@ -1,0 +1,293 @@
+"""Tests for MTCache: shadow DB, guarded execution, plan switching, DML
+forwarding and timeline sessions."""
+
+import pytest
+
+from repro.cache.backend import BackendServer
+from repro.cache.mtcache import MTCache
+from repro.common.errors import CatalogError, ConsistencyError
+
+
+def make_env(interval=10.0, delay=2.0, heartbeat=1.0, settle=True):
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE items (id INT NOT NULL, qty INT NOT NULL, price FLOAT NOT NULL, "
+        "PRIMARY KEY (id))"
+    )
+    backend.execute("INSERT INTO items VALUES (1, 5, 10.0), (2, 3, 20.0), (3, 9, 30.0)")
+    backend.refresh_statistics()
+    cache = MTCache(backend)
+    cache.create_region("r1", interval, delay, heartbeat_interval=heartbeat)
+    cache.create_matview("items_copy", "items", ["id", "qty", "price"], region="r1")
+    if settle:
+        cache.run_for(interval + heartbeat)
+    return backend, cache
+
+
+class TestShadowDatabase:
+    def test_shadow_tables_exist_and_are_empty(self):
+        _, cache = make_env()
+        entry = cache.catalog.table("items")
+        assert entry.shadow
+        assert entry.table.row_count == 0
+
+    def test_shadow_stats_reflect_backend(self):
+        backend, cache = make_env()
+        assert cache.catalog.table("items").stats.row_count == 3
+
+    def test_refresh_shadow_stats(self):
+        backend, cache = make_env()
+        backend.execute("INSERT INTO items VALUES (4, 1, 40.0)")
+        cache.refresh_shadow_stats()
+        assert cache.catalog.table("items").stats.row_count == 4
+
+    def test_view_requires_region(self):
+        _, cache = make_env()
+        with pytest.raises(CatalogError):
+            cache.create_matview("v2", "items", ["id"], region=None)
+
+
+class TestGuardedExecution:
+    def test_fresh_view_serves_locally(self):
+        _, cache = make_env()
+        result = cache.execute(
+            "SELECT i.id, i.qty FROM items i CURRENCY BOUND 60 SEC ON (i)"
+        )
+        assert len(result.rows) == 3
+        assert result.context.branches == [("items_copy", 0)]
+        assert result.context.remote_queries == []
+
+    def test_stale_view_falls_back_to_remote(self):
+        backend, cache = make_env(interval=10.0, delay=2.0)
+        # Let the view age beyond the bound without propagation.
+        cache.run_for(4.0)  # mid-cycle; staleness bound > 3s now
+        result = cache.execute(
+            "SELECT i.id FROM items i CURRENCY BOUND 3 SEC ON (i)"
+        )
+        assert result.context.branches == [("items_copy", 1)]
+        assert len(result.context.remote_queries) == 1
+
+    def test_remote_fallback_sees_latest_data(self):
+        backend, cache = make_env()
+        backend.execute("INSERT INTO items VALUES (4, 1, 40.0)")
+        cache.run_for(4.0)
+        result = cache.execute("SELECT i.id FROM items i CURRENCY BOUND 3 SEC ON (i)")
+        assert len(result.rows) == 4
+
+    def test_local_view_may_serve_stale_rows_within_bound(self):
+        backend, cache = make_env()
+        backend.execute("INSERT INTO items VALUES (4, 1, 40.0)")
+        result = cache.execute("SELECT i.id FROM items i CURRENCY BOUND 600 SEC ON (i)")
+        # Bound is loose: local branch used, new row not yet visible.
+        assert result.context.branches == [("items_copy", 0)]
+        assert len(result.rows) == 3
+
+    def test_no_currency_clause_goes_remote(self):
+        _, cache = make_env()
+        result = cache.execute("SELECT i.id FROM items i")
+        assert result.plan.summary() == "remote"
+        assert len(result.context.remote_queries) == 1
+
+    def test_zero_bound_goes_remote(self):
+        _, cache = make_env()
+        plan = cache.optimize("SELECT i.id FROM items i CURRENCY BOUND 0 SEC ON (i)")
+        assert plan.summary() == "remote"
+
+    def test_bound_below_delay_pruned_at_compile_time(self):
+        _, cache = make_env(interval=10.0, delay=5.0)
+        plan = cache.optimize("SELECT i.id FROM items i CURRENCY BOUND 1 SEC ON (i)")
+        assert plan.summary() == "remote"
+
+    def test_unbounded_staleness_unguarded_local(self):
+        _, cache = make_env()
+        cache.run_for(500.0)
+        result = cache.execute(
+            "SELECT i.id FROM items i CURRENCY BOUND UNBOUNDED ON (i)"
+        )
+        # No SwitchUnion at all: pure local plan.
+        assert result.context.branches == []
+        assert result.context.remote_queries == []
+        assert len(result.rows) == 3
+
+    def test_guard_passes_again_after_propagation(self):
+        backend, cache = make_env(interval=10.0, delay=2.0)
+        cache.run_for(4.0)
+        stale = cache.execute("SELECT i.id FROM items i CURRENCY BOUND 3 SEC ON (i)")
+        assert stale.context.branches == [("items_copy", 1)]
+        # Advance just past the next propagation (agent wakes at t=20 with
+        # cutoff 18); at t=20.5 the heartbeat bound is 2.5s < 3s.
+        cache.run_for(5.5)
+        fresh = cache.execute("SELECT i.id FROM items i CURRENCY BOUND 3 SEC ON (i)")
+        assert fresh.context.branches == [("items_copy", 0)]
+
+    def test_view_without_needed_columns_not_matched(self):
+        _, cache = make_env()
+        # price is not in this narrow view
+        cache.create_matview("narrow", "items", ["id", "qty"], region="r1")
+        plan = cache.optimize(
+            "SELECT i.price FROM items i CURRENCY BOUND 60 SEC ON (i)"
+        )
+        assert "narrow" not in plan.summary()
+
+    def test_predicate_view_matched_only_with_matching_conjunct(self):
+        _, cache = make_env()
+        cache.create_matview(
+            "cheap", "items", ["id", "price"], predicate="price < 25", region="r1"
+        )
+        cache.run_for(12.0)
+        matching = cache.optimize(
+            "SELECT i.id FROM items i WHERE i.price < 25 CURRENCY BOUND 60 SEC ON (i)"
+        )
+        # Either view works here; the narrow one is cheaper or equal.
+        assert "guarded" in matching.summary()
+        not_matching = cache.optimize(
+            "SELECT i.id, i.price FROM items i CURRENCY BOUND 60 SEC ON (i)"
+        )
+        assert "cheap" not in not_matching.summary()
+
+
+class TestDMLForwarding:
+    def test_insert_forwarded_to_backend(self):
+        backend, cache = make_env()
+        cache.execute("INSERT INTO items VALUES (4, 2, 40.0)")
+        assert backend.catalog.table("items").table.row_count == 4
+        # The cache's shadow stays empty.
+        assert cache.catalog.table("items").table.row_count == 0
+
+    def test_update_forwarded(self):
+        backend, cache = make_env()
+        cache.execute("UPDATE items SET qty = 42 WHERE id = 1")
+        result = backend.execute("SELECT i.qty FROM items i WHERE i.id = 1")
+        assert result.scalar() == 42
+
+    def test_delete_forwarded(self):
+        backend, cache = make_env()
+        cache.execute("DELETE FROM items WHERE id = 1")
+        assert backend.catalog.table("items").table.row_count == 2
+
+    def test_writes_visible_after_propagation(self):
+        _, cache = make_env()
+        cache.execute("INSERT INTO items VALUES (4, 2, 40.0)")
+        cache.run_for(15.0)
+        result = cache.execute("SELECT i.id FROM items i CURRENCY BOUND 60 SEC ON (i)")
+        assert len(result.rows) == 4
+
+
+class TestComplexQueriesShipWhole:
+    def test_derived_table_shipped(self):
+        _, cache = make_env()
+        result = cache.execute(
+            "SELECT t.total FROM (SELECT SUM(i.qty) AS total FROM items i) t"
+        )
+        assert result.rows == [(17,)]
+
+    def test_where_subquery_shipped(self):
+        _, cache = make_env()
+        result = cache.execute(
+            "SELECT i.id FROM items i WHERE EXISTS "
+            "(SELECT 1 FROM items j WHERE j.qty > i.qty)"
+        )
+        assert sorted(r[0] for r in result.rows) == [1, 2]
+
+
+class TestAggregationOnCache:
+    def test_local_aggregation_over_guarded_view(self):
+        _, cache = make_env()
+        result = cache.execute(
+            "SELECT COUNT(*) AS n, SUM(i.qty) AS total FROM items i "
+            "CURRENCY BOUND 60 SEC ON (i)"
+        )
+        assert result.rows == [(3, 17)]
+        assert result.context.branches == [("items_copy", 0)]
+
+    def test_group_by_on_cache(self):
+        _, cache = make_env()
+        result = cache.execute(
+            "SELECT i.qty, COUNT(*) AS n FROM items i GROUP BY i.qty "
+            "CURRENCY BOUND 60 SEC ON (i)"
+        )
+        assert len(result.rows) == 3
+
+
+class TestTimelineSessions:
+    def test_begin_end(self):
+        _, cache = make_env()
+        cache.execute("BEGIN TIMEORDERED")
+        assert cache.session.active
+        cache.execute("END TIMEORDERED")
+        assert not cache.session.active
+
+    def test_end_without_begin_raises(self):
+        _, cache = make_env()
+        with pytest.raises(ConsistencyError):
+            cache.execute("END TIMEORDERED")
+
+    def test_remote_read_forces_later_queries_remote(self):
+        backend, cache = make_env()
+        cache.execute("BEGIN TIMEORDERED")
+        # First query: forced remote (tight bound) -> watermark = now.
+        first = cache.execute("SELECT i.id FROM items i CURRENCY BOUND 0 SEC ON (i)")
+        assert first.plan.summary() == "remote"
+        # Second query: loose bound, but the local snapshot is older than
+        # the watermark, so the guard must choose remote.
+        second = cache.execute("SELECT i.id FROM items i CURRENCY BOUND 600 SEC ON (i)")
+        assert second.context.branches == [("items_copy", 1)]
+        cache.execute("END TIMEORDERED")
+
+    def test_local_read_allowed_when_snapshot_at_watermark(self):
+        _, cache = make_env()
+        cache.execute("BEGIN TIMEORDERED")
+        first = cache.execute("SELECT i.id FROM items i CURRENCY BOUND 600 SEC ON (i)")
+        assert first.context.branches == [("items_copy", 0)]
+        second = cache.execute("SELECT i.id FROM items i CURRENCY BOUND 600 SEC ON (i)")
+        assert second.context.branches == [("items_copy", 0)]
+        cache.execute("END TIMEORDERED")
+
+    def test_read_your_writes_via_timeline(self):
+        backend, cache = make_env()
+        cache.execute("BEGIN TIMEORDERED")
+        cache.execute("SELECT i.id FROM items i CURRENCY BOUND 0 SEC ON (i)")
+        cache.execute("INSERT INTO items VALUES (4, 2, 40.0)")
+        # Next read goes remote (watermark ahead of the local snapshot) and
+        # therefore sees the write.
+        result = cache.execute("SELECT i.id FROM items i CURRENCY BOUND 600 SEC ON (i)")
+        assert len(result.rows) == 4
+        cache.execute("END TIMEORDERED")
+
+    def test_without_timeline_writes_may_be_invisible(self):
+        # The §2.3 motivation: no timeline bracket -> a later query may use
+        # a replica that has not yet seen the session's own write.
+        backend, cache = make_env()
+        cache.execute("INSERT INTO items VALUES (4, 2, 40.0)")
+        result = cache.execute("SELECT i.id FROM items i CURRENCY BOUND 600 SEC ON (i)")
+        assert len(result.rows) == 3
+
+
+class TestJoinsOnCache:
+    def test_two_views_in_one_region_join_locally(self):
+        backend, cache = make_env()
+        cache.create_matview("items2", "items", ["id", "price"], region="r1")
+        cache.run_for(12.0)
+        result = cache.execute(
+            "SELECT a.id, b.price FROM items a, items b WHERE a.id = b.id "
+            "CURRENCY BOUND 60 SEC ON (a, b)"
+        )
+        assert len(result.rows) == 3
+        assert result.context.remote_queries == []
+
+    def test_single_class_across_regions_goes_remote(self):
+        backend, cache = make_env()
+        cache.create_region("r2", 10.0, 2.0)
+        cache.create_matview("items_r2", "items", ["id", "price"], region="r2")
+        cache.run_for(12.0)
+        plan = cache.optimize(
+            "SELECT a.id, b.price FROM items a, items b WHERE a.id = b.id "
+            "CURRENCY BOUND 60 SEC ON (a, b)"
+        )
+        # items_copy (r1) and items_r2 (r2) can never be mutually
+        # consistent; with only one view per operand candidate... both
+        # operands CAN use views from the same region here, so check the
+        # chosen plan satisfies the class either way: all-local-one-region
+        # or remote.
+        summary = plan.summary()
+        assert "remote" in summary or summary.count("guarded") == 2

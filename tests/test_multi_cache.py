@@ -1,0 +1,119 @@
+"""Tests for multi-cache deployments and back-end failure behavior."""
+
+import pytest
+
+from repro.cache.backend import BackendServer
+from repro.cache.mtcache import MTCache
+from repro.common.errors import ReproError
+
+
+def make_backend():
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE inv (id INT NOT NULL, qty INT NOT NULL, PRIMARY KEY (id))"
+    )
+    backend.execute("INSERT INTO inv VALUES (1, 10), (2, 20), (3, 30)")
+    backend.refresh_statistics()
+    return backend
+
+
+class TestTwoCaches:
+    """Two mid-tier caches sharing one back-end (the paper's deployment
+    picture), each with its own regions, agents, and heartbeat tables."""
+
+    def make(self):
+        backend = make_backend()
+        fast = MTCache(backend)
+        fast.create_region("fast_r", 4.0, 1.0, heartbeat_interval=0.5)
+        fast.create_matview("inv_fast", "inv", ["id", "qty"], region="fast_r")
+        slow = MTCache(backend)
+        slow.create_region("slow_r", 30.0, 5.0, heartbeat_interval=1.0)
+        slow.create_matview("inv_slow", "inv", ["id", "qty"], region="slow_r")
+        backend.run_for(31.0)
+        return backend, fast, slow
+
+    def test_both_caches_serve_locally(self):
+        _, fast, slow = self.make()
+        sql = "SELECT i.id FROM inv i CURRENCY BOUND 600 SEC ON (i)"
+        assert fast.execute(sql).context.branches[0][1] == 0
+        assert slow.execute(sql).context.branches[0][1] == 0
+
+    def test_different_lag_tolerances(self):
+        backend, fast, slow = self.make()
+        backend.run_for(10.0)  # fast cache refreshed, slow mid-cycle
+        sql = "SELECT i.id FROM inv i CURRENCY BOUND 8 SEC ON (i)"
+        fast_result = fast.execute(sql)
+        slow_result = slow.execute(sql)
+        assert fast_result.context.branches[0][1] == 0
+        assert slow_result.context.branches[0][1] == 1  # too stale locally
+
+    def test_write_through_one_cache_reaches_the_other(self):
+        backend, fast, slow = self.make()
+        fast.execute("INSERT INTO inv VALUES (4, 40)")
+        backend.run_for(40.0)  # both agents propagate
+        sql = "SELECT i.id FROM inv i CURRENCY BOUND 600 SEC ON (i)"
+        assert len(fast.execute(sql).rows) == 4
+        assert len(slow.execute(sql).rows) == 4
+
+    def test_caches_have_independent_sessions(self):
+        _, fast, slow = self.make()
+        fast.execute("BEGIN TIMEORDERED")
+        assert fast.session.active
+        assert not slow.session.active
+        fast.execute("END TIMEORDERED")
+
+    def test_region_namespaces_must_differ(self):
+        backend = make_backend()
+        a = MTCache(backend)
+        a.create_region("shared", 5.0, 1.0)
+        b = MTCache(backend)
+        # The same cid on a second cache collides in the back-end
+        # heartbeat table (one row per region id).
+        with pytest.raises(ReproError):
+            b.create_region("shared", 5.0, 1.0)
+
+
+class TestBackendFailure:
+    def make(self):
+        backend = make_backend()
+        cache = MTCache(backend)
+        cache.create_region("r", 10.0, 2.0, heartbeat_interval=1.0)
+        cache.create_matview("inv_copy", "inv", ["id", "qty"], region="r")
+        cache.run_for(11.0)
+        return backend, cache
+
+    def test_remote_error_propagates(self):
+        _, cache = self.make()
+
+        def broken(sql):
+            raise ConnectionError("back-end unreachable")
+
+        cache.remote_executor_backup = cache.remote_executor
+        cache.remote_executor = broken
+        # Plans are built against the method reference at build time, so
+        # re-optimize after the swap.
+        with pytest.raises(ConnectionError):
+            cache.execute("SELECT i.id FROM inv i CURRENCY BOUND 0 SEC ON (i)")
+
+    def test_local_queries_survive_backend_outage(self):
+        _, cache = self.make()
+
+        def broken(sql):
+            raise ConnectionError("back-end unreachable")
+
+        cache.remote_executor = broken
+        result = cache.execute("SELECT i.id FROM inv i CURRENCY BOUND 600 SEC ON (i)")
+        assert len(result.rows) == 3  # guard passed: remote never touched
+
+    def test_untaken_remote_branch_never_contacts_backend(self):
+        _, cache = self.make()
+        calls = []
+        original = cache.remote_executor
+
+        def counting(sql):
+            calls.append(sql)
+            return original(sql)
+
+        cache.remote_executor = counting
+        cache.execute("SELECT i.id FROM inv i CURRENCY BOUND 600 SEC ON (i)")
+        assert calls == []

@@ -1,0 +1,85 @@
+"""Parser diagnostics: malformed SQL must fail with a located ParseError,
+never a Python-level exception."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.sql.parser import parse, parse_expression
+
+BAD_STATEMENTS = [
+    "",
+    "SELEC a FROM t",
+    "SELECT FROM t",
+    "SELECT a",
+    "SELECT a FROM",
+    "SELECT a FROM t WHERE",
+    "SELECT a FROM t GROUP a",
+    "SELECT a FROM t ORDER a",
+    "SELECT a FROM (SELECT a FROM t)",  # derived table needs an alias
+    "SELECT a FROM t JOIN u",  # missing ON
+    "SELECT a FROM t CURRENCY 5 ON (t)",  # missing BOUND
+    "SELECT a FROM t CURRENCY BOUND ON (t)",  # missing duration
+    "SELECT a FROM t CURRENCY BOUND 5 SEC ON t",  # missing parens
+    "SELECT a FROM t CURRENCY BOUND 5 SEC ON ()",
+    "SELECT a FROM t CURRENCY BOUND 5 SEC ON (t) BY",
+    "INSERT t VALUES (1)",
+    "INSERT INTO t (a VALUES (1)",
+    "INSERT INTO t VALUES",
+    "UPDATE t SET WHERE a = 1",
+    "UPDATE t a = 1",
+    "DELETE t WHERE a = 1",
+    "CREATE TABLE t (a)",  # missing type
+    "CREATE TABLE t a INT",
+    "CREATE INDEX ix ON t",
+    "BEGIN",
+    "END",
+    "EXPLAIN",
+    "EXPLAIN INSERT INTO t VALUES (1)",
+    "SELECT a FROM t; SELECT b FROM t",  # one statement at a time
+    "SELECT a FROM t WHERE a = = 1",
+    "SELECT a FROM t WHERE a NOT 1",
+    "SELECT a FROM t LIMIT many",
+]
+
+
+@pytest.mark.parametrize("sql", BAD_STATEMENTS)
+def test_bad_statement_raises_parse_error(sql):
+    with pytest.raises(ParseError):
+        parse(sql)
+
+
+BAD_EXPRESSIONS = [
+    "",
+    "1 +",
+    "(1 + 2",
+    "a BETWEEN 1",
+    "a IN",
+    "a IN ()",
+    "a IS",
+    "NOT",
+    "func(1,)",
+    "a . ",
+]
+
+
+@pytest.mark.parametrize("text", BAD_EXPRESSIONS)
+def test_bad_expression_raises_parse_error(text):
+    with pytest.raises(ParseError):
+        parse_expression(text)
+
+
+class TestErrorQuality:
+    def test_position_reported(self):
+        with pytest.raises(ParseError) as info:
+            parse("SELECT a FROM t WHERE @")
+        assert "position" in str(info.value)
+
+    def test_offending_token_quoted(self):
+        with pytest.raises(ParseError) as info:
+            parse("SELECT a FROM t GROUP x")
+        assert "'x'" in str(info.value)
+
+    def test_expectation_named(self):
+        with pytest.raises(ParseError) as info:
+            parse("SELECT a FROM t CURRENCY 5 ON (t)")
+        assert "BOUND" in str(info.value)

@@ -1,0 +1,293 @@
+"""Tests for the SQL parser, especially the new CURRENCY clause."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.sql import ast
+from repro.sql.parser import parse, parse_expression
+
+
+class TestSelectBasics:
+    def test_minimal_select(self):
+        stmt = parse("SELECT a FROM t")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.items[0].expr == ast.ColumnRef("a")
+        assert stmt.from_items[0].name == "t"
+
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert stmt.items[0].star
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT t.* FROM t")
+        assert stmt.items[0].star
+        assert stmt.items[0].star_qualifier == "t"
+
+    def test_alias_with_as(self):
+        stmt = parse("SELECT a AS x FROM t")
+        assert stmt.items[0].alias == "x"
+
+    def test_alias_without_as(self):
+        stmt = parse("SELECT a x FROM t")
+        assert stmt.items[0].alias == "x"
+
+    def test_table_alias(self):
+        stmt = parse("SELECT c.a FROM customers c")
+        assert stmt.from_items[0].alias == "c"
+
+    def test_multiple_tables(self):
+        stmt = parse("SELECT a FROM t1, t2 u")
+        assert [f.alias for f in stmt.from_items] == ["t1", "u"]
+
+    def test_join_on_normalized_into_where(self):
+        stmt = parse("SELECT a FROM t1 JOIN t2 ON t1.x = t2.y WHERE t1.z > 3")
+        # Both the WHERE and the ON condition end up conjoined.
+        sql = stmt.where.to_sql()
+        assert "t1.x = t2.y" in sql
+        assert "t1.z > 3" in sql
+
+    def test_left_join_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t1 LEFT JOIN t2 ON t1.x = t2.y")
+
+    def test_where(self):
+        stmt = parse("SELECT a FROM t WHERE a < 5 AND b = 'x'")
+        assert isinstance(stmt.where, ast.BinaryOp)
+        assert stmt.where.op == "and"
+
+    def test_group_by_having(self):
+        stmt = parse("SELECT a, COUNT(*) AS n FROM t GROUP BY a HAVING n > 2")
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_by(self):
+        stmt = parse("SELECT a FROM t ORDER BY a DESC, b")
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_limit(self):
+        assert parse("SELECT a FROM t LIMIT 10").limit == 10
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t LIMIT 1.5")
+
+    def test_derived_table(self):
+        stmt = parse("SELECT x FROM (SELECT a AS x FROM t) d")
+        sub = stmt.from_items[0]
+        assert isinstance(sub, ast.FromSubquery)
+        assert sub.alias == "d"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t garbage extra ,")
+
+
+class TestCurrencyClause:
+    def test_single_spec(self):
+        stmt = parse("SELECT a FROM b, r WHERE b.k = r.k CURRENCY BOUND 10 MIN ON (b, r)")
+        clause = stmt.currency
+        assert len(clause.specs) == 1
+        spec = clause.specs[0]
+        assert spec.bound == 600.0
+        assert spec.targets == ["b", "r"]
+
+    def test_multiple_specs(self):
+        stmt = parse(
+            "SELECT a FROM b, r CURRENCY BOUND 10 MIN ON (b), 30 MIN ON (r)"
+        )
+        bounds = [s.bound for s in stmt.currency.specs]
+        assert bounds == [600.0, 1800.0]
+
+    def test_by_columns(self):
+        stmt = parse(
+            "SELECT a FROM b, r CURRENCY BOUND 10 MIN ON (b) BY b.isbn, 30 MIN ON (r) BY r.isbn"
+        )
+        spec = stmt.currency.specs[0]
+        assert spec.by_columns == [ast.ColumnRef("isbn", qualifier="b")]
+
+    def test_bare_number_is_seconds(self):
+        stmt = parse("SELECT a FROM t CURRENCY BOUND 45 ON (t)")
+        assert stmt.currency.specs[0].bound == 45.0
+
+    def test_all_units(self):
+        cases = [("500 MS", 0.5), ("10 SEC", 10.0), ("2 MINUTES", 120.0),
+                 ("1 HOUR", 3600.0), ("1 DAY", 86400.0)]
+        for text, seconds in cases:
+            stmt = parse(f"SELECT a FROM t CURRENCY BOUND {text} ON (t)")
+            assert stmt.currency.specs[0].bound == seconds, text
+
+    def test_unbounded(self):
+        stmt = parse("SELECT a FROM t CURRENCY BOUND UNBOUNDED ON (t)")
+        assert stmt.currency.specs[0].bound == ast.UNBOUNDED
+
+    def test_currency_clause_in_subquery(self):
+        stmt = parse(
+            "SELECT a FROM (SELECT a FROM t CURRENCY BOUND 10 SEC ON (t)) d "
+            "CURRENCY BOUND 5 SEC ON (d)"
+        )
+        assert stmt.currency.specs[0].targets == ["d"]
+        inner = stmt.from_items[0].select
+        assert inner.currency.specs[0].targets == ["t"]
+
+    def test_missing_on_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t CURRENCY BOUND 10 MIN (t)")
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t CURRENCY BOUND -5 ON (t)")
+
+    def test_clause_must_be_last(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t CURRENCY BOUND 5 ON (t) WHERE a > 1")
+
+
+class TestExpressions:
+    def test_precedence_and_or(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_between(self):
+        expr = parse_expression("a BETWEEN 1 AND 5")
+        assert isinstance(expr, ast.Between)
+
+    def test_not_between(self):
+        expr = parse_expression("a NOT BETWEEN 1 AND 5")
+        assert expr.negated
+
+    def test_in_list(self):
+        expr = parse_expression("a IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_is_null(self):
+        expr = parse_expression("a IS NULL")
+        assert isinstance(expr, ast.IsNull)
+        assert not expr.negated
+
+    def test_is_not_null(self):
+        expr = parse_expression("a IS NOT NULL")
+        assert expr.negated
+
+    def test_exists_subquery(self):
+        expr = parse_expression("EXISTS (SELECT 1 FROM s WHERE s.k = 3)")
+        assert isinstance(expr, ast.ExistsSubquery)
+
+    def test_in_subquery(self):
+        expr = parse_expression("a IN (SELECT k FROM s)")
+        assert isinstance(expr, ast.InSubquery)
+
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert expr.star
+        assert expr.is_aggregate
+
+    def test_min_aggregate_despite_unit_keyword(self):
+        expr = parse_expression("MIN(a)")
+        assert isinstance(expr, ast.FuncCall)
+        assert expr.name == "min"
+
+    def test_getdate(self):
+        expr = parse_expression("GETDATE()")
+        assert expr.name == "getdate"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-a")
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_neq_normalized(self):
+        expr = parse_expression("a != 1")
+        assert expr.op == "<>"
+
+    def test_qualified_column(self):
+        expr = parse_expression("t.a")
+        assert expr.qualifier == "t"
+
+
+class TestDML:
+    def test_insert(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 2
+
+    def test_insert_without_columns(self):
+        stmt = parse("INSERT INTO t VALUES (1, 2)")
+        assert stmt.columns is None
+
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3")
+        assert stmt.assignments[0][0] == "a"
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE a > 5")
+        assert stmt.table == "t"
+
+    def test_delete_all(self):
+        assert parse("DELETE FROM t").where is None
+
+
+class TestDDL:
+    def test_create_table(self):
+        stmt = parse(
+            "CREATE TABLE t (id INT NOT NULL, name VARCHAR(25), PRIMARY KEY (id))"
+        )
+        assert stmt.name == "t"
+        assert stmt.primary_key == ["id"]
+        assert not stmt.columns[0].nullable
+        assert stmt.columns[1].nullable
+
+    def test_create_index(self):
+        stmt = parse("CREATE INDEX ix ON t (a, b)")
+        assert stmt.columns == ["a", "b"]
+        assert not stmt.unique
+
+    def test_create_unique_clustered_index(self):
+        stmt = parse("CREATE UNIQUE CLUSTERED INDEX ix ON t (a)")
+        assert stmt.unique
+        assert stmt.clustered
+
+
+class TestTimeordered:
+    def test_begin(self):
+        assert isinstance(parse("BEGIN TIMEORDERED"), ast.BeginTimeordered)
+
+    def test_end(self):
+        assert isinstance(parse("END TIMEORDERED"), ast.EndTimeordered)
+
+
+class TestRoundTrip:
+    CASES = [
+        "SELECT a FROM t",
+        "SELECT DISTINCT a, b AS x FROM t u WHERE ((a < 5) AND (b = 'y'))",
+        "SELECT a FROM t GROUP BY a HAVING (n > 2) ORDER BY a DESC LIMIT 3",
+        "SELECT a FROM b, r WHERE (b.k = r.k) CURRENCY BOUND 600 SEC ON (b, r)",
+        "SELECT a FROM t CURRENCY BOUND 10 SEC ON (t) BY t.k",
+        "INSERT INTO t (a) VALUES (1), (2)",
+        "UPDATE t SET a = (a + 1) WHERE (id = 3)",
+        "DELETE FROM t WHERE (a > 5)",
+    ]
+
+    @pytest.mark.parametrize("sql", CASES)
+    def test_to_sql_reparses_to_same(self, sql):
+        first = parse(sql)
+        second = parse(first.to_sql())
+        assert second.to_sql() == first.to_sql()

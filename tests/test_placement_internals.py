@@ -1,0 +1,137 @@
+"""Unit tests for placement internals: index matching, selectivity
+combination, and width computation."""
+
+import pytest
+
+from repro.catalog.statistics import ColumnStats, TableStats
+from repro.engine.expressions import OutputCol, RowBinding
+from repro.optimizer.placement import (
+    _match_index,
+    combine_conjuncts,
+    estimate_selectivity,
+    width_of,
+)
+from repro.optimizer.query_info import Sarg
+from repro.sql.parser import parse_expression
+from repro.storage.index import Index
+
+
+def sarg(column, op, value, text=None):
+    expr = parse_expression(text or f"{column} {op} {value}")
+    return Sarg(column, op, value, expr)
+
+
+class TestMatchIndex:
+    def make_index(self, *columns):
+        return Index("ix", list(columns), list(range(len(columns))))
+
+    def test_single_equality(self):
+        plan = _match_index(self.make_index("a"), [sarg("a", "=", 5)])
+        eq_values, lo, hi, *_ = plan
+        assert eq_values == [5]
+        assert lo is None and hi is None
+
+    def test_equality_prefix_plus_range(self):
+        plan = _match_index(
+            self.make_index("a", "b"),
+            [sarg("a", "=", 5), sarg("b", ">", 1), sarg("b", "<=", 9)],
+        )
+        eq_values, lo, hi, lo_inc, hi_inc, used = plan
+        assert eq_values == [5]
+        assert (lo, hi) == (1, 9)
+        assert not lo_inc and hi_inc
+        assert len(used) == 3
+
+    def test_leading_range_only(self):
+        plan = _match_index(self.make_index("a", "b"), [sarg("a", ">=", 3)])
+        eq_values, lo, hi, lo_inc, _, _ = plan
+        assert eq_values == []
+        assert lo == 3 and lo_inc
+
+    def test_no_leading_column_match(self):
+        assert _match_index(self.make_index("a", "b"), [sarg("b", "=", 1)]) is None
+
+    def test_no_sargs(self):
+        assert _match_index(self.make_index("a"), []) is None
+
+    def test_tightest_range_bound_wins(self):
+        plan = _match_index(
+            self.make_index("a"),
+            [sarg("a", ">", 1), sarg("a", ">=", 5)],
+        )
+        _, lo, _, lo_inc, _, _ = plan
+        assert lo == 5 and lo_inc
+
+    def test_gap_in_prefix_stops_matching(self):
+        plan = _match_index(
+            self.make_index("a", "b", "c"),
+            [sarg("a", "=", 1), sarg("c", "=", 3)],
+        )
+        eq_values, lo, hi, *_ = plan
+        assert eq_values == [1]
+        assert lo is None and hi is None
+
+
+class TestEstimateSelectivity:
+    def stats(self):
+        return TableStats(
+            row_count=1000,
+            columns={
+                "a": ColumnStats(min=0, max=99, ndv=100),
+                "b": ColumnStats(min=0.0, max=1.0, ndv=500),
+            },
+        )
+
+    def test_equality_uses_ndv(self):
+        s = sarg("a", "=", 5)
+        assert estimate_selectivity(self.stats(), [s.expr], [s]) == pytest.approx(0.01)
+
+    def test_range_combines_bounds(self):
+        lo = sarg("a", ">=", 0)
+        hi = sarg("a", "<=", 49)
+        sel = estimate_selectivity(self.stats(), [lo.expr, hi.expr], [lo, hi])
+        assert sel == pytest.approx(0.495, abs=0.02)
+
+    def test_unsargable_conjunct_default(self):
+        expr = parse_expression("a + b > 3")
+        sel = estimate_selectivity(self.stats(), [expr], [])
+        assert sel == pytest.approx(0.25)
+
+    def test_conjunction_multiplies(self):
+        s1 = sarg("a", "=", 5)
+        s2 = sarg("b", "<=", 0.5)
+        sel = estimate_selectivity(self.stats(), [s1.expr, s2.expr], [s1, s2])
+        assert sel == pytest.approx(0.01 * 0.5, rel=0.1)
+
+    def test_never_zero(self):
+        s = sarg("a", ">", 1000)
+        assert estimate_selectivity(self.stats(), [s.expr], [s]) > 0.0
+
+    def test_empty_predicates(self):
+        assert estimate_selectivity(self.stats(), [], []) == 1.0
+
+
+class TestHelpers:
+    def test_combine_conjuncts_none(self):
+        assert combine_conjuncts([]) is None
+
+    def test_combine_conjuncts_single(self):
+        expr = parse_expression("a = 1")
+        assert combine_conjuncts([expr]) is expr
+
+    def test_combine_conjuncts_multiple_is_and_tree(self):
+        a, b, c = (parse_expression(t) for t in ("a = 1", "b = 2", "c = 3"))
+        combined = combine_conjuncts([a, b, c])
+        assert combined.op == "and"
+        assert "a = 1" in combined.to_sql()
+        assert "c = 3" in combined.to_sql()
+
+    def test_width_of_uses_stats(self):
+        binding = RowBinding([OutputCol("x", "t"), OutputCol("y", "t")])
+        widths = {"x": ColumnStats(avg_width=4), "y": ColumnStats(avg_width=16)}
+        total = width_of(binding, lambda q, n: widths.get(n))
+        assert total == 20
+
+    def test_width_of_unknown_column_default(self):
+        binding = RowBinding([OutputCol("z", "t")])
+        assert width_of(binding, lambda q, n: None) == 8.0

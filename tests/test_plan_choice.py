@@ -1,0 +1,125 @@
+"""Integration test: the paper's Table 4.3 plan choices, Q1–Q7.
+
+With SF 1.0 statistics installed (plan choice depends only on statistics),
+the optimizer must reproduce the paper's decisions exactly:
+
+* Q1 — no currency clause, selective join: plan 1 (whole query remote);
+* Q2 — no currency clause, unselective join: plan 2 (local join of two
+  remote base-table fetches, because the join result outweighs the
+  sources);
+* Q3 — bounds fine but single consistency class across two regions:
+  remote;
+* Q4 — consistency relaxed, Customer's bound below CR1's delay: mixed
+  plan (remote Customer + guarded orders_prj);
+* Q5 — both bounds satisfiable, separate classes: both local, guarded;
+* Q6 — 53-row acctbal range: remote (back-end secondary index wins);
+* Q7 — 5975-row acctbal range: guarded local view scan.
+"""
+
+import pytest
+
+from repro.engine import operators as ops
+from repro.workloads.experiment import build_paper_setup
+from repro.workloads.queries import plan_choice_query
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return build_paper_setup(scale_factor=0.002)
+
+
+def plan_for(setup, name):
+    return setup.cache.optimize(plan_choice_query(name))
+
+
+class TestPlanChoices:
+    def test_q1_whole_query_remote(self, setup):
+        plan = plan_for(setup, "q1")
+        assert plan.summary() == "remote"
+        assert isinstance(plan.root(), ops.RemoteQuery)
+
+    def test_q2_local_join_of_two_remote_fetches(self, setup):
+        plan = plan_for(setup, "q2")
+        assert plan.summary() == "hashjoin(remote, remote)"
+        remotes = [op for op in plan.root().walk() if isinstance(op, ops.RemoteQuery)]
+        assert len(remotes) == 2
+        # Each remote query fetches one base table, not the join.
+        tables = {("customer" in r.sql, "orders" in r.sql) for r in remotes}
+        assert tables == {(True, False), (False, True)}
+
+    def test_q3_consistency_forces_remote(self, setup):
+        plan = plan_for(setup, "q3")
+        assert plan.summary() == "remote"
+
+    def test_q4_mixed_plan(self, setup):
+        plan = plan_for(setup, "q4")
+        summary = plan.summary()
+        assert "guarded(orders_prj)" in summary
+        assert "remote" in summary
+        assert "cust_prj" not in summary
+
+    def test_q5_both_local_guarded(self, setup):
+        plan = plan_for(setup, "q5")
+        summary = plan.summary()
+        assert "guarded(orders_prj)" in summary
+        assert "guarded(cust_prj)" in summary
+        assert "remote" not in summary
+
+    def test_q6_remote_on_cost(self, setup):
+        plan = plan_for(setup, "q6")
+        assert plan.summary() == "remote"
+
+    def test_q7_local_guarded_on_cost(self, setup):
+        plan = plan_for(setup, "q7")
+        assert plan.summary() == "guarded(cust_prj)"
+
+    def test_q6_q7_differ_only_in_range(self, setup):
+        # The pure cost-based flip of §4.1's last experiment.
+        q6 = plan_choice_query("q6")
+        q7 = plan_choice_query("q7")
+        assert q6.split("BETWEEN")[0] == q7.split("BETWEEN")[0]
+
+    def test_every_local_access_is_guarded(self, setup):
+        # §4.1: "every local data access is protected by a currency guard".
+        for name in ("q4", "q5", "q7"):
+            plan = plan_for(setup, name)
+            for op in plan.root().walk():
+                if isinstance(op, (ops.SeqScan, ops.IndexSeek, ops.IndexRangeScan)):
+                    if setup.cache.catalog.has_matview(op.table.name):
+                        assert _under_switch_union(plan.root(), op), name
+
+
+def _under_switch_union(root, target):
+    def search(op, guarded):
+        if op is target:
+            return guarded
+        for child in op.children():
+            if search(child, guarded or isinstance(op, ops.SwitchUnion)):
+                return True
+        return False
+
+    return search(root, False)
+
+
+class TestPlanExecutions:
+    """The chosen plans must also run correctly against the real (small)
+    data, with guards live."""
+
+    def test_q1_executes(self, setup):
+        result = setup.cache.execute(plan_choice_query("q1", setup.scale_factor))
+        assert len(result.rows) > 0
+
+    def test_q5_executes_locally(self, setup):
+        result = setup.cache.execute(plan_choice_query("q5", setup.scale_factor))
+        assert len(result.rows) > 0
+        assert all(index == 0 for _, index in result.context.branches)
+
+    def test_q5_result_matches_backend(self, setup):
+        sql = plan_choice_query("q5", setup.scale_factor)
+        cache_result = setup.cache.execute(sql)
+        backend_result = setup.backend.execute(sql)
+        assert sorted(cache_result.rows) == sorted(backend_result.rows)
+
+    def test_q7_executes(self, setup):
+        result = setup.cache.execute(plan_choice_query("q7", setup.scale_factor))
+        assert result.context.branches[0][0] == "cust_prj"

@@ -1,0 +1,172 @@
+"""Tests for consistency plan properties and the §3.2.2 rules."""
+
+import pytest
+
+from repro.cc.constraint import CCConstraint, CCTuple
+from repro.cc.properties import (
+    BACKEND_REGION,
+    ConsistencyProperty,
+    is_conflicting,
+    satisfies,
+    violates,
+    violates_paper_literal,
+)
+
+
+def prop(*groups):
+    return ConsistencyProperty(groups)
+
+
+def req(*tuples):
+    return CCConstraint([CCTuple(bound, ops) for bound, ops in tuples])
+
+
+class TestPropertyAlgebra:
+    def test_single(self):
+        p = ConsistencyProperty.single("r1", ["a", "b"])
+        assert p.operands == {"a", "b"}
+        assert p.region_of("a") == "r1"
+
+    def test_copy_passthrough(self):
+        p = prop(("r1", {"a"}))
+        assert p.copy() == p
+
+    def test_join_disjoint_regions(self):
+        p = prop(("r1", {"a"})).join(prop(("r2", {"b"})))
+        assert len(p.groups) == 2
+
+    def test_join_merges_same_region(self):
+        p = prop(("r1", {"a"})).join(prop(("r1", {"b"})))
+        assert len(p.groups) == 1
+        assert p.groups[0][1] == frozenset({"a", "b"})
+
+    def test_join_backend_merges(self):
+        p = prop((BACKEND_REGION, {"a"})).join(prop((BACKEND_REGION, {"b"})))
+        assert p.groups[0][1] == frozenset({"a", "b"})
+
+    def test_region_of_missing(self):
+        assert prop(("r1", {"a"})).region_of("z") is None
+
+
+class TestSwitchUnionProperty:
+    def test_same_grouping_in_all_children_stays_grouped(self):
+        child1 = prop(("r1", {"a", "b"}))
+        child2 = prop((BACKEND_REGION, {"a", "b"}))
+        result = ConsistencyProperty.switch_union([child1, child2])
+        assert len(result.groups) == 1
+        region, operands = result.groups[0]
+        assert operands == frozenset({"a", "b"})
+        assert region == ("r1", BACKEND_REGION)
+
+    def test_divergent_grouping_splits(self):
+        # Child 1 groups a,b together; child 2 splits them -> the
+        # SwitchUnion can only guarantee them separately.
+        child1 = prop(("r1", {"a", "b"}))
+        child2 = prop(("r2", {"a"}), ("r3", {"b"}))
+        result = ConsistencyProperty.switch_union([child1, child2])
+        assert len(result.groups) == 2
+
+    def test_mismatched_operands_raise(self):
+        with pytest.raises(ValueError):
+            ConsistencyProperty.switch_union([prop(("r1", {"a"})), prop(("r1", {"b"}))])
+
+    def test_empty_children(self):
+        assert ConsistencyProperty.switch_union([]).groups == []
+
+
+class TestConflictRule:
+    def test_same_operand_two_regions_conflicts(self):
+        # Paper's example: joining two projection views of T from different
+        # regions delivers {<R1, T>, <R2, T>} -> conflicting.
+        assert is_conflicting(prop(("r1", {"t"}), ("r2", {"t"})))
+
+    def test_same_operand_same_region_groups_do_not_conflict(self):
+        assert not is_conflicting(prop(("r1", {"t"}), ("r1", {"t"})))
+
+    def test_disjoint_groups_do_not_conflict(self):
+        assert not is_conflicting(prop(("r1", {"a"}), ("r2", {"b"})))
+
+
+class TestSatisfactionRule:
+    def test_class_inside_one_group_satisfies(self):
+        delivered = prop(("r1", {"a", "b", "c"}))
+        assert satisfies(delivered, req((10.0, ["a", "b"])))
+
+    def test_class_spanning_groups_fails(self):
+        delivered = prop(("r1", {"a"}), ("r2", {"b"}))
+        assert not satisfies(delivered, req((10.0, ["a", "b"])))
+
+    def test_two_singleton_classes_satisfied_by_separate_groups(self):
+        delivered = prop(("r1", {"a"}), ("r2", {"b"}))
+        assert satisfies(delivered, req((10.0, ["a"]), (20.0, ["b"])))
+
+    def test_backend_group_satisfies_everything(self):
+        delivered = prop((BACKEND_REGION, {"a", "b", "c"}))
+        assert satisfies(delivered, req((0.0, ["a", "b"]), (5.0, ["c"])))
+
+    def test_conflicting_never_satisfies(self):
+        delivered = prop(("r1", {"a"}), ("r2", {"a", "b"}))
+        assert not satisfies(delivered, req((10.0, ["a"])))
+
+    def test_empty_constraint_satisfied(self):
+        assert satisfies(prop(("r1", {"a"})), req())
+
+
+class TestViolationRule:
+    def test_conflicting_violates(self):
+        delivered = prop(("r1", {"t"}), ("r2", {"t"}))
+        assert violates(delivered, req((10.0, ["t"])))
+
+    def test_class_split_across_regions_violates(self):
+        # The paper's Q3 situation: cust_prj in CR1, orders_prj in CR2,
+        # required single class -> prune early.
+        delivered = prop(("cr1", {"c"}), ("cr2", {"o"}))
+        assert violates(delivered, req((600.0, ["c", "o"])))
+
+    def test_class_split_local_vs_backend_violates(self):
+        delivered = prop(("cr1", {"c"}), (BACKEND_REGION, {"o"}))
+        assert violates(delivered, req((600.0, ["c", "o"])))
+
+    def test_partial_plan_covering_part_of_class_ok(self):
+        # Only c present so far; o may still join the same group later.
+        delivered = prop(("cr1", {"c"}))
+        assert not violates(delivered, req((600.0, ["c", "o"])))
+
+    def test_backend_group_spanning_classes_does_not_violate(self):
+        # This is where we deviate from the paper's literal rule: the
+        # full-remote plan must never be pruned.
+        delivered = prop((BACKEND_REGION, {"a", "b"}))
+        required = req((10.0, ["a"]), (10.0, ["b"]))
+        assert not violates(delivered, required)
+        assert satisfies(delivered, required)
+
+    def test_paper_literal_rule_would_prune_remote_plan(self):
+        # Documenting the paper's rule (2) as printed: it prunes the plan
+        # the satisfaction rule accepts.
+        delivered = prop((BACKEND_REGION, {"a", "b"}))
+        required = req((10.0, ["a"]), (10.0, ["b"]))
+        assert violates_paper_literal(delivered, required)
+
+    def test_violation_is_sound_wrt_satisfaction(self):
+        # Anything that violates must not satisfy.
+        cases = [
+            (prop(("r1", {"a"}), ("r2", {"b"})), req((1.0, ["a", "b"]))),
+            (prop(("r1", {"t"}), ("r2", {"t"})), req((1.0, ["t"]))),
+        ]
+        for delivered, required in cases:
+            if violates(delivered, required):
+                assert not satisfies(delivered, required)
+
+    def test_guarded_region_ids_compare_structurally(self):
+        g1 = ("guarded", "cr1", 600.0)
+        g2 = ("guarded", "cr1", 600.0)
+        delivered = prop((g1, {"a"})).join(prop((g2, {"b"})))
+        assert len(delivered.groups) == 1
+        assert satisfies(delivered, req((600.0, ["a", "b"])))
+
+    def test_guarded_different_bounds_do_not_merge(self):
+        delivered = prop((("guarded", "cr1", 600.0), {"a"})).join(
+            prop((("guarded", "cr1", 30.0), {"b"}))
+        )
+        assert len(delivered.groups) == 2
+        assert not satisfies(delivered, req((600.0, ["a", "b"])))

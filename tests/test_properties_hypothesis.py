@@ -1,0 +1,122 @@
+"""Hypothesis properties for the §3.2.2 consistency rules.
+
+These pin down the logical relationships the optimizer relies on:
+violation is sound (a violating partial plan can never complete into a
+satisfying one), satisfaction implies non-violation, and SwitchUnion
+properties are coarsening-monotone.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cc.constraint import CCConstraint, CCTuple
+from repro.cc.properties import (
+    BACKEND_REGION,
+    ConsistencyProperty,
+    is_conflicting,
+    satisfies,
+    violates,
+)
+
+OPERANDS = ["a", "b", "c", "d"]
+REGIONS = ["r1", "r2", BACKEND_REGION]
+
+
+@st.composite
+def delivered_properties(draw):
+    """A delivered property assigning each of a random operand subset to a
+    region; occasionally duplicates an operand across regions (conflict)."""
+    operands = draw(st.lists(st.sampled_from(OPERANDS), min_size=1, max_size=4, unique=True))
+    groups = {}
+    for op in operands:
+        region = draw(st.sampled_from(REGIONS))
+        groups.setdefault(region, set()).add(op)
+    if draw(st.booleans()) and len(groups) > 1:
+        # Inject a potential conflict: copy one operand into another group.
+        regions = sorted(groups, key=str)
+        src, dst = regions[0], regions[-1]
+        if groups[src]:
+            groups[dst].add(next(iter(groups[src])))
+    return ConsistencyProperty(sorted(groups.items(), key=lambda g: str(g[0])))
+
+
+@st.composite
+def required_constraints(draw):
+    pool = list(OPERANDS)
+    draw(st.randoms()).shuffle(pool)
+    tuples = []
+    while pool and len(tuples) < 3:
+        size = draw(st.integers(min_value=1, max_value=len(pool)))
+        operands, pool = pool[:size], pool[size:]
+        bound = draw(st.sampled_from([0.0, 5.0, 600.0]))
+        tuples.append(CCTuple(bound, operands))
+    return CCConstraint(tuples)
+
+
+class TestRuleCoherence:
+    @settings(max_examples=200)
+    @given(delivered_properties(), required_constraints())
+    def test_violation_implies_not_satisfied(self, delivered, required):
+        if violates(delivered, required):
+            assert not satisfies(delivered, required)
+
+    @settings(max_examples=200)
+    @given(delivered_properties(), required_constraints())
+    def test_satisfaction_implies_not_violating(self, delivered, required):
+        if satisfies(delivered, required):
+            assert not violates(delivered, required)
+
+    @settings(max_examples=200)
+    @given(delivered_properties())
+    def test_conflict_blocks_everything(self, delivered):
+        if is_conflicting(delivered):
+            assert not satisfies(delivered, CCConstraint([]))
+            assert violates(delivered, CCConstraint([]))
+
+    @settings(max_examples=200)
+    @given(delivered_properties(), required_constraints())
+    def test_violation_is_stable_under_joins(self, delivered, required):
+        """Soundness of early pruning: joining more data onto a violating
+        plan can never un-violate it (joins only merge equal-region
+        groups, never split or relabel)."""
+        if not violates(delivered, required):
+            return
+        extra = ConsistencyProperty.single("r9", ["zzz"])
+        assert violates(delivered.join(extra), required)
+
+    @settings(max_examples=200)
+    @given(delivered_properties())
+    def test_join_preserves_operands(self, delivered):
+        other = ConsistencyProperty.single("rX", ["extra"])
+        joined = delivered.join(other)
+        assert joined.operands == delivered.operands | {"extra"}
+
+
+class TestSwitchUnionProperties:
+    @settings(max_examples=150)
+    @given(delivered_properties())
+    def test_identical_children_preserve_grouping(self, delivered):
+        if is_conflicting(delivered):
+            return
+        result = ConsistencyProperty.switch_union([delivered, delivered])
+        # Same partition of operands, relabelled regions.
+        original = {frozenset(ops) for _, ops in delivered.groups if ops}
+        merged = {frozenset(ops) for _, ops in result.groups}
+        # Groups may only split if an operand sat in two groups (conflict,
+        # excluded above); otherwise partitions coincide.
+        for group in merged:
+            assert any(group <= orig for orig in original)
+
+    @settings(max_examples=150)
+    @given(delivered_properties(), delivered_properties())
+    def test_switch_union_only_coarsens_never_invents(self, a, b):
+        if a.operands != b.operands:
+            return
+        result = ConsistencyProperty.switch_union([a, b])
+        assert result.operands == a.operands
+        # Any pair grouped in the result must be grouped in both children.
+        for _, ops in result.groups:
+            ops = sorted(ops)
+            for i, x in enumerate(ops):
+                for y in ops[i + 1 :]:
+                    for child in (a, b):
+                        assert child.region_of(x) == child.region_of(y)

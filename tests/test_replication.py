@@ -1,0 +1,184 @@
+"""Tests for heartbeats, distribution agents and the currency sawtooth."""
+
+import pytest
+
+from repro.cache.backend import BackendServer
+from repro.cache.mtcache import MTCache
+from repro.common.errors import ReplicationError
+
+
+def make_env(interval=10.0, delay=2.0, heartbeat=1.0):
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE items (id INT NOT NULL, qty INT NOT NULL, price FLOAT NOT NULL, "
+        "PRIMARY KEY (id))"
+    )
+    backend.execute("INSERT INTO items VALUES (1, 5, 10.0), (2, 3, 20.0), (3, 9, 30.0)")
+    backend.refresh_statistics()
+    cache = MTCache(backend)
+    cache.create_region("r1", interval, delay, heartbeat_interval=heartbeat)
+    view = cache.create_matview("items_copy", "items", ["id", "qty", "price"], region="r1")
+    return backend, cache, view
+
+
+class TestSubscription:
+    def test_initial_population(self):
+        _, _, view = make_env()
+        assert view.table.row_count == 3
+
+    def test_initial_snapshot_metadata(self):
+        backend, _, view = make_env()
+        assert view.applied_txn == backend.txn_manager.last_txn_id
+        assert view.snapshot_time == backend.clock.now()
+
+    def test_view_requires_pk_column(self):
+        backend = BackendServer()
+        backend.create_table(
+            "CREATE TABLE t (id INT NOT NULL, v INT, PRIMARY KEY (id))"
+        )
+        backend.execute("INSERT INTO t VALUES (1, 2)")
+        backend.refresh_statistics()
+        cache = MTCache(backend)
+        cache.create_region("r1", 10, 2)
+        with pytest.raises(ReplicationError):
+            cache.create_matview("bad", "t", ["v"], region="r1")
+
+    def test_view_with_predicate_filters_population(self):
+        backend, cache, _ = make_env()
+        view = cache.create_matview(
+            "cheap", "items", ["id", "price"], predicate="price < 25", region="r1"
+        )
+        assert view.table.row_count == 2
+
+
+class TestPropagation:
+    def test_insert_propagates_after_interval_plus_delay(self):
+        backend, cache, view = make_env(interval=10.0, delay=2.0)
+        backend.execute("INSERT INTO items VALUES (4, 1, 40.0)")
+        assert view.table.row_count == 3  # not yet propagated
+        # Agent wakes at t=10 and applies txns committed before t=8.
+        cache.run_for(10.0)
+        assert view.table.row_count == 4
+
+    def test_delay_withholds_recent_commits(self):
+        backend, cache, view = make_env(interval=10.0, delay=2.0)
+        cache.run_for(9.5)  # just before the wake at t=10
+        backend.execute("INSERT INTO items VALUES (4, 1, 40.0)")  # commits at 9.5
+        cache.run_for(0.5)  # agent wakes at t=10, cutoff = 8 < 9.5
+        assert view.table.row_count == 3
+        cache.run_for(10.0)  # next wake at t=20, cutoff = 18
+        assert view.table.row_count == 4
+
+    def test_update_propagates(self):
+        backend, cache, view = make_env()
+        backend.execute("UPDATE items SET qty = 99 WHERE id = 2")
+        cache.run_for(15.0)
+        rows = dict((r[0], r[1]) for _, r in view.table.scan())
+        assert rows[2] == 99
+
+    def test_delete_propagates(self):
+        backend, cache, view = make_env()
+        backend.execute("DELETE FROM items WHERE id = 1")
+        cache.run_for(15.0)
+        assert view.table.row_count == 2
+
+    def test_commit_order_preserved(self):
+        backend, cache, view = make_env()
+        backend.execute("INSERT INTO items VALUES (4, 1, 40.0)")
+        backend.execute("UPDATE items SET qty = 7 WHERE id = 4")
+        backend.execute("DELETE FROM items WHERE id = 4")
+        cache.run_for(15.0)
+        assert view.table.row_count == 3
+
+    def test_predicate_view_update_moves_row_in_and_out(self):
+        backend, cache, _ = make_env()
+        view = cache.create_matview(
+            "cheap", "items", ["id", "price"], predicate="price < 25", region="r1"
+        )
+        assert view.table.row_count == 2
+        backend.execute("UPDATE items SET price = 5.0 WHERE id = 3")  # enters
+        backend.execute("UPDATE items SET price = 99.0 WHERE id = 1")  # leaves
+        cache.run_for(15.0)
+        ids = sorted(r[0] for _, r in view.table.scan())
+        assert ids == [2, 3]
+
+    def test_snapshot_time_advances_even_without_changes(self):
+        _, cache, view = make_env(interval=10.0, delay=2.0)
+        t0 = view.snapshot_time
+        cache.run_for(20.0)
+        assert view.snapshot_time == 20.0 - 2.0
+        assert view.snapshot_time > t0
+
+    def test_propagate_returns_applied_count(self):
+        backend, cache, view = make_env()
+        backend.execute("INSERT INTO items VALUES (4, 1, 40.0)")
+        backend.execute("INSERT INTO items VALUES (5, 1, 50.0)")
+        agent = cache.agents["r1"]
+        applied = agent.propagate(cutoff=backend.clock.now())
+        assert applied == 2
+
+
+class TestRegionConsistency:
+    def test_views_in_region_share_snapshot(self):
+        backend, cache, view = make_env()
+        view2 = cache.create_matview("items2", "items", ["id", "qty"], region="r1")
+        backend.execute("INSERT INTO items VALUES (4, 1, 40.0)")
+        cache.run_for(25.0)
+        assert view.applied_txn == view2.applied_txn
+        assert view.snapshot_time == view2.snapshot_time
+
+    def test_subscribe_resyncs_existing_views(self):
+        backend, cache, view = make_env()
+        backend.execute("INSERT INTO items VALUES (4, 1, 40.0)")
+        # Subscribing a new view forces the region forward to "now" so both
+        # views stay mutually consistent.
+        view2 = cache.create_matview("items2", "items", ["id", "qty"], region="r1")
+        assert view.table.row_count == 4
+        assert view2.table.row_count == 4
+
+
+class TestHeartbeat:
+    def test_heartbeat_row_created(self):
+        backend, _, _ = make_env()
+        hb = backend.catalog.table("heartbeat").table
+        assert hb.row_count == 1
+
+    def test_heartbeat_propagates_to_local_table(self):
+        _, cache, _ = make_env(interval=10.0, delay=2.0, heartbeat=1.0)
+        agent = cache.agents["r1"]
+        cache.run_for(10.0)  # beats at 1..10; agent wakes at 10, cutoff 8
+        assert agent.local_heartbeat_value() == 8.0
+
+    def test_staleness_bound(self):
+        _, cache, _ = make_env(interval=10.0, delay=2.0, heartbeat=1.0)
+        agent = cache.agents["r1"]
+        cache.run_for(10.0)
+        assert agent.staleness_bound() == pytest.approx(2.0)
+        cache.run_for(5.0)  # no propagation until t=20
+        assert agent.staleness_bound() == pytest.approx(7.0)
+
+    def test_staleness_bound_is_conservative(self):
+        # The heartbeat bound must never be smaller than the true staleness.
+        _, cache, view = make_env(interval=7.0, delay=3.0, heartbeat=2.0)
+        agent = cache.agents["r1"]
+        for _ in range(10):
+            cache.run_for(3.3)
+            bound = agent.staleness_bound()
+            if bound is None:
+                continue
+            true_staleness = cache.clock.now() - view.snapshot_time
+            assert bound >= true_staleness - 1e-9
+
+    def test_sawtooth_cycle(self):
+        # Figure 3.2: right after propagation staleness = d, grows linearly
+        # to d + f, then drops back to d.
+        _, cache, view = make_env(interval=10.0, delay=2.0)
+        cache.run_for(10.0)
+        low = cache.clock.now() - view.snapshot_time
+        cache.run_for(9.9)
+        high = cache.clock.now() - view.snapshot_time
+        cache.run_for(0.1)
+        reset = cache.clock.now() - view.snapshot_time
+        assert low == pytest.approx(2.0)
+        assert high == pytest.approx(11.9)
+        assert reset == pytest.approx(2.0)

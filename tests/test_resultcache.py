@@ -1,0 +1,172 @@
+"""Tests for the C&C-aware query-result cache (§1, third scenario)."""
+
+import pytest
+
+from repro.cache.backend import BackendServer
+from repro.resultcache.cache import ResultCache
+
+
+@pytest.fixture()
+def env():
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE t (id INT NOT NULL, v INT NOT NULL, PRIMARY KEY (id))"
+    )
+    backend.execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+    backend.refresh_statistics()
+    return backend, ResultCache(backend)
+
+
+Q = "SELECT x.id, x.v FROM t x CURRENCY BOUND {b} SEC ON (x)"
+
+
+class TestBasicCaching:
+    def test_miss_then_hit(self, env):
+        _, cache = env
+        first = cache.execute(Q.format(b=60))
+        second = cache.execute(Q.format(b=60))
+        assert cache.stats == {"hits": 1, "misses": 1, "recomputes": 0, "invalidations": 0}
+        assert first.rows == second.rows
+
+    def test_key_ignores_currency_clause(self, env):
+        _, cache = env
+        cache.execute(Q.format(b=60))
+        cache.execute(Q.format(b=120))  # different bound, same key
+        assert cache.stats["hits"] == 1
+        assert len(cache) == 1
+
+    def test_different_queries_different_entries(self, env):
+        _, cache = env
+        cache.execute(Q.format(b=60))
+        cache.execute("SELECT x.id FROM t x CURRENCY BOUND 60 SEC ON (x)")
+        assert len(cache) == 2
+
+    def test_cached_result_columns(self, env):
+        _, cache = env
+        result = cache.execute(Q.format(b=60))
+        assert result.columns == ["id", "v"]
+
+
+class TestCurrencyEnforcement:
+    def test_stale_entry_recomputed(self, env):
+        backend, cache = env
+        cache.execute(Q.format(b=5))
+        backend.clock.advance(10.0)
+        cache.execute(Q.format(b=5))
+        assert cache.stats["recomputes"] == 1
+
+    def test_stale_entry_still_good_for_looser_bound(self, env):
+        backend, cache = env
+        cache.execute(Q.format(b=5))
+        backend.clock.advance(10.0)
+        cache.execute(Q.format(b=60))  # within the looser bound -> hit
+        assert cache.stats["hits"] == 1
+        assert cache.stats["recomputes"] == 0
+
+    def test_recompute_sees_new_data(self, env):
+        backend, cache = env
+        cache.execute(Q.format(b=5))
+        backend.execute("INSERT INTO t VALUES (4, 40)")
+        backend.clock.advance(10.0)
+        result = cache.execute(Q.format(b=5))
+        assert len(result.rows) == 4
+
+    def test_within_bound_serves_stale_rows(self, env):
+        backend, cache = env
+        cache.execute(Q.format(b=600))
+        backend.execute("INSERT INTO t VALUES (4, 40)")
+        result = cache.execute(Q.format(b=600))
+        assert len(result.rows) == 3  # cached, stale but within bound
+
+    def test_zero_bound_always_recomputes(self, env):
+        backend, cache = env
+        cache.execute(Q.format(b=0))
+        backend.clock.advance(0.1)
+        cache.execute(Q.format(b=0))
+        assert cache.stats["hits"] == 0
+
+    def test_multi_class_uses_min_bound(self, env):
+        backend, cache = env
+        backend.create_table("CREATE TABLE u (id INT NOT NULL, PRIMARY KEY (id))")
+        backend.execute("INSERT INTO u VALUES (1)")
+        backend.refresh_statistics()
+        sql = (
+            "SELECT x.id, y.id FROM t x, u y WHERE x.id = y.id "
+            "CURRENCY BOUND 5 SEC ON (x), 600 SEC ON (y)"
+        )
+        cache.execute(sql)
+        backend.clock.advance(10.0)  # beyond 5s but within 600s
+        cache.execute(sql)
+        assert cache.stats["recomputes"] == 1
+
+
+class TestInvalidation:
+    def test_dml_through_cache_invalidates(self, env):
+        _, cache = env
+        cache.execute(Q.format(b=600))
+        cache.execute("INSERT INTO t VALUES (4, 40)")
+        assert cache.stats["invalidations"] == 1
+        result = cache.execute(Q.format(b=600))
+        assert len(result.rows) == 4
+
+    def test_unrelated_table_not_invalidated(self, env):
+        backend, cache = env
+        backend.create_table("CREATE TABLE u (id INT NOT NULL, PRIMARY KEY (id))")
+        backend.refresh_statistics()
+        cache.execute(Q.format(b=600))
+        cache.execute("INSERT INTO u VALUES (1)")
+        assert cache.stats["invalidations"] == 0
+
+    def test_invalidate_table_explicit(self, env):
+        _, cache = env
+        cache.execute(Q.format(b=600))
+        assert cache.invalidate_table("t") == 1
+        assert len(cache) == 0
+
+    def test_subquery_tables_tracked(self, env):
+        backend, cache = env
+        backend.create_table("CREATE TABLE u (id INT NOT NULL, PRIMARY KEY (id))")
+        backend.execute("INSERT INTO u VALUES (1)")
+        backend.refresh_statistics()
+        cache.execute(
+            "SELECT x.id FROM t x WHERE EXISTS (SELECT 1 FROM u y WHERE y.id = x.id)"
+        )
+        assert cache.invalidate_table("u") == 1
+
+
+class TestEviction:
+    def test_capacity_respected(self, env):
+        backend, cache = env
+        cache.max_entries = 3
+        for i in range(5):
+            cache.execute(f"SELECT x.id FROM t x WHERE x.id > {i} CURRENCY BOUND 60 SEC ON (x)")
+        assert len(cache) == 3
+
+    def test_popular_entries_survive(self, env):
+        backend, cache = env
+        cache.max_entries = 2
+        hot = Q.format(b=600)
+        cache.execute(hot)
+        cache.execute(hot)  # hit -> popularity
+        cache.execute("SELECT x.id FROM t x WHERE x.id > 0 CURRENCY BOUND 600 SEC ON (x)")
+        cache.execute("SELECT x.id FROM t x WHERE x.id > 1 CURRENCY BOUND 600 SEC ON (x)")
+        # The hot entry must still hit.
+        before = cache.stats["hits"]
+        cache.execute(hot)
+        assert cache.stats["hits"] == before + 1
+
+
+class TestOverMTCache:
+    def test_result_cache_fronting_mtcache(self, env):
+        from repro.cache.mtcache import MTCache
+
+        backend, _ = env
+        mtcache = MTCache(backend)
+        mtcache.create_region("r1", 10, 2, heartbeat_interval=1)
+        mtcache.create_matview("t_copy", "t", ["id", "v"], region="r1")
+        mtcache.run_for(11)
+        rc = ResultCache(mtcache)
+        first = rc.execute(Q.format(b=600))
+        second = rc.execute(Q.format(b=600))
+        assert first.rows == second.rows
+        assert rc.stats["hits"] == 1

@@ -1,0 +1,151 @@
+"""Tests for qualifier-insensitive expression comparison and AST helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sql import ast
+from repro.sql.compare import equal_ignoring_qualifiers
+from repro.sql.parser import parse_expression
+
+
+def eq(a, b):
+    return equal_ignoring_qualifiers(parse_expression(a), parse_expression(b))
+
+
+class TestEqualIgnoringQualifiers:
+    def test_identical(self):
+        assert eq("a < 5", "a < 5")
+
+    def test_qualifier_ignored(self):
+        assert eq("c.c_acctbal < 500", "c_acctbal < 500")
+        assert eq("x.a = y.b", "a = b")
+
+    def test_different_columns(self):
+        assert not eq("a < 5", "b < 5")
+
+    def test_different_ops(self):
+        assert not eq("a < 5", "a <= 5")
+
+    def test_different_literals(self):
+        assert not eq("a < 5", "a < 6")
+        assert not eq("a = 'x'", "a = 'y'")
+
+    def test_different_shapes(self):
+        assert not eq("a < 5", "a BETWEEN 1 AND 5")
+
+    def test_between(self):
+        assert eq("t.a BETWEEN 1 AND 5", "a BETWEEN 1 AND 5")
+        assert not eq("a BETWEEN 1 AND 5", "a BETWEEN 1 AND 6")
+
+    def test_negation_matters(self):
+        assert not eq("a BETWEEN 1 AND 5", "a NOT BETWEEN 1 AND 5")
+        assert not eq("a IS NULL", "a IS NOT NULL")
+
+    def test_in_list(self):
+        assert eq("t.a IN (1, 2)", "a IN (1, 2)")
+        assert not eq("a IN (1, 2)", "a IN (1, 2, 3)")
+
+    def test_boolean_structure(self):
+        assert eq("t.a = 1 AND t.b = 2", "a = 1 AND b = 2")
+        assert not eq("a = 1 AND b = 2", "a = 1 OR b = 2")
+
+    def test_none_handling(self):
+        assert equal_ignoring_qualifiers(None, None)
+        assert not equal_ignoring_qualifiers(None, parse_expression("a = 1"))
+
+    @settings(max_examples=50)
+    @given(st.sampled_from([
+        "a < 5", "a = 'x'", "a BETWEEN 1 AND 9", "NOT a = 1",
+        "a IN (1, 2, 3)", "a IS NULL", "a + b * 2 > 7",
+    ]))
+    def test_reflexive(self, text):
+        expr = parse_expression(text)
+        assert equal_ignoring_qualifiers(expr, expr)
+
+
+class TestAstHelpers:
+    def test_walk_visits_all(self):
+        expr = parse_expression("a + b < c AND d = 1")
+        names = {n.name for n in expr.walk() if isinstance(n, ast.ColumnRef)}
+        assert names == {"a", "b", "c", "d"}
+
+    def test_column_refs(self):
+        expr = parse_expression("t.a BETWEEN u.b AND 5")
+        refs = expr.column_refs()
+        assert {(r.qualifier, r.name) for r in refs} == {("t", "a"), ("u", "b")}
+
+    def test_literal_to_sql_escaping(self):
+        assert ast.Literal("it's").to_sql() == "'it''s'"
+        assert ast.Literal(None).to_sql() == "NULL"
+        assert ast.Literal(True).to_sql() == "TRUE"
+
+    def test_select_item_output_name(self):
+        item = ast.SelectItem(ast.ColumnRef("a", qualifier="t"))
+        assert item.output_name() == "a"
+        aliased = ast.SelectItem(ast.ColumnRef("a"), alias="x")
+        assert aliased.output_name() == "x"
+
+    def test_expr_equality_and_hash(self):
+        a = parse_expression("x < 5")
+        b = parse_expression("x < 5")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_currency_spec_to_sql(self):
+        spec = ast.CurrencySpec(600.0, ["b", "r"])
+        assert spec.to_sql() == "600 SEC ON (b, r)"
+        unbounded = ast.CurrencySpec(ast.UNBOUNDED, ["b"])
+        assert "UNBOUNDED" in unbounded.to_sql()
+
+    def test_currency_spec_rejects_negative(self):
+        from repro.common.errors import ParseError
+
+        with pytest.raises(ParseError):
+            ast.CurrencySpec(-1.0, ["b"])
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random expression trees round-trip through to_sql + parse.
+# ----------------------------------------------------------------------
+_literals = st.one_of(
+    st.integers(min_value=0, max_value=10_000),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False).map(
+        lambda f: round(f, 3)
+    ),
+    st.sampled_from(["alpha", "it's", ""]),
+    st.none(),
+    st.booleans(),
+)
+
+_columns = st.sampled_from(
+    [ast.ColumnRef("a"), ast.ColumnRef("b", qualifier="t"), ast.ColumnRef("c", qualifier="u")]
+)
+
+
+def _expressions(depth):
+    if depth <= 0:
+        return st.one_of(_literals.map(ast.Literal), _columns)
+    sub = _expressions(depth - 1)
+    return st.one_of(
+        _literals.map(ast.Literal),
+        _columns,
+        st.tuples(st.sampled_from(["+", "-", "*", "<", "<=", "=", "<>", "and", "or"]), sub, sub).map(
+            lambda t: ast.BinaryOp(*t)
+        ),
+        sub.map(lambda e: ast.UnaryOp("not", e)),
+        st.tuples(sub, sub, sub).map(lambda t: ast.Between(*t)),
+        st.tuples(sub, st.lists(sub, min_size=1, max_size=3)).map(
+            lambda t: ast.InList(t[0], t[1])
+        ),
+        sub.map(lambda e: ast.IsNull(e)),
+    )
+
+
+class TestParserRoundTripProperty:
+    @settings(max_examples=150, deadline=None)
+    @given(_expressions(3))
+    def test_to_sql_parses_back_equal(self, expr):
+        text = expr.to_sql()
+        reparsed = parse_expression(text)
+        # to_sql is fully parenthesized, so the reparse must be exact.
+        assert reparsed.to_sql() == text

@@ -1,0 +1,310 @@
+"""Tests for schemas, indexes and heap tables."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import CatalogError, StorageError
+from repro.storage.index import Index
+from repro.storage.schema import Column, DataType, Schema
+from repro.storage.table import HeapTable
+
+
+def people_schema():
+    return Schema(
+        [
+            Column("id", DataType.INT, nullable=False),
+            Column("name", DataType.STRING),
+            Column("age", DataType.INT),
+        ]
+    )
+
+
+class TestDataType:
+    def test_int_accepts_int(self):
+        assert DataType.INT.validate(3)
+
+    def test_int_rejects_bool(self):
+        assert not DataType.INT.validate(True)
+
+    def test_int_rejects_float(self):
+        assert not DataType.INT.validate(3.5)
+
+    def test_float_accepts_int_and_float(self):
+        assert DataType.FLOAT.validate(3)
+        assert DataType.FLOAT.validate(3.5)
+
+    def test_string_accepts_str(self):
+        assert DataType.STRING.validate("x")
+        assert not DataType.STRING.validate(1)
+
+    def test_bool(self):
+        assert DataType.BOOL.validate(False)
+        assert not DataType.BOOL.validate(0)
+
+    def test_timestamp_is_numeric(self):
+        assert DataType.TIMESTAMP.validate(1.5)
+        assert not DataType.TIMESTAMP.validate("now")
+
+
+class TestSchema:
+    def test_names_in_order(self):
+        assert people_schema().names() == ["id", "name", "age"]
+
+    def test_lookup_case_insensitive(self):
+        schema = people_schema()
+        assert schema.index_of("NAME") == 1
+        assert schema.has_column("AGE")
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(CatalogError):
+            people_schema().index_of("salary")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema([Column("a", DataType.INT), Column("A", DataType.STRING)])
+
+    def test_project_preserves_order_given(self):
+        projected = people_schema().project(["age", "id"])
+        assert projected.names() == ["age", "id"]
+
+    def test_validate_row_ok(self):
+        people_schema().validate_row((1, "ann", 30))
+
+    def test_validate_row_arity(self):
+        with pytest.raises(StorageError):
+            people_schema().validate_row((1, "ann"))
+
+    def test_validate_row_not_null(self):
+        with pytest.raises(StorageError):
+            people_schema().validate_row((None, "ann", 30))
+
+    def test_validate_row_nullable_ok(self):
+        people_schema().validate_row((1, None, None))
+
+    def test_validate_row_type(self):
+        with pytest.raises(StorageError):
+            people_schema().validate_row((1, "ann", "thirty"))
+
+
+class TestIndex:
+    def make(self, unique=False):
+        # Key on column positions (0,) of rows like (k, payload)
+        return Index("ix", ["k"], [0], unique=unique)
+
+    def test_insert_and_seek(self):
+        ix = self.make()
+        ix.insert((5, "a"), 0)
+        ix.insert((3, "b"), 1)
+        assert list(ix.seek((5,))) == [0]
+        assert list(ix.seek((3,))) == [1]
+        assert list(ix.seek((4,))) == []
+
+    def test_duplicates_allowed_when_not_unique(self):
+        ix = self.make()
+        ix.insert((5, "a"), 0)
+        ix.insert((5, "b"), 1)
+        assert sorted(ix.seek((5,))) == [0, 1]
+
+    def test_unique_violation(self):
+        ix = self.make(unique=True)
+        ix.insert((5, "a"), 0)
+        with pytest.raises(StorageError):
+            ix.insert((5, "b"), 1)
+
+    def test_delete(self):
+        ix = self.make()
+        ix.insert((5, "a"), 0)
+        ix.delete((5, "a"), 0)
+        assert list(ix.seek((5,))) == []
+
+    def test_delete_missing_raises(self):
+        ix = self.make()
+        with pytest.raises(StorageError):
+            ix.delete((5, "a"), 0)
+
+    def test_range_inclusive(self):
+        ix = self.make()
+        for i, key in enumerate([1, 3, 5, 7, 9]):
+            ix.insert((key, ""), i)
+        keys = [k[0] for k, _ in ix.range(low=(3,), high=(7,))]
+        assert keys == [3, 5, 7]
+
+    def test_range_exclusive_low(self):
+        ix = self.make()
+        for i, key in enumerate([1, 3, 5, 7]):
+            ix.insert((key, ""), i)
+        keys = [k[0] for k, _ in ix.range(low=(3,), low_inclusive=False)]
+        assert keys == [5, 7]
+
+    def test_range_exclusive_high(self):
+        ix = self.make()
+        for i, key in enumerate([1, 3, 5, 7]):
+            ix.insert((key, ""), i)
+        keys = [k[0] for k, _ in ix.range(high=(5,), high_inclusive=False)]
+        assert keys == [1, 3]
+
+    def test_range_unbounded(self):
+        ix = self.make()
+        for i, key in enumerate([2, 1, 3]):
+            ix.insert((key, ""), i)
+        keys = [k[0] for k, _ in ix.range()]
+        assert keys == [1, 2, 3]
+
+    def test_composite_key_prefix_range(self):
+        ix = Index("ix", ["a", "b"], [0, 1])
+        rows = [(1, 1), (1, 2), (2, 1), (2, 2), (3, 1)]
+        for i, row in enumerate(rows):
+            ix.insert(row, i)
+        matched = [k for k, _ in ix.range(low=(2,), high=(2,))]
+        assert matched == [(2, 1), (2, 2)]
+
+    def test_composite_prefix_exclusive(self):
+        ix = Index("ix", ["a", "b"], [0, 1])
+        rows = [(1, 9), (2, 0), (2, 9), (3, 0)]
+        for i, row in enumerate(rows):
+            ix.insert(row, i)
+        matched = [k for k, _ in ix.range(low=(1,), low_inclusive=False)]
+        assert matched == [(2, 0), (2, 9), (3, 0)]
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=60))
+    def test_range_matches_naive_filter(self, keys):
+        ix = self.make()
+        for i, key in enumerate(keys):
+            ix.insert((key, ""), i)
+        low, high = 10, 35
+        got = sorted(k[0] for k, _ in ix.range(low=(low,), high=(high,)))
+        want = sorted(k for k in keys if low <= k <= high)
+        assert got == want
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=50), unique=True, max_size=60))
+    def test_insert_delete_roundtrip(self, keys):
+        ix = self.make()
+        for i, key in enumerate(keys):
+            ix.insert((key, ""), i)
+        for i, key in enumerate(keys):
+            ix.delete((key, ""), i)
+        assert len(ix) == 0
+
+
+class TestHeapTable:
+    def make(self):
+        return HeapTable("people", people_schema(), primary_key=["id"])
+
+    def test_insert_returns_rid(self):
+        table = self.make()
+        rid = table.insert((1, "ann", 30))
+        assert table.row(rid) == (1, "ann", 30)
+
+    def test_row_count(self):
+        table = self.make()
+        table.insert((1, "a", 1))
+        table.insert((2, "b", 2))
+        assert table.row_count == 2
+
+    def test_pk_index_created(self):
+        table = self.make()
+        assert table.clustered_index() is not None
+        assert table.clustered_index().unique
+
+    def test_pk_lookup(self):
+        table = self.make()
+        rid = table.insert((7, "g", 70))
+        assert table.pk_lookup((7,)) == rid
+        assert table.pk_lookup((8,)) is None
+
+    def test_duplicate_pk_rejected_and_heap_unchanged(self):
+        table = self.make()
+        table.insert((1, "a", 1))
+        with pytest.raises(StorageError):
+            table.insert((1, "b", 2))
+        assert table.row_count == 1
+
+    def test_delete(self):
+        table = self.make()
+        rid = table.insert((1, "a", 1))
+        table.delete(rid)
+        assert table.row_count == 0
+        assert table.pk_lookup((1,)) is None
+
+    def test_delete_twice_raises(self):
+        table = self.make()
+        rid = table.insert((1, "a", 1))
+        table.delete(rid)
+        with pytest.raises(StorageError):
+            table.delete(rid)
+
+    def test_update_changes_indexes(self):
+        table = self.make()
+        rid = table.insert((1, "a", 1))
+        table.update(rid, (2, "a", 1))
+        assert table.pk_lookup((1,)) is None
+        assert table.pk_lookup((2,)) == rid
+
+    def test_update_unique_violation_rolls_back(self):
+        table = self.make()
+        table.insert((1, "a", 1))
+        rid = table.insert((2, "b", 2))
+        with pytest.raises(StorageError):
+            table.update(rid, (1, "b", 2))
+        # Old state fully restored.
+        assert table.row(rid) == (2, "b", 2)
+        assert table.pk_lookup((2,)) == rid
+
+    def test_xtime_recorded(self):
+        table = self.make()
+        rid = table.insert((1, "a", 1), xtime=42, commit_time=7.0)
+        version = table.version(rid)
+        assert version.xtime == 42
+        assert version.commit_time == 7.0
+
+    def test_max_xtime(self):
+        table = self.make()
+        table.insert((1, "a", 1), xtime=3)
+        table.insert((2, "b", 2), xtime=9)
+        assert table.max_xtime() == 9
+
+    def test_max_xtime_empty(self):
+        assert self.make().max_xtime() == 0
+
+    def test_scan_skips_tombstones(self):
+        table = self.make()
+        table.insert((1, "a", 1))
+        rid = table.insert((2, "b", 2))
+        table.insert((3, "c", 3))
+        table.delete(rid)
+        assert [v[0] for _, v in table.scan()] == [1, 3]
+
+    def test_secondary_index_backfilled(self):
+        table = self.make()
+        table.insert((1, "a", 30))
+        table.insert((2, "b", 20))
+        ix = table.create_index("by_age", ["age"])
+        assert [k[0] for k, _ in ix.scan()] == [20, 30]
+
+    def test_second_clustered_index_rejected(self):
+        table = self.make()
+        with pytest.raises(CatalogError):
+            table.create_index("c2", ["age"], clustered=True)
+
+    def test_index_on_finds_prefix_match(self):
+        table = self.make()
+        table.create_index("by_age_name", ["age", "name"])
+        assert table.index_on(["age"]).name == "by_age_name"
+        assert table.index_on(["name"]) is None
+
+    def test_truncate(self):
+        table = self.make()
+        table.insert((1, "a", 1))
+        table.truncate()
+        assert table.row_count == 0
+        assert len(table.clustered_index()) == 0
+
+    def test_find_by_key(self):
+        table = self.make()
+        table.create_index("by_age", ["age"])
+        table.insert((1, "a", 30))
+        table.insert((2, "b", 30))
+        rows = list(table.find_by_key("by_age", (30,)))
+        assert sorted(r[0] for r in rows) == [1, 2]

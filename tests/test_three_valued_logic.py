@@ -1,0 +1,112 @@
+"""Property tests for SQL's three-valued logic in the expression engine.
+
+The evaluator returns True / False / None (unknown).  These tests pin the
+Kleene-logic laws the WHERE clause depends on.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.expressions import OutputCol, RowBinding, evaluator
+from repro.sql import ast
+from repro.sql.parser import parse_expression
+
+TRUTH = st.sampled_from([True, False, None])
+
+
+def evaluate(expr, a=None, b=None, c=None):
+    binding = RowBinding([OutputCol("a", "t"), OutputCol("b", "t"), OutputCol("c", "t")])
+    return evaluator(expr, binding)((a, b, c))
+
+
+def var(name):
+    # Booleans stored directly in columns; comparisons build 3VL atoms.
+    return parse_expression(f"t.{name} = TRUE")
+
+
+def tv(value):
+    """Column encoding: True/False stay booleans, None is NULL."""
+    return value
+
+
+class TestKleeneLaws:
+    @settings(max_examples=60)
+    @given(a=TRUTH, b=TRUTH)
+    def test_de_morgan_and(self, a, b):
+        lhs = parse_expression("NOT (t.a = TRUE AND t.b = TRUE)")
+        rhs = parse_expression("(NOT t.a = TRUE) OR (NOT t.b = TRUE)")
+        assert evaluate(lhs, tv(a), tv(b)) == evaluate(rhs, tv(a), tv(b))
+
+    @settings(max_examples=60)
+    @given(a=TRUTH, b=TRUTH)
+    def test_de_morgan_or(self, a, b):
+        lhs = parse_expression("NOT (t.a = TRUE OR t.b = TRUE)")
+        rhs = parse_expression("(NOT t.a = TRUE) AND (NOT t.b = TRUE)")
+        assert evaluate(lhs, tv(a), tv(b)) == evaluate(rhs, tv(a), tv(b))
+
+    @settings(max_examples=60)
+    @given(a=TRUTH, b=TRUTH)
+    def test_commutativity(self, a, b):
+        for op in ("AND", "OR"):
+            e1 = parse_expression(f"t.a = TRUE {op} t.b = TRUE")
+            e2 = parse_expression(f"t.b = TRUE {op} t.a = TRUE")
+            assert evaluate(e1, tv(a), tv(b)) == evaluate(e2, tv(a), tv(b))
+
+    @settings(max_examples=60)
+    @given(a=TRUTH, b=TRUTH, c=TRUTH)
+    def test_associativity(self, a, b, c):
+        for op in ("AND", "OR"):
+            e1 = parse_expression(f"(t.a = TRUE {op} t.b = TRUE) {op} t.c = TRUE")
+            e2 = parse_expression(f"t.a = TRUE {op} (t.b = TRUE {op} t.c = TRUE)")
+            assert evaluate(e1, tv(a), tv(b), tv(c)) == evaluate(e2, tv(a), tv(b), tv(c))
+
+    @settings(max_examples=60)
+    @given(a=TRUTH)
+    def test_double_negation(self, a):
+        expr = parse_expression("NOT (NOT t.a = TRUE)")
+        base = parse_expression("t.a = TRUE")
+        assert evaluate(expr, tv(a)) == evaluate(base, tv(a))
+
+    @settings(max_examples=60)
+    @given(a=TRUTH)
+    def test_absorbing_elements(self, a):
+        # FALSE absorbs AND even with unknown; TRUE absorbs OR.
+        e_and = parse_expression("t.a = TRUE AND 1 = 2")
+        e_or = parse_expression("t.a = TRUE OR 1 = 1")
+        assert evaluate(e_and, tv(a)) is False
+        assert evaluate(e_or, tv(a)) is True
+
+    @settings(max_examples=60)
+    @given(a=TRUTH)
+    def test_null_comparison_is_unknown_not_false(self, a):
+        # a = NULL is unknown regardless of a.
+        expr = parse_expression("t.a = NULL")
+        assert evaluate(expr, tv(a)) is None
+
+
+class TestWhereSemantics:
+    """Only TRUE passes a WHERE filter; UNKNOWN and FALSE are dropped."""
+
+    def test_unknown_rows_filtered(self):
+        from repro.cache.backend import BackendServer
+
+        backend = BackendServer()
+        backend.create_table(
+            "CREATE TABLE t (id INT NOT NULL, v INT, PRIMARY KEY (id))"
+        )
+        backend.execute("INSERT INTO t VALUES (1, 5), (2, NULL), (3, 20)")
+        backend.refresh_statistics()
+        assert backend.execute("SELECT x.id FROM t x WHERE x.v > 1").rows == [(1,), (3,)]
+        # NOT (v > 1) also excludes the NULL row: unknown is not false.
+        assert backend.execute("SELECT x.id FROM t x WHERE NOT x.v > 1").rows == []
+
+    def test_is_null_catches_what_comparisons_miss(self):
+        from repro.cache.backend import BackendServer
+
+        backend = BackendServer()
+        backend.create_table(
+            "CREATE TABLE t (id INT NOT NULL, v INT, PRIMARY KEY (id))"
+        )
+        backend.execute("INSERT INTO t VALUES (1, 5), (2, NULL)")
+        backend.refresh_statistics()
+        assert backend.execute("SELECT x.id FROM t x WHERE x.v IS NULL").rows == [(2,)]

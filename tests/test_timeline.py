@@ -1,0 +1,53 @@
+"""Unit tests for the TimelineSession state machine."""
+
+import pytest
+
+from repro.cc.timeline import TimelineSession
+from repro.common.errors import ConsistencyError
+
+
+class TestTimelineSession:
+    def test_inactive_admits_everything(self):
+        session = TimelineSession()
+        assert session.admits(0.0)
+        assert session.admits(-100.0)
+
+    def test_begin_resets_watermark(self):
+        session = TimelineSession()
+        session.begin()
+        session.observe(50.0)
+        session.end()
+        session.begin()
+        assert session.watermark == 0.0
+
+    def test_double_begin_raises(self):
+        session = TimelineSession()
+        session.begin()
+        with pytest.raises(ConsistencyError):
+            session.begin()
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(ConsistencyError):
+            TimelineSession().end()
+
+    def test_watermark_advances_monotonically(self):
+        session = TimelineSession()
+        session.begin()
+        session.observe(10.0)
+        session.observe(5.0)  # must not move backwards
+        assert session.watermark == 10.0
+        session.observe(20.0)
+        assert session.watermark == 20.0
+
+    def test_admits_at_or_after_watermark(self):
+        session = TimelineSession()
+        session.begin()
+        session.observe(10.0)
+        assert session.admits(10.0)
+        assert session.admits(11.0)
+        assert not session.admits(9.9)
+
+    def test_observe_ignored_when_inactive(self):
+        session = TimelineSession()
+        session.observe(99.0)
+        assert session.watermark == 0.0

@@ -1,0 +1,151 @@
+"""Tests for the workload generators and the paper experiment setup."""
+
+import pytest
+
+from repro.cache.backend import BackendServer
+from repro.workloads.bookstore import load_bookstore
+from repro.workloads.experiment import REGION_SETTINGS, build_paper_setup
+from repro.workloads.queries import guard_query, plan_choice_query
+from repro.workloads.tpcd import (
+    apply_paper_scale_stats,
+    customer_count,
+    generate_customers,
+    generate_orders,
+    load_tpcd,
+)
+
+
+class TestGenerators:
+    def test_customer_count_scales(self):
+        assert customer_count(1.0) == 150_000
+        assert customer_count(0.01) == 1500
+        assert customer_count(0.0) == 1  # never zero
+
+    def test_customers_deterministic(self):
+        a = list(generate_customers(0.001, seed=5))
+        b = list(generate_customers(0.001, seed=5))
+        assert a == b
+
+    def test_customers_differ_by_seed(self):
+        a = list(generate_customers(0.001, seed=5))
+        b = list(generate_customers(0.001, seed=6))
+        assert a != b
+
+    def test_orders_reference_valid_customers(self):
+        n = customer_count(0.001)
+        orders = list(generate_orders(0.001))
+        assert all(1 <= o[0] <= n for o in orders)
+
+    def test_orders_about_ten_per_customer(self):
+        n = customer_count(0.01)
+        orders = list(generate_orders(0.01))
+        assert 7 * n <= len(orders) <= 13 * n
+
+    def test_order_keys_unique(self):
+        orders = list(generate_orders(0.005))
+        keys = [(o[0], o[1]) for o in orders]
+        assert len(keys) == len(set(keys))
+
+
+class TestLoaders:
+    def test_load_tpcd_populates_and_logs(self):
+        backend = BackendServer()
+        load_tpcd(backend, scale_factor=0.001)
+        customers = backend.catalog.table("customer").table.row_count
+        orders = backend.catalog.table("orders").table.row_count
+        assert customers == 150
+        assert orders > 0
+        # Everything flowed through the replication log.
+        assert len(backend.txn_manager.log) == customers + orders
+
+    def test_load_tpcd_stats_refreshed(self):
+        backend = BackendServer()
+        load_tpcd(backend, scale_factor=0.001)
+        stats = backend.catalog.table("customer").stats
+        assert stats.row_count == 150
+        assert stats.column("c_custkey").ndv == 150
+
+    def test_secondary_index_on_acctbal(self):
+        backend = BackendServer()
+        load_tpcd(backend, scale_factor=0.001)
+        assert backend.catalog.table("customer").table.index_on(["c_acctbal"]) is not None
+
+    def test_load_bookstore(self):
+        backend = BackendServer()
+        load_bookstore(backend, n_books=50)
+        assert backend.catalog.table("books").table.row_count == 50
+        assert backend.catalog.table("reviews").table.row_count > 0
+        assert backend.catalog.table("sales").table.row_count > 0
+
+
+class TestPaperScaleStats:
+    def test_overlay_row_counts(self):
+        backend = BackendServer()
+        load_tpcd(backend, scale_factor=0.001)
+        apply_paper_scale_stats(backend)
+        assert backend.catalog.table("customer").stats.row_count == 150_000
+        assert backend.catalog.table("orders").stats.row_count == 1_500_000
+
+    def test_overlay_does_not_touch_data(self):
+        backend = BackendServer()
+        load_tpcd(backend, scale_factor=0.001)
+        apply_paper_scale_stats(backend)
+        assert backend.catalog.table("customer").table.row_count == 150
+
+
+class TestExperimentSetup:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        return build_paper_setup(scale_factor=0.002)
+
+    def test_region_table_matches_table_4_1(self, setup):
+        rows = setup.region_table()
+        assert rows == [
+            ("cr1", 15.0, 5.0, "cust_prj"),
+            ("cr2", 10.0, 5.0, "orders_prj"),
+        ]
+
+    def test_views_exist_and_are_populated(self, setup):
+        cust = setup.cache.catalog.matview("cust_prj")
+        orders = setup.cache.catalog.matview("orders_prj")
+        assert cust.table.row_count == 300
+        assert orders.table.row_count > 0
+
+    def test_views_in_different_regions(self, setup):
+        assert setup.cache.catalog.matview("cust_prj").region == "cr1"
+        assert setup.cache.catalog.matview("orders_prj").region == "cr2"
+
+    def test_cust_prj_has_no_secondary_index(self, setup):
+        table = setup.cache.catalog.matview("cust_prj").table
+        assert table.index_on(["c_acctbal"]) is None
+
+    def test_settled_guards_pass(self, setup):
+        for agent in setup.cache.agents.values():
+            bound = agent.staleness_bound()
+            assert bound is not None
+            assert bound < 30.0
+
+
+class TestQueryBuilders:
+    def test_all_plan_choice_queries_parse(self):
+        from repro.sql.parser import parse
+
+        for name in ("q1", "q2", "q3", "q4", "q5", "q6", "q7"):
+            parse(plan_choice_query(name))
+
+    def test_all_guard_queries_parse(self):
+        from repro.sql.parser import parse
+
+        for name in ("gq1", "gq2", "gq3"):
+            parse(guard_query(name))
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError):
+            plan_choice_query("q99")
+        with pytest.raises(ValueError):
+            guard_query("zzz")
+
+    def test_scale_factor_adjusts_keys(self):
+        small = plan_choice_query("q1", 0.01)
+        large = plan_choice_query("q1", 1.0)
+        assert small != large
