@@ -159,6 +159,54 @@ def test_guard_overhead(execution_setup, benchmark, name):
     assert remote_rel < 100.0
 
 
+def test_registry_overhead_under_5_percent(execution_setup, benchmark):
+    """The always-on metrics registry must cost < 5% on the guarded path.
+
+    Times the gq3 guarded scan (the paper's representative execution
+    query) with the cache's real MetricsRegistry attached, then with a
+    NullRegistry swapped in, using the same interleaved-median harness
+    as the Table 4.4 measurements.
+    """
+    from repro.obs import MetricsRegistry, NullRegistry
+
+    setup = execution_setup
+    cache = setup.cache
+    advance_until_fresh(setup, 10.0)
+    _, guarded, _ = plans_for(cache, "gq3", setup.scale_factor)
+
+    previous = cache.metrics
+    real = MetricsRegistry()
+    null = NullRegistry()
+
+    def measure(batches=9, iters=12):
+        """Median per-batch mean for each registry, batches interleaved
+        (same robustness trick as run_pair_interleaved)."""
+        means_real, means_null = [], []
+        for _ in range(batches):
+            cache.set_metrics(real)
+            t_r, _ = run_plan(cache, guarded, iters)
+            cache.set_metrics(null)
+            t_n, _ = run_plan(cache, guarded, iters)
+            means_real.append(t_r)
+            means_null.append(t_n)
+        means_real.sort()
+        means_null.sort()
+        return means_real[len(means_real) // 2], means_null[len(means_null) // 2]
+
+    try:
+        t_real, t_null = benchmark.pedantic(measure, rounds=1, iterations=1)
+    finally:
+        cache.set_metrics(previous)
+
+    overhead = (t_real - t_null) / t_null * 100
+    print(f"\nregistry overhead on gq3: real={t_real * 1e3:.4f}ms "
+          f"null={t_null * 1e3:.4f}ms ({overhead:+.2f}%)")
+    # The real registry did record the executions...
+    assert real.snapshot()["queries_executed_total"] > 0
+    # ...and costs less than 5% over the no-op registry.
+    assert overhead < 5.0, f"metrics registry overhead {overhead:.2f}% >= 5%"
+
+
 def test_report_table_4_4(execution_setup, benchmark):
     benchmark(lambda: None)
     print("\n\n=== Table 4.4: overhead of currency guards ===")

@@ -72,6 +72,16 @@ def main():
           "local" if after.context.branches[0][1] == 0 else "remote")
     print("\nfinal query log:", cache.query_log.summary())
 
+    # The metrics registry aggregates the same story as counters/gauges:
+    # routing split, guard outcomes, staleness — ready for scraping.
+    snap = cache.metrics.snapshot()
+    print("\nmetrics snapshot (selected series):")
+    for key in sorted(snap):
+        if key.startswith(("queries_total", "currency_guard_total",
+                           "replication_staleness_seconds",
+                           "plan_cache_events_total")):
+            print(f"  {key} = {snap[key]:g}")
+
 
 if __name__ == "__main__":
     main()

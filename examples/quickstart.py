@@ -68,6 +68,14 @@ def main():
     )
     print("after sync ->", caught_up.rows[0][0], "| branches:", caught_up.context.branches)
 
+    # ------------------------------------------------------------------
+    # 4. Every cache keeps an always-on metrics registry.
+    # ------------------------------------------------------------------
+    snap = cache.metrics.snapshot()
+    print("routing    ->",
+          {k: v for k, v in snap.items() if k.startswith("queries_total")})
+    print("staleness  ->", snap['replication_staleness_seconds{region="r1"}'], "s")
+
 
 if __name__ == "__main__":
     main()

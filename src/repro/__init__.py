@@ -27,7 +27,7 @@ Quickstart::
 """
 
 from repro.cache.backend import BackendServer
-from repro.cache.mtcache import MTCache
+from repro.cache.mtcache import FallbackPolicy, MTCache
 from repro.cc.constraint import CCConstraint, CCTuple, constraint_from_select
 from repro.cc.properties import BACKEND_REGION, ConsistencyProperty
 from repro.cc.timeline import TimelineSession
@@ -39,6 +39,8 @@ from repro.common.errors import (
     ParseError,
     ReproError,
 )
+from repro.engine.executor import QueryResult
+from repro.obs import MetricsRegistry, NullRegistry, Span
 from repro.optimizer.cost import CostModel, guard_probability
 from repro.semantics.checker import ResultChecker
 from repro.sql.parser import parse, parse_expression
@@ -54,12 +56,17 @@ __all__ = [
     "ConsistencyProperty",
     "CostModel",
     "CurrencyError",
+    "FallbackPolicy",
     "MTCache",
+    "MetricsRegistry",
+    "NullRegistry",
     "OptimizerError",
     "ParseError",
+    "QueryResult",
     "ReproError",
     "ResultChecker",
     "SimulatedClock",
+    "Span",
     "TimelineSession",
     "WallClock",
     "constraint_from_select",

@@ -2,10 +2,11 @@
 database cache enforcing C&C constraints."""
 
 from repro.cache.backend import BackendServer
-from repro.cache.mtcache import CachePlacement, MTCache
+from repro.cache.mtcache import CachePlacement, FallbackPolicy, MTCache
 
 __all__ = [
     "BackendServer",
     "CachePlacement",
+    "FallbackPolicy",
     "MTCache",
 ]

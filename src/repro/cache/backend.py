@@ -26,6 +26,7 @@ from repro.engine.expressions import (
     compile_expr,
     make_env,
 )
+from repro.obs.metrics import NULL_REGISTRY
 from repro.optimizer.cost import CostModel
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.placement import BackendPlacement
@@ -38,19 +39,24 @@ from repro.txn.manager import TransactionManager
 class BackendServer:
     """The master DBMS holding the up-to-date database state."""
 
-    def __init__(self, clock=None, scheduler=None, cost_model=None):
+    def __init__(self, clock=None, scheduler=None, cost_model=None, metrics=None):
         self.clock = clock or SimulatedClock()
         self.scheduler = scheduler or EventScheduler(self.clock)
         self.catalog = Catalog()
         self.txn_manager = TransactionManager(self.clock)
         self.cost_model = cost_model or CostModel()
+        #: Back-end metrics registry; no-op unless a caller supplies a
+        #: real one (the cache keeps its own registry for the mid-tier).
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.placement = BackendPlacement(self.catalog, self.cost_model, clock=self.clock)
         self.placement.expr_ctx = ExpressionContext(
             clock=self.clock, subquery_runner=self._run_subquery
         )
-        self.optimizer = Optimizer(self.placement)
-        self.executor = Executor(clock=self.clock)
-        self.heartbeats = HeartbeatService(self.txn_manager, self.clock, self.scheduler)
+        self.optimizer = Optimizer(self.placement, registry=self.metrics)
+        self.executor = Executor(clock=self.clock, registry=self.metrics)
+        self.heartbeats = HeartbeatService(
+            self.txn_manager, self.clock, self.scheduler, registry=self.metrics
+        )
         self._ensure_heartbeat_table()
 
     def _ensure_heartbeat_table(self):

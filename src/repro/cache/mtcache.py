@@ -14,6 +14,10 @@ query's C&C constraint:
 * inserts/deletes/updates are forwarded transparently to the back-end.
 """
 
+import enum
+import warnings
+from collections import OrderedDict
+
 from repro.catalog.catalog import Catalog
 from repro.cc.properties import BACKEND_REGION, ConsistencyProperty
 from repro.cc.timeline import TimelineSession
@@ -21,6 +25,7 @@ from repro.common.errors import CatalogError, CurrencyError, OptimizerError
 from repro.engine import operators as ops
 from repro.engine.executor import ExecutionContext, Executor, PhaseTimings, QueryResult
 from repro.engine.expressions import OutputCol, RowBinding, compile_expr
+from repro.obs.metrics import MetricsRegistry, NullRegistry
 from repro.optimizer.candidates import Candidate
 from repro.optimizer.cost import guard_probability
 from repro.optimizer.optimizer import Optimizer, OptimizedPlan
@@ -319,31 +324,65 @@ class QueryLog:
         }
 
 
+class FallbackPolicy(enum.Enum):
+    """What a currency guard does when local data is not fresh enough
+    (paper §1's possible actions)."""
+
+    REMOTE = "remote"
+    ERROR = "error"
+    SERVE_STALE = "serve_stale"
+
+
+def _coerce_policy(value):
+    """Validate a fallback policy (enum member or its string value)."""
+    try:
+        return FallbackPolicy(value)
+    except ValueError:
+        allowed = ", ".join(p.value for p in FallbackPolicy)
+        raise ValueError(
+            f"unknown fallback policy: {value!r} (expected one of: {allowed})"
+        ) from None
+
+
 class MTCache:
     """The cache DBMS front-end applications talk to.
 
-    ``fallback_policy`` controls what a currency guard does when the local
-    data is not fresh enough (paper §1's possible actions):
+    :meth:`execute` is the single public query entry point; it accepts any
+    supported statement and, for SELECTs, returns a
+    :class:`~repro.engine.executor.QueryResult` with the stable contract
+    ``rows`` / ``columns`` / ``plan`` / ``timings`` / ``routing`` /
+    ``warnings``.
 
-    * ``"remote"`` (default) — transparently use the back-end branch;
-    * ``"error"`` — abort the request with :class:`CurrencyError`;
-    * ``"serve_stale"`` — return the local data anyway, attaching a
-      violation warning to the result (``result.warnings``).
+    Tuning knobs are keyword-only:
+
+    * ``cost_model`` — overrides the back-end's cost model;
+    * ``fallback_policy`` — a :class:`FallbackPolicy` (or its string
+      value) controlling what a currency guard does when the local data
+      is not fresh enough: ``"remote"`` (default) transparently uses the
+      back-end branch, ``"error"`` aborts with :class:`CurrencyError`,
+      ``"serve_stale"`` returns local data with a violation warning
+      attached to ``result.warnings``;
+    * ``plan_cache_size`` — LRU capacity of the compiled-plan cache;
+    * ``metrics`` — a :class:`~repro.obs.MetricsRegistry` (default) or
+      :class:`~repro.obs.NullRegistry` to turn instrumentation off.
     """
 
-    FALLBACK_POLICIES = ("remote", "error", "serve_stale")
+    FALLBACK_POLICIES = tuple(p.value for p in FallbackPolicy)
 
-    def __init__(self, backend, cost_model=None, fallback_policy="remote", plan_cache_size=128):
-        if fallback_policy not in self.FALLBACK_POLICIES:
-            raise ValueError(f"unknown fallback policy: {fallback_policy!r}")
-        self._fallback_policy = fallback_policy
+    def __init__(self, backend, *, cost_model=None, fallback_policy=FallbackPolicy.REMOTE,
+                 plan_cache_size=128, metrics=None):
+        self._fallback_policy = _coerce_policy(fallback_policy).value
+        #: Observability registry: every hot-path component below reports
+        #: into it (see repro.obs).  Real by default — instrumentation is
+        #: always-on; pass NullRegistry() for zero-overhead micro-runs.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Compiled-plan cache (paper §3.2: "This approach requires
         #: re-optimization only if a view's consistency properties
-        #: change").  Keyed by SQL text; invalidated whenever the catalog
-        #: changes in a way that can affect plan choice or validity.
-        self._plan_cache = {}
+        #: change").  Keyed by SQL text, LRU-ordered (least recently used
+        #: first); invalidated whenever the catalog changes in a way that
+        #: can affect plan choice or validity.
+        self._plan_cache = OrderedDict()
         self._plan_cache_size = plan_cache_size
-        self.plan_cache_stats = {"hits": 0, "misses": 0, "invalidations": 0}
         #: Ring buffer of recent query executions (monitoring aid).
         self.query_log = QueryLog()
         self.backend = backend
@@ -352,12 +391,26 @@ class MTCache:
         self.catalog = Catalog()
         self.cost_model = cost_model or backend.cost_model
         self.placement = CachePlacement(self, self.cost_model)
-        self.optimizer = Optimizer(self.placement)
-        self.executor = Executor(clock=self.clock)
+        self.optimizer = Optimizer(self.placement, registry=self.metrics)
+        self.executor = Executor(clock=self.clock, registry=self.metrics)
         self.session = TimelineSession()
         self.agents = {}  # cid -> DistributionAgent
         self._local_heartbeats = {}  # cid -> HeapTable
         self.mirror_backend()
+
+    def set_metrics(self, registry):
+        """Swap the metrics registry and re-point every instrumented
+        component at it (used to A/B the instrumentation cost itself).
+
+        Cached plans embed guard selectors that read ``self.metrics``
+        dynamically, so they do not need invalidation.
+        """
+        self.metrics = registry if registry is not None else NullRegistry()
+        self.executor.set_registry(self.metrics)
+        self.optimizer.registry = self.metrics
+        for agent in self.agents.values():
+            agent.registry = self.metrics
+        return self.metrics
 
     # ------------------------------------------------------------------
     # Plan cache
@@ -368,17 +421,31 @@ class MTCache:
 
     @fallback_policy.setter
     def fallback_policy(self, value):
-        if value not in self.FALLBACK_POLICIES:
-            raise ValueError(f"unknown fallback policy: {value!r}")
+        value = _coerce_policy(value).value
         if value != self._fallback_policy:
             self._fallback_policy = value
             # Cached plans embed guard selectors built under the old policy.
             self.invalidate_plans()
 
+    @property
+    def plan_cache_stats(self):
+        """Plan-cache counters as a plain dict (compat view over the
+        metrics registry: ``plan_cache_events_total{event=...}``)."""
+        return {
+            event: self.metrics.counter(
+                "plan_cache_events_total", labels={"event": event}
+            ).value
+            for event in ("hits", "misses", "invalidations", "evictions")
+        }
+
+    def _plan_cache_event(self, event, n=1):
+        self.metrics.counter("plan_cache_events_total", labels={"event": event},
+                             help="compiled-plan cache activity").inc(n)
+
     def invalidate_plans(self):
         """Drop all cached plans (view/region/statistics changes)."""
         if self._plan_cache:
-            self.plan_cache_stats["invalidations"] += 1
+            self._plan_cache_event("invalidations")
         self._plan_cache.clear()
 
     # ------------------------------------------------------------------
@@ -431,7 +498,8 @@ class MTCache:
         local_hb = HeapTable(local_heartbeat_name(cid), heartbeat_schema(), primary_key=["cid"])
         self._local_heartbeats[cid] = local_hb
         agent = DistributionAgent(
-            region, self.backend.catalog, self.backend.txn_manager.log, self.catalog, self.clock
+            region, self.backend.catalog, self.backend.txn_manager.log, self.catalog,
+            self.clock, registry=self.metrics,
         )
         agent.attach_heartbeat(local_hb)
         agent.start(self.scheduler, interval=update_interval)
@@ -494,6 +562,11 @@ class MTCache:
         heartbeat = self._local_heartbeats[view.region]
         clock = self.clock
         policy = self.fallback_policy
+        mtcache = self  # guards read the *current* registry on each probe
+        # Single-slot memo of resolved metric handles per registry, so the
+        # per-probe cost is two list reads (an identity check) — guards sit
+        # on the hottest path there is.
+        memo = [None, None]
 
         def selector(ctx):
             ts = None
@@ -502,6 +575,28 @@ class MTCache:
                 break
             fresh = ts is not None and ts > clock.now() - bound
             timely = ctx.timeline is None or ctx.timeline.admits(view.snapshot_time)
+            registry = mtcache.metrics
+            if memo[0] is not registry:
+                memo[0] = registry
+                memo[1] = (
+                    registry.counter(
+                        "currency_guard_total",
+                        labels={"view": view.name, "outcome": "pass"},
+                        help="currency-guard probes by outcome",
+                    ),
+                    registry.counter(
+                        "currency_guard_total",
+                        labels={"view": view.name, "outcome": "fail"},
+                    ),
+                    registry.gauge(
+                        "replication_staleness_seconds", labels={"region": view.region},
+                        help="guaranteed staleness bound from the local heartbeat",
+                    ),
+                )
+            pass_counter, fail_counter, staleness_gauge = memo[1]
+            (pass_counter if fresh and timely else fail_counter).inc()
+            if ts is not None:
+                staleness_gauge.set(clock.now() - ts)
             if fresh and timely:
                 ctx.record_snapshot(view.snapshot_time)
                 return 0
@@ -543,24 +638,27 @@ class MTCache:
             key = sql_or_select
             cached = self._plan_cache.get(key) if use_cache else None
             if cached is not None:
-                self.plan_cache_stats["hits"] += 1
+                self._plan_cache.move_to_end(key)  # LRU: touch on hit
+                self._plan_cache_event("hits")
                 return cached
             select = parse(sql_or_select)
         else:
             key = None
             select = sql_or_select
-        query_info = analyze_select(select, self.catalog)
-        if query_info.complex or query_info.post_conjuncts or query_info.semi_joins:
-            # Subquery-bearing statements ship to the back-end wholesale;
-            # the master trivially satisfies any C&C constraint.
-            candidate = self._ship_whole(select, query_info)
-            plan = OptimizedPlan(candidate, [name for _, name in query_info.items], query_info)
-        else:
-            plan = self.optimizer.optimize_info(query_info)
+        with self.metrics.span("optimize"):
+            query_info = analyze_select(select, self.catalog)
+            if query_info.complex or query_info.post_conjuncts or query_info.semi_joins:
+                # Subquery-bearing statements ship to the back-end wholesale;
+                # the master trivially satisfies any C&C constraint.
+                candidate = self._ship_whole(select, query_info)
+                plan = OptimizedPlan(candidate, [name for _, name in query_info.items], query_info)
+            else:
+                plan = self.optimizer.optimize_info(query_info)
         if key is not None and use_cache:
-            self.plan_cache_stats["misses"] += 1
-            if len(self._plan_cache) >= self._plan_cache_size:
-                self._plan_cache.pop(next(iter(self._plan_cache)))
+            self._plan_cache_event("misses")
+            while len(self._plan_cache) >= self._plan_cache_size:
+                self._plan_cache.popitem(last=False)  # evict least recent
+                self._plan_cache_event("evictions")
             self._plan_cache[key] = plan
         return plan
 
@@ -598,8 +696,18 @@ class MTCache:
         )
 
     def execute(self, sql_or_stmt):
-        """Execute any statement submitted to the cache."""
-        stmt = parse(sql_or_stmt) if isinstance(sql_or_stmt, str) else sql_or_stmt
+        """Execute any statement submitted to the cache.
+
+        The single public query entry point.  SELECTs return a
+        :class:`~repro.engine.executor.QueryResult` (stable contract:
+        ``rows``, ``columns``, ``plan``, ``timings``, ``routing``,
+        ``warnings``); DML returns the affected-row count; DDL returns
+        the created object; TIMEORDERED brackets return None.
+        """
+        if isinstance(sql_or_stmt, str):
+            stmt = parse(sql_or_stmt, registry=self.metrics)
+        else:
+            stmt = sql_or_stmt
         if isinstance(stmt, ast.BeginTimeordered):
             self.session.begin()
             return None
@@ -610,9 +718,11 @@ class MTCache:
             return self.explain(stmt.select)
         if isinstance(stmt, ast.Select):
             sql_text = sql_or_stmt if isinstance(sql_or_stmt, str) else None
-            return self.execute_select(stmt, sql_text=sql_text)
+            return self._execute_select(stmt, sql_text=sql_text)
         if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
             # All DML is forwarded transparently to the back-end (§3 step 5).
+            self.metrics.counter("dml_forwarded_total",
+                                 help="DML statements forwarded to the back-end").inc()
             return self.backend.execute(stmt)
         if isinstance(stmt, ast.CreateRegion):
             kwargs = {}
@@ -648,6 +758,23 @@ class MTCache:
         )
 
     def execute_select(self, select, sql_text=None):
+        """Deprecated alias for :meth:`execute` (kept for one release).
+
+        ``execute`` accepts SQL text or a parsed statement and is the
+        single supported entry point; this shim only remains so existing
+        callers keep working while they migrate.
+        """
+        warnings.warn(
+            "MTCache.execute_select() is deprecated; use MTCache.execute()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if isinstance(select, str):
+            sql_text = sql_text if sql_text is not None else select
+            select = parse(select)
+        return self._execute_select(select, sql_text=sql_text)
+
+    def _execute_select(self, select, sql_text=None):
         # Optimizing by SQL text engages the compiled-plan cache.
         plan = self.optimize(sql_text if sql_text is not None else select)
         ctx = ExecutionContext(clock=self.clock, timeline=self.session)
@@ -665,6 +792,8 @@ class MTCache:
             result = self.executor.execute(root, ctx=ctx, column_names=plan.column_names)
         self._observe_timeline(ctx)
         result.plan = plan
+        self.metrics.counter("queries_total", labels={"routing": result.routing},
+                             help="SELECTs by run-time routing outcome").inc()
         self.query_log.record(
             QueryLogEntry(
                 sql_text if sql_text is not None else select.to_sql(),

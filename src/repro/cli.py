@@ -12,6 +12,7 @@ including CURRENCY clauses — or meta-commands:
     \\views          materialized view definitions
     \\tables         back-end tables and row counts
     \\plan SQL       shorthand for EXPLAIN SQL
+    \\metrics        Prometheus-style dump of the cache metrics registry
     \\help           this text
     \\quit           leave
 
@@ -33,6 +34,7 @@ HELP = """Commands:
   \\tables      back-end tables and row counts
   \\plan SQL    shorthand for EXPLAIN SQL
   \\log [N]     last N executed queries with their routing
+  \\metrics     Prometheus-style dump of the cache metrics registry
   \\help        this text
   \\quit        leave
 """
@@ -94,6 +96,9 @@ class Shell:
                 self.write(f"{entry.name}: {entry.table.row_count} rows")
         elif command == "\\plan":
             self._sql(f"EXPLAIN {argument.rstrip(';')}")
+        elif command == "\\metrics":
+            text = self.cache.metrics.render_text()
+            self.write(text.rstrip("\n") if text else "(no metrics recorded)")
         elif command == "\\log":
             n = int(argument) if argument else 10
             entries = self.cache.query_log.recent(n)

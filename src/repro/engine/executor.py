@@ -9,6 +9,8 @@ each phase with a high-resolution counter.
 
 import time
 
+from repro.obs.metrics import NULL_REGISTRY
+
 
 class PhaseTimings:
     """Elapsed seconds per execution phase."""
@@ -73,7 +75,22 @@ class ExecutionContext:
 
 
 class QueryResult:
-    """Rows, column names, timings and provenance of one query execution."""
+    """The stable result contract of :meth:`repro.cache.mtcache.MTCache.execute`.
+
+    Guaranteed fields:
+
+    * ``rows`` — list of value tuples;
+    * ``columns`` — output column names, in row order;
+    * ``plan`` — the :class:`~repro.optimizer.optimizer.OptimizedPlan`
+      that produced the rows (None for non-optimized paths);
+    * ``timings`` — :class:`PhaseTimings` (setup / run / shutdown);
+    * ``routing`` — ``"local"`` | ``"remote"`` | ``"mixed"``: where the
+      data actually came from at run time;
+    * ``warnings`` — constraint-violation messages (serve-stale policy).
+
+    ``context`` additionally exposes the raw run-time provenance
+    (SwitchUnion branch decisions, remote queries issued).
+    """
 
     def __init__(self, columns, rows, timings, context, plan=None):
         self.columns = list(columns)
@@ -86,6 +103,21 @@ class QueryResult:
     def warnings(self):
         """Constraint-violation warnings recorded during execution."""
         return self.context.warnings if self.context is not None else []
+
+    @property
+    def routing(self):
+        """Where the rows came from: "local", "remote" or "mixed".
+
+        "local" — no back-end query was issued; "remote" — everything
+        came from the back-end; "mixed" — a join combined a local branch
+        with remote data.
+        """
+        ctx = self.context
+        if ctx is None or not ctx.remote_queries:
+            return "local"
+        if any(index == 0 for _, index in ctx.branches):
+            return "mixed"
+        return "remote"
 
     def __len__(self):
         return len(self.rows)
@@ -113,16 +145,45 @@ class QueryResult:
 
 
 class Executor:
-    """Runs a physical operator tree through its three phases."""
+    """Runs a physical operator tree through its three phases.
 
-    def __init__(self, clock=None, timer=time.perf_counter):
+    Each execution feeds the attached metrics registry: one histogram
+    per phase (the paper's Table 4.5 breakdown), a rows-produced
+    counter, and per-branch SwitchUnion counters.  The metric handles
+    are resolved once in :meth:`set_registry`, so the per-query cost is
+    a handful of attribute calls — no-ops under the default
+    :class:`~repro.obs.metrics.NullRegistry`.
+    """
+
+    def __init__(self, clock=None, timer=time.perf_counter, registry=None):
         self.clock = clock
         self.timer = timer
+        self.set_registry(registry if registry is not None else NULL_REGISTRY)
+
+    def set_registry(self, registry):
+        """Attach a metrics registry and pre-resolve the hot-path series."""
+        self.registry = registry
+        self._h_setup = registry.histogram(
+            "exec_phase_seconds", labels={"phase": "setup"},
+            help="per-phase execution time (Table 4.5 breakdown)")
+        self._h_run = registry.histogram("exec_phase_seconds", labels={"phase": "run"})
+        self._h_shutdown = registry.histogram(
+            "exec_phase_seconds", labels={"phase": "shutdown"})
+        self._c_queries = registry.counter(
+            "queries_executed_total", help="plans run by this executor")
+        self._c_rows = registry.counter(
+            "rows_produced_total", help="rows returned to clients")
+        self._c_branch_local = registry.counter(
+            "switchunion_branch_total", labels={"branch": "local"},
+            help="SwitchUnion branch decisions")
+        self._c_branch_remote = registry.counter(
+            "switchunion_branch_total", labels={"branch": "remote"})
 
     def execute(self, plan, ctx=None, column_names=None):
         """Execute ``plan`` and return a :class:`QueryResult`."""
         ctx = ctx or ExecutionContext(clock=self.clock)
         timer = self.timer
+        branches_before = len(ctx.branches)
 
         t0 = timer()
         plan.open(ctx)
@@ -133,6 +194,13 @@ class Executor:
         t3 = timer()
 
         timings = PhaseTimings(setup=t1 - t0, run=t2 - t1, shutdown=t3 - t2)
+        self._h_setup.observe(timings.setup)
+        self._h_run.observe(timings.run)
+        self._h_shutdown.observe(timings.shutdown)
+        self._c_queries.inc()
+        self._c_rows.inc(len(rows))
+        for _, index in ctx.branches[branches_before:]:
+            (self._c_branch_local if index == 0 else self._c_branch_remote).inc()
         if column_names is None:
             column_names = [c.name for c in plan.output.columns]
         return QueryResult(column_names, rows, timings, ctx, plan=plan)

@@ -1,0 +1,40 @@
+"""Observability: metrics and trace spans for the whole query path.
+
+The paper's evaluation is all *measured* behavior — phase overheads
+(Table 4.5), guard hit rates, local-vs-remote load split — so the
+reproduction carries one always-on instrumentation layer instead of
+ad-hoc counters scattered across modules:
+
+* :class:`MetricsRegistry` — counters, gauges and histograms (with
+  bounded reservoirs for percentiles), labelled Prometheus-style;
+* :meth:`MetricsRegistry.span` — nested trace spans timing parse /
+  optimize / execute sections;
+* :class:`NullRegistry` — a no-op drop-in for micro-benchmarks that
+  must not pay even the registry's nanoseconds.
+
+Every MTCache owns a registry (``cache.metrics``); ``snapshot()`` gives
+a flat dict and ``render_text()`` the Prometheus text exposition format
+(also reachable through the CLI's ``\\metrics`` meta-command).
+"""
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.trace import NULL_SPAN, Span, SpanLog
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "Span",
+    "SpanLog",
+]

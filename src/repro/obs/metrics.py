@@ -1,0 +1,342 @@
+"""Metric primitives and the registry they live in.
+
+Three metric types, mirroring the Prometheus data model the exporter
+speaks:
+
+* :class:`Counter` — monotonically increasing count (plan-cache hits,
+  rows produced, guard outcomes);
+* :class:`Gauge` — a value that goes up and down (per-region replication
+  staleness);
+* :class:`Histogram` — a distribution with total count/sum plus a
+  *bounded reservoir* of recent observations for percentile estimates
+  (parse/optimize/execute-phase times).
+
+Metrics are identified by name plus an optional label set, exactly like
+Prometheus time series: ``registry.counter("queries_total",
+labels={"routing": "local"})`` and the same name with ``"remote"`` are
+two independent series of one metric family.
+
+The registry is deliberately lock-free: the whole reproduction runs on a
+single-threaded simulated scheduler, and the hot-path cost of a metric
+update must stay in the tens of nanoseconds so instrumentation can be
+always-on (the guard-overhead benchmark enforces < 5% total overhead).
+"""
+
+from repro.obs.trace import NULL_SPAN, Span, SpanLog
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+]
+
+
+def _label_key(labels):
+    """Canonical, hashable form of a label dict (sorted tuple of pairs)."""
+    if not labels:
+        return ()
+    return tuple(sorted(labels.items()))
+
+
+def _series_name(name, label_key):
+    """Prometheus-style series name: ``name{k="v",...}`` (or bare name)."""
+    if not label_key:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in label_key)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n=1):
+        self.value += n
+
+
+class Gauge:
+    """A value that can be set up or down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value):
+        self.value = value
+
+    def inc(self, n=1):
+        self.value += n
+
+    def dec(self, n=1):
+        self.value -= n
+
+
+class Histogram:
+    """A distribution: exact count/sum/min/max plus a bounded reservoir.
+
+    The reservoir is a fixed-size ring of the most recent observations —
+    bounded memory no matter how long the process runs — from which
+    percentiles are estimated.  For the steady-state workloads the
+    benchmarks run, recent-window percentiles are exactly what an
+    operator wants to see.
+    """
+
+    __slots__ = ("count", "sum", "min", "max", "_ring", "_size", "_next")
+
+    def __init__(self, reservoir_size=256):
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+        self._ring = []
+        self._size = reservoir_size
+        self._next = 0
+
+    def observe(self, value):
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        ring = self._ring
+        if len(ring) < self._size:
+            ring.append(value)
+        else:
+            ring[self._next] = value
+            self._next = (self._next + 1) % self._size
+
+    @property
+    def mean(self):
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p):
+        """Estimated p-th percentile (0..100) over the reservoir window."""
+        if not self._ring:
+            return 0.0
+        ordered = sorted(self._ring)
+        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self):
+        """Snapshot dict: count/sum/mean/min/max and window percentiles."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+_FACTORIES = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": Histogram,
+}
+
+
+class MetricsRegistry:
+    """Named metric families with labels, plus the trace-span log.
+
+    ``counter`` / ``gauge`` / ``histogram`` get-or-create a series, so
+    instrumented code can simply call them on the hot path; callers that
+    care about the (small) lookup cost resolve the series once and keep
+    the returned object.
+    """
+
+    def __init__(self, reservoir_size=256, max_spans=512):
+        self._series = {}  # (name, label_key) -> metric object
+        self._kinds = {}  # name -> "counter" | "gauge" | "histogram"
+        self._help = {}  # name -> help text
+        self._reservoir_size = reservoir_size
+        self.span_log = SpanLog(max_spans)
+
+    # ------------------------------------------------------------------
+    # Series access
+    # ------------------------------------------------------------------
+    def _get(self, kind, name, labels, help):
+        key = (name, _label_key(labels))
+        metric = self._series.get(key)
+        if metric is not None:
+            if self._kinds[name] != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {self._kinds[name]}, not a {kind}"
+                )
+            return metric
+        known = self._kinds.get(name)
+        if known is not None and known != kind:
+            raise ValueError(f"metric {name!r} is a {known}, not a {kind}")
+        self._kinds[name] = kind
+        if help:
+            self._help[name] = help
+        if kind == "histogram":
+            metric = Histogram(self._reservoir_size)
+        else:
+            metric = _FACTORIES[kind]()
+        self._series[key] = metric
+        return metric
+
+    def counter(self, name, labels=None, help=""):
+        return self._get("counter", name, labels, help)
+
+    def gauge(self, name, labels=None, help=""):
+        return self._get("gauge", name, labels, help)
+
+    def histogram(self, name, labels=None, help=""):
+        return self._get("histogram", name, labels, help)
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def span(self, name):
+        """A context manager timing one traced section.
+
+        Spans nest: a span opened while another is active records it as
+        its parent; every finished span lands in ``span_log`` and feeds
+        the ``span_seconds{span=...}`` histogram family.
+        """
+        return Span(name, self)
+
+    def _finish_span(self, span):
+        self.span_log.record(span)
+        self.histogram("span_seconds", labels={"span": span.name}).observe(span.elapsed)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """All series as a flat dict keyed by Prometheus-style names.
+
+        Counter/gauge series map to their value; histogram series map to
+        their :meth:`Histogram.summary` dict.
+        """
+        out = {}
+        for (name, label_key), metric in sorted(self._series.items()):
+            series = _series_name(name, label_key)
+            if isinstance(metric, Histogram):
+                out[series] = metric.summary()
+            else:
+                out[series] = metric.value
+        return out
+
+    def render_text(self):
+        """Prometheus text exposition format (histograms as summaries)."""
+        by_name = {}
+        for (name, label_key), metric in sorted(self._series.items()):
+            by_name.setdefault(name, []).append((label_key, metric))
+        lines = []
+        for name in sorted(by_name):
+            kind = self._kinds[name]
+            help_text = self._help.get(name)
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {'summary' if kind == 'histogram' else kind}")
+            for label_key, metric in by_name[name]:
+                if kind == "histogram":
+                    for q, p in (("0.5", 50), ("0.95", 95), ("0.99", 99)):
+                        q_key = label_key + (("quantile", q),)
+                        lines.append(
+                            f"{_series_name(name, q_key)} {metric.percentile(p):.9g}"
+                        )
+                    lines.append(f"{_series_name(name + '_sum', label_key)} {metric.sum:.9g}")
+                    lines.append(f"{_series_name(name + '_count', label_key)} {metric.count}")
+                else:
+                    value = metric.value
+                    text = f"{value:.9g}" if isinstance(value, float) else str(value)
+                    lines.append(f"{_series_name(name, label_key)} {text}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self):
+        """Drop every series and recorded span (tests, between runs)."""
+        self._series.clear()
+        self._kinds.clear()
+        self._help.clear()
+        self.span_log.clear()
+
+    def __repr__(self):
+        return f"<MetricsRegistry series={len(self._series)} spans={len(self.span_log)}>"
+
+
+class _NullMetric:
+    """Shared no-op stand-in for Counter, Gauge and Histogram."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+    min = None
+    max = None
+
+    def inc(self, n=1):
+        pass
+
+    def dec(self, n=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+    def percentile(self, p):
+        return 0.0
+
+    def summary(self):
+        return {}
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """A registry whose every operation is a no-op.
+
+    Drop-in for :class:`MetricsRegistry` where even nanoseconds matter
+    (micro-benchmarks measuring the instrumentation itself, throwaway
+    caches in tight loops).  ``MTCache(backend, metrics=NullRegistry())``
+    turns the whole pipeline's instrumentation off.
+    """
+
+    span_log = SpanLog(0)
+
+    def counter(self, name, labels=None, help=""):
+        return _NULL_METRIC
+
+    def gauge(self, name, labels=None, help=""):
+        return _NULL_METRIC
+
+    def histogram(self, name, labels=None, help=""):
+        return _NULL_METRIC
+
+    def span(self, name):
+        return NULL_SPAN
+
+    def snapshot(self):
+        return {}
+
+    def render_text(self):
+        return ""
+
+    def reset(self):
+        pass
+
+    def __repr__(self):
+        return "<NullRegistry>"
+
+
+#: Shared default instance: uninstrumented components point here.
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,111 @@
+"""Lightweight trace spans.
+
+A span times one named section of work with ``time.perf_counter`` and
+remembers where it sat in the call tree: spans opened while another span
+is active record that span as their parent and inherit depth + 1.  The
+per-registry stack that provides the nesting is plain Python list
+push/pop — cheap enough to leave on in production paths.
+
+Finished spans are kept in a bounded :class:`SpanLog` ring (newest wins)
+and also feed the owning registry's ``span_seconds`` histogram family,
+so both individual traces and aggregate timings come out of one
+instrumentation point.
+"""
+
+import time
+
+__all__ = ["Span", "SpanLog", "NULL_SPAN"]
+
+
+class Span:
+    """One timed, possibly nested, section of work.
+
+    Use as a context manager::
+
+        with registry.span("optimize"):
+            with registry.span("enumerate_joins"):
+                ...
+
+    After exit, ``elapsed`` holds the wall time in seconds, ``parent``
+    the enclosing span's name (or None at top level) and ``depth`` the
+    nesting level (0 at top level).
+    """
+
+    __slots__ = ("name", "parent", "depth", "start", "elapsed", "_registry")
+
+    def __init__(self, name, registry):
+        self.name = name
+        self._registry = registry
+        self.parent = None
+        self.depth = 0
+        self.start = None
+        self.elapsed = None
+
+    def __enter__(self):
+        stack = self._registry.span_log.stack
+        if stack:
+            self.parent = stack[-1].name
+            self.depth = len(stack)
+        stack.append(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.elapsed = time.perf_counter() - self.start
+        stack = self._registry.span_log.stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._registry._finish_span(self)
+        return False
+
+    def __repr__(self):
+        elapsed = f"{self.elapsed * 1e3:.3f}ms" if self.elapsed is not None else "open"
+        return f"Span({self.name!r}, depth={self.depth}, {elapsed})"
+
+
+class SpanLog:
+    """Bounded ring of finished spans plus the live nesting stack."""
+
+    def __init__(self, capacity=512):
+        self.capacity = capacity
+        self.stack = []  # currently open spans, innermost last
+        self._entries = []
+
+    def record(self, span):
+        if self.capacity <= 0:
+            return
+        self._entries.append(span)
+        if len(self._entries) > self.capacity:
+            del self._entries[: len(self._entries) - self.capacity]
+
+    def recent(self, n=20):
+        return list(self._entries[-n:])
+
+    def clear(self):
+        self._entries.clear()
+        self.stack.clear()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+
+class _NullSpan:
+    """Reusable no-op span for :class:`~repro.obs.metrics.NullRegistry`."""
+
+    __slots__ = ()
+    name = None
+    parent = None
+    depth = 0
+    elapsed = 0.0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+NULL_SPAN = _NullSpan()

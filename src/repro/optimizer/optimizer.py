@@ -18,6 +18,7 @@ import itertools
 
 from repro.common.errors import OptimizerError
 from repro.cc.properties import satisfies, violates
+from repro.obs.metrics import NULL_REGISTRY
 from repro.engine import operators as ops
 from repro.engine.expressions import OutputCol, RowBinding, compile_expr
 from repro.optimizer.candidates import Candidate
@@ -100,11 +101,15 @@ class Optimizer:
     counts candidates considered / admitted / pruned.
     """
 
-    def __init__(self, placement, early_pruning=True):
+    def __init__(self, placement, early_pruning=True, registry=None):
         self.placement = placement
         self.cost_model = placement.cost_model
         self.early_pruning = early_pruning
         self.stats = {"considered": 0, "admitted": 0, "pruned": 0}
+        #: Metrics registry (candidate counters, enumeration span); the
+        #: cache points this at its own registry, the back-end leaves the
+        #: no-op default.
+        self.registry = registry if registry is not None else NULL_REGISTRY
 
     # ------------------------------------------------------------------
     # Entry points
@@ -129,7 +134,9 @@ class Optimizer:
     def optimize_info(self, query_info):
         required = query_info.constraint
         self.stats = {"considered": 0, "admitted": 0, "pruned": 0}
-        best_by_subset = self._enumerate_joins(query_info, required)
+        registry = self.registry
+        with registry.span("enumerate_joins"):
+            best_by_subset = self._enumerate_joins(query_info, required)
 
         all_aliases = frozenset(query_info.aliases())
         finalists = []
@@ -141,6 +148,12 @@ class Optimizer:
         whole = self.placement.whole_query_candidate(query_info)
         if whole is not None and not violates(whole.delivered, required):
             finalists.append(whole)
+
+        for outcome in ("considered", "admitted", "pruned"):
+            registry.counter(
+                "optimizer_candidates_total", labels={"outcome": outcome},
+                help="DP-search candidates by outcome",
+            ).inc(self.stats[outcome])
 
         valid = [c for c in finalists if satisfies(c.delivered, required)]
         if not valid:

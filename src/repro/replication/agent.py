@@ -16,6 +16,7 @@ of the paper's Figure 3.2 sawtooth.
 
 from repro.common.errors import ReplicationError
 from repro.engine.expressions import OutputCol, RowBinding, evaluator
+from repro.obs.metrics import NULL_REGISTRY
 from repro.replication.heartbeat import HEARTBEAT_TABLE, local_heartbeat_name
 from repro.txn.log import Operation
 
@@ -56,7 +57,8 @@ class _ViewSubscription:
 class DistributionAgent:
     """Propagates committed back-end changes to one currency region."""
 
-    def __init__(self, region_info, backend_catalog, replication_log, cache_catalog, clock):
+    def __init__(self, region_info, backend_catalog, replication_log, cache_catalog, clock,
+                 registry=None):
         self.region = region_info
         self.backend_catalog = backend_catalog
         self.log = replication_log
@@ -67,6 +69,9 @@ class DistributionAgent:
         self._subscriptions = {}  # base table name -> [_ViewSubscription]
         self._local_heartbeat = None
         self._event = None
+        #: Metrics registry: refresh counts, records applied, staleness
+        #: gauge — all labelled by region.  The owning cache sets this.
+        self.registry = registry if registry is not None else NULL_REGISTRY
 
     # ------------------------------------------------------------------
     # Setup
@@ -145,6 +150,18 @@ class DistributionAgent:
             self.applied_txn = max(self.applied_txn, record.txn_id)
         self.snapshot_time = max(self.snapshot_time, cutoff)
         self._sync_views_metadata()
+        labels = {"region": self.region.cid}
+        registry = self.registry
+        registry.counter("replication_refreshes_total", labels=labels,
+                         help="agent propagation runs").inc()
+        if applied:
+            registry.counter("replication_records_applied_total", labels=labels,
+                             help="log records applied to local views").inc(applied)
+        bound = self.staleness_bound()
+        if bound is not None:
+            registry.gauge("replication_staleness_seconds", labels=labels,
+                           help="guaranteed staleness bound from the local heartbeat"
+                           ).set(bound)
         return applied
 
     def _sync_views_metadata(self):

@@ -42,11 +42,14 @@ class HeartbeatService:
     row per region over a single shared row).
     """
 
-    def __init__(self, txn_manager, clock, scheduler=None):
+    def __init__(self, txn_manager, clock, scheduler=None, registry=None):
         self.txn_manager = txn_manager
         self.clock = clock
         self.scheduler = scheduler
         self._events = {}
+        #: Metrics registry (beat counters per region); duck-typed so the
+        #: module stays import-light — defaults to a no-op shim.
+        self.registry = registry
 
     def register_region(self, cid, beat_interval=2.0, start=True):
         """Create the region's heartbeat row and optionally start beating."""
@@ -77,3 +80,6 @@ class HeartbeatService:
             txn.update(HEARTBEAT_TABLE, (cid,), (cid, now))
 
         self.txn_manager.run(_update)
+        if self.registry is not None:
+            self.registry.counter("heartbeat_beats_total", labels={"region": cid},
+                                  help="heartbeat updates written on the back-end").inc()

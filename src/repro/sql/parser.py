@@ -37,9 +37,19 @@ _UNITS = {
 }
 
 
-def parse(sql):
-    """Parse one SQL statement and return its AST node."""
-    return Parser(sql).parse_statement()
+def parse(sql, registry=None):
+    """Parse one SQL statement and return its AST node.
+
+    ``registry`` (a :class:`repro.obs.MetricsRegistry`) is optional; when
+    given, the parse is timed as a ``parse`` span and counted, which is
+    how MTCache attributes front-end time in its metrics.
+    """
+    if registry is None:
+        return Parser(sql).parse_statement()
+    with registry.span("parse"):
+        stmt = Parser(sql).parse_statement()
+    registry.counter("statements_parsed_total", help="SQL statements parsed").inc()
+    return stmt
 
 
 def parse_expression(sql):

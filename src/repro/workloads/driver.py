@@ -20,6 +20,10 @@ class DriverReport:
         self.rows_returned = 0
         self.by_bound = {}  # bound -> [local, total]
         self.warnings = 0
+        #: The cache's metrics-registry snapshot at end of run (parse /
+        #: optimize / phase timings, guard outcomes, staleness gauges),
+        #: alongside the routing aggregates above.
+        self.metrics = {}
 
     @property
     def local_fraction(self):
@@ -72,6 +76,7 @@ class WorkloadDriver:
             result = self.cache.execute(sql)
             report.record(bound, result)
             self.cache.run_for(self.rng.expovariate(1.0 / think_time))
+        report.metrics = self.cache.metrics.snapshot()
         return report
 
 
