@@ -1,8 +1,21 @@
-"""Shared fixtures for the paper-reproduction benchmarks."""
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Besides the environment fixtures, this conftest maintains the PR's
+benchmark summary: tests that opt in via the ``bench2_recorder`` fixture
+deposit their headline numbers (qps, p50/p95 latency, speedups) into a
+shared dict, and at session end the dict is written to
+``benchmarks/BENCH_2.json`` so the perf trajectory is recorded per PR.
+"""
+
+import json
+import pathlib
 
 import pytest
 
 from repro.workloads.experiment import build_paper_setup
+
+#: Accumulates {workload/section -> metrics} across the bench session.
+_BENCH2 = {}
 
 
 @pytest.fixture(scope="session")
@@ -15,3 +28,23 @@ def paper_setup():
 def execution_setup():
     """A larger environment with *real* statistics for execution benches."""
     return build_paper_setup(scale_factor=0.01, paper_scale_stats=False)
+
+
+@pytest.fixture(scope="session")
+def bench2_recorder():
+    """Mutable dict whose contents land in benchmarks/BENCH_2.json."""
+    return _BENCH2
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _BENCH2:
+        return
+    path = pathlib.Path(__file__).resolve().parent / "BENCH_2.json"
+    data = {}
+    if path.exists():  # merge, so partial bench runs keep other sections
+        try:
+            data = json.loads(path.read_text())
+        except ValueError:
+            data = {}
+    data.update(_BENCH2)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

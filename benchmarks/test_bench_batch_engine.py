@@ -1,0 +1,147 @@
+"""Benchmark: batch-at-a-time engine throughput (PR 2's tentpole).
+
+Two MTCache workloads on a 2000-row replicated profile table, both served
+entirely from guarded local views:
+
+* **point_lookup** — 32 distinct cached point lookups on the clustered
+  key, cycled; the mid-tier cache's bread-and-butter request.
+* **scan** — a fused scan+filter+project returning 1600 of 2000 rows;
+  the execution-bound shape the fused pipelines target.
+
+Each workload reports qps and p50/p95 latency for the batch engine (the
+default) and for the legacy row engine (``batch_size=1``), and asserts
+the ≥2x speedup over the pre-PR row engine that this PR's acceptance
+criteria demand.  Everything lands in ``benchmarks/BENCH_2.json``.
+
+Run:  pytest benchmarks/test_bench_batch_engine.py -s
+"""
+
+import time
+
+import pytest
+
+from repro.cache.backend import BackendServer
+from repro.cache.mtcache import MTCache
+
+#: Pre-PR throughput of the row-at-a-time engine on this exact workload
+#: pair (same machine class, same table sizes), measured on the tree at
+#: commit 45514d7 before the batch engine landed.  The acceptance bar is
+#: >= 2x these numbers.
+PRE_PR_BASELINE_QPS = {"point_lookup": 5821.0, "scan": 207.8}
+
+N_ROWS = 2000
+POINT_QUERIES = 3000
+SCAN_QUERIES = 200
+
+
+def build_cache(batch_size=None):
+    kwargs = {} if batch_size is None else {"batch_size": batch_size}
+    backend = BackendServer(**kwargs)
+    backend.create_table(
+        "CREATE TABLE profile (id INT NOT NULL, name VARCHAR NOT NULL, "
+        "score INT NOT NULL, PRIMARY KEY (id))"
+    )
+    for start in range(0, N_ROWS, 100):
+        values = ", ".join(
+            f"({i}, 'u{i}', {i % 100})" for i in range(start, start + 100)
+        )
+        backend.execute(f"INSERT INTO profile VALUES {values}")
+    backend.refresh_statistics()
+    cache = MTCache(backend, **kwargs)
+    cache.create_region("r", 8.0, 2.0)
+    cache.create_matview("profile_copy", "profile", ["id", "name", "score"],
+                         region="r")
+    cache.run_for(30.0)
+    return cache
+
+
+def _percentile(sorted_values, fraction):
+    index = min(int(len(sorted_values) * fraction), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+def run_workload(cache, sqls, n_queries):
+    """Execute ``n_queries`` round-robin over ``sqls``; qps + latency."""
+    for sql in sqls:  # warm the plan cache
+        result = cache.execute(sql)
+        assert result.routing == "local", "workload must be served locally"
+    latencies = []
+    timer = time.perf_counter
+    t_start = timer()
+    for i in range(n_queries):
+        t0 = timer()
+        cache.execute(sqls[i % len(sqls)])
+        latencies.append(timer() - t0)
+    elapsed = timer() - t_start
+    latencies.sort()
+    return {
+        "qps": n_queries / elapsed,
+        "p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "p95_ms": _percentile(latencies, 0.95) * 1e3,
+        "queries": n_queries,
+    }
+
+
+WORKLOADS = {
+    "point_lookup": (
+        [
+            f"SELECT p.id, p.score FROM profile p WHERE p.id = {k} "
+            "CURRENCY BOUND 100 SEC ON (p)"
+            for k in range(32)
+        ],
+        POINT_QUERIES,
+    ),
+    "scan": (
+        [
+            "SELECT p.id, p.name, p.score FROM profile p WHERE p.score < 80 "
+            "CURRENCY BOUND 100 SEC ON (p)"
+        ],
+        SCAN_QUERIES,
+    ),
+}
+
+
+@pytest.mark.parametrize("workload", list(WORKLOADS))
+def test_batch_engine_throughput(benchmark, bench2_recorder, workload):
+    sqls, n_queries = WORKLOADS[workload]
+    batch_cache = build_cache()
+    row_cache = build_cache(batch_size=1)
+
+    batch = benchmark.pedantic(
+        lambda: run_workload(batch_cache, sqls, n_queries), rounds=1, iterations=1
+    )
+    row = run_workload(row_cache, sqls, n_queries)
+
+    baseline = PRE_PR_BASELINE_QPS[workload]
+    speedup = batch["qps"] / baseline
+    bench2_recorder.setdefault("workloads", {})[workload] = {
+        "batch_engine": batch,
+        "row_engine_batch_size_1": row,
+        "pre_pr_baseline_qps": baseline,
+        "speedup_vs_pre_pr": speedup,
+    }
+
+    print(f"\n=== {workload}: batch {batch['qps']:.0f} qps "
+          f"(p50 {batch['p50_ms']:.3f}ms, p95 {batch['p95_ms']:.3f}ms) | "
+          f"row {row['qps']:.0f} qps | pre-PR {baseline:.0f} qps | "
+          f"speedup {speedup:.2f}x ===")
+
+    # The PR's acceptance bar: >= 2x the pre-PR row engine.
+    assert speedup >= 2.0, (
+        f"{workload}: {batch['qps']:.0f} qps is only {speedup:.2f}x the "
+        f"pre-PR baseline of {baseline:.0f} qps"
+    )
+
+
+def test_fused_pipelines_engage(benchmark, bench2_recorder):
+    """The scan workload must actually run on the fused batch path."""
+    cache = build_cache()
+    sql = WORKLOADS["scan"][0][0]
+    cache.execute(sql)
+    result = benchmark.pedantic(lambda: cache.execute(sql), rounds=1, iterations=1)
+    fused = list(result.context.fused_pipelines)
+    assert any(label.startswith("SeqScan") or label.startswith("Project")
+               for label in fused), fused
+    assert cache.metrics.counter("engine_fused_pipelines_total").value > 0
+    assert cache.metrics.counter("engine_batches_total").value > 0
+    bench2_recorder["fused_pipeline_labels"] = sorted(set(fused))

@@ -37,14 +37,23 @@ from repro.txn.manager import TransactionManager
 
 
 class BackendServer:
-    """The master DBMS holding the up-to-date database state."""
+    """The master DBMS holding the up-to-date database state.
 
-    def __init__(self, clock=None, scheduler=None, cost_model=None, metrics=None):
+    ``batch_size`` (keyword-only) sets the chunk size of the batch
+    execution engine; ``batch_size=1`` forces the legacy row-at-a-time
+    path (and the matching row-engine cost model) for debugging.
+    """
+
+    def __init__(self, clock=None, scheduler=None, cost_model=None, metrics=None,
+                 *, batch_size=ops.DEFAULT_BATCH_SIZE):
         self.clock = clock or SimulatedClock()
         self.scheduler = scheduler or EventScheduler(self.clock)
         self.catalog = Catalog()
         self.txn_manager = TransactionManager(self.clock)
+        self.batch_size = ops.coerce_batch_size(batch_size)
         self.cost_model = cost_model or CostModel()
+        if self.batch_size == 1:
+            self.cost_model = self.cost_model.row_engine_variant()
         #: Back-end metrics registry; no-op unless a caller supplies a
         #: real one (the cache keeps its own registry for the mid-tier).
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
@@ -53,7 +62,8 @@ class BackendServer:
             clock=self.clock, subquery_runner=self._run_subquery
         )
         self.optimizer = Optimizer(self.placement, registry=self.metrics)
-        self.executor = Executor(clock=self.clock, registry=self.metrics)
+        self.executor = Executor(clock=self.clock, registry=self.metrics,
+                                 batch_size=self.batch_size)
         self.heartbeats = HeartbeatService(
             self.txn_manager, self.clock, self.scheduler, registry=self.metrics
         )

@@ -364,14 +364,19 @@ class MTCache:
       attached to ``result.warnings``;
     * ``plan_cache_size`` — LRU capacity of the compiled-plan cache;
     * ``metrics`` — a :class:`~repro.obs.MetricsRegistry` (default) or
-      :class:`~repro.obs.NullRegistry` to turn instrumentation off.
+      :class:`~repro.obs.NullRegistry` to turn instrumentation off;
+    * ``batch_size`` — chunk size of the batch execution engine
+      (default 256).  ``batch_size=1`` forces the legacy row-at-a-time
+      path (and the matching row-engine cost model) for debugging and
+      equivalence testing.
     """
 
     FALLBACK_POLICIES = tuple(p.value for p in FallbackPolicy)
 
     def __init__(self, backend, *, cost_model=None, fallback_policy=FallbackPolicy.REMOTE,
-                 plan_cache_size=128, metrics=None):
+                 plan_cache_size=128, metrics=None, batch_size=ops.DEFAULT_BATCH_SIZE):
         self._fallback_policy = _coerce_policy(fallback_policy).value
+        self.batch_size = ops.coerce_batch_size(batch_size)
         #: Observability registry: every hot-path component below reports
         #: into it (see repro.obs).  Real by default — instrumentation is
         #: always-on; pass NullRegistry() for zero-overhead micro-runs.
@@ -390,9 +395,13 @@ class MTCache:
         self.scheduler = backend.scheduler
         self.catalog = Catalog()
         self.cost_model = cost_model or backend.cost_model
+        if self.batch_size == 1:
+            # Cost the plans the way the row engine actually runs them.
+            self.cost_model = self.cost_model.row_engine_variant()
         self.placement = CachePlacement(self, self.cost_model)
         self.optimizer = Optimizer(self.placement, registry=self.metrics)
-        self.executor = Executor(clock=self.clock, registry=self.metrics)
+        self.executor = Executor(clock=self.clock, registry=self.metrics,
+                                 batch_size=self.batch_size)
         self.session = TimelineSession()
         self.agents = {}  # cid -> DistributionAgent
         self._local_heartbeats = {}  # cid -> HeapTable
@@ -659,6 +668,9 @@ class MTCache:
             while len(self._plan_cache) >= self._plan_cache_size:
                 self._plan_cache.popitem(last=False)  # evict least recent
                 self._plan_cache_event("evictions")
+            # Cached plans are executed repeatedly; under the batch engine
+            # they also keep their built operator tree across executions.
+            plan.reuse_root = self.batch_size > 1
             self._plan_cache[key] = plan
         return plan
 
@@ -705,6 +717,13 @@ class MTCache:
         the created object; TIMEORDERED brackets return None.
         """
         if isinstance(sql_or_stmt, str):
+            # Hot path: a SQL text with a cached plan skips the parser and
+            # the optimizer entirely — one dict probe, then execution.
+            plan = self._plan_cache.get(sql_or_stmt)
+            if plan is not None:
+                self._plan_cache.move_to_end(sql_or_stmt)  # LRU: touch on hit
+                self._plan_cache_event("hits")
+                return self._execute_plan(plan, sql_text=sql_or_stmt)
             stmt = parse(sql_or_stmt, registry=self.metrics)
         else:
             stmt = sql_or_stmt
@@ -777,6 +796,9 @@ class MTCache:
     def _execute_select(self, select, sql_text=None):
         # Optimizing by SQL text engages the compiled-plan cache.
         plan = self.optimize(sql_text if sql_text is not None else select)
+        return self._execute_plan(plan, sql_text=sql_text, select=select)
+
+    def _execute_plan(self, plan, sql_text=None, select=None):
         ctx = ExecutionContext(clock=self.clock, timeline=self.session)
         root = plan.root()
         result = None

@@ -1,9 +1,11 @@
-"""Physical execution engine: iterator operators with explicit
-setup / run / shutdown phases, plus expression compilation."""
+"""Physical execution engine: batch-at-a-time operators (with a
+row-at-a-time compatibility path) over explicit setup / run / shutdown
+phases, plus dual-mode expression compilation."""
 
 from repro.engine.expressions import ExpressionContext, OutputCol, RowBinding, compile_expr
 from repro.engine.executor import ExecutionContext, Executor, PhaseTimings, QueryResult
 from repro.engine.operators import (
+    DEFAULT_BATCH_SIZE,
     Distinct,
     Filter,
     HashAggregate,
@@ -23,6 +25,7 @@ from repro.engine.operators import (
 )
 
 __all__ = [
+    "DEFAULT_BATCH_SIZE",
     "Distinct",
     "ExecutionContext",
     "Executor",

@@ -9,6 +9,7 @@ each phase with a high-resolution counter.
 
 import time
 
+from repro.engine.operators import DEFAULT_BATCH_SIZE
 from repro.obs.metrics import NULL_REGISTRY
 
 
@@ -50,9 +51,14 @@ class ExecutionContext:
         self.snapshots_used = []
         #: Constraint-violation warnings (serve-stale fallback policy).
         self.warnings = []
+        #: Labels of fused scan pipelines that ran (batch engine only).
+        self.fused_pipelines = []
 
     def record_branch(self, label, index):
         self.branches.append((label, index))
+
+    def record_fused(self, label):
+        self.fused_pipelines.append(label)
 
     def record_remote_query(self, sql, n_rows):
         self.remote_queries.append((sql, n_rows))
@@ -147,17 +153,31 @@ class QueryResult:
 class Executor:
     """Runs a physical operator tree through its three phases.
 
+    The run phase drives the batch protocol: the plan's ``batches()``
+    stream is drained chunk-at-a-time (``batch_size`` rows per chunk).
+    ``batch_size=1`` selects the legacy row-at-a-time path — the plan's
+    ``rows()`` generator — for debugging and equivalence testing.  The
+    Table 4.5 setup/run/shutdown split is unchanged: ``open`` is setup,
+    draining is run, ``close`` is shutdown, whichever protocol runs.
+
     Each execution feeds the attached metrics registry: one histogram
-    per phase (the paper's Table 4.5 breakdown), a rows-produced
-    counter, and per-branch SwitchUnion counters.  The metric handles
-    are resolved once in :meth:`set_registry`, so the per-query cost is
-    a handful of attribute calls — no-ops under the default
+    per phase (the paper's Table 4.5 breakdown), rows/batches/fused-
+    pipeline counters, and per-branch SwitchUnion counters.  The metric
+    handles are resolved once in :meth:`set_registry`, so the per-query
+    cost is a handful of attribute calls — no-ops under the default
     :class:`~repro.obs.metrics.NullRegistry`.
     """
 
-    def __init__(self, clock=None, timer=time.perf_counter, registry=None):
+    def __init__(
+        self,
+        clock=None,
+        timer=time.perf_counter,
+        registry=None,
+        batch_size=DEFAULT_BATCH_SIZE,
+    ):
         self.clock = clock
         self.timer = timer
+        self.batch_size = batch_size
         self.set_registry(registry if registry is not None else NULL_REGISTRY)
 
     def set_registry(self, registry):
@@ -178,17 +198,33 @@ class Executor:
             help="SwitchUnion branch decisions")
         self._c_branch_remote = registry.counter(
             "switchunion_branch_total", labels={"branch": "remote"})
+        self._c_batches = registry.counter(
+            "engine_batches_total", help="chunks exchanged by the batch engine")
+        self._c_fused = registry.counter(
+            "engine_fused_pipelines_total",
+            help="fused scan pipelines (scan+filter/project in one loop)")
 
     def execute(self, plan, ctx=None, column_names=None):
         """Execute ``plan`` and return a :class:`QueryResult`."""
         ctx = ctx or ExecutionContext(clock=self.clock)
         timer = self.timer
         branches_before = len(ctx.branches)
+        fused_before = len(ctx.fused_pipelines)
+        batch_size = self.batch_size
+        n_batches = 0
 
         t0 = timer()
         plan.open(ctx)
         t1 = timer()
-        rows = list(plan.rows())
+        if batch_size <= 1:
+            # Legacy row-at-a-time path (debugging / equivalence baseline).
+            rows = list(plan.rows())
+        else:
+            rows = []
+            extend = rows.extend
+            for chunk in plan.batches(batch_size):
+                extend(chunk)
+                n_batches += 1
         t2 = timer()
         plan.close()
         t3 = timer()
@@ -199,6 +235,11 @@ class Executor:
         self._h_shutdown.observe(timings.shutdown)
         self._c_queries.inc()
         self._c_rows.inc(len(rows))
+        if n_batches:
+            self._c_batches.inc(n_batches)
+        n_fused = len(ctx.fused_pipelines) - fused_before
+        if n_fused:
+            self._c_fused.inc(n_fused)
         for _, index in ctx.branches[branches_before:]:
             (self._c_branch_local if index == 0 else self._c_branch_remote).inc()
         if column_names is None:

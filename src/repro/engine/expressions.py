@@ -5,6 +5,19 @@ Operators exchange plain tuples; a :class:`RowBinding` describes which
 can resolve column references to positions once, at plan build time, rather
 than per row.
 
+Compilation is dual-mode, in service of the batch execution engine:
+
+* **row mode** — when an expression only references local columns (no
+  correlated outer references, no subqueries), it compiles to a closure
+  ``fn(row) -> value`` over the bare tuple.  Batch operators evaluate
+  these over whole chunks without allocating a per-row environment; the
+  compiled callable exposes the variant as ``fn.row_fn``.  A bare local
+  column reference additionally exposes ``fn.column_pos`` so projections
+  can collapse to tuple re-ordering.
+* **env mode** — correlated or subquery-bearing expressions compile to
+  ``fn(env)`` over an :class:`_Env` (the local row plus the outer row
+  chain), exactly as the row-at-a-time engine always worked.
+
 Correlated subqueries (EXISTS / IN (SELECT …)) are supported through the
 :class:`ExpressionContext`'s ``subquery_runner`` callback: the engine that
 owns the plan supplies a function that executes a Select AST given the
@@ -43,20 +56,40 @@ class OutputCol:
 
 
 class RowBinding:
-    """Resolves column references against an ordered list of OutputCols."""
+    """Resolves column references against an ordered list of OutputCols.
+
+    Resolution is dict-based: a ``(qualifier, name)`` index is built once
+    per binding (lazily, on first resolve) so each reference costs one
+    hash lookup instead of a scan over all columns — compile time used to
+    be quadratic in column count for wide join bindings.
+    """
 
     def __init__(self, columns, outer=None):
         self.columns = list(columns)
         #: Optional enclosing binding for correlated subqueries.  Positions
         #: resolved against the outer binding are returned as ("outer", pos).
         self.outer = outer
+        self._index = None  # lazily built lookup tables
 
     def __len__(self):
         return len(self.columns)
 
+    def _build_index(self):
+        by_qualified = {}  # (qualifier, name) -> [positions]
+        by_name = {}  # name -> [positions], any qualifier
+        for position, col in enumerate(self.columns):
+            by_name.setdefault(col.name, []).append(position)
+            by_qualified.setdefault((col.qualifier, col.name), []).append(position)
+        self._index = (by_qualified, by_name)
+        return self._index
+
     def resolve(self, ref):
         """Return ("local", position) or ("outer", locator) for a ColumnRef."""
-        matches = [i for i, col in enumerate(self.columns) if col.matches(ref)]
+        by_qualified, by_name = self._index or self._build_index()
+        if ref.qualifier is None:
+            matches = by_name.get(ref.name, ())
+        else:
+            matches = by_qualified.get((ref.qualifier, ref.name), ())
         if len(matches) == 1:
             return ("local", matches[0])
         if len(matches) > 1:
@@ -110,49 +143,105 @@ def compile_expr(expr, binding, ctx=None):
     """Compile ``expr`` into a callable ``fn(env) -> value``.
 
     ``env`` is an :class:`_Env`; most callers use :func:`evaluator`, which
-    wraps the closure to accept a bare row tuple.
+    wraps the closure to accept a bare row tuple.  When the expression is
+    non-correlated and subquery-free, the returned callable carries a
+    ``row_fn`` attribute — the row-mode variant ``fn(row) -> value`` the
+    batch engine evaluates without building environments.
     """
     ctx = ctx or ExpressionContext()
+    row_fn = _compile(expr, binding, ctx, row_mode=True)
+    if row_fn is not None:
+
+        def env_fn(env, _fn=row_fn):
+            return _fn(env.row)
+
+        env_fn.row_fn = row_fn
+        pos = getattr(row_fn, "column_pos", None)
+        if pos is not None:
+            env_fn.column_pos = pos
+        return env_fn
+    return _compile(expr, binding, ctx, row_mode=False)
+
+
+def row_fn_of(fn):
+    """The row-mode variant of a compiled expression, or None."""
+    return getattr(fn, "row_fn", None)
+
+
+def row_fns_of(fns):
+    """Row-mode variants for a list of compiled fns, or None if any is
+    env-only (the caller then falls back to the environment path)."""
+    out = [getattr(fn, "row_fn", None) for fn in fns]
+    if all(f is not None for f in out):
+        return out
+    return None
+
+
+def _compile(expr, binding, ctx, row_mode):
+    """Recursive compiler shared by both modes.
+
+    In row mode the produced closures take a bare row tuple and the
+    function returns None whenever the expression needs an environment
+    (outer references, subqueries); in env mode it always succeeds.
+    """
 
     if isinstance(expr, ast.Literal):
         value = expr.value
-        return lambda env: value
+        return lambda _: value
 
     if isinstance(expr, ast.ColumnRef):
         locator = binding.resolve(expr)
+        if row_mode:
+            scope, pos = locator
+            if scope != "local":
+                return None
+
+            def column(row, _pos=pos):
+                return row[_pos]
+
+            column.column_pos = pos
+            return column
         return lambda env: env.fetch(locator)
 
     if isinstance(expr, ast.BinaryOp):
-        left = compile_expr(expr.left, binding, ctx)
-        right = compile_expr(expr.right, binding, ctx)
+        left = _compile(expr.left, binding, ctx, row_mode)
+        right = _compile(expr.right, binding, ctx, row_mode)
+        if left is None or right is None:
+            return None
         return _binary(expr.op, left, right)
 
     if isinstance(expr, ast.UnaryOp):
-        operand = compile_expr(expr.operand, binding, ctx)
+        operand = _compile(expr.operand, binding, ctx, row_mode)
+        if operand is None:
+            return None
         if expr.op == "not":
-            def _not(env):
-                v = operand(env)
+            def _not(arg):
+                v = operand(arg)
                 return None if v is None else (not v)
 
             return _not
-        return lambda env: None if operand(env) is None else -operand(env)
+        return lambda arg: None if operand(arg) is None else -operand(arg)
 
     if isinstance(expr, ast.IsNull):
-        operand = compile_expr(expr.operand, binding, ctx)
+        operand = _compile(expr.operand, binding, ctx, row_mode)
+        if operand is None:
+            return None
         if expr.negated:
-            return lambda env: operand(env) is not None
-        return lambda env: operand(env) is None
+            return lambda arg: operand(arg) is not None
+        return lambda arg: operand(arg) is None
 
     if isinstance(expr, ast.Between):
-        operand = compile_expr(expr.operand, binding, ctx)
-        low = compile_expr(expr.low, binding, ctx)
-        high = compile_expr(expr.high, binding, ctx)
+        operand = _compile(expr.operand, binding, ctx, row_mode)
+        low = _compile(expr.low, binding, ctx, row_mode)
+        high = _compile(expr.high, binding, ctx, row_mode)
+        if operand is None or low is None or high is None:
+            return None
         negated = expr.negated
 
-        def _between(env):
-            v = operand(env)
-            lo = low(env)
-            hi = high(env)
+        def _between(arg):
+            v = operand(arg)
+            lo = low(arg)
+            hi = high(arg)
             if v is None or lo is None or hi is None:
                 return None
             result = lo <= v <= hi
@@ -161,23 +250,27 @@ def compile_expr(expr, binding, ctx=None):
         return _between
 
     if isinstance(expr, ast.InList):
-        operand = compile_expr(expr.operand, binding, ctx)
-        items = [compile_expr(i, binding, ctx) for i in expr.items]
+        operand = _compile(expr.operand, binding, ctx, row_mode)
+        items = [_compile(i, binding, ctx, row_mode) for i in expr.items]
+        if operand is None or any(i is None for i in items):
+            return None
         negated = expr.negated
 
-        def _in(env):
-            v = operand(env)
+        def _in(arg):
+            v = operand(arg)
             if v is None:
                 return None
-            result = any(item(env) == v for item in items)
+            result = any(item(arg) == v for item in items)
             return (not result) if negated else result
 
         return _in
 
     if isinstance(expr, ast.FuncCall):
-        return _compile_func(expr, binding, ctx)
+        return _compile_func(expr, ctx)
 
     if isinstance(expr, ast.ExistsSubquery):
+        if row_mode:
+            return None  # subqueries need the environment chain
         if ctx.subquery_runner is None:
             raise ExecutionError("subqueries are not available in this context")
         select = expr.select
@@ -194,9 +287,11 @@ def compile_expr(expr, binding, ctx=None):
         return _exists
 
     if isinstance(expr, ast.InSubquery):
+        if row_mode:
+            return None
         if ctx.subquery_runner is None:
             raise ExecutionError("subqueries are not available in this context")
-        operand = compile_expr(expr.operand, binding, ctx)
+        operand = _compile(expr.operand, binding, ctx, row_mode=False)
         select = expr.select
         negated = expr.negated
         runner = ctx.subquery_runner
@@ -225,12 +320,14 @@ def compile_expr(expr, binding, ctx=None):
 
 
 def _binary(op, left, right):
+    """Combinators are mode-agnostic: they only ever call their children
+    with whatever single argument (env or row) the mode supplies."""
     if op == "and":
-        def _and(env):
-            l = left(env)
+        def _and(arg):
+            l = left(arg)
             if l is False:
                 return False
-            r = right(env)
+            r = right(arg)
             if r is False:
                 return False
             if l is None or r is None:
@@ -239,11 +336,11 @@ def _binary(op, left, right):
 
         return _and
     if op == "or":
-        def _or(env):
-            l = left(env)
+        def _or(arg):
+            l = left(arg)
             if l is True:
                 return True
-            r = right(env)
+            r = right(arg)
             if r is True:
                 return True
             if l is None or r is None:
@@ -253,9 +350,9 @@ def _binary(op, left, right):
         return _or
 
     def _null_guard(fn):
-        def wrapped(env):
-            l = left(env)
-            r = right(env)
+        def wrapped(arg):
+            l = left(arg)
+            r = right(arg)
             if l is None or r is None:
                 return None
             return fn(l, r)
@@ -281,10 +378,10 @@ def _binary(op, left, right):
         raise ExecutionError(f"unsupported binary operator: {op}") from None
 
 
-def _compile_func(expr, binding, ctx):
+def _compile_func(expr, ctx):
     name = expr.name
     if name == "getdate":
-        return lambda env: ctx.now()
+        return lambda _: ctx.now()
     if expr.is_aggregate:
         raise ExecutionError(
             f"aggregate {name.upper()} outside of an aggregation operator"
@@ -295,6 +392,9 @@ def _compile_func(expr, binding, ctx):
 def evaluator(expr, binding, ctx=None):
     """Compile ``expr`` and wrap it to accept a bare row tuple."""
     fn = compile_expr(expr, binding, ctx)
+    row_fn = getattr(fn, "row_fn", None)
+    if row_fn is not None:
+        return row_fn
     return lambda row: fn(_Env(row))
 
 

@@ -6,16 +6,45 @@ phases so the executor can time them (the paper's Table 4.5 profiles
 
 * ``open(ctx, outer_env=None)`` — bind resources, evaluate SwitchUnion
   selectors, issue remote queries;
-* ``rows()`` — a generator producing result tuples;
+* ``rows()`` — a generator producing result tuples (row-at-a-time);
+* ``batches(size)`` — a generator producing *chunks* (lists of tuples,
+  target size ~256), the batch-at-a-time protocol the executor drives;
 * ``close()`` — release state.
+
+Batch execution is the primary path: operators that can, exchange chunks
+and evaluate expressions in *row mode* (position-resolved closures over
+bare tuples, no per-row environment allocation — see
+:mod:`repro.engine.expressions`).  The scan operators fuse scan + filter
+into a single loop when the predicate is non-correlated, and
+:class:`Project` collapses to tuple re-ordering when every output is a
+plain column.  ``rows()`` remains fully supported on every operator — the
+correlated paths (IndexNLJoin inners, subquery runners) and the
+``batch_size=1`` debugging mode still speak it; the base class bridges
+each protocol to the other so the two engines always agree.
 
 Operators expose ``output`` — a :class:`~repro.engine.expressions.RowBinding`
 describing their result columns — which parent operators use to compile
 expressions at plan-build time.
 """
 
+from itertools import islice
+
 from repro.common.errors import ExecutionError
-from repro.engine.expressions import make_env
+from repro.engine.expressions import make_env, row_fn_of, row_fns_of
+
+#: Target chunk size of the batch protocol.  Large enough to amortize
+#: per-batch dispatch, small enough to stay cache-resident.
+DEFAULT_BATCH_SIZE = 256
+
+
+def coerce_batch_size(value):
+    """Validate a batch-size knob: an integer >= 1 (1 = legacy row path)."""
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise ValueError(
+            f"invalid batch_size: {value!r} (expected an integer >= 1; "
+            f"1 selects the legacy row-at-a-time engine)"
+        )
+    return value
 
 
 class PhysicalOperator:
@@ -30,8 +59,33 @@ class PhysicalOperator:
     def rows(self):
         raise NotImplementedError
 
+    def batches(self, size=DEFAULT_BATCH_SIZE):
+        """Produce result rows in chunks (lists) of up to ``size`` rows.
+
+        Compatibility default: chunk the ``rows()`` stream.  Batch-native
+        operators override this with chunk-at-a-time pipelines.
+        """
+        it = iter(self.rows())
+        while True:
+            chunk = list(islice(it, size))
+            if not chunk:
+                return
+            yield chunk
+
     def close(self):
         pass
+
+    # -- helpers for batch-native subclasses ---------------------------
+    #: Cached describe() string used as the fused-pipeline label; built on
+    #: first use so reused operator trees pay the formatting only once.
+    _fused_label = None
+
+    def _record_fused(self, ctx):
+        if ctx is not None:
+            label = self._fused_label
+            if label is None:
+                label = self._fused_label = self.describe()
+            ctx.record_fused(label)
 
     # -- introspection -------------------------------------------------
     def children(self):
@@ -54,16 +108,33 @@ class PhysicalOperator:
             yield from child.walk()
 
 
+def _chunked(iterable, size):
+    """Yield lists of up to ``size`` items."""
+    it = iter(iterable)
+    while True:
+        chunk = list(islice(it, size))
+        if not chunk:
+            return
+        yield chunk
+
+
 class SeqScan(PhysicalOperator):
-    """Full scan of a heap table (base table or local materialized view)."""
+    """Full scan of a heap table (base table or local materialized view).
+
+    In batch mode the scan and its predicate fuse into one loop: when the
+    predicate is non-correlated it runs in row mode over the stored tuples
+    directly, so a filtered scan allocates nothing per row.
+    """
 
     def __init__(self, table, output, predicate=None):
         self.table = table
         self.output = output
         self.predicate = predicate  # compiled fn(env) or None
         self._outer_env = None
+        self._ctx = None
 
     def open(self, ctx, outer_env=None):
+        self._ctx = ctx
         self._outer_env = outer_env
 
     def rows(self):
@@ -72,17 +143,55 @@ class SeqScan(PhysicalOperator):
         if predicate is None:
             for _, values in self.table.scan():
                 yield values
+            return
+        row_pred = row_fn_of(predicate)
+        if row_pred is not None:
+            for _, values in self.table.scan():
+                if row_pred(values) is True:
+                    yield values
         else:
             for _, values in self.table.scan():
                 if predicate(make_env(values, outer)) is True:
                     yield values
+
+    def batches(self, size=DEFAULT_BATCH_SIZE):
+        predicate = self.predicate
+        scan = self.table.scan()
+        if predicate is None:
+            self._record_fused(self._ctx)
+            for chunk in _chunked(scan, size):
+                yield [values for _, values in chunk]
+            return
+        row_pred = row_fn_of(predicate)
+        if row_pred is not None:
+            # Fused scan+filter: one comprehension per chunk, no envs.
+            self._record_fused(self._ctx)
+            for chunk in _chunked(scan, size):
+                out = [values for _, values in chunk if row_pred(values) is True]
+                if out:
+                    yield out
+            return
+        outer = self._outer_env
+        for chunk in _chunked(scan, size):
+            out = [
+                values
+                for _, values in chunk
+                if predicate(make_env(values, outer)) is True
+            ]
+            if out:
+                yield out
 
     def describe(self):
         return f"SeqScan({self.table.name})"
 
 
 class IndexSeek(PhysicalOperator):
-    """Point lookup: equality on an index key prefix, optional residual."""
+    """Point lookup: equality on an index key prefix, optional residual.
+
+    Key evaluation is hoisted to ``open()`` — the key cannot change within
+    one execution, so re-deriving it per ``rows()`` call (as the row engine
+    once did) only burned allocations on the hottest lookup path.
+    """
 
     def __init__(self, table, index, key_fns, output, predicate=None):
         self.table = table
@@ -91,22 +200,63 @@ class IndexSeek(PhysicalOperator):
         self.output = output
         self.predicate = predicate
         self._outer_env = None
+        self._ctx = None
+        self._key = None
 
     def open(self, ctx, outer_env=None):
+        self._ctx = ctx
         self._outer_env = outer_env
+        env = make_env((), outer_env)
+        self._key = tuple(fn(env) for fn in self.key_fns)
+
+    def _rid_iter(self):
+        key = self._key
+        if len(key) == len(self.index.key_positions):
+            return self.index.seek(key)
+        return (rid for _, rid in self.index.range(low=key, high=key))
 
     def rows(self):
+        predicate = self.predicate
         outer = self._outer_env
-        env = make_env((), outer)
-        key = tuple(fn(env) for fn in self.key_fns)
-        if len(key) == len(self.index.key_positions):
-            rid_iter = self.index.seek(key)
+        table_row = self.table.row
+        if predicate is None:
+            for rid in self._rid_iter():
+                yield table_row(rid)
+            return
+        row_pred = row_fn_of(predicate)
+        if row_pred is not None:
+            for rid in self._rid_iter():
+                values = table_row(rid)
+                if row_pred(values) is True:
+                    yield values
         else:
-            rid_iter = (rid for _, rid in self.index.range(low=key, high=key))
-        for rid in rid_iter:
-            values = self.table.row(rid)
-            if self.predicate is None or self.predicate(make_env(values, outer)) is True:
-                yield values
+            for rid in self._rid_iter():
+                values = table_row(rid)
+                if predicate(make_env(values, outer)) is True:
+                    yield values
+
+    def batches(self, size=DEFAULT_BATCH_SIZE):
+        # Equality-seek result sets are small (bounded by one key's
+        # duplicates), so materialize the whole fused lookup at once —
+        # the hottest batch pipeline there is (guarded point lookups).
+        predicate = self.predicate
+        table_row = self.table.row
+        if predicate is None:
+            self._record_fused(self._ctx)
+            out = [table_row(rid) for rid in self._rid_iter()]
+        else:
+            row_pred = row_fn_of(predicate)
+            if row_pred is None:
+                yield from _chunked(self.rows(), size)
+                return
+            self._record_fused(self._ctx)
+            out = [
+                values
+                for values in map(table_row, self._rid_iter())
+                if row_pred(values) is True
+            ]
+        for start in range(0, len(out), size):
+            yield out[start:start + size]
 
     def describe(self):
         return f"IndexSeek({self.table.name}.{self.index.name})"
@@ -135,21 +285,61 @@ class IndexRangeScan(PhysicalOperator):
         self.high_inclusive = high_inclusive
         self.predicate = predicate
         self._outer_env = None
+        self._ctx = None
 
     def open(self, ctx, outer_env=None):
+        self._ctx = ctx
         self._outer_env = outer_env
 
-    def rows(self):
-        outer = self._outer_env
-        for _, rid in self.index.range(
+    def _range(self):
+        return self.index.range(
             low=self.low,
             high=self.high,
             low_inclusive=self.low_inclusive,
             high_inclusive=self.high_inclusive,
-        ):
-            values = self.table.row(rid)
-            if self.predicate is None or self.predicate(make_env(values, outer)) is True:
-                yield values
+        )
+
+    def rows(self):
+        predicate = self.predicate
+        outer = self._outer_env
+        table_row = self.table.row
+        if predicate is None:
+            for _, rid in self._range():
+                yield table_row(rid)
+            return
+        row_pred = row_fn_of(predicate)
+        if row_pred is not None:
+            for _, rid in self._range():
+                values = table_row(rid)
+                if row_pred(values) is True:
+                    yield values
+        else:
+            for _, rid in self._range():
+                values = table_row(rid)
+                if predicate(make_env(values, outer)) is True:
+                    yield values
+
+    def batches(self, size=DEFAULT_BATCH_SIZE):
+        predicate = self.predicate
+        table_row = self.table.row
+        if predicate is None:
+            self._record_fused(self._ctx)
+            for chunk in _chunked(self._range(), size):
+                yield [table_row(rid) for _, rid in chunk]
+            return
+        row_pred = row_fn_of(predicate)
+        if row_pred is not None:
+            self._record_fused(self._ctx)
+            for chunk in _chunked(self._range(), size):
+                out = [
+                    values
+                    for values in (table_row(rid) for _, rid in chunk)
+                    if row_pred(values) is True
+                ]
+                if out:
+                    yield out
+            return
+        yield from _chunked(self.rows(), size)
 
     def describe(self):
         return (
@@ -164,20 +354,44 @@ class Filter(PhysicalOperator):
         self.predicate = predicate
         self.output = output or child.output
         self._outer_env = None
+        self._ctx = None
 
     def children(self):
         return (self.child,)
 
     def open(self, ctx, outer_env=None):
+        self._ctx = ctx
         self._outer_env = outer_env
         self.child.open(ctx, outer_env)
 
     def rows(self):
         predicate = self.predicate
+        row_pred = row_fn_of(predicate)
+        if row_pred is not None:
+            for row in self.child.rows():
+                if row_pred(row) is True:
+                    yield row
+            return
         outer = self._outer_env
         for row in self.child.rows():
             if predicate(make_env(row, outer)) is True:
                 yield row
+
+    def batches(self, size=DEFAULT_BATCH_SIZE):
+        predicate = self.predicate
+        row_pred = row_fn_of(predicate)
+        if row_pred is not None:
+            self._record_fused(self._ctx)
+            for chunk in self.child.batches(size):
+                out = [row for row in chunk if row_pred(row) is True]
+                if out:
+                    yield out
+            return
+        outer = self._outer_env
+        for chunk in self.child.batches(size):
+            out = [row for row in chunk if predicate(make_env(row, outer)) is True]
+            if out:
+                yield out
 
     def close(self):
         self.child.close()
@@ -187,31 +401,79 @@ class Filter(PhysicalOperator):
 
 
 class Project(PhysicalOperator):
+    """Projection.
+
+    Batch fast paths, in decreasing order of specialization: when every
+    output expression is a plain local column the projection is pure tuple
+    re-ordering; when all expressions are row-mode it evaluates them over
+    the bare tuples; otherwise it falls back to per-row environments.
+    """
+
     def __init__(self, child, exprs, output):
         self.child = child
         self.exprs = list(exprs)  # compiled fns
         self.output = output
         self._outer_env = None
+        self._ctx = None
+        self._row_exprs = row_fns_of(self.exprs)
+        positions = [getattr(fn, "column_pos", None) for fn in self.exprs]
+        self._positions = positions if all(p is not None for p in positions) else None
 
     def children(self):
         return (self.child,)
 
     def open(self, ctx, outer_env=None):
+        self._ctx = ctx
         self._outer_env = outer_env
         self.child.open(ctx, outer_env)
 
     def rows(self):
+        row_exprs = self._row_exprs
+        if row_exprs is not None:
+            for row in self.child.rows():
+                yield tuple(fn(row) for fn in row_exprs)
+            return
         exprs = self.exprs
         outer = self._outer_env
         for row in self.child.rows():
             env = make_env(row, outer)
             yield tuple(fn(env) for fn in exprs)
 
+    def batches(self, size=DEFAULT_BATCH_SIZE):
+        positions = self._positions
+        if positions is not None:
+            self._record_fused(self._ctx)
+            for chunk in self.child.batches(size):
+                yield [tuple(row[p] for p in positions) for row in chunk]
+            return
+        row_exprs = self._row_exprs
+        if row_exprs is not None:
+            self._record_fused(self._ctx)
+            for chunk in self.child.batches(size):
+                yield [tuple(fn(row) for fn in row_exprs) for row in chunk]
+            return
+        exprs = self.exprs
+        outer = self._outer_env
+        for chunk in self.child.batches(size):
+            out = []
+            for row in chunk:
+                env = make_env(row, outer)
+                out.append(tuple(fn(env) for fn in exprs))
+            yield out
+
     def close(self):
         self.child.close()
 
     def describe(self):
         return f"Project({self.output.columns})"
+
+
+def _key_of(fns, row_fns, row, outer):
+    """Join/group key for one row: row mode when available, env otherwise."""
+    if row_fns is not None:
+        return tuple(fn(row) for fn in row_fns)
+    env = make_env(row, outer)
+    return tuple(fn(env) for fn in fns)
 
 
 class HashJoin(PhysicalOperator):
@@ -234,27 +496,45 @@ class HashJoin(PhysicalOperator):
         self._outer_env = outer_env
         self.left.open(ctx, outer_env)
         self.right.open(ctx, outer_env)
-        self._hash_table = {}
-        for row in self.right.rows():
-            env = make_env(row, outer_env)
-            key = tuple(fn(env) for fn in self.right_key_fns)
-            if any(k is None for k in key):
-                continue
-            self._hash_table.setdefault(key, []).append(row)
+        self._hash_table = table = {}
+        key_fns = self.right_key_fns
+        row_keys = row_fns_of(key_fns)
+        for chunk in self.right.batches():
+            for row in chunk:
+                key = _key_of(key_fns, row_keys, row, outer_env)
+                if any(k is None for k in key):
+                    continue
+                table.setdefault(key, []).append(row)
 
-    def rows(self):
+    def _probe(self, left_rows):
         outer = self._outer_env
         table = self._hash_table
         residual = self.residual
-        for left_row in self.left.rows():
-            env = make_env(left_row, outer)
-            key = tuple(fn(env) for fn in self.left_key_fns)
+        row_residual = None if residual is None else row_fn_of(residual)
+        key_fns = self.left_key_fns
+        row_keys = row_fns_of(key_fns)
+        for left_row in left_rows:
+            key = _key_of(key_fns, row_keys, left_row, outer)
             if any(k is None for k in key):
                 continue
             for right_row in table.get(key, ()):
                 combined = left_row + right_row
-                if residual is None or residual(make_env(combined, outer)) is True:
+                if residual is None:
                     yield combined
+                elif row_residual is not None:
+                    if row_residual(combined) is True:
+                        yield combined
+                elif residual(make_env(combined, outer)) is True:
+                    yield combined
+
+    def rows(self):
+        return self._probe(self.left.rows())
+
+    def batches(self, size=DEFAULT_BATCH_SIZE):
+        for chunk in self.left.batches(size):
+            out = list(self._probe(chunk))
+            if out:
+                yield out
 
     def close(self):
         self._hash_table = None
@@ -266,7 +546,11 @@ class HashJoin(PhysicalOperator):
 
 
 class MergeJoin(PhysicalOperator):
-    """Equality merge join; both children must deliver key-sorted rows."""
+    """Equality merge join; both children must deliver key-sorted rows.
+
+    Stays row-at-a-time internally (the pairwise advance has no batch
+    advantage); the base class chunks its stream for batch parents.
+    """
 
     def __init__(self, left, right, left_key_fns, right_key_fns, output, residual=None):
         self.left = left
@@ -349,24 +633,36 @@ class HashSemiJoin(PhysicalOperator):
         self._outer_env = outer_env
         self.left.open(ctx, outer_env)
         self.right.open(ctx, outer_env)
-        self._keys = set()
-        for row in self.right.rows():
-            env = make_env(row, outer_env)
-            key = tuple(fn(env) for fn in self.right_key_fns)
-            if any(k is None for k in key):
-                continue
-            self._keys.add(key)
+        self._keys = keys = set()
+        key_fns = self.right_key_fns
+        row_keys = row_fns_of(key_fns)
+        for chunk in self.right.batches():
+            for row in chunk:
+                key = _key_of(key_fns, row_keys, row, outer_env)
+                if any(k is None for k in key):
+                    continue
+                keys.add(key)
 
-    def rows(self):
+    def _filter(self, left_rows):
         keys = self._keys
         outer = self._outer_env
-        for row in self.left.rows():
-            env = make_env(row, outer)
-            key = tuple(fn(env) for fn in self.left_key_fns)
+        key_fns = self.left_key_fns
+        row_keys = row_fns_of(key_fns)
+        for row in left_rows:
+            key = _key_of(key_fns, row_keys, row, outer)
             if any(k is None for k in key):
                 continue
             if key in keys:
                 yield row
+
+    def rows(self):
+        return self._filter(self.left.rows())
+
+    def batches(self, size=DEFAULT_BATCH_SIZE):
+        for chunk in self.left.batches(size):
+            out = list(self._filter(chunk))
+            if out:
+                yield out
 
     def close(self):
         self._keys = None
@@ -401,28 +697,42 @@ class HashAntiJoin(PhysicalOperator):
         self._outer_env = outer_env
         self.left.open(ctx, outer_env)
         self.right.open(ctx, outer_env)
-        self._keys = set()
+        self._keys = keys = set()
         self._right_had_null = False
-        for row in self.right.rows():
-            env = make_env(row, outer_env)
-            key = tuple(fn(env) for fn in self.right_key_fns)
-            if any(k is None for k in key):
-                self._right_had_null = True
-            else:
-                self._keys.add(key)
+        key_fns = self.right_key_fns
+        row_keys = row_fns_of(key_fns)
+        for chunk in self.right.batches():
+            for row in chunk:
+                key = _key_of(key_fns, row_keys, row, outer_env)
+                if any(k is None for k in key):
+                    self._right_had_null = True
+                else:
+                    keys.add(key)
 
-    def rows(self):
-        if self._right_had_null:
-            return
+    def _filter(self, left_rows):
         keys = self._keys
         outer = self._outer_env
-        for row in self.left.rows():
-            env = make_env(row, outer)
-            key = tuple(fn(env) for fn in self.left_key_fns)
+        key_fns = self.left_key_fns
+        row_keys = row_fns_of(key_fns)
+        for row in left_rows:
+            key = _key_of(key_fns, row_keys, row, outer)
             if any(k is None for k in key):
                 continue
             if key not in keys:
                 yield row
+
+    def rows(self):
+        if self._right_had_null:
+            return iter(())
+        return self._filter(self.left.rows())
+
+    def batches(self, size=DEFAULT_BATCH_SIZE):
+        if self._right_had_null:
+            return
+        for chunk in self.left.batches(size):
+            out = list(self._filter(chunk))
+            if out:
+                yield out
 
     def close(self):
         self._keys = None
@@ -437,7 +747,9 @@ class IndexNLJoin(PhysicalOperator):
     """Index nested-loops join: for each outer row, seek the inner index.
 
     The inner side is an operator subtree (usually an IndexSeek) whose key
-    functions reference the outer row through the correlated environment.
+    functions reference the outer row through the correlated environment —
+    the canonical consumer of the ``rows()`` compatibility shim; batching
+    the correlated inner would only re-buffer one seek's handful of rows.
     """
 
     def __init__(self, outer, inner, output, residual=None):
@@ -494,28 +806,35 @@ class Sort(PhysicalOperator):
         self._outer_env = outer_env
         self.child.open(ctx, outer_env)
 
-    def rows(self):
+    def _sorted(self, buffered):
         outer = self._outer_env
-
-        def sort_key(row):
-            env = make_env(row, outer)
-            return tuple(fn(env) for fn in self.key_fns)
-
-        buffered = list(self.child.rows())
         # Stable multi-key sort with mixed ASC/DESC: sort by each key from
         # the least significant to the most significant.
         for pos in range(len(self.key_fns) - 1, -1, -1):
             fn = self.key_fns[pos]
             desc = self.descending[pos]
-
-            def one_key(row, fn=fn):
-                env = make_env(row, outer)
-                v = fn(env)
-                # Sort NULLs first (before any value).
-                return (v is not None, v)
+            row_fn = row_fn_of(fn)
+            if row_fn is not None:
+                def one_key(row, fn=row_fn):
+                    v = fn(row)
+                    # Sort NULLs first (before any value).
+                    return (v is not None, v)
+            else:
+                def one_key(row, fn=fn):
+                    v = fn(make_env(row, outer))
+                    return (v is not None, v)
 
             buffered.sort(key=one_key, reverse=desc)
-        return iter(buffered)
+        return buffered
+
+    def rows(self):
+        return iter(self._sorted(list(self.child.rows())))
+
+    def batches(self, size=DEFAULT_BATCH_SIZE):
+        buffered = []
+        for chunk in self.child.batches(size):
+            buffered.extend(chunk)
+        yield from _chunked(self._sorted(buffered), size)
 
     def close(self):
         self.child.close()
@@ -601,26 +920,63 @@ class HashAggregate(PhysicalOperator):
         self._outer_env = outer_env
         self.child.open(ctx, outer_env)
 
-    def rows(self):
+    def _accumulate(self):
         outer = self._outer_env
         groups = {}
-        for row in self.child.rows():
-            env = make_env(row, outer)
-            key = tuple(fn(env) for fn in self.group_fns)
-            accs = groups.get(key)
-            if accs is None:
-                accs = [_Accumulator(s.func) for s in self.agg_specs]
-                groups[key] = accs
-            for spec, acc in zip(self.agg_specs, accs):
-                value = 1 if spec.arg_fn is None else spec.arg_fn(env)
-                acc.add(value)
+        group_fns = self.group_fns
+        agg_specs = self.agg_specs
+        row_groups = row_fns_of(group_fns)
+        arg_fns = [s.arg_fn for s in agg_specs]
+        row_args = row_fns_of([fn for fn in arg_fns if fn is not None])
+        row_mode = row_groups is not None and row_args is not None
+        if row_mode:
+            # Thread the row-mode arg evaluators back into spec order
+            # (COUNT(*) slots keep None -> sentinel value 1).
+            it = iter(row_args)
+            per_spec = [None if fn is None else next(it) for fn in arg_fns]
+            for chunk in self.child.batches():
+                for row in chunk:
+                    key = tuple(fn(row) for fn in row_groups)
+                    accs = groups.get(key)
+                    if accs is None:
+                        accs = [_Accumulator(s.func) for s in agg_specs]
+                        groups[key] = accs
+                    for arg_fn, acc in zip(per_spec, accs):
+                        acc.add(1 if arg_fn is None else arg_fn(row))
+        else:
+            for row in self.child.rows():
+                env = make_env(row, outer)
+                key = tuple(fn(env) for fn in group_fns)
+                accs = groups.get(key)
+                if accs is None:
+                    accs = [_Accumulator(s.func) for s in agg_specs]
+                    groups[key] = accs
+                for spec, acc in zip(agg_specs, accs):
+                    value = 1 if spec.arg_fn is None else spec.arg_fn(env)
+                    acc.add(value)
         if not groups and not self.group_fns:
-            groups[()] = [_Accumulator(s.func) for s in self.agg_specs]
+            groups[()] = [_Accumulator(s.func) for s in agg_specs]
+        return groups
+
+    def _emit(self, groups):
         having = self.having
+        row_having = None if having is None else row_fn_of(having)
+        outer = self._outer_env
         for key, accs in groups.items():
             out = key + tuple(acc.result() for acc in accs)
-            if having is None or having(make_env(out, outer)) is True:
+            if having is None:
                 yield out
+            elif row_having is not None:
+                if row_having(out) is True:
+                    yield out
+            elif having(make_env(out, outer)) is True:
+                yield out
+
+    def rows(self):
+        return self._emit(self._accumulate())
+
+    def batches(self, size=DEFAULT_BATCH_SIZE):
+        yield from _chunked(self._emit(self._accumulate()), size)
 
     def close(self):
         self.child.close()
@@ -647,6 +1003,18 @@ class Distinct(PhysicalOperator):
             if row not in seen:
                 seen.add(row)
                 yield row
+
+    def batches(self, size=DEFAULT_BATCH_SIZE):
+        seen = set()
+        add = seen.add
+        for chunk in self.child.batches(size):
+            out = []
+            for row in chunk:
+                if row not in seen:
+                    add(row)
+                    out.append(row)
+            if out:
+                yield out
 
     def close(self):
         self.child.close()
@@ -677,6 +1045,17 @@ class Limit(PhysicalOperator):
             if remaining == 0:
                 return
 
+    def batches(self, size=DEFAULT_BATCH_SIZE):
+        remaining = self.limit
+        if remaining <= 0:
+            return
+        for chunk in self.child.batches(size):
+            if len(chunk) >= remaining:
+                yield chunk[:remaining]
+                return
+            remaining -= len(chunk)
+            yield chunk
+
     def close(self):
         self.child.close()
 
@@ -697,6 +1076,11 @@ class Materialized(PhysicalOperator):
     def rows(self):
         return iter(self._rows)
 
+    def batches(self, size=DEFAULT_BATCH_SIZE):
+        rows = self._rows
+        for start in range(0, len(rows), size):
+            yield rows[start:start + size]
+
     def describe(self):
         return f"Materialized({len(self._rows)} rows)"
 
@@ -707,7 +1091,8 @@ class SwitchUnion(PhysicalOperator):
     At open time the selector picks exactly one input; the others are never
     touched.  MTCache uses two-input SwitchUnions whose selector is a
     *currency guard* over the local heartbeat table: input 0 is the local
-    (view) branch, input 1 the remote fallback.
+    (view) branch, input 1 the remote fallback.  Both protocols simply
+    delegate to the chosen branch.
     """
 
     def __init__(self, inputs, selector, output, label=""):
@@ -736,6 +1121,9 @@ class SwitchUnion(PhysicalOperator):
 
     def rows(self):
         return self.inputs[self.chosen].rows()
+
+    def batches(self, size=DEFAULT_BATCH_SIZE):
+        return self.inputs[self.chosen].batches(size)
 
     def close(self):
         if self.chosen is not None:
@@ -768,6 +1156,11 @@ class RemoteQuery(PhysicalOperator):
 
     def rows(self):
         return iter(self._buffered)
+
+    def batches(self, size=DEFAULT_BATCH_SIZE):
+        rows = self._buffered
+        for start in range(0, len(rows), size):
+            yield rows[start:start + size]
 
     def close(self):
         self._buffered = None

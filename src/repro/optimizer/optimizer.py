@@ -34,6 +34,14 @@ class OptimizedPlan:
         self.candidate = candidate
         self.column_names = column_names
         self.query_info = query_info
+        #: When True, :meth:`root` memoizes the built operator tree so
+        #: repeated (sequential) executions of a cached plan skip the
+        #: expression-compilation work.  Operators fully reset state in
+        #: ``open``/``close``, so sequential reuse is safe; MTCache turns
+        #: this on for plan-cache entries when running the batch engine.
+        self.reuse_root = False
+        self._root = None
+        self._summary = None
 
     @property
     def cost(self):
@@ -52,8 +60,17 @@ class OptimizedPlan:
         return self.candidate.kind
 
     def root(self):
-        """Build (once) and return the physical operator tree."""
-        return self.candidate.operator()
+        """Build and return the physical operator tree.
+
+        With ``reuse_root`` set, the tree is built once and returned on
+        every call; otherwise each call builds a fresh tree.
+        """
+        if self._root is not None:
+            return self._root
+        root = self.candidate.operator()
+        if self.reuse_root:
+            self._root = root
+        return root
 
     def explain(self):
         return self.root().explain()
@@ -62,8 +79,11 @@ class OptimizedPlan:
         """A compact signature of the plan shape, for tests and benches.
 
         Examples: ``remote(q)``, ``hashjoin(remote(c), guarded(orders_prj))``.
+        The shape is fixed once the plan is built, so it is computed once.
         """
-        return _summarize(self.root())
+        if self._summary is None:
+            self._summary = _summarize(self.root())
+        return self._summary
 
     def __repr__(self):
         return f"OptimizedPlan({self.kind}, cost={self.cost:.1f})"
@@ -583,7 +603,9 @@ class Optimizer:
                 exprs = [compile_expr(expr, binding, expr_ctx) for expr, _ in items]
                 return ops.Project(child, exprs, out_binding)
 
-            cost += cm.project(rows)
+            # Plain projection runs fused in the batch engine (tuple
+            # re-ordering over chunks), so it takes the fused discount.
+            cost += cm.fused_pipeline(cm.project_row, rows)
             if sort_placement == "pre":
                 cost += cm.sort(rows)
             build = build_project

@@ -166,7 +166,11 @@ class PlacementProvider:
             )
             return ops.SeqScan(table, binding, predicate=predicate)
 
-        seq_cost = cm.seq_scan(base_rows) + (cm.filter(base_rows) if live_conjuncts else 0.0)
+        # Local scans run as fused batch pipelines (scan+filter in one
+        # loop), so their CPU term gets the fused discount.
+        seq_cost = cm.fused_pipeline(
+            cm.seq_row + (cm.filter_row if live_conjuncts else 0.0), base_rows
+        )
         candidates.append(
             Candidate(
                 build_seq,
@@ -196,8 +200,8 @@ class PlacementProvider:
                 )
                 return ops.IndexRangeScan(table, clustered, binding, predicate=predicate)
 
-            ordered_cost = cm.index_range(base_rows) + (
-                cm.filter(base_rows) if live_conjuncts else 0.0
+            ordered_cost = cm.index_descent + cm.fused_pipeline(
+                cm.index_row + (cm.filter_row if live_conjuncts else 0.0), base_rows
             )
             candidates.append(
                 Candidate(
@@ -226,7 +230,9 @@ class PlacementProvider:
             )
             matched = max(base_rows * prefix_sel, 0.0)
             residual = [c for c in live_conjuncts if c not in used_exprs]
-            cost = cm.index_seek(matched) + (cm.filter(matched) if residual else 0.0)
+            cost = cm.index_descent + cm.fused_pipeline(
+                cm.index_row + (cm.filter_row if residual else 0.0), matched
+            )
 
             def build_index(
                 index=index,

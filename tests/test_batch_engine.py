@@ -1,0 +1,284 @@
+"""Batch-engine equivalence: batch execution == row execution, everywhere.
+
+The batch engine (``batch_size`` > 1, the default) and the legacy row
+engine (``batch_size=1``) must be observationally identical: same rows,
+same warnings, same routing, for every query shape the other suites
+exercise.  This module drives both engines over
+
+* the deterministic enumeration of every query shape from
+  ``test_optimizer_equivalence.py`` (scans, aggregates, 2/3-way joins,
+  self joins, IN-subqueries, ORDER BY / DISTINCT / LIMIT) on the
+  back-end server, and
+* the paper environments from ``test_paper_walkthrough.py`` and the
+  plan-choice benches (guarded SwitchUnion plans, serve-stale warnings,
+  mixed routing) on MTCache,
+
+asserting zero diffs.  It also pins down the ``batch_size`` knob's
+contract on both servers.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.cache.backend import BackendServer
+from repro.cache.mtcache import MTCache
+from repro.workloads.bookstore import load_bookstore
+from repro.workloads.experiment import build_paper_setup
+from repro.workloads.queries import guard_query, plan_choice_query
+
+# The query-shape vocabulary of test_optimizer_equivalence.py, enumerated
+# exhaustively instead of sampled.
+PREDICATES_R = [
+    "", "r.a < 20", "r.b = 3", "r.c > 5.0", "r.a BETWEEN 10 AND 40",
+    "r.b = 3 AND r.a < 30", "r.a < 20 OR r.c > 10.0", "NOT r.b = 2",
+    "r.b IN (1, 2, 3)",
+]
+PREDICATES_JOIN = ["", "s.y = 2", "r.a + s.x < 30", "s.y < r.b"]
+ITEMS = ["r.a", "r.a, r.c", "r.b, r.a", "r.a, r.b, r.c"]
+
+
+def _make_server(batch_size):
+    backend = BackendServer(batch_size=batch_size)
+    backend.create_table(
+        "CREATE TABLE r (a INT NOT NULL, b INT NOT NULL, c FLOAT NOT NULL, "
+        "PRIMARY KEY (a))"
+    )
+    backend.create_table(
+        "CREATE TABLE s (x INT NOT NULL, y INT NOT NULL, PRIMARY KEY (x))"
+    )
+    backend.create_table(
+        "CREATE TABLE u (p INT NOT NULL, q INT NOT NULL, PRIMARY KEY (p))"
+    )
+    r_rows = ", ".join(f"({i}, {i % 7}, {float(i % 13)})" for i in range(1, 61))
+    s_rows = ", ".join(f"({i}, {i % 5})" for i in range(1, 41))
+    u_rows = ", ".join(f"({i}, {i % 3})" for i in range(1, 31))
+    backend.execute(f"INSERT INTO r VALUES {r_rows}")
+    backend.execute(f"INSERT INTO s VALUES {s_rows}")
+    backend.execute(f"INSERT INTO u VALUES {u_rows}")
+    backend.execute("CREATE INDEX ix_r_b ON r (b)")
+    backend.refresh_statistics()
+    return backend
+
+
+@pytest.fixture(scope="module")
+def engines():
+    """(batch backend, row backend) over identical data."""
+    return _make_server(256), _make_server(1)
+
+
+def _assert_same_bag(engines, sql):
+    batch, row = engines
+    assert Counter(batch.execute(sql).rows) == Counter(row.execute(sql).rows), sql
+
+
+def _assert_same_list(engines, sql):
+    batch, row = engines
+    assert batch.execute(sql).rows == row.execute(sql).rows, sql
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("predicate", PREDICATES_R)
+    @pytest.mark.parametrize("items", ITEMS)
+    def test_scan_queries(self, engines, predicate, items):
+        where = f" WHERE {predicate}" if predicate else ""
+        _assert_same_bag(engines, f"SELECT {items} FROM r{where}")
+
+    @pytest.mark.parametrize("predicate", PREDICATES_R)
+    def test_aggregates(self, engines, predicate):
+        where = f" WHERE {predicate}" if predicate else ""
+        _assert_same_bag(
+            engines,
+            f"SELECT r.b, COUNT(*) AS n, SUM(r.c) AS total FROM r{where} GROUP BY r.b",
+        )
+
+    @pytest.mark.parametrize("pred_r", PREDICATES_R)
+    @pytest.mark.parametrize("pred_join", PREDICATES_JOIN)
+    def test_two_way_joins(self, engines, pred_r, pred_join):
+        conjuncts = ["r.a = s.x"]
+        if pred_r:
+            conjuncts.append(pred_r)
+        if pred_join:
+            conjuncts.append(pred_join)
+        _assert_same_bag(
+            engines,
+            f"SELECT r.a, r.b, s.y FROM r, s WHERE {' AND '.join(conjuncts)}",
+        )
+
+    @pytest.mark.parametrize("pred", PREDICATES_R)
+    @pytest.mark.parametrize("join2", ["s.x = u.p", "r.b = u.q"])
+    def test_three_way_joins(self, engines, pred, join2):
+        conjuncts = ["r.a = s.x", join2]
+        if pred:
+            conjuncts.append(pred)
+        _assert_same_bag(
+            engines,
+            f"SELECT r.a, s.y, u.q FROM r, s, u WHERE {' AND '.join(conjuncts)}",
+        )
+
+    @pytest.mark.parametrize("pred", ["", "x.b = 2", "y.b = 3", "x.a < y.a"])
+    def test_self_joins(self, engines, pred):
+        conjuncts = ["x.b = y.b"]
+        if pred:
+            conjuncts.append(pred)
+        _assert_same_bag(
+            engines,
+            f"SELECT x.a, y.a FROM r x, r y WHERE {' AND '.join(conjuncts)}",
+        )
+
+    @pytest.mark.parametrize("pred", PREDICATES_R)
+    @pytest.mark.parametrize("inner", ["s.y = 2", "s.y < 3", "s.x > 20", ""])
+    def test_in_subqueries(self, engines, pred, inner):
+        inner_where = f" WHERE {inner}" if inner else ""
+        conjuncts = [f"r.b IN (SELECT s.y FROM s{inner_where})"]
+        if pred:
+            conjuncts.append(pred)
+        _assert_same_bag(
+            engines, f"SELECT r.a, r.b FROM r WHERE {' AND '.join(conjuncts)}"
+        )
+
+    @pytest.mark.parametrize("pred", PREDICATES_R)
+    @pytest.mark.parametrize("direction", ["ASC", "DESC"])
+    def test_order_by(self, engines, pred, direction):
+        where = f" WHERE {pred}" if pred else ""
+        # Unique sort key -> a total order both engines must agree on.
+        _assert_same_list(
+            engines, f"SELECT r.a FROM r{where} ORDER BY r.a {direction}"
+        )
+
+    @pytest.mark.parametrize("pred", PREDICATES_R)
+    def test_distinct(self, engines, pred):
+        where = f" WHERE {pred}" if pred else ""
+        _assert_same_bag(engines, f"SELECT DISTINCT r.b FROM r{where}")
+
+    def test_limit(self, engines):
+        _assert_same_list(engines, "SELECT r.a FROM r ORDER BY r.a LIMIT 7")
+
+
+@pytest.fixture(scope="module")
+def paper_pair():
+    """(batch, row) paper environments, same seed, same settle."""
+    return (
+        build_paper_setup(scale_factor=0.002, paper_scale_stats=True),
+        build_paper_setup(scale_factor=0.002, paper_scale_stats=True, batch_size=1),
+    )
+
+
+class TestPaperSetupEquivalence:
+    @pytest.mark.parametrize("name", ["q1", "q2", "q3", "q4", "q5", "q6", "q7"])
+    def test_plan_choice_queries(self, paper_pair, name):
+        batch, row = paper_pair
+        sql = plan_choice_query(name)  # SF-1.0 selectivities, like the bench
+        b = batch.cache.execute(sql)
+        r = row.cache.execute(sql)
+        assert Counter(b.rows) == Counter(r.rows), name
+        assert b.routing == r.routing, name
+        assert b.warnings == r.warnings, name
+        assert b.plan.summary() == r.plan.summary(), name
+
+    @pytest.mark.parametrize("name", ["gq1", "gq2", "gq3"])
+    def test_guard_queries(self, paper_pair, name):
+        batch, row = paper_pair
+        sql = guard_query(name, scale_factor=0.002)
+        b = batch.cache.execute(sql)
+        r = row.cache.execute(sql)
+        assert Counter(b.rows) == Counter(r.rows), name
+        assert b.routing == r.routing, name
+        assert b.warnings == r.warnings, name
+
+
+def _make_bookstore(batch_size):
+    backend = BackendServer(batch_size=batch_size)
+    load_bookstore(backend, n_books=30)
+    cache = MTCache(backend, batch_size=batch_size,
+                    fallback_policy="serve_stale")
+    cache.create_region("books_r", 3600.0, 1.0, heartbeat_interval=1.0)
+    cache.create_matview("books_copy", "books", ["isbn", "title", "price"],
+                         region="books_r")
+    cache.create_matview("reviews_copy", "reviews",
+                         ["review_id", "isbn", "rating"], region="books_r")
+    cache.run_for(3601)
+    return cache
+
+BOOK_JOIN = "SELECT b.isbn, r.rating FROM books b, reviews r WHERE b.isbn = r.isbn"
+
+
+class TestWalkthroughEquivalence:
+    @pytest.mark.parametrize("currency", [
+        "",
+        " CURRENCY BOUND 2 HOUR ON (b), 2 HOUR ON (r)",
+        " CURRENCY BOUND 10 MIN ON (b, r)",
+        # Mid-cycle the replicas are ~30 min stale: the optimizer still
+        # picks the guarded plan for a 30-minute bound, the guard fails at
+        # run time, and serve_stale attaches warnings — which must match.
+        " CURRENCY BOUND 30 MIN ON (b), 30 MIN ON (r)",
+    ])
+    def test_bookstore_join(self, currency):
+        batch = _make_bookstore(256)
+        row = _make_bookstore(1)
+        batch.run_for(1800)
+        row.run_for(1800)
+        sql = BOOK_JOIN + currency
+        b = batch.execute(sql)
+        r = row.execute(sql)
+        assert Counter(b.rows) == Counter(r.rows), currency
+        assert b.routing == r.routing, currency
+        assert b.warnings == r.warnings, currency
+
+    def test_serve_stale_warnings_fire_identically(self):
+        batch = _make_bookstore(256)
+        row = _make_bookstore(1)
+        batch.run_for(1800)
+        row.run_for(1800)
+        sql = BOOK_JOIN + " CURRENCY BOUND 30 MIN ON (b), 30 MIN ON (r)"
+        b = batch.execute(sql)
+        r = row.execute(sql)
+        # Guard equivalence must not be vacuous: this shape fails its
+        # guards mid-cycle under both engines.
+        assert len(b.warnings) == 2
+        assert b.warnings == r.warnings
+
+
+class TestBatchSizeKnob:
+    def test_mtcache_rejects_bad_values(self):
+        backend = BackendServer()
+        for bad in (0, -1, 2.5, "256", True, None):
+            with pytest.raises(ValueError, match="batch_size"):
+                MTCache(backend, batch_size=bad)
+
+    def test_backend_rejects_bad_values(self):
+        for bad in (0, -3, 1.0, "row", False):
+            with pytest.raises(ValueError, match="batch_size"):
+                BackendServer(batch_size=bad)
+
+    def test_knob_is_keyword_only(self):
+        backend = BackendServer()
+        with pytest.raises(TypeError):
+            MTCache(backend, None, "remote", 128, None, 64)  # noqa: PLE (positional)
+
+    def test_batch_size_one_forces_row_path(self, engines):
+        _, row = engines
+        assert row.executor.batch_size == 1
+        # The row engine never moves chunks, so the batch counter stays 0.
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        row.executor.set_registry(registry)
+        try:
+            row.execute("SELECT r.a FROM r")
+            assert registry.counter("engine_batches_total").value == 0
+        finally:
+            row.executor.set_registry(row.metrics)
+
+    def test_batch_engine_counts_batches_and_fused_pipelines(self, engines):
+        batch, _ = engines
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        batch.executor.set_registry(registry)
+        try:
+            batch.execute("SELECT r.a FROM r WHERE r.a < 20")
+            assert registry.counter("engine_batches_total").value >= 1
+            assert registry.counter("engine_fused_pipelines_total").value >= 1
+        finally:
+            batch.executor.set_registry(batch.metrics)
