@@ -1,10 +1,11 @@
 """Shared fixtures for the paper-reproduction benchmarks.
 
-Besides the environment fixtures, this conftest maintains the PR's
-benchmark summary: tests that opt in via the ``bench2_recorder`` fixture
+Besides the environment fixtures, this conftest maintains the per-PR
+benchmark summaries: tests that opt in via a ``bench*_recorder`` fixture
 deposit their headline numbers (qps, p50/p95 latency, speedups) into a
-shared dict, and at session end the dict is written to
-``benchmarks/BENCH_2.json`` so the perf trajectory is recorded per PR.
+shared dict, and at session end each non-empty dict is merge-written to
+its ``benchmarks/BENCH_<n>.json`` so the perf trajectory is recorded per
+PR (BENCH_2: batch engine; BENCH_3: cache fleet).
 """
 
 import json
@@ -14,8 +15,10 @@ import pytest
 
 from repro.workloads.experiment import build_paper_setup
 
-#: Accumulates {workload/section -> metrics} across the bench session.
-_BENCH2 = {}
+#: Accumulates {workload/section -> metrics} per summary file.
+_BENCH = {"BENCH_2.json": {}, "BENCH_3.json": {}}
+_BENCH2 = _BENCH["BENCH_2.json"]
+_BENCH3 = _BENCH["BENCH_3.json"]
 
 
 @pytest.fixture(scope="session")
@@ -36,15 +39,22 @@ def bench2_recorder():
     return _BENCH2
 
 
+@pytest.fixture(scope="session")
+def bench3_recorder():
+    """Mutable dict whose contents land in benchmarks/BENCH_3.json."""
+    return _BENCH3
+
+
 def pytest_sessionfinish(session, exitstatus):
-    if not _BENCH2:
-        return
-    path = pathlib.Path(__file__).resolve().parent / "BENCH_2.json"
-    data = {}
-    if path.exists():  # merge, so partial bench runs keep other sections
-        try:
-            data = json.loads(path.read_text())
-        except ValueError:
-            data = {}
-    data.update(_BENCH2)
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    for filename, recorded in _BENCH.items():
+        if not recorded:
+            continue
+        path = pathlib.Path(__file__).resolve().parent / filename
+        data = {}
+        if path.exists():  # merge, so partial bench runs keep other sections
+            try:
+                data = json.loads(path.read_text())
+            except ValueError:
+                data = {}
+        data.update(recorded)
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

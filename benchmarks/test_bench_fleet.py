@@ -1,0 +1,146 @@
+"""Benchmark: cache-fleet throughput and availability (PR 3's tentpole).
+
+Two experiments against one shared back-end, both under the workload
+driver with simulated think time disabled (a closed loop):
+
+* **throughput** — the same guarded point-lookup workload is routed
+  through a 3-node fleet and a 1-node fleet; the simulated-capacity
+  ledger (``simulated_makespan``) models the nodes truly running in
+  parallel, and the acceptance bar is the 3-node fleet sustaining >= 2x
+  the single cache's qps.
+* **outage** — a 3-node fleet takes a mixed-bound workload while the
+  back-end is unreachable for 2 simulated seconds and every distribution
+  agent is stalled: loose bounds keep serving locally, strict bounds
+  degrade per the nodes' fallback policy, remote-only queries ride the
+  outage out via retry/backoff — and the run must finish with zero
+  raised errors while the fleet metrics record the retries and breaker
+  transitions.
+
+Headline numbers land in ``benchmarks/BENCH_3.json``.
+
+Run:  pytest benchmarks/test_bench_fleet.py -s
+"""
+
+from repro.cache.backend import BackendServer
+from repro.fleet import CacheFleet
+from repro.workloads.driver import WorkloadDriver, point_lookup_factory
+
+N_ROWS = 500
+N_QUERIES = 600
+
+
+def build_fleet(n_nodes, **kwargs):
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE profile (id INT NOT NULL, score INT NOT NULL, "
+        "PRIMARY KEY (id))"
+    )
+    for start in range(0, N_ROWS, 100):
+        values = ", ".join(f"({i}, {i % 100})" for i in range(start, start + 100))
+        backend.execute(f"INSERT INTO profile VALUES {values}")
+    backend.refresh_statistics()
+    fleet = CacheFleet(backend, n_nodes=n_nodes, **kwargs)
+    fleet.create_region("r", 4.0, 1.0, heartbeat_interval=0.5)
+    fleet.create_matview("profile_copy", "profile", ["id", "score"], region="r")
+    fleet.run_for(6.0)
+    return fleet
+
+
+def drive(fleet, n_queries=N_QUERIES, bounds=(600,), think_time=0,
+          raise_errors=True, seed=7):
+    factory = point_lookup_factory("profile", "id", (0, N_ROWS - 1), alias="p")
+    fleet.reset_load()
+    report = WorkloadDriver(fleet, seed=seed).run(
+        factory, list(bounds), n_queries, think_time=think_time,
+        raise_errors=raise_errors,
+    )
+    return report, fleet.simulated_makespan()
+
+
+def test_fleet_throughput_vs_single_cache(benchmark, bench3_recorder):
+    triple = build_fleet(3)
+    single = build_fleet(1)
+
+    triple_report, triple_makespan = benchmark.pedantic(
+        lambda: drive(triple), rounds=1, iterations=1
+    )
+    single_report, single_makespan = drive(single)
+
+    assert triple_report.local_fraction == 1.0, "workload must stay local"
+    assert single_report.local_fraction == 1.0
+
+    triple_qps = N_QUERIES / triple_makespan
+    single_qps = N_QUERIES / single_makespan
+    speedup = triple_qps / single_qps
+    bench3_recorder["throughput"] = {
+        "workload": "guarded point lookups, closed loop, bound 600s",
+        "queries": N_QUERIES,
+        "fleet_3_nodes": {
+            "simulated_makespan_s": triple_makespan,
+            "qps": triple_qps,
+            "per_node_queries": dict(sorted(triple_report.by_node.items())),
+        },
+        "single_cache": {
+            "simulated_makespan_s": single_makespan,
+            "qps": single_qps,
+        },
+        "speedup_vs_single": speedup,
+    }
+
+    print(f"\n=== fleet throughput: 3 nodes {triple_qps:.0f} qps "
+          f"(makespan {triple_makespan:.3f}s) | single {single_qps:.0f} qps "
+          f"(makespan {single_makespan:.3f}s) | speedup {speedup:.2f}x ===")
+
+    # The PR's acceptance bar: >= 2x a single cache under the same driver.
+    assert speedup >= 2.0, (
+        f"3-node fleet at {triple_qps:.0f} qps is only {speedup:.2f}x the "
+        f"single cache's {single_qps:.0f} qps"
+    )
+
+
+def test_fleet_rides_out_backend_outage(benchmark, bench3_recorder):
+    fleet = build_fleet(3, reset_timeout=0.5)
+    fleet.network.inject_outage(2.0)
+    fleet.network.stall_agents(2.0)
+
+    # Mixed bounds: 0 forces remote-only plans (retry through the outage),
+    # 2 is tighter than the stalled regions (degrades per fallback
+    # policy), 600 tolerates the lag (stays local).
+    report, _ = benchmark.pedantic(
+        lambda: drive(fleet, n_queries=60, bounds=(0, 2, 600),
+                      think_time=0.25, raise_errors=False),
+        rounds=1, iterations=1,
+    )
+
+    snap = report.metrics["fleet"]
+    retries = sum(v for k, v in snap.items()
+                  if k.startswith("fleet_retries_total"))
+    transitions = sum(v for k, v in snap.items()
+                      if k.startswith("fleet_breaker_transitions_total"))
+    degraded = sum(v for k, v in snap.items()
+                   if k.startswith("fleet_degraded_total"))
+    bench3_recorder["outage"] = {
+        "scenario": "2s back-end outage + agent stall, 3 nodes, "
+                    "bounds [0, 2, 600] s",
+        "queries": report.queries,
+        "errors": report.errors,
+        "warnings": report.warnings,
+        "local_fraction_bound_600": report.local_fraction_for(600),
+        "retries": retries,
+        "breaker_transitions": transitions,
+        "degraded_queries": degraded,
+    }
+
+    print(f"\n=== outage: {report.queries} queries, {report.errors} errors, "
+          f"{report.warnings} warnings, {retries} retries, "
+          f"{transitions} breaker transitions, {degraded} degraded ===")
+
+    # Acceptance: the mixed workload completes with zero raised errors...
+    assert report.errors == 0
+    assert report.queries == 60
+    # ...loose bounds kept serving locally...
+    assert report.local_fraction_for(600) == 1.0
+    # ...and the fleet metrics recorded the retries and breaker activity
+    # the remote-only queries generated while riding out the outage.
+    assert retries > 0
+    assert transitions > 0

@@ -33,13 +33,16 @@ from repro.cc.properties import BACKEND_REGION, ConsistencyProperty
 from repro.cc.timeline import TimelineSession
 from repro.common.clock import SimulatedClock, WallClock
 from repro.common.errors import (
+    CircuitOpenError,
     ConsistencyError,
     CurrencyError,
+    NetworkError,
     OptimizerError,
     ParseError,
     ReproError,
 )
 from repro.engine.executor import QueryResult
+from repro.fleet import CacheFleet, FleetRouter, SimulatedNetwork
 from repro.obs import MetricsRegistry, NullRegistry, Span
 from repro.optimizer.cost import CostModel, guard_probability
 from repro.semantics.checker import ResultChecker
@@ -52,13 +55,17 @@ __all__ = [
     "BackendServer",
     "CCConstraint",
     "CCTuple",
+    "CacheFleet",
+    "CircuitOpenError",
     "ConsistencyError",
     "ConsistencyProperty",
     "CostModel",
     "CurrencyError",
     "FallbackPolicy",
+    "FleetRouter",
     "MTCache",
     "MetricsRegistry",
+    "NetworkError",
     "NullRegistry",
     "OptimizerError",
     "ParseError",
@@ -66,6 +73,7 @@ __all__ = [
     "ReproError",
     "ResultChecker",
     "SimulatedClock",
+    "SimulatedNetwork",
     "Span",
     "TimelineSession",
     "WallClock",

@@ -334,9 +334,13 @@ class FallbackPolicy(enum.Enum):
 
 
 def _coerce_policy(value):
-    """Validate a fallback policy (enum member or its string value)."""
+    """Validate a fallback policy (enum member or its string value,
+    case-insensitive).  Rejections name the accepted values so a typo'd
+    knob is a one-glance fix."""
+    if isinstance(value, FallbackPolicy):
+        return value
     try:
-        return FallbackPolicy(value)
+        return FallbackPolicy(str(value).lower())
     except ValueError:
         allowed = ", ".join(p.value for p in FallbackPolicy)
         raise ValueError(

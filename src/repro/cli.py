@@ -13,6 +13,7 @@ including CURRENCY clauses — or meta-commands:
     \\tables         back-end tables and row counts
     \\plan SQL       shorthand for EXPLAIN SQL
     \\metrics        Prometheus-style dump of the cache metrics registry
+    \\fleet          fleet status (when a CacheFleet is attached)
     \\help           this text
     \\quit           leave
 
@@ -35,16 +36,26 @@ HELP = """Commands:
   \\plan SQL    shorthand for EXPLAIN SQL
   \\log [N]     last N executed queries with their routing
   \\metrics     Prometheus-style dump of the cache metrics registry
+  \\fleet       fleet status: router policy, per-node health, network faults
   \\help        this text
   \\quit        leave
 """
 
 
 class Shell:
-    """Dispatches command lines against an MTCache."""
+    """Dispatches command lines against an MTCache (or a CacheFleet).
 
-    def __init__(self, cache, out=None):
-        self.cache = cache
+    Handing the shell a :class:`~repro.fleet.fleet.CacheFleet` routes SQL
+    through the fleet's front door; catalog-ish meta-commands
+    (``\\regions``, ``\\views``, ...) then inspect the fleet's first node,
+    and ``\\fleet`` shows the fleet-wide picture.
+    """
+
+    def __init__(self, cache, out=None, fleet=None):
+        if fleet is None and hasattr(cache, "router") and hasattr(cache, "nodes"):
+            fleet = cache
+        self.fleet = fleet
+        self.cache = fleet.nodes[0] if cache is fleet and fleet is not None else cache
         self.out = out or sys.stdout
         self.done = False
 
@@ -97,8 +108,11 @@ class Shell:
         elif command == "\\plan":
             self._sql(f"EXPLAIN {argument.rstrip(';')}")
         elif command == "\\metrics":
-            text = self.cache.metrics.render_text()
+            registry = self.fleet.metrics if self.fleet is not None else self.cache.metrics
+            text = registry.render_text()
             self.write(text.rstrip("\n") if text else "(no metrics recorded)")
+        elif command == "\\fleet":
+            self._fleet()
         elif command == "\\log":
             n = int(argument) if argument else 10
             entries = self.cache.query_log.recent(n)
@@ -137,9 +151,31 @@ class Shell:
                     f"snapshot age {view['snapshot_age']:.2f}s"
                 )
 
+    def _fleet(self):
+        if self.fleet is None:
+            self.write("(no fleet attached; pass a CacheFleet to the shell)")
+            return
+        status = self.fleet.status()
+        self.write(f"policy: {status['policy']}   nodes: {len(status['nodes'])}")
+        for name, info in sorted(status["nodes"].items()):
+            staleness = info["staleness"]
+            staleness_text = f"{staleness:.2f}s" if staleness is not None else "unknown"
+            self.write(
+                f"  {name}: routed={info['routed']} inflight={info['inflight']} "
+                f"breaker={info['breaker']} staleness<= {staleness_text} "
+                f"local={info['local_fraction']:.0%}"
+            )
+        net = status["network"]
+        self.write(
+            f"network: latency={net['latency']:g}s drop_rate={net['drop_rate']:g} "
+            f"outage={'ACTIVE' if net['outage_active'] else 'none'} "
+            f"agent_stall={'ACTIVE' if net['agents_stalled'] else 'none'}"
+        )
+
     # ------------------------------------------------------------------
     def _sql(self, sql):
-        result = self.cache.execute(sql)
+        target = self.fleet if self.fleet is not None else self.cache
+        result = target.execute(sql)
         if result is None:  # BEGIN/END TIMEORDERED
             self.write("ok")
             return
@@ -173,6 +209,9 @@ class Shell:
             self.write(f"({len(result.rows)} row(s))")
         if result.plan is not None and hasattr(result.plan, "summary"):
             self.write(f"plan: {result.plan.summary()}")
+        node = getattr(result, "node", None)
+        if node is not None:
+            self.write(f"node: {node}")
         if result.context is not None and result.context.branches:
             branches = ", ".join(
                 f"{label}->{'local' if index == 0 else 'remote'}"

@@ -60,3 +60,26 @@ class CurrencyError(ReproError):
 
 class ReplicationError(ReproError):
     """Raised by the replication subsystem (bad subscriptions, regions)."""
+
+
+class NetworkError(ReproError):
+    """Raised when a simulated network call fails (drop, timeout, outage).
+
+    ``reason`` is a short machine-readable tag: ``"drop"``, ``"timeout"``
+    or ``"outage"`` — the fleet layer labels its retry metrics with it.
+    """
+
+    def __init__(self, message, reason="error"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class CircuitOpenError(NetworkError):
+    """Raised when a node's circuit breaker refuses a back-end call.
+
+    The breaker opens after repeated back-end failures; while open, remote
+    calls fail fast instead of waiting out another timeout.
+    """
+
+    def __init__(self, message):
+        super().__init__(message, reason="circuit_open")

@@ -1,0 +1,68 @@
+"""repro.fleet — a multi-node cache fleet over one back-end.
+
+The paper's deployment story is a *farm* of MTCache front-ends absorbing
+read load for a single master; this package makes that story runnable:
+
+* :class:`CacheFleet` — N :class:`FleetNode` caches sharing one
+  :class:`~repro.cache.backend.BackendServer`, with fleet-wide DDL
+  helpers and a fleet-level metrics registry;
+* :class:`FleetRouter` — the front door, with pluggable routing policies
+  (:data:`~repro.fleet.routing.POLICIES`: round-robin, least-loaded, and
+  the C&C-specific *staleness-aware* policy that prefers nodes already
+  fresh enough for the query's currency bound);
+* :class:`SimulatedNetwork` — the unreliable cache↔back-end link:
+  injectable latency, drops, timeouts, back-end outage windows and
+  distribution-agent stalls, all on the deterministic simulated clock;
+* :class:`CircuitBreaker` — per-node back-end health tracking; an open
+  breaker makes guards degrade (serve stale + warning) instead of error.
+
+Quickstart::
+
+    from repro import BackendServer
+    from repro.fleet import CacheFleet
+
+    backend = BackendServer()
+    ...  # create tables, insert, refresh_statistics()
+
+    fleet = CacheFleet(backend, n_nodes=3, policy="staleness_aware")
+    fleet.create_region("r", update_interval=10, update_delay=2)
+    fleet.create_matview("t_copy", "t", ["id", "v"], region="r")
+    fleet.run_for(15)
+
+    fleet.network.inject_outage(2.0)       # back-end goes dark for 2 s
+    result = fleet.execute(
+        "SELECT t.id FROM t CURRENCY BOUND 60 SEC ON (t)"
+    )
+    print(result.node, result.routing, result.warnings)
+"""
+
+from repro.fleet.breaker import BreakerState, CircuitBreaker
+from repro.fleet.fleet import CacheFleet, FleetRouter
+from repro.fleet.network import FaultWindow, SimulatedNetwork
+from repro.fleet.node import FleetNode
+from repro.fleet.routing import (
+    POLICIES,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    StalenessAwarePolicy,
+    bound_from_sql,
+    make_policy,
+)
+
+__all__ = [
+    "BreakerState",
+    "CacheFleet",
+    "CircuitBreaker",
+    "FaultWindow",
+    "FleetNode",
+    "FleetRouter",
+    "LeastLoadedPolicy",
+    "POLICIES",
+    "RoundRobinPolicy",
+    "RoutingPolicy",
+    "SimulatedNetwork",
+    "StalenessAwarePolicy",
+    "bound_from_sql",
+    "make_policy",
+]

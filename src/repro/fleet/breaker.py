@@ -1,0 +1,106 @@
+"""Per-node circuit breaking for back-end calls.
+
+The classic three-state breaker, run on the simulated clock:
+
+* **CLOSED** — calls flow; consecutive failures are counted.
+* **OPEN** — after ``failure_threshold`` consecutive failures the breaker
+  trips: remote calls are refused without touching the network until
+  ``reset_timeout`` simulated seconds have passed.
+* **HALF_OPEN** — after the cooldown one probe call is let through; a
+  success closes the breaker, a failure reopens it (and restarts the
+  cooldown).
+
+A node whose breaker is open *degrades* rather than erroring: currency
+guards stop selecting the remote branch and fall back according to the
+node's :class:`~repro.cache.mtcache.FallbackPolicy` (see
+:class:`repro.fleet.node.FleetNode`).
+"""
+
+import enum
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+#: Gauge encoding for ``fleet_breaker_state{node=...}``.
+_STATE_VALUE = {BreakerState.CLOSED: 0, BreakerState.HALF_OPEN: 1, BreakerState.OPEN: 2}
+
+
+class CircuitBreaker:
+    """Tracks back-end health for one fleet node."""
+
+    def __init__(self, clock, *, failure_threshold=3, reset_timeout=5.0,
+                 registry=None, name=""):
+        from repro.obs.metrics import NULL_REGISTRY
+
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.name = name
+        self.state = BreakerState.CLOSED
+        self.failures = 0  # consecutive failures while closed
+        self.opened_at = None
+
+    # ------------------------------------------------------------------
+    @property
+    def retry_at(self):
+        """Absolute simulated time at which an open breaker half-opens."""
+        if self.opened_at is None:
+            return self.clock.now()
+        return self.opened_at + self.reset_timeout
+
+    def available(self):
+        """May a remote call proceed right now?
+
+        An open breaker whose cooldown has elapsed transitions to
+        HALF_OPEN here, admitting the probe call.
+        """
+        if self.state is BreakerState.OPEN:
+            if self.clock.now() >= self.retry_at:
+                self._transition(BreakerState.HALF_OPEN)
+                return True
+            return False
+        return True
+
+    def record_success(self):
+        self.failures = 0
+        if self.state is not BreakerState.CLOSED:
+            self._transition(BreakerState.CLOSED)
+
+    def record_failure(self):
+        self.failures += 1
+        if self.state is BreakerState.HALF_OPEN or self.failures >= self.failure_threshold:
+            self.failures = 0
+            self.opened_at = self.clock.now()
+            if self.state is not BreakerState.OPEN:
+                self._transition(BreakerState.OPEN)
+            else:
+                # Already open (e.g. repeated failures racing the clock):
+                # just restart the cooldown.
+                self._set_gauge()
+
+    # ------------------------------------------------------------------
+    def _transition(self, to):
+        self.state = to
+        self.registry.counter(
+            "fleet_breaker_transitions_total",
+            labels={"node": self.name or "-", "to": to.value},
+            help="circuit-breaker state transitions",
+        ).inc()
+        self._set_gauge()
+
+    def _set_gauge(self):
+        self.registry.gauge(
+            "fleet_breaker_state", labels={"node": self.name or "-"},
+            help="breaker state: 0=closed 1=half-open 2=open",
+        ).set(_STATE_VALUE[self.state])
+
+    def __repr__(self):
+        return (
+            f"<CircuitBreaker {self.name or '-'} {self.state.value} "
+            f"failures={self.failures}>"
+        )

@@ -1,0 +1,248 @@
+"""The cache fleet: N MTCache nodes, one back-end, one front door.
+
+:class:`CacheFleet` owns the nodes, the shared
+:class:`~repro.fleet.network.SimulatedNetwork`, and a fleet-level metrics
+registry; :class:`FleetRouter` is the front door applications submit SQL
+to.  DDL helpers (:meth:`CacheFleet.create_region`,
+:meth:`CacheFleet.create_matview`) fan the definition out to every node —
+each node gets its *own* currency region (suffixed ``@node``) because the
+back-end heartbeat table keys one row per region id, and each node's
+agent replicates independently.
+
+Besides routing, the router keeps the simulated-capacity ledger: each
+query occupies its node for the wall-clock time it actually took, so
+``simulated_makespan()`` reports how long the workload would have taken
+with the nodes truly running in parallel.  That is the number the fleet
+throughput benchmark compares against a single cache.
+"""
+
+from repro.fleet.network import SimulatedNetwork
+from repro.fleet.node import FleetNode
+from repro.fleet.routing import bound_from_sql, make_policy
+from repro.obs.metrics import MetricsRegistry, NullRegistry
+
+#: Floor on a query's simulated service time, so zero-cost results still
+#: occupy their node for a tick.
+_MIN_SERVICE = 1e-6
+
+
+class FleetRouter:
+    """Routes queries to nodes according to a pluggable policy."""
+
+    def __init__(self, fleet, policy="round_robin"):
+        self.fleet = fleet
+        self.policy = make_policy(policy)
+
+    def set_policy(self, policy):
+        self.policy = make_policy(policy)
+        return self.policy
+
+    def route(self, sql, bound=None):
+        """Pick the node for one statement (no execution)."""
+        if bound is None:
+            bound = bound_from_sql(sql)
+        return self.policy.choose(self.fleet.nodes, bound=bound)
+
+    def execute(self, sql, bound=None):
+        """Route and execute one statement; annotates the result with the
+        serving node's name (``result.node``)."""
+        fleet = self.fleet
+        node = self.route(sql, bound=bound)
+        fleet.metrics.counter(
+            "fleet_routed_total",
+            labels={"node": node.name, "policy": self.policy.name},
+            help="queries routed, by node and policy",
+        ).inc()
+        node.inflight += 1
+        node.queries_routed += 1
+        start = max(fleet.clock.now(), node.busy_until)
+        try:
+            result = node.execute(sql)
+        finally:
+            node.inflight -= 1
+        timings = getattr(result, "timings", None)
+        service = max(timings.total if timings is not None else 0.0, _MIN_SERVICE)
+        node.busy_until = start + service
+        node.busy_seconds += service
+        staleness = fleet.max_staleness()
+        if staleness is not None:
+            fleet.metrics.gauge(
+                "fleet_region_staleness_max_seconds",
+                help="worst region staleness bound across the fleet",
+            ).set(staleness)
+        if hasattr(result, "rows"):
+            result.node = node.name
+        return result
+
+
+class CacheFleet:
+    """N cache nodes over one shared back-end.
+
+    Keyword knobs:
+
+    * ``policy`` — routing policy name/instance (``round_robin``,
+      ``least_loaded``, ``staleness_aware``);
+    * ``network`` — a preconfigured :class:`SimulatedNetwork` (default: a
+      fault-free one on the back-end's clock and scheduler);
+    * ``metrics`` — the fleet-level registry (routing, retries, breaker
+      state); each node still owns its per-node registry;
+    * breaker tuning (``failure_threshold``, ``reset_timeout``,
+      ``max_remote_wait``) is applied to every node;
+    * remaining keyword arguments (``fallback_policy``, ``batch_size``,
+      ...) are forwarded to each :class:`FleetNode`/MTCache.
+    """
+
+    def __init__(self, backend, n_nodes=3, *, names=None, policy="round_robin",
+                 network=None, metrics=None, failure_threshold=3,
+                 reset_timeout=5.0, max_remote_wait=60.0, **node_kwargs):
+        if names is None:
+            names = [f"node{i}" for i in range(n_nodes)]
+        if not names:
+            raise ValueError("a fleet needs at least one node")
+        self.backend = backend
+        self.clock = backend.clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if network is None:
+            network = SimulatedNetwork(
+                backend.clock, backend.scheduler, registry=self.metrics
+            )
+        elif isinstance(network.registry, NullRegistry):
+            # A hand-built network without its own registry reports into
+            # the fleet's.
+            network.registry = self.metrics
+        self.network = network
+        self.nodes = [
+            FleetNode(
+                name, backend, network,
+                fleet_metrics=self.metrics,
+                failure_threshold=failure_threshold,
+                reset_timeout=reset_timeout,
+                max_remote_wait=max_remote_wait,
+                **node_kwargs,
+            )
+            for name in names
+        ]
+        self.router = FleetRouter(self, policy)
+        self.regions = {}  # base cid -> {node name: per-node cid}
+        self._epoch = self.clock.now()
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def node(self, name):
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"no fleet node named {name!r}")
+
+    def region_cid(self, cid, node):
+        """The per-node region id for base region ``cid`` on ``node``."""
+        name = node if isinstance(node, str) else node.name
+        return f"{cid}@{name}"
+
+    # ------------------------------------------------------------------
+    # Fleet-wide DDL
+    # ------------------------------------------------------------------
+    def create_region(self, cid, update_interval, update_delay, heartbeat_interval=2.0):
+        """Create region ``cid`` on every node (as ``cid@node``)."""
+        created = {}
+        for node in self.nodes:
+            node_cid = self.region_cid(cid, node)
+            node.create_region(
+                node_cid, update_interval, update_delay,
+                heartbeat_interval=heartbeat_interval,
+            )
+            created[node.name] = node_cid
+        self.regions[cid] = created
+        return created
+
+    def create_matview(self, name, base_table, columns, predicate=None, region=None):
+        """Define the view on every node, in that node's copy of ``region``."""
+        if region not in self.regions:
+            raise KeyError(f"unknown fleet region {region!r}; create_region first")
+        views = {}
+        for node in self.nodes:
+            views[node.name] = node.create_matview(
+                name, base_table, columns,
+                predicate=predicate, region=self.regions[region][node.name],
+            )
+        return views
+
+    # ------------------------------------------------------------------
+    # Query entry point
+    # ------------------------------------------------------------------
+    def execute(self, sql, bound=None):
+        """Route one statement through the front door."""
+        return self.router.execute(sql, bound=bound)
+
+    def run_for(self, seconds):
+        """Advance simulated time (shared scheduler: heartbeats, agents
+        of every node)."""
+        return self.backend.run_for(seconds)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def max_staleness(self):
+        """Worst staleness bound across the whole fleet (None: unknown)."""
+        worst = None
+        for node in self.nodes:
+            staleness = node.max_staleness()
+            if staleness is None:
+                return None
+            if worst is None or staleness > worst:
+                worst = staleness
+        return worst
+
+    def reset_load(self):
+        """Restart the simulated-capacity ledger (between benchmark runs)."""
+        now = self.clock.now()
+        self._epoch = now
+        for node in self.nodes:
+            node.busy_until = now
+            node.busy_seconds = 0.0
+
+    def simulated_makespan(self):
+        """How long the routed workload kept the fleet busy, had the nodes
+        truly run in parallel: latest node-finish time minus the epoch."""
+        finish = max((node.busy_until for node in self.nodes), default=self._epoch)
+        return max(finish - self._epoch, 0.0)
+
+    def snapshot_metrics(self):
+        """Fleet and per-node registry snapshots under node-labelled keys:
+        ``{"fleet": {...}, "node0": {...}, ...}``."""
+        out = {"fleet": self.metrics.snapshot()}
+        for node in self.nodes:
+            out[node.name] = node.metrics.snapshot()
+        return out
+
+    def status(self):
+        """Monitoring snapshot for the CLI's ``\\fleet`` command."""
+        nodes = {}
+        for node in self.nodes:
+            window = node.query_log.summary()
+            nodes[node.name] = {
+                "routed": node.queries_routed,
+                "inflight": node.inflight,
+                "breaker": node.breaker.state.value,
+                "staleness": node.max_staleness(),
+                "local_fraction": window["local_fraction"],
+                "busy_seconds": node.busy_seconds,
+            }
+        now = self.clock.now()
+        return {
+            "policy": self.router.policy.name,
+            "nodes": nodes,
+            "network": {
+                "latency": self.network.latency,
+                "drop_rate": self.network.drop_rate,
+                "outage_active": not self.network.backend_available(now),
+                "agents_stalled": self.network.agents_stalled(now=now),
+            },
+        }
+
+    def __repr__(self):
+        return (
+            f"<CacheFleet nodes={[n.name for n in self.nodes]} "
+            f"policy={self.router.policy.name}>"
+        )

@@ -1,0 +1,196 @@
+"""A simulated, unreliable network between fleet nodes and the back-end.
+
+Every cache→back-end call in a fleet goes through one shared
+:class:`SimulatedNetwork`, which models the link the paper's deployment
+picture takes for granted: a mid-tier cache farm talking to a remote
+master over a real network.  The shim injects the faults that make
+multi-node behavior interesting:
+
+* **latency** — every call advances the simulated clock by a configurable
+  round-trip time (plus optional jitter);
+* **drops** — a seeded per-call probability of losing the request;
+* **timeouts** — calls whose effective latency exceeds the timeout fail
+  after waiting the full timeout;
+* **outage windows** — absolute `[start, end)` intervals during which the
+  back-end is unreachable (:meth:`inject_outage`);
+* **distribution-agent stalls** — windows during which a node's agents
+  skip propagation entirely (:meth:`stall_agents` /
+  :meth:`wrap_agent`), so its regions fall behind.
+
+All waiting happens on the *simulated* clock — preferably through the
+shared scheduler so heartbeats and agents keep firing while a retry backs
+off — which keeps every fleet experiment deterministic.
+"""
+
+from repro.common.errors import NetworkError
+
+
+class FaultWindow:
+    """One injected fault interval on the simulated timeline."""
+
+    __slots__ = ("start", "end", "node")
+
+    def __init__(self, start, end, node=None):
+        self.start = start
+        self.end = end
+        self.node = node  # None = applies to every node
+
+    def active(self, now, node=None):
+        if not (self.start <= now < self.end):
+            return False
+        return self.node is None or node is None or self.node == node
+
+    def __repr__(self):
+        who = self.node or "*"
+        return f"<FaultWindow [{self.start:g}, {self.end:g}) node={who}>"
+
+
+class SimulatedNetwork:
+    """Fault-injecting transport shared by every node of one fleet.
+
+    ``registry`` (typically the fleet's metrics registry) receives
+    ``fleet_network_calls_total{node,outcome}`` counters and the stall /
+    latency bookkeeping.  ``seed`` drives the drop coin-flips so runs are
+    reproducible.
+    """
+
+    def __init__(self, clock, scheduler=None, *, registry=None, seed=0,
+                 latency=0.0, jitter=0.0, drop_rate=0.0, timeout=None):
+        import random
+
+        from repro.obs.metrics import NULL_REGISTRY
+
+        self.clock = clock
+        self.scheduler = scheduler
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.rng = random.Random(seed)
+        self.latency = latency
+        self.jitter = jitter
+        self.drop_rate = drop_rate
+        self.timeout = timeout
+        self._outages = []  # FaultWindow list (backend unreachable)
+        self._stalls = []  # FaultWindow list (agents skip propagation)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def inject_outage(self, duration, start=None):
+        """Make the back-end unreachable for ``duration`` simulated
+        seconds, beginning at ``start`` (default: now)."""
+        start = self.clock.now() if start is None else start
+        window = FaultWindow(start, start + duration)
+        self._outages.append(window)
+        return window
+
+    def stall_agents(self, duration, start=None, node=None):
+        """Stall distribution-agent propagation for ``duration`` seconds.
+
+        With ``node`` given only that node's agents stall; otherwise every
+        wrapped agent in the fleet skips its propagation wakes.
+        """
+        start = self.clock.now() if start is None else start
+        window = FaultWindow(start, start + duration, node=node)
+        self._stalls.append(window)
+        return window
+
+    def clear_faults(self):
+        """Drop every injected window (between experiment phases)."""
+        self._outages.clear()
+        self._stalls.clear()
+
+    def backend_available(self, now=None):
+        """True when no outage window covers the current instant."""
+        now = self.clock.now() if now is None else now
+        return not any(w.active(now) for w in self._outages)
+
+    def outage_ends_at(self, now=None):
+        """End of the outage window covering ``now`` (None if reachable)."""
+        now = self.clock.now() if now is None else now
+        ends = [w.end for w in self._outages if w.active(now)]
+        return max(ends) if ends else None
+
+    def agents_stalled(self, node=None, now=None):
+        now = self.clock.now() if now is None else now
+        return any(w.active(now, node=node) for w in self._stalls)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def sleep(self, seconds):
+        """Advance simulated time (through the scheduler when available,
+        so heartbeats and agents keep firing while a caller backs off)."""
+        if seconds <= 0:
+            return
+        if self.scheduler is not None:
+            self.scheduler.run_for(seconds)
+        else:
+            self.clock.advance(seconds)
+
+    def call(self, fn, *args, node=""):
+        """One attempt of a cache→back-end call over the simulated link.
+
+        Pays the round-trip latency, then raises :class:`NetworkError`
+        (tagged ``drop`` / ``timeout`` / ``outage``) or returns ``fn(*args)``.
+        """
+        rtt = self.latency
+        if self.jitter:
+            rtt += self.rng.uniform(0.0, self.jitter)
+        if self.timeout is not None and rtt > self.timeout:
+            self.sleep(self.timeout)
+            self._count(node, "timeout")
+            raise NetworkError(
+                f"call from {node or 'cache'} timed out after {self.timeout:g}s",
+                reason="timeout",
+            )
+        self.sleep(rtt)
+        if not self.backend_available():
+            self._count(node, "outage")
+            raise NetworkError(
+                f"back-end unreachable from {node or 'cache'} (outage window)",
+                reason="outage",
+            )
+        if self.drop_rate and self.rng.random() < self.drop_rate:
+            self._count(node, "drop")
+            raise NetworkError(
+                f"request from {node or 'cache'} dropped", reason="drop"
+            )
+        result = fn(*args)
+        self._count(node, "ok")
+        return result
+
+    def _count(self, node, outcome):
+        self.registry.counter(
+            "fleet_network_calls_total",
+            labels={"node": node or "-", "outcome": outcome},
+            help="simulated-network call attempts by outcome",
+        ).inc()
+
+    # ------------------------------------------------------------------
+    # Agent plumbing
+    # ------------------------------------------------------------------
+    def wrap_agent(self, agent, node=""):
+        """Route an agent's propagation wakes through the stall windows.
+
+        Replaces ``agent.propagate`` with a shim that skips (and counts)
+        wakes landing inside a stall window for ``node``.  The caller must
+        restart the agent afterwards so the scheduler picks up the shim.
+        """
+        original = agent.propagate
+
+        def propagate(cutoff=None):
+            if self.agents_stalled(node=node):
+                self.registry.counter(
+                    "fleet_agent_stall_skips_total", labels={"node": node or "-"},
+                    help="agent propagation wakes skipped by injected stalls",
+                ).inc()
+                return 0
+            return original(cutoff)
+
+        agent.propagate = propagate
+        return agent
+
+    def __repr__(self):
+        return (
+            f"<SimulatedNetwork latency={self.latency:g}s drop_rate={self.drop_rate:g} "
+            f"outages={len(self._outages)} stalls={len(self._stalls)}>"
+        )

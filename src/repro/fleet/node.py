@@ -1,0 +1,183 @@
+"""One cache node of a fleet: an MTCache behind a simulated network.
+
+:class:`FleetNode` extends :class:`~repro.cache.mtcache.MTCache` with the
+three things a fleet member needs:
+
+* every back-end call goes through the shared
+  :class:`~repro.fleet.network.SimulatedNetwork` with retry + exponential
+  backoff, feeding a per-node :class:`~repro.fleet.breaker.CircuitBreaker`;
+* currency guards become *availability-aware*: when the guard wants the
+  remote branch but the back-end is unreachable (outage window or open
+  breaker), the node degrades instead of erroring — it serves the local
+  (stale) rows with a constraint-violation warning, exactly the
+  ``serve_stale`` behavior of its
+  :class:`~repro.cache.mtcache.FallbackPolicy`; nodes configured with the
+  ``error`` policy already abort at the guard and never reach this path;
+* its distribution agents honor injected stall windows, so experiments
+  can let one node's regions fall behind the rest of the fleet.
+
+Remote-only plans (currency bound 0, shipped subqueries) have no local
+branch to degrade to; those calls *ride out* short outages by retrying on
+the simulated clock — waiting out breaker cooldowns — up to
+``max_remote_wait`` simulated seconds before the failure propagates.
+"""
+
+from repro.cache.mtcache import MTCache
+from repro.common.errors import CircuitOpenError, NetworkError
+from repro.fleet.breaker import CircuitBreaker
+from repro.obs.metrics import NULL_REGISTRY
+
+
+class FleetNode(MTCache):
+    """An MTCache that reaches its back-end over a simulated network."""
+
+    def __init__(self, name, backend, network, *, fleet_metrics=None,
+                 failure_threshold=3, reset_timeout=5.0, max_remote_wait=60.0,
+                 retry_backoff=0.25, **mtcache_kwargs):
+        self.name = name
+        self.network = network
+        self.fleet_metrics = fleet_metrics if fleet_metrics is not None else NULL_REGISTRY
+        self.breaker = CircuitBreaker(
+            backend.clock,
+            failure_threshold=failure_threshold,
+            reset_timeout=reset_timeout,
+            registry=self.fleet_metrics,
+            name=name,
+        )
+        #: Ceiling (simulated seconds) a remote-only call may spend riding
+        #: out drops, outages and breaker cooldowns before giving up.
+        self.max_remote_wait = max_remote_wait
+        self.retry_backoff = retry_backoff
+        #: Router bookkeeping (FleetRouter maintains these).
+        self.inflight = 0
+        self.queries_routed = 0
+        self.busy_until = 0.0
+        self.busy_seconds = 0.0
+        super().__init__(backend, **mtcache_kwargs)
+
+    # ------------------------------------------------------------------
+    # Back-end access
+    # ------------------------------------------------------------------
+    def remote_available(self):
+        """Would a remote call have a chance right now?  Used by guards
+        to decide between the remote branch and graceful degradation."""
+        return self.network.backend_available() and self.breaker.available()
+
+    def remote_executor(self, sql):
+        """Back-end call with retry/backoff over the simulated network.
+
+        Failed attempts feed the circuit breaker; an open breaker is
+        waited out on the simulated clock (modelling client retry-after)
+        rather than busy-looped.  Gives up — re-raising the last network
+        error — once ``max_remote_wait`` simulated seconds have passed.
+        """
+        clock = self.clock
+        deadline = clock.now() + self.max_remote_wait
+        attempt = 0
+        while True:
+            if not self.breaker.available():
+                wait = min(self.breaker.retry_at, deadline) - clock.now()
+                if wait > 0:
+                    self.network.sleep(wait)
+                if clock.now() >= deadline and not self.breaker.available():
+                    raise CircuitOpenError(
+                        f"breaker open on {self.name}: back-end calls refused"
+                    )
+                continue
+            try:
+                rows = self.network.call(
+                    self.backend.execute_remote, sql, node=self.name
+                )
+            except NetworkError as exc:
+                self.breaker.record_failure()
+                attempt += 1
+                self.fleet_metrics.counter(
+                    "fleet_retries_total",
+                    labels={"node": self.name, "reason": exc.reason},
+                    help="failed back-end attempts that were retried",
+                ).inc()
+                if clock.now() >= deadline:
+                    raise
+                if self.breaker.available():
+                    # Exponential backoff between attempts while closed;
+                    # an open breaker's cooldown paces us instead.
+                    self.network.sleep(
+                        self.retry_backoff * (2.0 ** min(attempt - 1, 5))
+                    )
+                continue
+            self.breaker.record_success()
+            return rows
+
+    # ------------------------------------------------------------------
+    # Availability-aware currency guards
+    # ------------------------------------------------------------------
+    def make_currency_guard(self, view, bound):
+        """Wrap the base guard with the degraded mode.
+
+        When the guard picks the remote branch but the back-end is
+        unreachable, serve the stale local rows with a warning instead of
+        letting the remote branch fail — availability over currency, the
+        coordination-avoidance trade the fleet exists to demonstrate.
+        """
+        base = super().make_currency_guard(view, bound)
+        node = self
+
+        def selector(ctx):
+            choice = base(ctx)
+            if choice == 1 and not node.remote_available():
+                ctx.record_warning(
+                    f"degraded: back-end unreachable from {node.name}; serving "
+                    f"{view.name} beyond its {bound:g}s bound"
+                )
+                ctx.record_snapshot(view.snapshot_time)
+                node.metrics.counter(
+                    "currency_guard_degraded_total", labels={"view": view.name},
+                    help="guard fallbacks forced by back-end unavailability",
+                ).inc()
+                node.fleet_metrics.counter(
+                    "fleet_degraded_total",
+                    labels={"node": node.name, "policy": node.fallback_policy},
+                    help="queries served stale because the back-end was down",
+                ).inc()
+                return 0
+            return choice
+
+        return selector
+
+    # ------------------------------------------------------------------
+    # Replication under the network
+    # ------------------------------------------------------------------
+    def create_region(self, cid, update_interval, update_delay, heartbeat_interval=2.0):
+        region = super().create_region(
+            cid, update_interval, update_delay, heartbeat_interval=heartbeat_interval
+        )
+        # Route the agent's wakes through the network's stall windows; the
+        # scheduler captured the unwrapped bound method, so restart it.
+        agent = self.agents[cid]
+        self.network.wrap_agent(agent, node=self.name)
+        agent.start(self.scheduler, interval=update_interval)
+        return region
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def max_staleness(self):
+        """Worst guaranteed staleness bound across this node's regions.
+
+        None when any region has not seen a heartbeat yet (unknown is
+        treated as infinitely stale by the staleness-aware router).
+        """
+        worst = None
+        for agent in self.agents.values():
+            bound = agent.staleness_bound()
+            if bound is None:
+                return None
+            if worst is None or bound > worst:
+                worst = bound
+        return worst
+
+    def __repr__(self):
+        return (
+            f"<FleetNode {self.name} breaker={self.breaker.state.value} "
+            f"routed={self.queries_routed}>"
+        )

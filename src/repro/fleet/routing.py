@@ -1,0 +1,136 @@
+"""Pluggable routing policies for the fleet's front door.
+
+A policy picks the node that serves the next query.  Three built-ins:
+
+* **round_robin** — cycle through the nodes; the classic load spreader.
+* **least_loaded** — fewest in-flight requests, total routed queries as
+  the tie-break; what an L7 balancer with live connection counts does.
+* **staleness_aware** — the C&C-specific policy: prefer nodes whose
+  regions' replicated heartbeats *already* satisfy the query's currency
+  bound, so the guard will pass and the query stays local.  Among fresh
+  candidates it balances by load; if no node is fresh enough it sends the
+  query to the least-stale node (whose guard then routes remote or
+  degrades per its fallback policy).
+
+Policies are duck-typed: anything with ``name`` and
+``choose(nodes, bound=None)`` works, so experiments can plug their own.
+"""
+
+import re
+
+from repro.sql import ast
+
+__all__ = [
+    "LeastLoadedPolicy",
+    "POLICIES",
+    "RoundRobinPolicy",
+    "RoutingPolicy",
+    "StalenessAwarePolicy",
+    "bound_from_sql",
+    "make_policy",
+]
+
+#: CURRENCY BOUND <n> <unit> — the router's cheap peek at the constraint;
+#: mirrors the parser's time units without paying for a full parse.
+_BOUND_RE = re.compile(
+    r"CURRENCY\s+BOUND\s+(\d+(?:\.\d+)?)\s*"
+    r"(MS|SECONDS?|SEC|MINUTES?|MIN|HOURS?|DAYS?)\b",
+    re.IGNORECASE,
+)
+
+_UNIT_SECONDS = {
+    "ms": 0.001,
+    "sec": 1.0, "second": 1.0, "seconds": 1.0,
+    "min": 60.0, "minute": 60.0, "minutes": 60.0,
+    "hour": 3600.0, "hours": 3600.0,
+    "day": 86400.0, "days": 86400.0,
+}
+
+
+def bound_from_sql(sql):
+    """Tightest currency bound in seconds named by the SQL text.
+
+    None when the statement carries no currency clause (traditional
+    semantics: the back-end answers anyway, so staleness is irrelevant
+    to routing).
+    """
+    bounds = [
+        float(value) * _UNIT_SECONDS[unit.lower()]
+        for value, unit in _BOUND_RE.findall(sql)
+    ]
+    return min(bounds) if bounds else None
+
+
+class RoutingPolicy:
+    """Interface: pick one node from a non-empty list."""
+
+    name = "?"
+
+    def choose(self, nodes, bound=None):
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    name = "round_robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def choose(self, nodes, bound=None):
+        node = nodes[self._next % len(nodes)]
+        self._next += 1
+        return node
+
+
+class LeastLoadedPolicy(RoutingPolicy):
+    name = "least_loaded"
+
+    def choose(self, nodes, bound=None):
+        return min(nodes, key=lambda n: (n.inflight, n.queries_routed))
+
+
+class StalenessAwarePolicy(RoutingPolicy):
+    name = "staleness_aware"
+
+    def __init__(self):
+        self._balance = LeastLoadedPolicy()
+
+    def choose(self, nodes, bound=None):
+        if bound is None or bound == ast.UNBOUNDED:
+            return self._balance.choose(nodes)
+        fresh = [n for n in nodes if self._satisfies(n, bound)]
+        if fresh:
+            return self._balance.choose(fresh)
+        # Nobody is fresh enough: least stale loses the least currency.
+        return min(nodes, key=self._staleness)
+
+    @staticmethod
+    def _satisfies(node, bound):
+        staleness = node.max_staleness()
+        return staleness is not None and staleness <= bound
+
+    @staticmethod
+    def _staleness(node):
+        staleness = node.max_staleness()
+        return float("inf") if staleness is None else staleness
+
+
+POLICIES = {
+    policy.name: policy
+    for policy in (RoundRobinPolicy, LeastLoadedPolicy, StalenessAwarePolicy)
+}
+
+
+def make_policy(spec):
+    """A policy instance from a name, a class, or an instance."""
+    if isinstance(spec, str):
+        try:
+            return POLICIES[spec]()
+        except KeyError:
+            allowed = ", ".join(sorted(POLICIES))
+            raise ValueError(
+                f"unknown routing policy: {spec!r} (expected one of: {allowed})"
+            ) from None
+    if isinstance(spec, type):
+        return spec()
+    return spec

@@ -1,12 +1,20 @@
-"""A mixed-workload driver for MTCache experiments.
+"""A mixed-workload driver for MTCache and cache-fleet experiments.
 
-Executes a stream of queries against the cache with configurable currency
-bounds and think times (simulated), collecting the load-split metrics the
+Executes a stream of queries against a single cache *or* a
+:class:`~repro.fleet.fleet.CacheFleet` with configurable currency bounds
+and think times (simulated), collecting the load-split metrics the
 paper's motivation talks about: how much work stays on the cache versus
 how many queries — and how many rows — still hit the back-end server.
+
+When the target is a fleet, the driver additionally records which node
+served each query, tolerates injected faults (``raise_errors=False``
+turns raised errors into a counter instead of aborting the run), and
+aggregates every node's metrics snapshot under node-labelled keys.
 """
 
 import random
+
+from repro.common.errors import ReproError
 
 
 class DriverReport:
@@ -19,10 +27,14 @@ class DriverReport:
         self.rows_shipped = 0
         self.rows_returned = 0
         self.by_bound = {}  # bound -> [local, total]
+        self.by_node = {}  # node name -> queries served (fleet runs only)
         self.warnings = 0
-        #: The cache's metrics-registry snapshot at end of run (parse /
-        #: optimize / phase timings, guard outcomes, staleness gauges),
-        #: alongside the routing aggregates above.
+        #: Errors swallowed by ``raise_errors=False`` (fault-injection runs).
+        self.errors = 0
+        #: Metrics snapshot(s) at end of run.  Driving a single cache this
+        #: is the cache registry's flat snapshot; driving a fleet it maps
+        #: node-labelled keys — ``"fleet"`` plus one key per node name —
+        #: to that registry's snapshot, so no node's counters are lost.
         self.metrics = {}
 
     @property
@@ -45,39 +57,79 @@ class DriverReport:
         self.rows_shipped += sum(n for _, n in result.context.remote_queries)
         local, total = self.by_bound.get(bound, (0, 0))
         self.by_bound[bound] = (local + (1 if served_locally else 0), total + 1)
+        node = getattr(result, "node", None)
+        if node is not None:
+            self.by_node[node] = self.by_node.get(node, 0) + 1
         self.warnings += len(result.warnings)
+
+    def record_error(self, bound, exc):
+        self.errors += 1
+        local, total = self.by_bound.get(bound, (0, 0))
+        self.by_bound[bound] = (local, total + 1)
 
     def __repr__(self):
         return (
             f"DriverReport(queries={self.queries}, local={self.local_fraction:.1%}, "
-            f"remote_queries={self.remote_queries}, rows_shipped={self.rows_shipped})"
+            f"remote_queries={self.remote_queries}, rows_shipped={self.rows_shipped}, "
+            f"errors={self.errors})"
         )
 
 
 class WorkloadDriver:
-    """Runs query streams against an MTCache on the simulated clock."""
+    """Runs query streams against an MTCache or a CacheFleet on the
+    simulated clock."""
 
     def __init__(self, cache, seed=42):
+        #: The target: anything with ``execute`` and ``run_for``.  A fleet
+        #: (detected by its ``router`` attribute) is driven through its
+        #: front door, with the sampled bound passed as a routing hint.
         self.cache = cache
         self.rng = random.Random(seed)
 
-    def run(self, query_factory, bounds, n_queries, think_time=1.0):
+    def run(self, query_factory, bounds, n_queries, think_time=1.0,
+            raise_errors=True):
         """Execute ``n_queries`` queries.
 
         ``query_factory(rng, bound)`` returns SQL text for one request;
         ``bounds`` is a list of currency bounds sampled uniformly; between
         queries the simulated clock advances by an exponential think time
-        with the given mean (so arrivals spread across propagation cycles).
+        with the given mean (``think_time=0`` disables think time — a
+        closed loop saturating the target).  ``raise_errors=False``
+        records raised :class:`~repro.common.errors.ReproError` subtypes
+        (currency violations, network failures) in ``report.errors``
+        instead of aborting, which is what fault-injection runs want.
         """
         report = DriverReport()
+        is_fleet = hasattr(self.cache, "router")
         for _ in range(n_queries):
             bound = self.rng.choice(bounds)
             sql = query_factory(self.rng, bound)
-            result = self.cache.execute(sql)
-            report.record(bound, result)
-            self.cache.run_for(self.rng.expovariate(1.0 / think_time))
-        report.metrics = self.cache.metrics.snapshot()
+            try:
+                if is_fleet:
+                    result = self.cache.execute(sql, bound=bound)
+                else:
+                    result = self.cache.execute(sql)
+            except ReproError as exc:
+                if raise_errors:
+                    raise
+                report.record_error(bound, exc)
+            else:
+                report.record(bound, result)
+            if think_time:
+                self.cache.run_for(self.rng.expovariate(1.0 / think_time))
+        report.metrics = self._metrics_snapshot()
         return report
+
+    def _metrics_snapshot(self):
+        """Node-labelled snapshots for a fleet, a flat snapshot otherwise.
+
+        Without the fleet path, driving N nodes would silently keep only
+        the last node's registry; ``CacheFleet.snapshot_metrics`` returns
+        every node's snapshot keyed by node name (plus ``"fleet"``).
+        """
+        if hasattr(self.cache, "snapshot_metrics"):
+            return self.cache.snapshot_metrics()
+        return self.cache.metrics.snapshot()
 
 
 def point_lookup_factory(table, key_column, key_range, alias=None):

@@ -36,6 +36,31 @@ class TestUnknownPolicy:
         with pytest.raises(ValueError):
             MTCache(backend, fallback_policy="shrug")
 
+    def test_message_names_the_accepted_policies(self):
+        backend = BackendServer()
+        with pytest.raises(
+            ValueError,
+            match=r"unknown fallback policy: 'shrug' "
+                  r"\(expected one of: remote, error, serve_stale\)",
+        ):
+            MTCache(backend, fallback_policy="shrug")
+
+    def test_setter_reports_the_same_message(self):
+        _, cache = make_env("remote")
+        with pytest.raises(ValueError, match=r"expected one of: remote"):
+            cache.fallback_policy = "bogus"
+        assert cache.fallback_policy == "remote"  # knob unchanged
+
+    def test_case_insensitive_and_enum_accepted(self):
+        from repro.cache.mtcache import FallbackPolicy
+
+        backend = BackendServer()
+        assert MTCache(backend, fallback_policy="REMOTE").fallback_policy == "remote"
+        assert (
+            MTCache(backend, fallback_policy=FallbackPolicy.ERROR).fallback_policy
+            == "error"
+        )
+
 
 class TestRemotePolicy:
     def test_default_routes_to_backend(self):

@@ -5,6 +5,7 @@ import pytest
 from repro.cache.backend import BackendServer
 from repro.cache.mtcache import MTCache
 from repro.common.errors import ReproError
+from repro.fleet import CacheFleet
 
 
 def make_backend():
@@ -71,6 +72,59 @@ class TestTwoCaches:
         # heartbeat table (one row per region id).
         with pytest.raises(ReproError):
             b.create_region("shared", 5.0, 1.0)
+
+
+class TestAgentStall:
+    """Two caches sharing a back-end under an injected distribution-agent
+    stall: a write-through lands on one node's copy on schedule while the
+    stalled node's guard routes remote until its region catches up."""
+
+    def make(self):
+        backend = make_backend()
+        fleet = CacheFleet(backend, n_nodes=2)
+        fleet.create_region("r", 2.0, 0.5, heartbeat_interval=0.5)
+        fleet.create_matview("inv_copy", "inv", ["id", "qty"], region="r")
+        fleet.run_for(4.0)  # let both nodes' regions settle
+        return backend, fleet
+
+    def test_stalled_node_routes_remote_until_caught_up(self):
+        backend, fleet = self.make()
+        healthy, stalled = fleet.node("node0"), fleet.node("node1")
+        fleet.network.stall_agents(10.0, node="node1")
+        healthy.execute("INSERT INTO inv VALUES (4, 40)")  # write-through
+        fleet.run_for(5.0)  # healthy agent propagates; stalled one skips
+        sql = "SELECT i.id FROM inv i CURRENCY BOUND 4 SEC ON (i)"
+
+        fresh = healthy.execute(sql)
+        assert fresh.context.branches[0][1] == 0  # guard passed: local
+        assert len(fresh.rows) == 4  # the new row already replicated
+
+        lagging = stalled.execute(sql)
+        assert lagging.context.branches[0][1] == 1  # too stale: remote
+        assert len(lagging.rows) == 4  # the back-end answers current
+        assert stalled.max_staleness() > 4.0
+
+        # Skipped wakes were counted against the stalled node only.
+        snap = fleet.metrics.snapshot()
+        assert snap['fleet_agent_stall_skips_total{node="node1"}'] >= 1
+        assert 'fleet_agent_stall_skips_total{node="node0"}' not in snap
+
+        # Stall window ends; the agent catches up and the guard passes.
+        fleet.run_for(10.0)
+        caught_up = stalled.execute(sql)
+        assert caught_up.context.branches[0][1] == 0
+        assert len(caught_up.rows) == 4
+
+    def test_stalled_node_with_loose_bound_stays_local_and_stale(self):
+        backend, fleet = self.make()
+        healthy, stalled = fleet.node("node0"), fleet.node("node1")
+        fleet.network.stall_agents(10.0, node="node1")
+        healthy.execute("INSERT INTO inv VALUES (4, 40)")
+        fleet.run_for(5.0)
+        sql = "SELECT i.id FROM inv i CURRENCY BOUND 600 SEC ON (i)"
+        result = stalled.execute(sql)
+        assert result.context.branches[0][1] == 0  # bound tolerates the lag
+        assert len(result.rows) == 3  # the write has not replicated here
 
 
 class TestBackendFailure:

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.semantics",
     "repro.workloads",
     "repro.resultcache",
+    "repro.fleet",
     "repro.cli",
 ]
 
