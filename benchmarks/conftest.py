@@ -5,7 +5,8 @@ benchmark summaries: tests that opt in via a ``bench*_recorder`` fixture
 deposit their headline numbers (qps, p50/p95 latency, speedups) into a
 shared dict, and at session end each non-empty dict is merge-written to
 its ``benchmarks/BENCH_<n>.json`` so the perf trajectory is recorded per
-PR (BENCH_2: batch engine; BENCH_3: cache fleet).
+PR (BENCH_2: batch engine; BENCH_3: cache fleet; BENCH_4: tracing
+overhead).
 """
 
 import json
@@ -16,9 +17,10 @@ import pytest
 from repro.workloads.experiment import build_paper_setup
 
 #: Accumulates {workload/section -> metrics} per summary file.
-_BENCH = {"BENCH_2.json": {}, "BENCH_3.json": {}}
+_BENCH = {"BENCH_2.json": {}, "BENCH_3.json": {}, "BENCH_4.json": {}}
 _BENCH2 = _BENCH["BENCH_2.json"]
 _BENCH3 = _BENCH["BENCH_3.json"]
+_BENCH4 = _BENCH["BENCH_4.json"]
 
 
 @pytest.fixture(scope="session")
@@ -43,6 +45,12 @@ def bench2_recorder():
 def bench3_recorder():
     """Mutable dict whose contents land in benchmarks/BENCH_3.json."""
     return _BENCH3
+
+
+@pytest.fixture(scope="session")
+def bench4_recorder():
+    """Mutable dict whose contents land in benchmarks/BENCH_4.json."""
+    return _BENCH4
 
 
 def pytest_sessionfinish(session, exitstatus):

@@ -1,0 +1,106 @@
+"""Benchmark: the run-time overhead of always-on query tracing.
+
+Every query through ``MTCache.execute`` now gets a
+:class:`~repro.obs.trace.TraceContext` — span tree, trace ring, event
+log — when a real registry is attached, while a
+:class:`~repro.obs.metrics.NullRegistry` keeps the entire path on the
+falsy ``NULL_TRACE`` fast path.  This benchmark times the *full* execute
+path (plan-cache hit + guard + scan) for the gq3 guarded range scan —
+the paper's representative execution query — under both registries and
+asserts the tracing + metrics machinery costs < 5%.
+
+The headline numbers land in ``benchmarks/BENCH_4.json``.
+
+Run:  pytest benchmarks/test_bench_trace_overhead.py --benchmark-only -s
+"""
+
+import time
+
+from repro.obs import MetricsRegistry, NullRegistry
+from repro.workloads.queries import guard_query
+
+
+def advance_until_fresh(setup, bound, limit=200):
+    """Advance simulated time until every region is fresher than
+    ``bound`` (so the guards take the local branch)."""
+    for _ in range(limit):
+        bounds = [
+            agent.staleness_bound() or 1e9
+            for agent in setup.cache.agents.values()
+        ]
+        if all(b < bound for b in bounds):
+            return
+        setup.cache.run_for(0.5)
+    raise AssertionError("could not reach a fresh state")
+
+
+#: Interleaved batches; the median batch mean is reported (robust
+#: against GC pauses and CPU-frequency drift).
+BATCHES = 9
+ITERS_PER_BATCH = 15
+OVERHEAD_LIMIT_PCT = 5.0
+
+
+def run_execute(cache, sql, iterations):
+    """Average wall-clock seconds of one full ``cache.execute`` call."""
+    start = time.perf_counter()
+    for _ in range(iterations):
+        cache.execute(sql)
+    return (time.perf_counter() - start) / iterations
+
+
+def test_trace_overhead_under_5_percent(execution_setup, benchmark,
+                                        bench4_recorder):
+    setup = execution_setup
+    cache = setup.cache
+    advance_until_fresh(setup, 10.0)
+    sql = guard_query("gq3", setup.scale_factor).replace("10 MIN", "10 SEC")
+
+    previous = cache.metrics
+    real = MetricsRegistry()
+    null = NullRegistry()
+
+    def measure():
+        # Warm both paths (plan cache, ring allocations) before timing.
+        for registry in (real, null):
+            cache.set_metrics(registry)
+            run_execute(cache, sql, 5)
+        means_real, means_null = [], []
+        for _ in range(BATCHES):
+            cache.set_metrics(real)
+            means_real.append(run_execute(cache, sql, ITERS_PER_BATCH))
+            cache.set_metrics(null)
+            means_null.append(run_execute(cache, sql, ITERS_PER_BATCH))
+        means_real.sort()
+        means_null.sort()
+        return means_real[len(means_real) // 2], means_null[len(means_null) // 2]
+
+    try:
+        t_real, t_null = benchmark.pedantic(measure, rounds=1, iterations=1)
+    finally:
+        cache.set_metrics(previous)
+
+    overhead = (t_real - t_null) / t_null * 100
+    print(f"\ntracing overhead on gq3 execute: real={t_real * 1e3:.4f}ms "
+          f"null={t_null * 1e3:.4f}ms ({overhead:+.2f}%)")
+
+    # The traced path really did record trace trees and metrics...
+    assert len(cache.traces) > 0
+    trace = cache.traces.latest()
+    assert trace.finished and any(
+        span.name == "mtcache.execute" for span in trace.spans
+    )
+    assert real.snapshot()["queries_executed_total"] > 0
+    # ...while the NullRegistry path stayed trace-free and allocation-light.
+    assert null.snapshot() == {}
+
+    bench4_recorder["trace_overhead_gq3"] = {
+        "real_ms": round(t_real * 1e3, 4),
+        "null_ms": round(t_null * 1e3, 4),
+        "overhead_pct": round(overhead, 2),
+        "limit_pct": OVERHEAD_LIMIT_PCT,
+        "iterations": BATCHES * ITERS_PER_BATCH,
+    }
+    assert overhead < OVERHEAD_LIMIT_PCT, (
+        f"tracing overhead {overhead:.2f}% >= {OVERHEAD_LIMIT_PCT}%"
+    )

@@ -23,10 +23,12 @@ from repro.cc.properties import BACKEND_REGION, ConsistencyProperty
 from repro.cc.timeline import TimelineSession
 from repro.common.errors import CatalogError, CurrencyError, OptimizerError
 from repro.engine import operators as ops
+from repro.engine.analyze import analysis_rows, instrument, render_analysis
 from repro.engine.executor import ExecutionContext, Executor, PhaseTimings, QueryResult
 from repro.engine.expressions import OutputCol, RowBinding, compile_expr
 from repro.obs.metrics import MetricsRegistry, NullRegistry
-from repro.optimizer.candidates import Candidate
+from repro.obs.trace import TraceLog
+from repro.optimizer.candidates import Candidate, stamp_estimates
 from repro.optimizer.cost import guard_probability
 from repro.optimizer.optimizer import Optimizer, OptimizedPlan
 from repro.optimizer.placement import PlacementProvider, combine_conjuncts
@@ -134,7 +136,9 @@ class CachePlacement(PlacementProvider):
                                      local.binding, self.expr_ctx)
                         for c in needed
                     ]
-                    local_branch = ops.Project(local.operator(), exprs, common_binding)
+                    local_branch = stamp_estimates(
+                        ops.Project(local.operator(), exprs, common_binding), local.rows
+                    )
                 selector = self.mtcache.make_currency_guard(view, bound)
                 return ops.SwitchUnion(
                     [local_branch, remote.operator()],
@@ -394,6 +398,9 @@ class MTCache:
         self._plan_cache_size = plan_cache_size
         #: Ring buffer of recent query executions (monitoring aid).
         self.query_log = QueryLog()
+        #: Ring buffer of finished query traces (look up by
+        #: ``result.trace_id``; rendered by ``\trace`` and TraceExporter).
+        self.traces = TraceLog(64)
         self.backend = backend
         self.clock = backend.clock
         self.scheduler = backend.scheduler
@@ -586,7 +593,8 @@ class MTCache:
             for _, values in heartbeat.scan():
                 ts = values[1]
                 break
-            fresh = ts is not None and ts > clock.now() - bound
+            now = clock.now()
+            fresh = ts is not None and ts > now - bound
             timely = ctx.timeline is None or ctx.timeline.admits(view.snapshot_time)
             registry = mtcache.metrics
             if memo[0] is not registry:
@@ -605,26 +613,63 @@ class MTCache:
                         "replication_staleness_seconds", labels={"region": view.region},
                         help="guaranteed staleness bound from the local heartbeat",
                     ),
+                    registry.histogram(
+                        "currency_slack_seconds", labels={"region": view.region},
+                        help="B - d at guard evaluation (negative: bound missed)",
+                    ),
+                    registry.counter(
+                        "currency_guard_region_total",
+                        labels={"region": view.region, "outcome": "local"},
+                        help="guard routing outcomes per currency region",
+                    ),
+                    registry.counter(
+                        "currency_guard_region_total",
+                        labels={"region": view.region, "outcome": "remote"},
+                    ),
+                    registry.counter(
+                        "currency_guard_region_total",
+                        labels={"region": view.region, "outcome": "stale"},
+                    ),
                 )
-            pass_counter, fail_counter, staleness_gauge = memo[1]
+            (pass_counter, fail_counter, staleness_gauge,
+             slack_hist, region_local, region_remote, region_stale) = memo[1]
             (pass_counter if fresh and timely else fail_counter).inc()
             if ts is not None:
-                staleness_gauge.set(clock.now() - ts)
+                staleness_gauge.set(now - ts)
+                # Currency slack: how much headroom the bound had at probe
+                # time.  Negative observations are served-stale/remote
+                # fallbacks; the distribution is the per-region SLO signal.
+                slack_hist.observe(bound - (now - ts))
             if fresh and timely:
+                region_local.inc()
                 ctx.record_snapshot(view.snapshot_time)
                 return 0
-            if policy == "remote":
-                return 1
-            staleness = float("inf") if ts is None else clock.now() - ts
+            staleness = float("inf") if ts is None else now - ts
             message = (
                 f"currency constraint not met by {view.name}: staleness bound "
                 f"{staleness:.3f}s exceeds {bound:g}s"
                 if not fresh
                 else f"timeline constraint not met by {view.name}"
             )
+            if policy == "remote":
+                region_remote.inc()
+                registry.event(
+                    "guard", f"{message}; using remote branch", time=now,
+                    view=view.name, region=view.region, outcome="remote",
+                )
+                return 1
             if policy == "error":
+                registry.event(
+                    "guard", message, severity="error", time=now,
+                    view=view.name, region=view.region, outcome="error",
+                )
                 raise CurrencyError(message)
             # serve_stale: return the data but flag the violation.
+            region_stale.inc()
+            registry.event(
+                "guard", f"{message}; serving stale", severity="warning", time=now,
+                view=view.name, region=view.region, outcome="stale",
+            )
             ctx.record_warning(message)
             ctx.record_snapshot(view.snapshot_time)
             return 0
@@ -633,7 +678,11 @@ class MTCache:
 
     def remote_executor(self, sql):
         """Connection to the back-end used by RemoteQuery operators."""
-        return self.backend.execute_remote(sql)
+        trace = self.metrics.active_trace
+        if not trace:
+            return self.backend.execute_remote(sql)
+        with trace.span("backend.remote_query", sql=sql[:60]):
+            return self.backend.execute_remote(sql)
 
     # ------------------------------------------------------------------
     # Query processing
@@ -711,14 +760,19 @@ class MTCache:
             detail=sql[:60],
         )
 
-    def execute(self, sql_or_stmt):
+    def execute(self, sql_or_stmt, *, trace=None):
         """Execute any statement submitted to the cache.
 
         The single public query entry point.  SELECTs return a
         :class:`~repro.engine.executor.QueryResult` (stable contract:
         ``rows``, ``columns``, ``plan``, ``timings``, ``routing``,
-        ``warnings``); DML returns the affected-row count; DDL returns
-        the created object; TIMEORDERED brackets return None.
+        ``warnings``, ``trace_id``); DML returns the affected-row count;
+        DDL returns the created object; TIMEORDERED brackets return None.
+
+        ``trace`` is the cross-tier :class:`~repro.obs.TraceContext`: the
+        fleet router passes the one it opened so the node's spans join
+        the router's tree; standalone callers leave it None and the cache
+        creates (and records, in ``self.traces``) its own.
         """
         if isinstance(sql_or_stmt, str):
             # Hot path: a SQL text with a cached plan skips the parser and
@@ -727,10 +781,24 @@ class MTCache:
             if plan is not None:
                 self._plan_cache.move_to_end(sql_or_stmt)  # LRU: touch on hit
                 self._plan_cache_event("hits")
-                return self._execute_plan(plan, sql_text=sql_or_stmt)
-            stmt = parse(sql_or_stmt, registry=self.metrics)
-        else:
-            stmt = sql_or_stmt
+                return self._execute_plan(plan, sql_text=sql_or_stmt, trace=trace)
+            registry = self.metrics
+            owned = trace is None
+            if owned:
+                trace = registry.new_trace()
+            prev = registry.active_trace
+            registry.active_trace = trace
+            try:
+                # Parse inside the trace window so the parse span joins it.
+                stmt = parse(sql_or_stmt, registry=registry)
+                return self._dispatch(stmt, sql_text=sql_or_stmt, trace=trace)
+            finally:
+                registry.active_trace = prev
+                if owned:
+                    self.traces.record(trace)
+        return self._dispatch(sql_or_stmt, sql_text=None, trace=trace)
+
+    def _dispatch(self, stmt, sql_text=None, trace=None):
         if isinstance(stmt, ast.BeginTimeordered):
             self.session.begin()
             return None
@@ -738,10 +806,9 @@ class MTCache:
             self.session.end()
             return None
         if isinstance(stmt, ast.Explain):
-            return self.explain(stmt.select)
+            return self.explain(stmt.select, analyze=stmt.analyze)
         if isinstance(stmt, ast.Select):
-            sql_text = sql_or_stmt if isinstance(sql_or_stmt, str) else None
-            return self._execute_select(stmt, sql_text=sql_text)
+            return self._execute_select(stmt, sql_text=sql_text, trace=trace)
         if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
             # All DML is forwarded transparently to the back-end (§3 step 5).
             self.metrics.counter("dml_forwarded_total",
@@ -797,27 +864,40 @@ class MTCache:
             select = parse(select)
         return self._execute_select(select, sql_text=sql_text)
 
-    def _execute_select(self, select, sql_text=None):
-        # Optimizing by SQL text engages the compiled-plan cache.
-        plan = self.optimize(sql_text if sql_text is not None else select)
-        return self._execute_plan(plan, sql_text=sql_text, select=select)
+    def _execute_select(self, select, sql_text=None, trace=None):
+        registry = self.metrics
+        owned = trace is None
+        if owned:
+            trace = registry.new_trace()
+        prev = registry.active_trace
+        registry.active_trace = trace
+        try:
+            # Optimizing by SQL text engages the compiled-plan cache; the
+            # optimize span enrolls in the active trace.
+            plan = self.optimize(sql_text if sql_text is not None else select)
+            return self._execute_plan(plan, sql_text=sql_text, select=select, trace=trace)
+        finally:
+            registry.active_trace = prev
+            if owned:
+                self.traces.record(trace)
 
-    def _execute_plan(self, plan, sql_text=None, select=None):
-        ctx = ExecutionContext(clock=self.clock, timeline=self.session)
-        root = plan.root()
-        result = None
-        if isinstance(root, ops.RemoteQuery) and not plan.column_names:
-            # Complex shipped query with unknown output shape (e.g. ``*`` of
-            # a derived table): execute directly on the back-end.
-            backend_result = self.backend.execute(parse(root.sql))
-            ctx.record_remote_query(root.sql, len(backend_result.rows))
-            result = QueryResult(
-                backend_result.columns, backend_result.rows, backend_result.timings, ctx
-            )
-        else:
-            result = self.executor.execute(root, ctx=ctx, column_names=plan.column_names)
-        self._observe_timeline(ctx)
-        result.plan = plan
+    def _execute_plan(self, plan, sql_text=None, select=None, trace=None):
+        registry = self.metrics
+        owned = trace is None
+        if owned:
+            trace = registry.new_trace()
+        prev = registry.active_trace
+        registry.active_trace = trace
+        qspan = trace.span("mtcache.execute", node=getattr(self, "name", "cache"))
+        qspan.__enter__()
+        try:
+            result = self._run_plan(plan, trace)
+        finally:
+            qspan.__exit__(None, None, None)
+            registry.active_trace = prev
+            if owned:
+                self.traces.record(trace)
+        ctx = result.context
         self.metrics.counter("queries_total", labels={"routing": result.routing},
                              help="SELECTs by run-time routing outcome").inc()
         self.query_log.record(
@@ -834,20 +914,75 @@ class MTCache:
         )
         return result
 
-    def explain(self, select):
+    def _run_plan(self, plan, trace):
+        ctx = ExecutionContext(clock=self.clock, timeline=self.session, trace=trace)
+        root = plan.root()
+        if isinstance(root, ops.RemoteQuery) and not plan.column_names:
+            # Complex shipped query with unknown output shape (e.g. ``*`` of
+            # a derived table): execute directly on the back-end.
+            backend_result = self.backend.execute(parse(root.sql))
+            ctx.record_remote_query(root.sql, len(backend_result.rows))
+            result = QueryResult(
+                backend_result.columns, backend_result.rows, backend_result.timings,
+                ctx, trace_id=trace.trace_id if trace else None,
+            )
+        else:
+            result = self.executor.execute(root, ctx=ctx, column_names=plan.column_names)
+        self._observe_timeline(ctx)
+        result.plan = plan
+        return result
+
+    def explain(self, select, analyze=False):
         """EXPLAIN on the cache: the plan the optimizer would run, with the
-        normalized C&C constraint it enforces."""
+        normalized C&C constraint it enforces.
+
+        With ``analyze=True`` (or ``EXPLAIN ANALYZE`` SQL) the query is
+        *executed* on a freshly built, instrumented operator tree and the
+        rendering shows estimate-vs-actual rows, loops, batches, wall
+        time, fused-pipeline membership, the SwitchUnion branch taken,
+        and per-node Q-error (which also feeds the ``cost_model_q_error``
+        histogram family).  The fresh tree keeps instrumentation
+        wrappers off cached/reused plans; the returned result carries the
+        structured per-node records in ``result.analysis``.
+        """
         if isinstance(select, str):
-            select = parse(select)
-        plan = self.optimize(select)
+            stmt = parse(select)
+            if isinstance(stmt, ast.Explain):
+                analyze = analyze or stmt.analyze
+                select = stmt.select
+            else:
+                select = stmt
+        plan = self.optimize(select, use_cache=not analyze)
         constraint = plan.query_info.constraint
-        lines = [
+        header = [
             f"summary: {plan.summary()}",
             f"estimated cost: {plan.cost:.1f}",
             f"constraint: {constraint!r}",
-        ] + plan.explain().splitlines()
-        ctx = ExecutionContext(clock=self.clock)
-        return QueryResult(["plan"], [(line,) for line in lines], PhaseTimings(), ctx)
+        ]
+        if not analyze:
+            lines = header + plan.explain().splitlines()
+            ctx = ExecutionContext(clock=self.clock)
+            return QueryResult(["plan"], [(line,) for line in lines], PhaseTimings(), ctx)
+        root = plan.root()
+        instrument(root)
+        result = self._run_plan(plan, self.metrics.new_trace())
+        records = analysis_rows(root)
+        for record in records:
+            if record["q_error"] is not None:
+                self.metrics.histogram(
+                    "cost_model_q_error", labels={"op": record["op"]},
+                    help="max(est/actual, actual/est) cardinality Q-error",
+                ).observe(record["q_error"])
+        lines = header + [
+            f"actual: {len(result.rows)} rows, routing={result.routing}, "
+            f"total {result.timings.total * 1e3:.3f}ms",
+        ] + render_analysis(records)
+        out = QueryResult(
+            ["plan"], [(line,) for line in lines], result.timings, result.context,
+            plan=plan, trace_id=result.trace_id,
+        )
+        out.analysis = records
+        return out
 
     def status(self):
         """Monitoring snapshot: per-region staleness and view freshness.

@@ -12,6 +12,9 @@ including CURRENCY clauses — or meta-commands:
     \\views          materialized view definitions
     \\tables         back-end tables and row counts
     \\plan SQL       shorthand for EXPLAIN SQL
+    \\explain SQL    EXPLAIN ANALYZE: run and show estimate-vs-actual
+    \\trace          ASCII tree of the most recent query trace
+    \\events         recent structured events (guards, breakers, faults)
     \\metrics        Prometheus-style dump of the cache metrics registry
     \\fleet          fleet status (when a CacheFleet is attached)
     \\help           this text
@@ -34,6 +37,12 @@ HELP = """Commands:
   \\views       materialized view definitions
   \\tables      back-end tables and row counts
   \\plan SQL    shorthand for EXPLAIN SQL
+  \\explain SQL EXPLAIN ANALYZE: execute and show estimate-vs-actual,
+               loops, batches, per-node wall time and Q-error
+  \\trace [json] [ID]  render a recorded query trace (default: latest)
+               as an ASCII tree, or as Chrome trace_event JSON
+  \\events [N]  last N structured events (guard fallbacks, breaker
+               transitions, outages, agent stalls, replication)
   \\log [N]     last N executed queries with their routing
   \\metrics     Prometheus-style dump of the cache metrics registry
   \\fleet       fleet status: router policy, per-node health, network faults
@@ -107,6 +116,15 @@ class Shell:
                 self.write(f"{entry.name}: {entry.table.row_count} rows")
         elif command == "\\plan":
             self._sql(f"EXPLAIN {argument.rstrip(';')}")
+        elif command == "\\explain":
+            result = self.cache.explain(argument.rstrip(";"), analyze=True)
+            self._print_result(result)
+            if result.trace_id is not None:
+                self.write(f"trace: {result.trace_id} (see \\trace)")
+        elif command == "\\trace":
+            self._trace(argument)
+        elif command == "\\events":
+            self._events(argument)
         elif command == "\\metrics":
             registry = self.fleet.metrics if self.fleet is not None else self.cache.metrics
             text = registry.render_text()
@@ -171,6 +189,61 @@ class Shell:
             f"outage={'ACTIVE' if net['outage_active'] else 'none'} "
             f"agent_stall={'ACTIVE' if net['agents_stalled'] else 'none'}"
         )
+
+    def _trace_logs(self):
+        logs = []
+        if self.fleet is not None:
+            logs.append(self.fleet.traces)
+        if getattr(self.cache, "traces", None) is not None:
+            logs.append(self.cache.traces)
+        return logs
+
+    def _trace(self, argument):
+        from repro.obs.trace import TraceExporter
+
+        as_json = False
+        trace_id = None
+        for word in argument.split():
+            if word.lower() == "json":
+                as_json = True
+            else:
+                trace_id = word
+        trace = None
+        for log in self._trace_logs():
+            trace = log.get(trace_id) if trace_id is not None else log.latest()
+            if trace is not None:
+                break
+        if trace is None:
+            self.write("(no trace recorded)" if trace_id is None
+                       else f"(no trace {trace_id!r})")
+            return
+        exporter = TraceExporter()
+        if as_json:
+            self.write(exporter.chrome_json(trace))
+        else:
+            self.write(exporter.ascii_tree(trace))
+
+    def _events(self, argument):
+        n = int(argument) if argument else 20
+        logs = []
+        if self.fleet is not None:
+            logs.append(self.fleet.metrics.events)
+            for node in self.fleet.nodes:
+                logs.append(node.metrics.events)
+        else:
+            logs.append(self.cache.metrics.events)
+        events = sorted(
+            (event for log in logs for event in log.recent(n)),
+            key=lambda e: e.time if e.time is not None else -1.0,
+        )[-n:]
+        if not events:
+            self.write("(no events recorded)")
+            return
+        for event in events:
+            when = f"{event.time:8.2f}" if event.time is not None else "       ?"
+            self.write(
+                f"t={when} [{event.severity:7}] {event.kind}: {event.message}"
+            )
 
     # ------------------------------------------------------------------
     def _sql(self, sql):

@@ -41,9 +41,11 @@ class ExecutionContext:
     callers (and tests) can see exactly how a dynamic plan behaved.
     """
 
-    def __init__(self, clock=None, timeline=None):
+    def __init__(self, clock=None, timeline=None, trace=None):
         self.clock = clock
         self.timeline = timeline
+        #: The query's TraceContext (None / NULL_TRACE when untraced).
+        self.trace = trace
         self.branches = []  # (label, chosen index)
         self.remote_queries = []  # (sql, row count)
         #: Snapshot times of the local views actually read, for timeline
@@ -92,18 +94,21 @@ class QueryResult:
     * ``timings`` — :class:`PhaseTimings` (setup / run / shutdown);
     * ``routing`` — ``"local"`` | ``"remote"`` | ``"mixed"``: where the
       data actually came from at run time;
-    * ``warnings`` — constraint-violation messages (serve-stale policy).
+    * ``warnings`` — constraint-violation messages (serve-stale policy);
+    * ``trace_id`` — id of the query's trace tree (None when untraced);
+      look the trace up in ``cache.traces`` / ``fleet.traces``.
 
     ``context`` additionally exposes the raw run-time provenance
     (SwitchUnion branch decisions, remote queries issued).
     """
 
-    def __init__(self, columns, rows, timings, context, plan=None):
+    def __init__(self, columns, rows, timings, context, plan=None, trace_id=None):
         self.columns = list(columns)
         self.rows = list(rows)
         self.timings = timings
         self.context = context
         self.plan = plan
+        self.trace_id = trace_id
 
     @property
     def warnings(self):
@@ -208,14 +213,19 @@ class Executor:
         """Execute ``plan`` and return a :class:`QueryResult`."""
         ctx = ctx or ExecutionContext(clock=self.clock)
         timer = self.timer
+        trace = ctx.trace
         branches_before = len(ctx.branches)
         fused_before = len(ctx.fused_pipelines)
         batch_size = self.batch_size
         n_batches = 0
 
         t0 = timer()
+        span = trace.span("exec.setup").__enter__() if trace else None
         plan.open(ctx)
+        if span is not None:
+            span.__exit__(None, None, None)
         t1 = timer()
+        span = trace.span("exec.run").__enter__() if trace else None
         if batch_size <= 1:
             # Legacy row-at-a-time path (debugging / equivalence baseline).
             rows = list(plan.rows())
@@ -225,8 +235,13 @@ class Executor:
             for chunk in plan.batches(batch_size):
                 extend(chunk)
                 n_batches += 1
+        if span is not None:
+            span.__exit__(None, None, None)
         t2 = timer()
+        span = trace.span("exec.shutdown").__enter__() if trace else None
         plan.close()
+        if span is not None:
+            span.__exit__(None, None, None)
         t3 = timer()
 
         timings = PhaseTimings(setup=t1 - t0, run=t2 - t1, shutdown=t3 - t2)
@@ -244,4 +259,7 @@ class Executor:
             (self._c_branch_local if index == 0 else self._c_branch_remote).inc()
         if column_names is None:
             column_names = [c.name for c in plan.output.columns]
-        return QueryResult(column_names, rows, timings, ctx, plan=plan)
+        return QueryResult(
+            column_names, rows, timings, ctx, plan=plan,
+            trace_id=trace.trace_id if trace else None,
+        )

@@ -53,6 +53,12 @@ class PhysicalOperator:
     #: RowBinding of the produced rows; set by subclasses.
     output = None
 
+    #: Plan-time estimates stamped by the optimizer (Candidate.operator()
+    #: and the finishing builds) for EXPLAIN ANALYZE's estimate-vs-actual
+    #: comparison; None on trees built outside the optimizer.
+    est_rows = None
+    est_cost = None
+
     def open(self, ctx, outer_env=None):
         raise NotImplementedError
 

@@ -85,12 +85,20 @@ class CircuitBreaker:
 
     # ------------------------------------------------------------------
     def _transition(self, to):
+        came_from = self.state
         self.state = to
         self.registry.counter(
             "fleet_breaker_transitions_total",
             labels={"node": self.name or "-", "to": to.value},
             help="circuit-breaker state transitions",
         ).inc()
+        self.registry.event(
+            "breaker",
+            f"breaker on {self.name or '-'}: {came_from.value} -> {to.value}",
+            severity="warning" if to is BreakerState.OPEN else "info",
+            time=self.clock.now(), node=self.name or "-",
+            from_state=came_from.value, to_state=to.value,
+        )
         self._set_gauge()
 
     def _set_gauge(self):

@@ -20,6 +20,7 @@ from repro.fleet.network import SimulatedNetwork
 from repro.fleet.node import FleetNode
 from repro.fleet.routing import bound_from_sql, make_policy
 from repro.obs.metrics import MetricsRegistry, NullRegistry
+from repro.obs.trace import TraceLog
 
 #: Floor on a query's simulated service time, so zero-cost results still
 #: occupy their node for a tick.
@@ -45,21 +46,39 @@ class FleetRouter:
 
     def execute(self, sql, bound=None):
         """Route and execute one statement; annotates the result with the
-        serving node's name (``result.node``)."""
+        serving node's name (``result.node``).
+
+        The router is the tier that first sees the query, so it creates
+        the query's :class:`~repro.obs.trace.TraceContext` here and passes
+        it down: the node's parse/optimize/execute spans and any simulated
+        network calls all land in one tree, recorded in ``fleet.traces``.
+        """
         fleet = self.fleet
-        node = self.route(sql, bound=bound)
-        fleet.metrics.counter(
-            "fleet_routed_total",
-            labels={"node": node.name, "policy": self.policy.name},
-            help="queries routed, by node and policy",
-        ).inc()
-        node.inflight += 1
-        node.queries_routed += 1
-        start = max(fleet.clock.now(), node.busy_until)
+        trace = fleet.metrics.new_trace()
+        span = (
+            trace.span("fleet.route", policy=self.policy.name).__enter__()
+            if trace else None
+        )
         try:
-            result = node.execute(sql)
+            node = self.route(sql, bound=bound)
+            if span is not None:
+                span.attrs["node"] = node.name
+            fleet.metrics.counter(
+                "fleet_routed_total",
+                labels={"node": node.name, "policy": self.policy.name},
+                help="queries routed, by node and policy",
+            ).inc()
+            node.inflight += 1
+            node.queries_routed += 1
+            start = max(fleet.clock.now(), node.busy_until)
+            try:
+                result = node.execute(sql, trace=trace if trace else None)
+            finally:
+                node.inflight -= 1
         finally:
-            node.inflight -= 1
+            if span is not None:
+                span.__exit__(None, None, None)
+            fleet.traces.record(trace)
         timings = getattr(result, "timings", None)
         service = max(timings.total if timings is not None else 0.0, _MIN_SERVICE)
         node.busy_until = start + service
@@ -123,6 +142,9 @@ class CacheFleet:
             for name in names
         ]
         self.router = FleetRouter(self, policy)
+        #: Recent end-to-end query traces (router → node → network), for
+        #: the CLI's ``\trace`` and post-mortem inspection.
+        self.traces = TraceLog(128)
         self.regions = {}  # base cid -> {node name: per-node cid}
         self._epoch = self.clock.now()
 
@@ -207,6 +229,71 @@ class CacheFleet:
         truly run in parallel: latest node-finish time minus the epoch."""
         finish = max((node.busy_until for node in self.nodes), default=self._epoch)
         return max(finish - self._epoch, 0.0)
+
+    def slo_report(self):
+        """Currency-SLO scorecard for the whole fleet.
+
+        Answers the operator's question — *are the bounds we promised
+        actually being met, and with how much room?* — from the metrics
+        the guards already record:
+
+        * ``slack`` — per node, per region: the ``B - d`` distribution at
+          guard evaluation (:meth:`Histogram.summary`), plus a
+          ``bound_missed`` flag when the worst observed slack was
+          negative.  Stalled agents show up as this distribution sliding
+          toward (and past) zero.
+        * ``guard_outcomes`` — per node: local / remote / stale serve
+          counts from ``currency_guard_region_total``.
+        * ``degraded`` — stale serves forced by back-end unavailability.
+        * ``routing`` — queries by serving node.
+        * ``breaker_transitions`` — per node, by target state.
+        * ``events`` — fleet + node event-log counts by kind.
+        """
+        slack = {}
+        outcomes = {}
+        events = dict(self.metrics.events.counts_by_kind())
+        for node in self.nodes:
+            reg = node.metrics
+            per_region = {}
+            for key, hist in sorted(reg.family("currency_slack_seconds").items()):
+                labels = dict(key)
+                summary = hist.summary()
+                summary["bound_missed"] = hist.count > 0 and summary["min"] < 0
+                per_region[labels.get("region", "-")] = summary
+            if per_region:
+                slack[node.name] = per_region
+            node_outcomes = {}
+            for key, counter in sorted(reg.family("currency_guard_region_total").items()):
+                labels = dict(key)
+                outcome = labels.get("outcome", "-")
+                node_outcomes[outcome] = node_outcomes.get(outcome, 0) + counter.value
+            if node_outcomes:
+                outcomes[node.name] = node_outcomes
+            for kind, n in reg.events.counts_by_kind().items():
+                events[kind] = events.get(kind, 0) + n
+        routing = {}
+        for key, counter in self.metrics.family("fleet_routed_total").items():
+            labels = dict(key)
+            name = labels.get("node", "-")
+            routing[name] = routing.get(name, 0) + counter.value
+        degraded = sum(
+            counter.value
+            for counter in self.metrics.family("fleet_degraded_total").values()
+        )
+        breakers = {}
+        for key, counter in self.metrics.family("fleet_breaker_transitions_total").items():
+            labels = dict(key)
+            breakers.setdefault(labels.get("node", "-"), {})[labels.get("to", "-")] = (
+                counter.value
+            )
+        return {
+            "slack": slack,
+            "guard_outcomes": outcomes,
+            "degraded": degraded,
+            "routing": routing,
+            "breaker_transitions": breakers,
+            "events": events,
+        }
 
     def snapshot_metrics(self):
         """Fleet and per-node registry snapshots under node-labelled keys:

@@ -80,6 +80,19 @@ class SimulatedNetwork:
         start = self.clock.now() if start is None else start
         window = FaultWindow(start, start + duration)
         self._outages.append(window)
+        self.registry.event(
+            "outage", f"back-end outage [{start:g}, {window.end:g})",
+            severity="error", time=start, start=start, end=window.end,
+        )
+        if self.scheduler is not None:
+            self.scheduler.at(
+                window.end,
+                lambda: self.registry.event(
+                    "outage", "back-end outage ended",
+                    time=window.end, start=start, end=window.end,
+                ),
+                name="outage-end-event",
+            )
         return window
 
     def stall_agents(self, duration, start=None, node=None):
@@ -91,6 +104,13 @@ class SimulatedNetwork:
         start = self.clock.now() if start is None else start
         window = FaultWindow(start, start + duration, node=node)
         self._stalls.append(window)
+        self.registry.event(
+            "agent_stall",
+            f"agent propagation stalled [{start:g}, {window.end:g}) "
+            f"on {node or 'every node'}",
+            severity="warning", time=start, node=node or "*",
+            start=start, end=window.end,
+        )
         return window
 
     def clear_faults(self):
@@ -126,12 +146,29 @@ class SimulatedNetwork:
         else:
             self.clock.advance(seconds)
 
-    def call(self, fn, *args, node=""):
+    def call(self, fn, *args, node="", trace=None):
         """One attempt of a cache→back-end call over the simulated link.
 
         Pays the round-trip latency, then raises :class:`NetworkError`
         (tagged ``drop`` / ``timeout`` / ``outage``) or returns ``fn(*args)``.
+        With a ``trace``, the whole attempt is a ``net.call`` span of that
+        trace, annotated with the node and the outcome.
         """
+        span = trace.span("net.call", node=node or "-").__enter__() if trace else None
+        try:
+            outcome, result = self._attempt(fn, args, node)
+            if span is not None:
+                span.attrs["outcome"] = outcome
+            return result
+        except NetworkError as exc:
+            if span is not None:
+                span.attrs["outcome"] = exc.reason
+            raise
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
+
+    def _attempt(self, fn, args, node):
         rtt = self.latency
         if self.jitter:
             rtt += self.rng.uniform(0.0, self.jitter)
@@ -156,7 +193,7 @@ class SimulatedNetwork:
             )
         result = fn(*args)
         self._count(node, "ok")
-        return result
+        return "ok", result
 
     def _count(self, node, outcome):
         self.registry.counter(

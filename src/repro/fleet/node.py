@@ -86,7 +86,8 @@ class FleetNode(MTCache):
                 continue
             try:
                 rows = self.network.call(
-                    self.backend.execute_remote, sql, node=self.name
+                    self.backend.execute_remote, sql, node=self.name,
+                    trace=self.metrics.active_trace,
                 )
             except NetworkError as exc:
                 self.breaker.record_failure()
@@ -139,6 +140,13 @@ class FleetNode(MTCache):
                     labels={"node": node.name, "policy": node.fallback_policy},
                     help="queries served stale because the back-end was down",
                 ).inc()
+                node.metrics.event(
+                    "degraded",
+                    f"back-end unreachable from {node.name}; serving "
+                    f"{view.name} beyond its {bound:g}s bound",
+                    severity="warning", time=node.clock.now(),
+                    node=node.name, view=view.name,
+                )
                 return 0
             return choice
 

@@ -17,6 +17,7 @@ a flat dict and ``render_text()`` the Prometheus text exposition format
 (also reachable through the CLI's ``\\metrics`` meta-command).
 """
 
+from repro.obs.events import SEVERITIES, Event, EventLog
 from repro.obs.metrics import (
     NULL_REGISTRY,
     Counter,
@@ -25,16 +26,31 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullRegistry,
 )
-from repro.obs.trace import NULL_SPAN, Span, SpanLog
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACE,
+    Span,
+    SpanLog,
+    TraceContext,
+    TraceExporter,
+    TraceLog,
+)
 
 __all__ = [
     "Counter",
+    "Event",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",
     "NULL_SPAN",
+    "NULL_TRACE",
+    "SEVERITIES",
     "Span",
     "SpanLog",
+    "TraceContext",
+    "TraceExporter",
+    "TraceLog",
 ]

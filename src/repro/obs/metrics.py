@@ -22,7 +22,8 @@ update must stay in the tens of nanoseconds so instrumentation can be
 always-on (the guard-overhead benchmark enforces < 5% total overhead).
 """
 
-from repro.obs.trace import NULL_SPAN, Span, SpanLog
+from repro.obs.events import EventLog
+from repro.obs.trace import NULL_SPAN, NULL_TRACE, Span, SpanLog, TraceContext
 
 __all__ = [
     "Counter",
@@ -35,10 +36,14 @@ __all__ = [
 
 
 def _label_key(labels):
-    """Canonical, hashable form of a label dict (sorted tuple of pairs)."""
+    """Canonical, hashable form of a label dict (sorted tuple of pairs).
+
+    Keys and values are coerced to strings — Prometheus labels are
+    strings, and it keeps series ordering total (no cross-type
+    comparisons when sorting for export)."""
     if not labels:
         return ()
-    return tuple(sorted(labels.items()))
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
 def _series_name(name, label_key):
@@ -119,12 +124,28 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
     def percentile(self, p):
-        """Estimated p-th percentile (0..100) over the reservoir window."""
+        """Estimated p-th percentile (0..100) over the reservoir window.
+
+        Linear interpolation between closest ranks (the "exclusive of
+        rounding" definition numpy calls ``linear``): deterministic, and
+        p50 of two samples is their midpoint rather than whichever one
+        banker's rounding happened to pick.  p<=0 gives the window min,
+        p>=100 the window max; a single sample is every percentile.
+        """
         if not self._ring:
             return 0.0
         ordered = sorted(self._ring)
-        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
-        return ordered[rank]
+        last = len(ordered) - 1
+        if last == 0 or p <= 0:
+            return ordered[0]
+        if p >= 100:
+            return ordered[last]
+        rank = p / 100.0 * last
+        lo = int(rank)
+        frac = rank - lo
+        if frac == 0.0:
+            return ordered[lo]
+        return ordered[lo] + (ordered[lo + 1] - ordered[lo]) * frac
 
     def summary(self):
         """Snapshot dict: count/sum/mean/min/max and window percentiles."""
@@ -156,12 +177,15 @@ class MetricsRegistry:
     the returned object.
     """
 
-    def __init__(self, reservoir_size=256, max_spans=512):
+    def __init__(self, reservoir_size=256, max_spans=512, max_events=256):
         self._series = {}  # (name, label_key) -> metric object
         self._kinds = {}  # name -> "counter" | "gauge" | "histogram"
         self._help = {}  # name -> help text
         self._reservoir_size = reservoir_size
         self.span_log = SpanLog(max_spans)
+        self.events = EventLog(max_events)
+        #: When set, registry-created spans enroll in this trace.
+        self.active_trace = None
 
     # ------------------------------------------------------------------
     # Series access
@@ -213,9 +237,32 @@ class MetricsRegistry:
         self.span_log.record(span)
         self.histogram("span_seconds", labels={"span": span.name}).observe(span.elapsed)
 
+    def new_trace(self):
+        """A fresh :class:`TraceContext` for one end-to-end query."""
+        return TraceContext()
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def event(self, kind, message, severity="info", time=None, **attrs):
+        """Record a typed event into the registry's bounded event log."""
+        return self.events.record(kind, message, severity=severity, time=time, **attrs)
+
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
+    def family(self, name):
+        """All series of one metric family, keyed by their label tuple.
+
+        Keys are the canonical ``(("k", "v"), ...)`` tuples (pass them to
+        ``dict()`` for a labels dict); values are the metric objects.
+        """
+        return {
+            label_key: metric
+            for (series_name, label_key), metric in self._series.items()
+            if series_name == name
+        }
+
     def snapshot(self):
         """All series as a flat dict keyed by Prometheus-style names.
 
@@ -232,9 +279,15 @@ class MetricsRegistry:
         return out
 
     def render_text(self):
-        """Prometheus text exposition format (histograms as summaries)."""
+        """Prometheus text exposition format (histograms as summaries).
+
+        Output is deterministic — families sorted by name, series within
+        a family sorted by label tuple, ``# HELP`` / ``# TYPE`` emitted
+        exactly once per family — so ``\\metrics`` dumps are stable and
+        diffable in tests.
+        """
         by_name = {}
-        for (name, label_key), metric in sorted(self._series.items()):
+        for (name, label_key), metric in self._series.items():
             by_name.setdefault(name, []).append((label_key, metric))
         lines = []
         for name in sorted(by_name):
@@ -243,7 +296,7 @@ class MetricsRegistry:
             if help_text:
                 lines.append(f"# HELP {name} {help_text}")
             lines.append(f"# TYPE {name} {'summary' if kind == 'histogram' else kind}")
-            for label_key, metric in by_name[name]:
+            for label_key, metric in sorted(by_name[name], key=lambda item: item[0]):
                 if kind == "histogram":
                     for q, p in (("0.5", 50), ("0.95", 95), ("0.99", 99)):
                         q_key = label_key + (("quantile", q),)
@@ -259,11 +312,13 @@ class MetricsRegistry:
         return "\n".join(lines) + ("\n" if lines else "")
 
     def reset(self):
-        """Drop every series and recorded span (tests, between runs)."""
+        """Drop every series, span, and event (tests, between runs)."""
         self._series.clear()
         self._kinds.clear()
         self._help.clear()
         self.span_log.clear()
+        self.events.clear()
+        self.active_trace = None
 
     def __repr__(self):
         return f"<MetricsRegistry series={len(self._series)} spans={len(self.span_log)}>"
@@ -312,6 +367,8 @@ class NullRegistry:
     """
 
     span_log = SpanLog(0)
+    events = EventLog(0)
+    active_trace = None
 
     def counter(self, name, labels=None, help=""):
         return _NULL_METRIC
@@ -324,6 +381,15 @@ class NullRegistry:
 
     def span(self, name):
         return NULL_SPAN
+
+    def new_trace(self):
+        return NULL_TRACE
+
+    def event(self, kind, message, severity="info", time=None, **attrs):
+        return None
+
+    def family(self, name):
+        return {}
 
     def snapshot(self):
         return {}

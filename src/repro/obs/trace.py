@@ -1,20 +1,40 @@
-"""Lightweight trace spans.
+"""Trace spans and cross-tier trace context.
 
-A span times one named section of work with ``time.perf_counter`` and
-remembers where it sat in the call tree: spans opened while another span
-is active record that span as their parent and inherit depth + 1.  The
-per-registry stack that provides the nesting is plain Python list
-push/pop — cheap enough to leave on in production paths.
+A :class:`Span` times one named section of work with
+``time.perf_counter`` and remembers where it sat in the call tree: spans
+opened while another span is active record that span as their parent and
+inherit depth + 1.  The per-registry stack that provides the nesting is
+plain Python list push/pop — cheap enough to leave on in production
+paths.
+
+On top of the per-registry nesting, a :class:`TraceContext` gives spans
+*distributed* identity: a ``trace_id`` shared by every span of one query
+plus per-span ``span_id``/``parent_id`` links, so a query that hops from
+the fleet router to a node's MTCache to the simulated network produces
+one causal tree even though each tier records into its own registry.
+Registry-created spans enroll automatically in the registry's
+``active_trace`` (when one is set); components that are handed a trace
+explicitly open trace-only spans with ``trace.span(name, **attrs)``.
 
 Finished spans are kept in a bounded :class:`SpanLog` ring (newest wins)
-and also feed the owning registry's ``span_seconds`` histogram family,
-so both individual traces and aggregate timings come out of one
-instrumentation point.
+and also feed the owning registry's ``span_seconds`` histogram family;
+finished traces land in a :class:`TraceLog` ring and are rendered by
+:class:`TraceExporter` as an ASCII tree or Chrome ``trace_event`` JSON.
 """
 
+import itertools
+import json
 import time
 
-__all__ = ["Span", "SpanLog", "NULL_SPAN"]
+__all__ = [
+    "Span",
+    "SpanLog",
+    "TraceContext",
+    "TraceLog",
+    "TraceExporter",
+    "NULL_SPAN",
+    "NULL_TRACE",
+]
 
 
 class Span:
@@ -28,39 +48,94 @@ class Span:
 
     After exit, ``elapsed`` holds the wall time in seconds, ``parent``
     the enclosing span's name (or None at top level) and ``depth`` the
-    nesting level (0 at top level).
+    nesting level (0 at top level).  When the span belongs to a
+    :class:`TraceContext` it additionally carries ``trace_id`` /
+    ``span_id`` / ``parent_id`` identity and an ``attrs`` dict of
+    caller-provided key/value annotations.
     """
 
-    __slots__ = ("name", "parent", "depth", "start", "elapsed", "_registry")
+    __slots__ = (
+        "name",
+        "parent",
+        "depth",
+        "start",
+        "elapsed",
+        "attrs",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "_registry",
+        "_trace",
+    )
 
-    def __init__(self, name, registry):
+    def __init__(self, name, registry, trace=None, attrs=None):
         self.name = name
         self._registry = registry
+        self._trace = trace
+        self.attrs = attrs
         self.parent = None
         self.depth = 0
         self.start = None
         self.elapsed = None
+        self.trace_id = None
+        self.span_id = None
+        self.parent_id = None
 
     def __enter__(self):
-        stack = self._registry.span_log.stack
-        if stack:
-            self.parent = stack[-1].name
-            self.depth = len(stack)
-        stack.append(self)
+        registry = self._registry
+        if registry is not None:
+            stack = registry.span_log.stack
+            if stack:
+                self.parent = stack[-1].name
+                self.depth = len(stack)
+            stack.append(self)
+            if self._trace is None:
+                self._trace = registry.active_trace
+        trace = self._trace
+        if trace is not None:
+            trace._enter(self)
         self.start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb):
-        self.elapsed = time.perf_counter() - self.start
-        stack = self._registry.span_log.stack
-        if stack and stack[-1] is self:
-            stack.pop()
-        self._registry._finish_span(self)
+        self._finish(time.perf_counter())
         return False
+
+    def _finish(self, end):
+        """Close this span at time ``end``; idempotent.
+
+        The span is removed from the registry and trace stacks *wherever
+        it sits*: if an exception unwound past nested spans, everything
+        above it is an orphan that will never see its own ``__exit__``,
+        so those spans are finalized here (with this span's end time) to
+        keep parent/depth attribution intact for later spans.
+        """
+        if self.elapsed is not None:
+            return
+        self.elapsed = end - self.start
+        registry = self._registry
+        if registry is not None:
+            self._pop_from(registry.span_log.stack, end)
+        trace = self._trace
+        if trace is not None:
+            self._pop_from(trace.stack, end)
+            trace.record(self)
+        if registry is not None:
+            registry._finish_span(self)
+
+    def _pop_from(self, stack, end):
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is self:
+                orphans = stack[i + 1 :]
+                del stack[i:]
+                for orphan in reversed(orphans):
+                    orphan._finish(end)
+                return
 
     def __repr__(self):
         elapsed = f"{self.elapsed * 1e3:.3f}ms" if self.elapsed is not None else "open"
-        return f"Span({self.name!r}, depth={self.depth}, {elapsed})"
+        ident = f" {self.trace_id}/{self.span_id}" if self.trace_id else ""
+        return f"Span({self.name!r}, depth={self.depth}, {elapsed}{ident})"
 
 
 class SpanLog:
@@ -92,6 +167,231 @@ class SpanLog:
         return iter(self._entries)
 
 
+class TraceContext:
+    """Identity and span collection for one end-to-end query.
+
+    A trace is created by whichever tier first sees the query (the fleet
+    router, or MTCache itself for single-cache use) and passed down the
+    call chain; every span entered while it is a registry's
+    ``active_trace`` — or created directly with :meth:`span` — gets the
+    shared ``trace_id``, a fresh ``span_id``, and a ``parent_id``
+    pointing at the innermost open span of the trace, regardless of
+    which registry the span reports to.
+    """
+
+    __slots__ = ("trace_id", "spans", "stack", "_next_span")
+
+    _ids = itertools.count(1)
+
+    def __init__(self, trace_id=None):
+        if trace_id is None:
+            trace_id = f"t{next(TraceContext._ids):06d}"
+        self.trace_id = trace_id
+        self.spans = []  # finished spans, in completion order
+        self.stack = []  # open spans of this trace, innermost last
+        self._next_span = 1
+
+    def span(self, name, registry=None, **attrs):
+        """A trace-only span (no registry stack/histogram unless given)."""
+        return Span(name, registry, trace=self, attrs=attrs or None)
+
+    def _enter(self, span):
+        span.trace_id = self.trace_id
+        span.span_id = f"s{self._next_span}"
+        self._next_span += 1
+        if self.stack:
+            top = self.stack[-1]
+            span.parent_id = top.span_id
+            if span.parent is None:
+                span.parent = top.name
+                span.depth = top.depth + 1
+        self.stack.append(span)
+
+    def record(self, span):
+        self.spans.append(span)
+
+    @property
+    def finished(self):
+        return not self.stack
+
+    def root(self):
+        """The first recorded span with no parent (None while running)."""
+        for span in self.spans:
+            if span.parent_id is None:
+                return span
+        return None
+
+    def duration(self):
+        """Wall seconds from earliest span start to latest span end."""
+        if not self.spans:
+            return 0.0
+        start = min(s.start for s in self.spans)
+        end = max(s.start + s.elapsed for s in self.spans)
+        return end - start
+
+    def __len__(self):
+        return len(self.spans)
+
+    def __bool__(self):
+        # ``if trace:`` is the tracing fast-path test everywhere; without
+        # this, __len__ would make a fresh (0-span) trace falsy.
+        return True
+
+    def __repr__(self):
+        return f"TraceContext({self.trace_id!r}, spans={len(self.spans)})"
+
+
+class _NullTrace:
+    """Falsy no-op trace returned by ``NullRegistry.new_trace()``.
+
+    Keeps the uninstrumented path allocation-free: every ``span()`` is
+    the shared NULL_SPAN and nothing is recorded.  Truthiness is the
+    fast-path test (``if trace:``), so code holding a NULL_TRACE skips
+    trace work entirely.
+    """
+
+    __slots__ = ()
+    trace_id = None
+    spans = ()
+    stack = ()
+    finished = True
+
+    def __bool__(self):
+        return False
+
+    def span(self, name, registry=None, **attrs):
+        return NULL_SPAN
+
+    def _enter(self, span):
+        pass
+
+    def record(self, span):
+        pass
+
+    def root(self):
+        return None
+
+    def duration(self):
+        return 0.0
+
+    def __len__(self):
+        return 0
+
+    def __repr__(self):
+        return "<NullTrace>"
+
+
+class TraceLog:
+    """Bounded ring of finished traces (newest wins)."""
+
+    def __init__(self, capacity=64):
+        self.capacity = capacity
+        self._entries = []
+
+    def record(self, trace):
+        if self.capacity <= 0 or not trace or not trace.spans:
+            return
+        self._entries.append(trace)
+        if len(self._entries) > self.capacity:
+            del self._entries[: len(self._entries) - self.capacity]
+
+    def get(self, trace_id):
+        for trace in reversed(self._entries):
+            if trace.trace_id == trace_id:
+                return trace
+        return None
+
+    def latest(self):
+        return self._entries[-1] if self._entries else None
+
+    def recent(self, n=20):
+        return list(self._entries[-n:])
+
+    def clear(self):
+        self._entries.clear()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+
+class TraceExporter:
+    """Render a finished :class:`TraceContext` for humans and tools."""
+
+    @staticmethod
+    def _tree(trace):
+        """(roots, children) maps from parent_id links, in start order."""
+        children = {}
+        roots = []
+        for span in sorted(trace.spans, key=lambda s: (s.start, s.span_id)):
+            if span.parent_id is None:
+                roots.append(span)
+            else:
+                children.setdefault(span.parent_id, []).append(span)
+        return roots, children
+
+    @staticmethod
+    def _format_span(span):
+        elapsed = span.elapsed if span.elapsed is not None else 0.0
+        text = f"{span.name}  {elapsed * 1e3:.3f}ms"
+        if span.attrs:
+            inner = ", ".join(f"{k}={v}" for k, v in span.attrs.items())
+            text += f"  [{inner}]"
+        return text
+
+    @classmethod
+    def ascii_tree(cls, trace):
+        """The trace as an indented ASCII tree, one line per span."""
+        if trace is None or not trace.spans:
+            return "(empty trace)"
+        roots, children = cls._tree(trace)
+        lines = [
+            f"trace {trace.trace_id}: {len(trace.spans)} spans, "
+            f"{trace.duration() * 1e3:.3f}ms"
+        ]
+
+        def walk(span, prefix, is_last):
+            branch = "└─ " if is_last else "├─ "
+            lines.append(prefix + branch + cls._format_span(span))
+            kids = children.get(span.span_id, [])
+            child_prefix = prefix + ("   " if is_last else "│  ")
+            for i, kid in enumerate(kids):
+                walk(kid, child_prefix, i == len(kids) - 1)
+
+        for i, root in enumerate(roots):
+            walk(root, "", i == len(roots) - 1)
+        return "\n".join(lines)
+
+    @classmethod
+    def chrome_json(cls, trace):
+        """Chrome ``trace_event`` JSON (load via chrome://tracing)."""
+        events = []
+        if trace is not None and trace.spans:
+            base = min(s.start for s in trace.spans)
+            for span in sorted(trace.spans, key=lambda s: (s.start, s.span_id)):
+                args = {"span_id": span.span_id}
+                if span.parent_id is not None:
+                    args["parent_id"] = span.parent_id
+                if span.attrs:
+                    args.update({k: str(v) for k, v in span.attrs.items()})
+                events.append(
+                    {
+                        "name": span.name,
+                        "ph": "X",
+                        "ts": round((span.start - base) * 1e6, 3),
+                        "dur": round((span.elapsed or 0.0) * 1e6, 3),
+                        "pid": 0,
+                        "tid": 0,
+                        "args": args,
+                    }
+                )
+        return json.dumps(
+            {"traceEvents": events, "displayTimeUnit": "ms"}, indent=2, sort_keys=True
+        )
+
+
 class _NullSpan:
     """Reusable no-op span for :class:`~repro.obs.metrics.NullRegistry`."""
 
@@ -100,6 +400,10 @@ class _NullSpan:
     parent = None
     depth = 0
     elapsed = 0.0
+    attrs = None
+    trace_id = None
+    span_id = None
+    parent_id = None
 
     def __enter__(self):
         return self
@@ -109,3 +413,6 @@ class _NullSpan:
 
 
 NULL_SPAN = _NullSpan()
+
+#: Shared falsy trace: ``NullRegistry.new_trace()`` hands this out.
+NULL_TRACE = _NullTrace()

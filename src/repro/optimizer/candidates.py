@@ -8,6 +8,18 @@ delivered consistency property.
 """
 
 
+def stamp_estimates(op, rows, cost=None):
+    """Attach plan-time estimates to a built operator (EXPLAIN ANALYZE).
+
+    Used by build closures for operators that are not a candidate's root
+    (finishing sorts/aggregates/limits, NL-join inners); returns ``op``
+    so it can wrap a return expression.
+    """
+    op.est_rows = rows
+    op.est_cost = cost
+    return op
+
+
 class Candidate:
     """A costed plan fragment covering a set of FROM-clause operands."""
 
@@ -57,9 +69,19 @@ class Candidate:
         self._built = None
 
     def operator(self):
-        """Build (once) and return the physical operator tree."""
+        """Build (once) and return the physical operator tree.
+
+        The built root is stamped with this candidate's cardinality/cost
+        estimates (``est_rows`` / ``est_cost``) for EXPLAIN ANALYZE;
+        nested candidates stamp the interior roots they build, so most of
+        the tree gets plan-time estimates for free.  A build that already
+        annotated its root (finishing operators) wins.
+        """
         if self._built is None:
-            self._built = self.build()
+            self._built = op = self.build()
+            if op.est_rows is None:
+                op.est_rows = self.rows
+                op.est_cost = self.cost
         return self._built
 
     def signature(self):

@@ -21,7 +21,7 @@ from repro.cc.properties import satisfies, violates
 from repro.obs.metrics import NULL_REGISTRY
 from repro.engine import operators as ops
 from repro.engine.expressions import OutputCol, RowBinding, compile_expr
-from repro.optimizer.candidates import Candidate
+from repro.optimizer.candidates import Candidate, stamp_estimates
 from repro.optimizer.placement import combine_conjuncts
 from repro.optimizer.query_info import analyze_select
 from repro.sql import ast
@@ -391,6 +391,7 @@ class Optimizer:
                 inner_conjuncts = [c for c in inner_operand.conjuncts if c not in skip]
                 residual_all = combine_conjuncts(residuals)
                 nl_binding = left.binding.concat(inner_binding)
+                rows_per_probe = max(out_rows / max(left.rows, 1.0), 0.0)
 
                 def build_nl(
                     left=left,
@@ -401,6 +402,7 @@ class Optimizer:
                     ordered_outer_refs=tuple(ordered_outer_refs),
                     nl_binding=nl_binding,
                     residual_all=residual_all,
+                    rows_per_probe=rows_per_probe,
                 ):
                     # Key fns resolve outer columns through the correlated
                     # environment (local binding is empty).
@@ -415,7 +417,11 @@ class Optimizer:
                         if inner_pred_expr is not None
                         else None
                     )
-                    inner = ops.IndexSeek(table, index, key_fns, inner_binding, predicate=inner_pred)
+                    inner = stamp_estimates(
+                        ops.IndexSeek(table, index, key_fns, inner_binding,
+                                      predicate=inner_pred),
+                        rows_per_probe,
+                    )
                     residual = (
                         compile_expr(residual_all, nl_binding, self.placement.expr_ctx)
                         if residual_all is not None
@@ -423,7 +429,6 @@ class Optimizer:
                     )
                     return ops.IndexNLJoin(left.operator(), inner, nl_binding, residual=residual)
 
-                rows_per_probe = max(out_rows / max(left.rows, 1.0), 0.0)
                 nl_cost = (
                     left.cost
                     + cm.index_nl_join(left.rows, rows_per_probe, out_rows)
@@ -460,13 +465,15 @@ class Optimizer:
                 return None
             post_expr = combine_conjuncts(query_info.post_conjuncts)
             prev_candidate = candidate
-
-            def build_post(prev_candidate=prev_candidate, post_expr=post_expr, binding=binding):
-                predicate = compile_expr(post_expr, binding, expr_ctx)
-                return ops.Filter(prev_candidate.operator(), predicate, output=binding)
-
             cost += cm.filter(rows) * 4.0  # subqueries are expensive per row
             rows = max(1.0, rows * 0.25)
+
+            def build_post(prev_candidate=prev_candidate, post_expr=post_expr,
+                           binding=binding, est=(rows, cost)):
+                predicate = compile_expr(post_expr, binding, expr_ctx)
+                return stamp_estimates(
+                    ops.Filter(prev_candidate.operator(), predicate, output=binding), *est
+                )
             candidate = Candidate(
                 build_post,
                 cost,
@@ -488,13 +495,17 @@ class Optimizer:
             if source is None:
                 if expr_ctx.subquery_runner is None:
                     return None
-
-                def build_fallback(prev_candidate=prev_candidate, semi=semi, binding=binding):
-                    predicate = compile_expr(semi.conjunct, binding, expr_ctx)
-                    return ops.Filter(prev_candidate.operator(), predicate, output=binding)
-
                 cost += cm.filter(rows) * 4.0
                 rows = max(1.0, rows * 0.5)
+
+                def build_fallback(prev_candidate=prev_candidate, semi=semi,
+                                   binding=binding, est=(rows, cost)):
+                    predicate = compile_expr(semi.conjunct, binding, expr_ctx)
+                    return stamp_estimates(
+                        ops.Filter(prev_candidate.operator(), predicate, output=binding),
+                        *est,
+                    )
+
                 candidate = Candidate(
                     build_fallback, cost, rows, prev_candidate.width, binding,
                     prev_candidate.delivered, prev_candidate.aliases,
@@ -502,19 +513,22 @@ class Optimizer:
                 )
                 continue
             build_inner, inner_binding, inner_cost, inner_rows, inner_delivered = source
+            cost += inner_cost + cm.hash_join(rows, inner_rows, rows * 0.5)
+            rows = max(1.0, rows * 0.5)
 
             def build_semi(prev_candidate=prev_candidate, semi=semi, binding=binding,
-                           build_inner=build_inner, inner_binding=inner_binding):
+                           build_inner=build_inner, inner_binding=inner_binding,
+                           est=(rows, cost)):
                 left_key = compile_expr(semi.outer_ref, binding, expr_ctx)
                 right_key = compile_expr(semi.inner_ref, inner_binding, expr_ctx)
                 operator = ops.HashAntiJoin if semi.negated else ops.HashSemiJoin
-                return operator(
-                    prev_candidate.operator(), build_inner(), [left_key], [right_key],
-                    output=binding,
+                return stamp_estimates(
+                    operator(
+                        prev_candidate.operator(), build_inner(), [left_key], [right_key],
+                        output=binding,
+                    ),
+                    *est,
                 )
-
-            cost += inner_cost + cm.hash_join(rows, inner_rows, rows * 0.5)
-            rows = max(1.0, rows * 0.5)
             candidate = Candidate(
                 build_semi,
                 cost,
@@ -542,8 +556,15 @@ class Optimizer:
             )
 
             having_expr = query_info.having
+            group_ndv = 1.0
+            for g in group_refs:
+                stats = query_info.operand(_qualifier_of(g, query_info)).stats
+                group_ndv *= max(stats.column(g.name).ndv, 1)
+            out_rows = min(rows, group_ndv) if group_refs else 1.0
+            cost += cm.aggregate(rows) + cm.project(out_rows)
+            rows = out_rows
 
-            def build_agg():
+            def build_agg(est=(rows, cost)):
                 child = build_child.operator()
                 group_fns = [compile_expr(g, binding, expr_ctx) for g in group_refs]
                 specs = []
@@ -559,7 +580,10 @@ class Optimizer:
                     if having_expr is not None
                     else None
                 )
-                agg = ops.HashAggregate(child, group_fns, specs, agg_binding, having=having)
+                agg = stamp_estimates(
+                    ops.HashAggregate(child, group_fns, specs, agg_binding, having=having),
+                    est[0],
+                )
                 # Re-order to the select-list order and name outputs.
                 out_binding = RowBinding([OutputCol(item.name) for item in agg_items])
                 exprs = []
@@ -570,15 +594,7 @@ class Optimizer:
                         exprs.append(
                             compile_expr(ast.ColumnRef(item.name), agg_binding, expr_ctx)
                         )
-                return ops.Project(agg, exprs, out_binding)
-
-            group_ndv = 1.0
-            for g in group_refs:
-                stats = query_info.operand(_qualifier_of(g, query_info)).stats
-                group_ndv *= max(stats.column(g.name).ndv, 1)
-            out_rows = min(rows, group_ndv) if group_refs else 1.0
-            cost += cm.aggregate(rows) + cm.project(out_rows)
-            rows = out_rows
+                return stamp_estimates(ops.Project(agg, exprs, out_binding), *est)
             out_binding = RowBinding([OutputCol(item.name) for item in agg_items])
             build = build_agg
         else:
@@ -591,7 +607,7 @@ class Optimizer:
             sort_placement = _sort_placement(query_info.order_by, binding, out_binding)
 
             def build_project(candidate=candidate, items=items, out_binding=out_binding,
-                              sort_placement=sort_placement):
+                              sort_placement=sort_placement, est_rows=rows):
                 child = candidate.operator()
                 if sort_placement == "pre":
                     key_fns = [
@@ -599,9 +615,11 @@ class Optimizer:
                         for o in query_info.order_by
                     ]
                     descending = [o.descending for o in query_info.order_by]
-                    child = ops.Sort(child, key_fns, descending, output=binding)
+                    child = stamp_estimates(
+                        ops.Sort(child, key_fns, descending, output=binding), est_rows
+                    )
                 exprs = [compile_expr(expr, binding, expr_ctx) for expr, _ in items]
-                return ops.Project(child, exprs, out_binding)
+                return stamp_estimates(ops.Project(child, exprs, out_binding), est_rows)
 
             # Plain projection runs fused in the batch engine (tuple
             # re-ordering over chunks), so it takes the fused discount.
@@ -613,12 +631,12 @@ class Optimizer:
         # DISTINCT
         if query_info.distinct:
             prev_build = build
-
-            def build_distinct(prev_build=prev_build):
-                return ops.Distinct(prev_build())
-
             cost += cm.aggregate(rows)
             rows = max(1.0, rows * 0.9)
+
+            def build_distinct(prev_build=prev_build, est=(rows, cost)):
+                return stamp_estimates(ops.Distinct(prev_build()), *est)
+
             build = build_distinct
 
         # ORDER BY (compiled against the output binding: select aliases),
@@ -629,27 +647,31 @@ class Optimizer:
             prev_build = build
             order_items = query_info.order_by
 
-            def build_sort(prev_build=prev_build, order_items=order_items, out_binding=out_binding):
+            cost += cm.sort(rows)
+
+            def build_sort(prev_build=prev_build, order_items=order_items,
+                           out_binding=out_binding, est=(rows, cost)):
                 child = prev_build()
                 key_fns = [
                     compile_expr(rebind_to_output(o.expr, out_binding), out_binding, expr_ctx)
                     for o in order_items
                 ]
                 descending = [o.descending for o in order_items]
-                return ops.Sort(child, key_fns, descending, output=out_binding)
+                return stamp_estimates(
+                    ops.Sort(child, key_fns, descending, output=out_binding), *est
+                )
 
-            cost += cm.sort(rows)
             build = build_sort
 
         # LIMIT
         if query_info.limit is not None:
             prev_build = build
             limit = query_info.limit
-
-            def build_limit(prev_build=prev_build, limit=limit):
-                return ops.Limit(prev_build(), limit)
-
             rows = min(rows, float(limit))
+
+            def build_limit(prev_build=prev_build, limit=limit, est=(rows, cost)):
+                return stamp_estimates(ops.Limit(prev_build(), limit), *est)
+
             build = build_limit
 
         return Candidate(

@@ -157,6 +157,13 @@ class DistributionAgent:
         if applied:
             registry.counter("replication_records_applied_total", labels=labels,
                              help="log records applied to local views").inc(applied)
+            registry.event(
+                "replication",
+                f"agent {self.region.cid} applied {applied} records "
+                f"(through txn {self.applied_txn})",
+                severity="debug", time=self.clock.now(),
+                region=self.region.cid, applied=applied,
+            )
         bound = self.staleness_bound()
         if bound is not None:
             registry.gauge("replication_staleness_seconds", labels=labels,

@@ -502,13 +502,16 @@ class CreateMatview(Statement):
 
 
 class Explain(Statement):
-    """EXPLAIN <select>: return the chosen plan instead of executing it."""
+    """EXPLAIN [ANALYZE] <select>: return the chosen plan instead of (or,
+    with ANALYZE, alongside actually) executing it."""
 
-    def __init__(self, select):
+    def __init__(self, select, analyze=False):
         self.select = select
+        self.analyze = analyze
 
     def to_sql(self):
-        return f"EXPLAIN {self.select.to_sql()}"
+        keyword = "EXPLAIN ANALYZE" if self.analyze else "EXPLAIN"
+        return f"{keyword} {self.select.to_sql()}"
 
 
 class BeginTimeordered(Statement):

@@ -28,7 +28,7 @@ KEYWORDS = frozenset(
     select from where group by having order asc desc distinct as and or not
     in between like exists is null insert into values update set delete
     create table index unique clustered primary key view materialized
-    currency bound on timeordered begin end explain
+    currency bound on timeordered begin end explain analyze
     region interval delay heartbeat
     int integer float real string varchar text bool boolean timestamp
     ms sec second seconds min minute minutes hour hours day days

@@ -139,7 +139,8 @@ class Parser:
             stmt = self._create()
         elif token.is_keyword("explain"):
             self._advance()
-            stmt = ast.Explain(self._select())
+            analyze = self._accept_keyword("analyze") is not None
+            stmt = ast.Explain(self._select(), analyze=analyze)
         elif token.is_keyword("begin"):
             self._advance()
             self._expect_keyword("timeordered")

@@ -31,6 +31,12 @@ class DriverReport:
         self.warnings = 0
         #: Errors swallowed by ``raise_errors=False`` (fault-injection runs).
         self.errors = 0
+        #: Trace ids of the most recent traced queries (bounded ring);
+        #: look them up in ``fleet.traces`` / ``cache.traces``.
+        self.trace_ids = []
+        #: Recent structured events across the target's registries at end
+        #: of run (guard fallbacks, breaker transitions, faults, ...).
+        self.events = []
         #: Metrics snapshot(s) at end of run.  Driving a single cache this
         #: is the cache registry's flat snapshot; driving a fleet it maps
         #: node-labelled keys — ``"fleet"`` plus one key per node name —
@@ -60,6 +66,11 @@ class DriverReport:
         node = getattr(result, "node", None)
         if node is not None:
             self.by_node[node] = self.by_node.get(node, 0) + 1
+        trace_id = getattr(result, "trace_id", None)
+        if trace_id is not None:
+            self.trace_ids.append(trace_id)
+            if len(self.trace_ids) > 64:
+                del self.trace_ids[:-64]
         self.warnings += len(result.warnings)
 
     def record_error(self, bound, exc):
@@ -118,6 +129,7 @@ class WorkloadDriver:
             if think_time:
                 self.cache.run_for(self.rng.expovariate(1.0 / think_time))
         report.metrics = self._metrics_snapshot()
+        report.events = self._recent_events()
         return report
 
     def _metrics_snapshot(self):
@@ -130,6 +142,18 @@ class WorkloadDriver:
         if hasattr(self.cache, "snapshot_metrics"):
             return self.cache.snapshot_metrics()
         return self.cache.metrics.snapshot()
+
+    def _recent_events(self, n=50):
+        """Recent events across the target's registries, oldest first."""
+        logs = []
+        if hasattr(self.cache, "nodes"):  # fleet
+            logs.append(self.cache.metrics.events)
+            logs.extend(node.metrics.events for node in self.cache.nodes)
+        else:
+            logs.append(self.cache.metrics.events)
+        events = [event for log in logs for event in log.recent(n)]
+        events.sort(key=lambda e: e.time if e.time is not None else -1.0)
+        return events[-n:]
 
 
 def point_lookup_factory(table, key_column, key_range, alias=None):
