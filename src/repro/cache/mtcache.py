@@ -34,6 +34,7 @@ from repro.optimizer.optimizer import Optimizer, OptimizedPlan
 from repro.optimizer.placement import PlacementProvider, combine_conjuncts
 from repro.optimizer.query_info import analyze_select
 from repro.replication.agent import DistributionAgent
+from repro.replication.checkpoint import CheckpointStore
 from repro.replication.heartbeat import heartbeat_schema, local_heartbeat_name
 from repro.sql import ast
 from repro.sql.compare import equal_ignoring_qualifiers
@@ -415,6 +416,9 @@ class MTCache:
                                  batch_size=self.batch_size)
         self.session = TimelineSession()
         self.agents = {}  # cid -> DistributionAgent
+        #: Durable agent resume cutoffs ("the disk"): survives simulated
+        #: agent death and node crashes, feeding restart and failover.
+        self.checkpoints = CheckpointStore()
         self._local_heartbeats = {}  # cid -> HeapTable
         self.mirror_backend()
 
@@ -519,7 +523,7 @@ class MTCache:
         self._local_heartbeats[cid] = local_hb
         agent = DistributionAgent(
             region, self.backend.catalog, self.backend.txn_manager.log, self.catalog,
-            self.clock, registry=self.metrics,
+            self.clock, registry=self.metrics, checkpoints=self.checkpoints,
         )
         agent.attach_heartbeat(local_hb)
         agent.start(self.scheduler, interval=update_interval)

@@ -1,0 +1,45 @@
+"""repro.chaos — seeded fault schedules with C&C invariant checking.
+
+The paper promises that relaxed results are *bounded* and *declared*:
+stale data is fine, silently-too-stale data is a bug.  This package
+stress-tests that promise.  A :class:`ChaosScheduler` injects a seeded
+mix of faults — node crashes and cold restarts, back-end outages,
+per-node partitions, distribution-agent stalls that trip standby
+failover — into a running :class:`~repro.fleet.fleet.CacheFleet` while
+a workload drives queries through the front door, and an
+:class:`InvariantChecker` audits every delivered result (currency bound
+honored or explicitly waived, one snapshot per result) and the
+post-recovery caches (views converge back to the back-end).
+
+Everything runs on the simulated clock from seeded generators: one seed
+is one exact fault/recovery history, which is what the CI smoke job
+diffs across two runs.
+
+Quickstart::
+
+    from repro.chaos import ChaosScheduler, build_demo_fleet
+
+    fleet = build_demo_fleet()
+    chaos = ChaosScheduler(fleet, seed=11)
+    chaos.random_schedule(60.0)
+    report = chaos.run(60.0)
+    assert not report.violations
+    print("\\n".join(report.history_lines()))
+
+or from a shell: ``python -m repro.chaos --seed 11 --duration 60``.
+"""
+
+from repro.chaos.env import build_demo_fleet, default_point_lookup_factory
+from repro.chaos.invariants import InvariantChecker
+from repro.chaos.scheduler import HISTORY_KINDS, ChaosReport, ChaosScheduler
+from repro.common.errors import InvariantViolation
+
+__all__ = [
+    "ChaosReport",
+    "ChaosScheduler",
+    "HISTORY_KINDS",
+    "InvariantChecker",
+    "InvariantViolation",
+    "build_demo_fleet",
+    "default_point_lookup_factory",
+]

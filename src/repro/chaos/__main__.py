@@ -1,0 +1,43 @@
+"""Run one seeded chaos schedule from the shell.
+
+    python -m repro.chaos --seed 11 --duration 60
+
+Prints the run's fault/recovery history (simulated timestamps only) and
+a deterministic JSON summary — the same seed must print the same bytes,
+which is what the CI chaos-smoke job verifies by diffing two runs.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.chaos.env import build_demo_fleet
+from repro.chaos.scheduler import ChaosScheduler
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="seeded chaos schedule against a demo cache fleet",
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--duration", type=float, default=60.0,
+                        help="simulated seconds of workload under faults")
+    parser.add_argument("--nodes", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    fleet = build_demo_fleet(n_nodes=args.nodes)
+    chaos = ChaosScheduler(fleet, seed=args.seed)
+    chaos.random_schedule(args.duration)
+    report = chaos.run(args.duration)
+
+    print(f"# chaos seed={args.seed} duration={args.duration:g}s "
+          f"nodes={args.nodes}")
+    for line in report.history_lines():
+        print(line)
+    print(json.dumps(report.summary(), indent=2, sort_keys=True))
+    return 1 if report.violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

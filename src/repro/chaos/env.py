@@ -1,0 +1,66 @@
+"""Canned fleet environments for chaos runs (CLI, CI smoke, benchmarks).
+
+One shared recipe so ``python -m repro.chaos``, the ``\\chaos`` shell
+command, the determinism tests and the recovery benchmark all exercise
+the same topology: a small back-end table, an N-node fleet with fast
+agent cadence, short breaker cooldowns, warm-up windows, and stalled-
+agent failover armed on every node.
+"""
+
+from repro.cache.backend import BackendServer
+from repro.fleet import CacheFleet
+from repro.workloads.driver import point_lookup_factory
+
+__all__ = ["build_demo_fleet", "default_point_lookup_factory"]
+
+
+def build_demo_fleet(n_nodes=3, n_rows=400, *, policy="round_robin",
+                     failover_threshold=2.5, warmup_seconds=1.0,
+                     reset_timeout=0.5, **node_kwargs):
+    """A ready-to-break fleet: region ``r`` + view ``profile_copy``.
+
+    Fast knobs relative to the fleet benchmarks — 1 s agent cadence,
+    0.5 s heartbeats, 0.5 s breaker cooldown — so a 60 s chaos schedule
+    sees many propagation cycles, and a 2.5 s stall already counts as a
+    dead agent.
+    """
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE profile (id INT NOT NULL, score INT NOT NULL, "
+        "PRIMARY KEY (id))"
+    )
+    for start in range(0, n_rows, 100):
+        chunk = min(100, n_rows - start)
+        values = ", ".join(
+            f"({i}, {i % 100})" for i in range(start, start + chunk)
+        )
+        backend.execute(f"INSERT INTO profile VALUES {values}")
+    backend.refresh_statistics()
+    fleet = CacheFleet(
+        backend, n_nodes=n_nodes, policy=policy,
+        reset_timeout=reset_timeout,
+        warmup_seconds=warmup_seconds,
+        failover_threshold=failover_threshold,
+        **node_kwargs,
+    )
+    fleet.create_region("r", 1.0, 0.25, heartbeat_interval=0.5)
+    fleet.create_matview("profile_copy", "profile", ["id", "score"], region="r")
+    fleet.run_for(3.0)
+    return fleet
+
+
+def default_point_lookup_factory(fleet):
+    """Guarded point lookups against the fleet's first materialized view,
+    with the key range read off the backing base table."""
+    node = fleet.nodes[0]
+    views = node.catalog.matviews()
+    if not views:
+        raise ValueError("fleet has no materialized views to query")
+    view = views[0]
+    base_entry = node.backend.catalog.table(view.base_table)
+    pk = base_entry.table.primary_key[0]
+    position = base_entry.table.schema.index_of(pk)
+    keys = [values[position] for _, values in base_entry.table.scan()]
+    lo, hi = (min(keys), max(keys)) if keys else (0, 0)
+    return point_lookup_factory(view.base_table, pk, (lo, hi),
+                                alias=view.base_table[0])

@@ -1,0 +1,149 @@
+"""C&C invariant checking for chaos runs.
+
+The whole point of relaxed currency is that relaxation is *declared*:
+a query may see stale data, but never staler than its ``CURRENCY
+BOUND`` — unless the system says so out loud (the degraded serve-stale
+warning).  :class:`InvariantChecker` audits every delivered
+:class:`~repro.engine.executor.QueryResult` against that contract while
+faults rain down, and audits the recovered caches against the back-end
+once the dust settles:
+
+* **currency_bound** — the delivered staleness (``now − snapshot``) of
+  every local view read must be within the declared bound, unless the
+  result carries an explicit degraded warning;
+* **single_snapshot** — all rows of one result must come from one
+  snapshot (the harness drives single-class queries, where Guarantee 2
+  of §2.4 collapses to "one snapshot per result");
+* **convergence** — after recovery (faults cleared, crashed nodes
+  restarted, agents caught up) every live node's views must match the
+  back-end's current base-table state exactly.
+
+Violations become structured
+:class:`~repro.common.errors.InvariantViolation` records: collected on
+the checker (the default — a chaos run wants the full list, not the
+first), mirrored into the fleet's event log and a
+``chaos_invariant_violations_total`` counter, and raised immediately
+when ``raise_on_violation=True``.
+"""
+
+from repro.common.errors import InvariantViolation
+from repro.replication.agent import _ViewSubscription
+
+__all__ = ["InvariantChecker"]
+
+#: Tolerance (simulated seconds) on the currency-bound comparison, so a
+#: guard decision and the audit taken at the same instant never disagree
+#: over float round-off.
+_SLACK = 1e-6
+
+
+class InvariantChecker:
+    """Audits query results and recovered state against C&C guarantees."""
+
+    def __init__(self, fleet, *, slack=_SLACK, raise_on_violation=False):
+        self.fleet = fleet
+        self.slack = slack
+        self.raise_on_violation = raise_on_violation
+        self.violations = []
+        self.results_checked = 0
+        self.views_checked = 0
+
+    # ------------------------------------------------------------------
+    # Per-result audit (driven from the workload hooks)
+    # ------------------------------------------------------------------
+    def check_result(self, result, bound, now=None):
+        """Audit one delivered result against its declared bound.
+
+        Returns the violations found for this result (empty = clean).
+        """
+        self.results_checked += 1
+        now = self.fleet.clock.now() if now is None else now
+        found = []
+        snapshots = result.context.snapshots_used if result.context else []
+        node = getattr(result, "node", "-")
+        if bound is not None and bound != float("inf") and snapshots:
+            worst = min(snapshots)
+            staleness = now - worst
+            if staleness > bound + self.slack and not result.warnings:
+                found.append(self._record(
+                    "currency_bound",
+                    f"result from {node} is {staleness:g}s stale, beyond its "
+                    f"{bound:g}s bound, with no degraded warning",
+                    node=node, bound=bound, staleness=staleness,
+                    snapshot=worst, time=now,
+                ))
+        distinct = sorted(set(snapshots))
+        if len(distinct) > 1:
+            found.append(self._record(
+                "single_snapshot",
+                f"result from {node} mixes {len(distinct)} snapshots: "
+                f"{distinct}",
+                node=node, snapshots=distinct, time=now,
+            ))
+        return found
+
+    # ------------------------------------------------------------------
+    # Post-recovery audit
+    # ------------------------------------------------------------------
+    def check_convergence(self):
+        """After recovery, every live node's views must equal the back-end.
+
+        Call once faults are cleared, crashed nodes restarted, and every
+        agent has propagated through "now".  Compares each materialized
+        view row-for-row against the projected + filtered base table.
+        Returns the violations found.
+        """
+        found = []
+        for node in self.fleet.nodes:
+            if not node.accepting:
+                continue
+            for view in node.catalog.matviews():
+                self.views_checked += 1
+                base_entry = node.backend.catalog.table(view.base_table)
+                sub = _ViewSubscription(view, base_entry.table)
+                expected = sorted(
+                    tuple(sub.project(values))
+                    for _, values in base_entry.table.scan()
+                    if sub.satisfies(values)
+                )
+                actual = sorted(
+                    tuple(values) for _, values in view.table.scan()
+                )
+                if expected != actual:
+                    missing = len([r for r in expected if r not in set(actual)])
+                    extra = len([r for r in actual if r not in set(expected)])
+                    found.append(self._record(
+                        "convergence",
+                        f"{view.name} on {node.name} diverged from "
+                        f"{view.base_table}: {len(actual)} local rows vs "
+                        f"{len(expected)} expected "
+                        f"({missing} missing, {extra} extra/changed)",
+                        node=node.name, view=view.name,
+                        base_table=view.base_table,
+                        local_rows=len(actual), expected_rows=len(expected),
+                        time=self.fleet.clock.now(),
+                    ))
+        return found
+
+    # ------------------------------------------------------------------
+    def _record(self, invariant, message, **attrs):
+        violation = InvariantViolation(invariant, message, **attrs)
+        self.violations.append(violation)
+        self.fleet.metrics.counter(
+            "chaos_invariant_violations_total", labels={"invariant": invariant},
+            help="C&C invariant violations found by the chaos checker",
+        ).inc()
+        self.fleet.metrics.event(
+            "invariant", message, severity="error",
+            time=attrs.get("time", self.fleet.clock.now()),
+            invariant=invariant, **{k: v for k, v in attrs.items() if k != "time"},
+        )
+        if self.raise_on_violation:
+            raise violation
+        return violation
+
+    def __repr__(self):
+        return (
+            f"<InvariantChecker results={self.results_checked} "
+            f"views={self.views_checked} violations={len(self.violations)}>"
+        )

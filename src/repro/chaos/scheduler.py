@@ -1,0 +1,309 @@
+"""Seed-deterministic chaos schedules over a cache fleet.
+
+:class:`ChaosScheduler` composes fault injections — node crashes (with
+scheduled restarts), back-end outages, node partitions, agent stalls —
+into a schedule on the *simulated* clock, drives a
+:class:`~repro.workloads.driver.WorkloadDriver` workload through the
+fault window, audits every delivered result with an
+:class:`~repro.chaos.invariants.InvariantChecker`, and finishes with a
+recovery pass (clear faults, restart what is still down, catch every
+agent up, check convergence).
+
+Everything is seeded: the fault placement (``seed``), the network's
+drop coin-flips, and the workload's query/think-time sampling all come
+from seeded generators running on simulated time — so one seed is one
+exact history.  :meth:`ChaosReport.history_lines` renders that history
+from the fleet's event log using simulated timestamps only; two runs
+with the same seed must produce byte-identical lines, which is exactly
+what the CI chaos-smoke job diffs.
+"""
+
+import random
+
+from repro.chaos.invariants import InvariantChecker
+from repro.fleet.node import NodeLifecycle
+from repro.workloads.driver import WorkloadDriver
+
+__all__ = ["ChaosReport", "ChaosScheduler", "HISTORY_KINDS"]
+
+#: Event kinds that make up a chaos run's canonical history.  All are
+#: recorded with simulated timestamps into the *fleet* registry's event
+#: log (per-node guard/replication chatter stays in the node registries,
+#: so the 256-entry fleet ring comfortably holds a whole run).
+HISTORY_KINDS = frozenset({
+    "outage", "partition", "agent_stall", "lifecycle",
+    "failover", "breaker", "invariant",
+})
+
+
+class ChaosReport:
+    """Everything one chaos run produced, with sim-time accounting."""
+
+    def __init__(self, *, seed, duration, start, end, fleet, driver_report,
+                 outcomes, checker, faults, fault_windows):
+        self.seed = seed
+        self.duration = duration
+        self.start = start
+        self.end = end
+        self.fleet = fleet
+        self.report = driver_report
+        #: ``(sim_time, status)`` per query, status in
+        #: ``{"fresh", "degraded", "error"}``.
+        self.outcomes = outcomes
+        self.checker = checker
+        self.violations = checker.violations
+        self.faults = faults
+        #: ``(start, end)`` sim intervals during which a fault was live
+        #: (``end=None``: until the run ended).
+        self.fault_windows = fault_windows
+
+    # ------------------------------------------------------------------
+    def history_lines(self):
+        """The run's fault/recovery history, one deterministic line per
+        event — simulated timestamps only, never wall clock."""
+        events = [
+            e for e in self.fleet.metrics.events
+            if e.kind in HISTORY_KINDS
+        ]
+        return [
+            f"t={e.time:g} [{e.severity}] {e.kind}: {e.message}"
+            for e in events
+        ]
+
+    def recoveries(self):
+        """Per completed crash→up cycle: ``(node, crashed_at, up_at,
+        recovery_seconds)``, from the lifecycle events."""
+        pending = {}
+        out = []
+        for event in self.fleet.metrics.events:
+            if event.kind != "lifecycle":
+                continue
+            node = event.attrs.get("node")
+            state = event.attrs.get("state")
+            if state == "crashed":
+                pending[node] = event.time
+            elif state == "up" and node in pending:
+                crashed_at = pending.pop(node)
+                out.append((node, crashed_at, event.time,
+                            event.time - crashed_at))
+        return out
+
+    def served_fraction(self, windows=None):
+        """Fraction of queries inside the fault windows that were served —
+        fresh or *explicitly* degraded — rather than erroring.  1.0 when
+        no query landed inside a window."""
+        windows = self.fault_windows if windows is None else windows
+        resolved = [
+            (start, self.end if end is None else end)
+            for start, end in windows
+        ]
+        total = ok = 0
+        for when, status in self.outcomes:
+            if not any(start <= when <= end for start, end in resolved):
+                continue
+            total += 1
+            if status != "error":
+                ok += 1
+        return ok / total if total else 1.0
+
+    def summary(self):
+        """Deterministic scalar summary (safe to print / diff / JSON)."""
+        counts = {}
+        for _, status in self.outcomes:
+            counts[status] = counts.get(status, 0) + 1
+        return {
+            "seed": self.seed,
+            "duration_s": self.duration,
+            "queries": self.report.queries + self.report.errors,
+            "outcomes": dict(sorted(counts.items())),
+            "errors": self.report.errors,
+            "faults_injected": len(self.faults),
+            "invariant_violations": len(self.violations),
+            "results_checked": self.checker.results_checked,
+            "views_checked": self.checker.views_checked,
+            "recoveries": [
+                {"node": node, "crashed_at": round(crashed, 6),
+                 "up_at": round(up, 6), "seconds": round(delta, 6)}
+                for node, crashed, up, delta in self.recoveries()
+            ],
+            "served_ok_fraction_in_fault_windows":
+                round(self.served_fraction(), 6),
+        }
+
+    def __repr__(self):
+        return (
+            f"<ChaosReport seed={self.seed} faults={len(self.faults)} "
+            f"violations={len(self.violations)}>"
+        )
+
+
+class ChaosScheduler:
+    """Builds and runs one seeded fault schedule against a fleet."""
+
+    def __init__(self, fleet, seed=0):
+        self.fleet = fleet
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.faults = []  # descriptions, in injection order
+        self.fault_windows = []  # (abs start, abs end | None)
+
+    # ------------------------------------------------------------------
+    # Schedule construction (offsets are relative to "now")
+    # ------------------------------------------------------------------
+    def crash(self, node, at, restart_after=None):
+        """Crash ``node`` ``at`` seconds from now; optionally restart it
+        ``restart_after`` seconds after the crash."""
+        scheduler = self.fleet.backend.scheduler
+        when = self.fleet.clock.now() + at
+        target = self.fleet.node(node)
+
+        def do_crash():
+            if target.lifecycle is not NodeLifecycle.CRASHED:
+                target.crash()
+
+        scheduler.at(when, do_crash, name=f"chaos:crash:{node}")
+        if restart_after is not None:
+            def do_restart():
+                if target.lifecycle is NodeLifecycle.CRASHED:
+                    target.restart()
+
+            scheduler.at(when + restart_after, do_restart,
+                         name=f"chaos:restart:{node}")
+        self.faults.append({
+            "kind": "crash", "node": node, "at": when,
+            "restart_after": restart_after,
+        })
+        self.fault_windows.append(
+            (when, when + restart_after if restart_after is not None else None)
+        )
+        return when
+
+    def outage(self, at, duration):
+        """Back-end outage for every node, ``at`` seconds from now."""
+        when = self.fleet.clock.now() + at
+        self.fleet.network.inject_outage(duration, start=when)
+        self.faults.append({
+            "kind": "outage", "at": when, "duration": duration,
+        })
+        self.fault_windows.append((when, when + duration))
+        return when
+
+    def partition(self, node, at, duration):
+        """Cut one node's back-end link, ``at`` seconds from now."""
+        when = self.fleet.clock.now() + at
+        self.fleet.network.partition(node, duration, start=when)
+        self.faults.append({
+            "kind": "partition", "node": node, "at": when,
+            "duration": duration,
+        })
+        self.fault_windows.append((when, when + duration))
+        return when
+
+    def stall(self, at, duration, node=None):
+        """Stall distribution agents (all nodes, or one) — long stalls
+        trip the supervisors' standby promotion."""
+        when = self.fleet.clock.now() + at
+        self.fleet.network.stall_agents(duration, start=when, node=node)
+        self.faults.append({
+            "kind": "stall", "node": node, "at": when, "duration": duration,
+        })
+        self.fault_windows.append((when, when + duration))
+        return when
+
+    def random_schedule(self, duration, *, n_crashes=2, n_outages=1,
+                        n_partitions=1, n_stalls=1):
+        """Place a full fault mix inside ``duration`` from the seeded rng.
+
+        Crashes restart while the run is still going; stalls are sized to
+        outlast the nodes' failover thresholds so supervisors promote.
+        """
+        rng = self.rng
+        names = [n.name for n in self.fleet.nodes]
+        crash_nodes = (
+            rng.sample(names, n_crashes) if n_crashes <= len(names)
+            else [rng.choice(names) for _ in range(n_crashes)]
+        )
+        for node in crash_nodes:
+            at = rng.uniform(0.1, 0.45) * duration
+            restart_after = rng.uniform(0.08, 0.18) * duration
+            self.crash(node, at, restart_after=restart_after)
+        for _ in range(n_outages):
+            self.outage(rng.uniform(0.5, 0.7) * duration,
+                        rng.uniform(0.05, 0.12) * duration)
+        for _ in range(n_partitions):
+            self.partition(rng.choice(names),
+                           rng.uniform(0.25, 0.5) * duration,
+                           rng.uniform(0.08, 0.15) * duration)
+        for _ in range(n_stalls):
+            self.stall(rng.uniform(0.1, 0.3) * duration,
+                       rng.uniform(0.2, 0.3) * duration)
+        return self.faults
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, duration, factory=None, *, bounds=(0.0, 2.0, 600.0),
+            think_time=0.2, checker=None, settle=None):
+        """Drive the workload through the schedule, then recover + audit.
+
+        ``duration`` simulated seconds of mixed-bound workload (mean
+        ``think_time`` between queries); every delivered result is
+        audited by ``checker`` (default: a fresh collecting
+        :class:`InvariantChecker`).  After the window: faults are
+        cleared, still-crashed nodes restarted, every agent is caught up
+        to "now", and convergence is checked.  Returns a
+        :class:`ChaosReport`.
+        """
+        fleet = self.fleet
+        clock = fleet.clock
+        if factory is None:
+            from repro.chaos.env import default_point_lookup_factory
+            factory = default_point_lookup_factory(fleet)
+        checker = checker if checker is not None else InvariantChecker(fleet)
+        start = clock.now()
+        end = start + duration
+        outcomes = []
+
+        def on_result(bound, result):
+            status = "degraded" if result.warnings else "fresh"
+            outcomes.append((clock.now(), status))
+            checker.check_result(result, bound)
+
+        def on_error(bound, exc):
+            outcomes.append((clock.now(), "error"))
+
+        driver = WorkloadDriver(fleet, seed=self.seed + 1000)
+        n_queries = max(1, int(duration / think_time)) if think_time else 1
+        report = driver.run(
+            factory, list(bounds), n_queries, think_time=think_time,
+            raise_errors=False, on_result=on_result, on_error=on_error,
+        )
+        if clock.now() < end:
+            fleet.run_for(end - clock.now())
+
+        self._recover(settle=settle)
+        checker.check_convergence()
+        return ChaosReport(
+            seed=self.seed, duration=duration, start=start, end=clock.now(),
+            fleet=fleet, driver_report=report, outcomes=outcomes,
+            checker=checker, faults=list(self.faults),
+            fault_windows=list(self.fault_windows),
+        )
+
+    def _recover(self, settle=None):
+        """Clear faults, restart the dead, catch every agent up to now."""
+        fleet = self.fleet
+        fleet.network.clear_faults()
+        for node in fleet.nodes:
+            if node.lifecycle is NodeLifecycle.CRASHED:
+                node.restart()
+        if settle is None:
+            settle = max(node.warmup_seconds for node in fleet.nodes) + 0.5
+        fleet.run_for(settle)
+        now = fleet.clock.now()
+        for node in fleet.nodes:
+            for agent in node.agents.values():
+                agent.propagate(cutoff=now)
+
+    def __repr__(self):
+        return f"<ChaosScheduler seed={self.seed} faults={len(self.faults)}>"

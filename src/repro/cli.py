@@ -17,6 +17,7 @@ including CURRENCY clauses — or meta-commands:
     \\events         recent structured events (guards, breakers, faults)
     \\metrics        Prometheus-style dump of the cache metrics registry
     \\fleet          fleet status (when a CacheFleet is attached)
+    \\chaos          run a seeded chaos schedule; print the invariant summary
     \\help           this text
     \\quit           leave
 
@@ -45,7 +46,11 @@ HELP = """Commands:
                transitions, outages, agent stalls, replication)
   \\log [N]     last N executed queries with their routing
   \\metrics     Prometheus-style dump of the cache metrics registry
-  \\fleet       fleet status: router policy, per-node health, network faults
+  \\fleet       fleet status: router policy, per-node lifecycle + health,
+               network faults (outages, stalls, partitions)
+  \\chaos [seed] [duration]  run a seeded fault schedule against the
+               attached fleet (crashes, outages, partitions, stalls)
+               and print the fault history + C&C invariant summary
   \\help        this text
   \\quit        leave
 """
@@ -131,6 +136,8 @@ class Shell:
             self.write(text.rstrip("\n") if text else "(no metrics recorded)")
         elif command == "\\fleet":
             self._fleet()
+        elif command == "\\chaos":
+            self._chaos(argument)
         elif command == "\\log":
             n = int(argument) if argument else 10
             entries = self.cache.query_log.recent(n)
@@ -179,16 +186,58 @@ class Shell:
             staleness = info["staleness"]
             staleness_text = f"{staleness:.2f}s" if staleness is not None else "unknown"
             self.write(
-                f"  {name}: routed={info['routed']} inflight={info['inflight']} "
+                f"  {name}: {info['lifecycle']} routed={info['routed']} "
+                f"inflight={info['inflight']} "
                 f"breaker={info['breaker']} staleness<= {staleness_text} "
                 f"local={info['local_fraction']:.0%}"
             )
         net = status["network"]
+        partitioned = ",".join(net["partitioned"]) or "none"
         self.write(
             f"network: latency={net['latency']:g}s drop_rate={net['drop_rate']:g} "
             f"outage={'ACTIVE' if net['outage_active'] else 'none'} "
-            f"agent_stall={'ACTIVE' if net['agents_stalled'] else 'none'}"
+            f"agent_stall={'ACTIVE' if net['agents_stalled'] else 'none'} "
+            f"partitioned={partitioned}"
         )
+
+    def _chaos(self, argument):
+        """Run one seeded chaos schedule against the attached fleet and
+        print its invariant summary (``\\chaos [seed] [duration]``)."""
+        if self.fleet is None:
+            self.write("(no fleet attached; pass a CacheFleet to the shell)")
+            return
+        from repro.chaos import ChaosScheduler
+
+        parts = argument.split()
+        seed = int(parts[0]) if parts else 11
+        duration = float(parts[1]) if len(parts) > 1 else 30.0
+        chaos = ChaosScheduler(self.fleet, seed=seed)
+        chaos.random_schedule(duration)
+        report = chaos.run(duration)
+        self.write(f"chaos: seed={seed} duration={duration:g}s "
+                   f"faults={len(report.faults)}")
+        for line in report.history_lines():
+            self.write(f"  {line}")
+        summary = report.summary()
+        self.write(
+            f"queries={summary['queries']} errors={summary['errors']} "
+            f"outcomes={summary['outcomes']} "
+            f"served_ok={summary['served_ok_fraction_in_fault_windows']:.1%}"
+        )
+        for recovery in summary["recoveries"]:
+            self.write(
+                f"recovered {recovery['node']} in {recovery['seconds']:.2f}s "
+                f"(crashed t={recovery['crashed_at']:g})"
+            )
+        n = summary["invariant_violations"]
+        if n:
+            self.write(f"INVARIANT VIOLATIONS: {n}")
+            for violation in report.violations:
+                self.write(f"  [{violation.invariant}] {violation}")
+        else:
+            self.write(f"invariants: OK "
+                       f"({summary['results_checked']} results, "
+                       f"{summary['views_checked']} views audited)")
 
     def _trace_logs(self):
         logs = []

@@ -62,6 +62,27 @@ class ReplicationError(ReproError):
     """Raised by the replication subsystem (bad subscriptions, regions)."""
 
 
+class FleetStateError(ReproError):
+    """Raised when a fleet operation is illegal in the current node
+    lifecycle state (e.g. restarting a node that is not crashed, or
+    routing a query when every node is crashed or draining)."""
+
+
+class InvariantViolation(ReproError):
+    """Raised (or collected) by the chaos harness when a delivered result
+    or recovered state breaks a C&C guarantee.
+
+    ``invariant`` is a short machine-readable tag (``"currency_bound"``,
+    ``"single_snapshot"``, ``"convergence"``); ``attrs`` carries the
+    structured evidence (node, view, bound, observed staleness, ...).
+    """
+
+    def __init__(self, invariant, message, **attrs):
+        super().__init__(message)
+        self.invariant = invariant
+        self.attrs = attrs
+
+
 class NetworkError(ReproError):
     """Raised when a simulated network call fails (drop, timeout, outage).
 

@@ -14,7 +14,15 @@ read load for a single master; this package makes that story runnable:
   injectable latency, drops, timeouts, back-end outage windows and
   distribution-agent stalls, all on the deterministic simulated clock;
 * :class:`CircuitBreaker` — per-node back-end health tracking; an open
-  breaker makes guards degrade (serve stale + warning) instead of error.
+  breaker makes guards degrade (serve stale + warning) instead of error;
+* :class:`NodeLifecycle` — crash recovery: nodes can
+  :meth:`~FleetNode.crash` (in-memory views, plan cache and heartbeats
+  lost), :meth:`~FleetNode.restart` (cold rebuild + warm-up window),
+  :meth:`~FleetNode.drain` and :meth:`~FleetNode.resume`; the router
+  skips crashed/draining nodes and prefers fully-UP peers over WARMING
+  ones.  Stalled distribution agents fail over to standbys via
+  :class:`~repro.replication.failover.AgentSupervisor` when nodes are
+  built with ``failover_threshold=...``.
 
 Quickstart::
 
@@ -39,7 +47,7 @@ Quickstart::
 from repro.fleet.breaker import BreakerState, CircuitBreaker
 from repro.fleet.fleet import CacheFleet, FleetRouter
 from repro.fleet.network import FaultWindow, SimulatedNetwork
-from repro.fleet.node import FleetNode
+from repro.fleet.node import FleetNode, NodeLifecycle
 from repro.fleet.routing import (
     POLICIES,
     LeastLoadedPolicy,
@@ -58,6 +66,7 @@ __all__ = [
     "FleetNode",
     "FleetRouter",
     "LeastLoadedPolicy",
+    "NodeLifecycle",
     "POLICIES",
     "RoundRobinPolicy",
     "RoutingPolicy",

@@ -16,8 +16,9 @@ with the nodes truly running in parallel.  That is the number the fleet
 throughput benchmark compares against a single cache.
 """
 
+from repro.common.errors import FleetStateError
 from repro.fleet.network import SimulatedNetwork
-from repro.fleet.node import FleetNode
+from repro.fleet.node import FleetNode, NodeLifecycle
 from repro.fleet.routing import bound_from_sql, make_policy
 from repro.obs.metrics import MetricsRegistry, NullRegistry
 from repro.obs.trace import TraceLog
@@ -39,10 +40,24 @@ class FleetRouter:
         return self.policy
 
     def route(self, sql, bound=None):
-        """Pick the node for one statement (no execution)."""
+        """Pick the node for one statement (no execution).
+
+        Lifecycle-aware: crashed and draining nodes never receive
+        queries, and WARMING nodes (just restarted, caches cold) are
+        only eligible when no fully-UP node exists.  With every node
+        out of rotation, routing fails fast with
+        :class:`~repro.common.errors.FleetStateError` instead of
+        handing a query to a dead node.
+        """
         if bound is None:
             bound = bound_from_sql(sql)
-        return self.policy.choose(self.fleet.nodes, bound=bound)
+        nodes = self.fleet.nodes
+        up = [n for n in nodes if n.lifecycle is NodeLifecycle.UP]
+        candidates = up or [n for n in nodes if n.accepting]
+        if not candidates:
+            states = {n.name: n.lifecycle.value for n in nodes}
+            raise FleetStateError(f"no fleet node accepting queries: {states}")
+        return self.policy.choose(candidates, bound=bound)
 
     def execute(self, sql, bound=None):
         """Route and execute one statement; annotates the result with the
@@ -191,6 +206,33 @@ class CacheFleet:
         return views
 
     # ------------------------------------------------------------------
+    # Node lifecycle
+    # ------------------------------------------------------------------
+    def crash_node(self, name):
+        """Kill one node (in-memory state lost; router skips it)."""
+        node = self.node(name)
+        node.crash()
+        return node
+
+    def restart_node(self, name, warmup=None):
+        """Cold-restart a crashed node (deferred if its link is down)."""
+        node = self.node(name)
+        node.restart(warmup=warmup)
+        return node
+
+    def drain_node(self, name):
+        """Quiesce one node (no new queries; caches stay warm)."""
+        node = self.node(name)
+        node.drain()
+        return node
+
+    def resume_node(self, name):
+        """Put a drained node back into rotation."""
+        node = self.node(name)
+        node.resume()
+        return node
+
+    # ------------------------------------------------------------------
     # Query entry point
     # ------------------------------------------------------------------
     def execute(self, sql, bound=None):
@@ -311,6 +353,7 @@ class CacheFleet:
             nodes[node.name] = {
                 "routed": node.queries_routed,
                 "inflight": node.inflight,
+                "lifecycle": node.lifecycle.value,
                 "breaker": node.breaker.state.value,
                 "staleness": node.max_staleness(),
                 "local_fraction": window["local_fraction"],
@@ -325,6 +368,7 @@ class CacheFleet:
                 "drop_rate": self.network.drop_rate,
                 "outage_active": not self.network.backend_available(now),
                 "agents_stalled": self.network.agents_stalled(now=now),
+                "partitioned": self.network.partitioned_nodes(now),
             },
         }
 

@@ -13,6 +13,8 @@ multi-node behavior interesting:
   after waiting the full timeout;
 * **outage windows** — absolute `[start, end)` intervals during which the
   back-end is unreachable (:meth:`inject_outage`);
+* **partitions** — node-scoped outage windows (:meth:`partition`): one
+  node loses its back-end link while the rest of the fleet keeps it;
 * **distribution-agent stalls** — windows during which a node's agents
   skip propagation entirely (:meth:`stall_agents` /
   :meth:`wrap_agent`), so its regions fall behind.
@@ -39,6 +41,14 @@ class FaultWindow:
         if not (self.start <= now < self.end):
             return False
         return self.node is None or node is None or self.node == node
+
+    def applies_to(self, now, node):
+        """Strict variant of :meth:`active`: a node-scoped window applies
+        only to that node — a ``node=None`` caller asks about the *global*
+        link, which per-node partitions do not cut."""
+        if not (self.start <= now < self.end):
+            return False
+        return self.node is None or self.node == node
 
     def __repr__(self):
         who = self.node or "*"
@@ -95,6 +105,20 @@ class SimulatedNetwork:
             )
         return window
 
+    def partition(self, node, duration, start=None):
+        """Cut one node off from the back-end for ``duration`` simulated
+        seconds: a node-scoped outage window.  Other nodes keep their
+        link; the partitioned node's guards degrade per its policy."""
+        start = self.clock.now() if start is None else start
+        window = FaultWindow(start, start + duration, node=node)
+        self._outages.append(window)
+        self.registry.event(
+            "partition",
+            f"{node} partitioned from the back-end [{start:g}, {window.end:g})",
+            severity="error", time=start, node=node, start=start, end=window.end,
+        )
+        return window
+
     def stall_agents(self, duration, start=None, node=None):
         """Stall distribution-agent propagation for ``duration`` seconds.
 
@@ -118,16 +142,26 @@ class SimulatedNetwork:
         self._outages.clear()
         self._stalls.clear()
 
-    def backend_available(self, now=None):
-        """True when no outage window covers the current instant."""
+    def backend_available(self, now=None, node=None):
+        """True when no outage (or, given ``node``, partition) window
+        covers the current instant for that caller."""
         now = self.clock.now() if now is None else now
-        return not any(w.active(now) for w in self._outages)
+        return not any(w.applies_to(now, node) for w in self._outages)
 
-    def outage_ends_at(self, now=None):
-        """End of the outage window covering ``now`` (None if reachable)."""
+    def outage_ends_at(self, now=None, node=None):
+        """End of the outage/partition window covering ``now`` for
+        ``node`` (None if reachable)."""
         now = self.clock.now() if now is None else now
-        ends = [w.end for w in self._outages if w.active(now)]
+        ends = [w.end for w in self._outages if w.applies_to(now, node)]
         return max(ends) if ends else None
+
+    def partitioned_nodes(self, now=None):
+        """Names of nodes currently cut off by node-scoped windows."""
+        now = self.clock.now() if now is None else now
+        return sorted({
+            w.node for w in self._outages
+            if w.node is not None and w.applies_to(now, w.node)
+        })
 
     def agents_stalled(self, node=None, now=None):
         now = self.clock.now() if now is None else now
@@ -180,7 +214,7 @@ class SimulatedNetwork:
                 reason="timeout",
             )
         self.sleep(rtt)
-        if not self.backend_available():
+        if not self.backend_available(node=node or None):
             self._count(node, "outage")
             raise NetworkError(
                 f"back-end unreachable from {node or 'cache'} (outage window)",

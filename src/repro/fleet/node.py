@@ -22,10 +22,31 @@ the simulated clock — waiting out breaker cooldowns — up to
 ``max_remote_wait`` simulated seconds before the failure propagates.
 """
 
+import enum
+
 from repro.cache.mtcache import MTCache
-from repro.common.errors import CircuitOpenError, NetworkError
-from repro.fleet.breaker import CircuitBreaker
+from repro.common.errors import CircuitOpenError, FleetStateError, NetworkError
+from repro.fleet.breaker import BreakerState, CircuitBreaker
 from repro.obs.metrics import NULL_REGISTRY
+from repro.replication.agent import DistributionAgent
+from repro.replication.failover import AgentSupervisor
+
+
+class NodeLifecycle(enum.Enum):
+    """Where one fleet node is in its crash/recovery life.
+
+    * **UP** — serving normally.
+    * **DRAINING** — quiesced: refuses new queries, keeps its data warm.
+    * **CRASHED** — process gone: in-memory views, plan cache and local
+      heartbeats are lost; the router skips it entirely.
+    * **WARMING** — restarted and rebuilt, but treated as degraded by the
+      router until the warm-up window ends.
+    """
+
+    UP = "up"
+    DRAINING = "draining"
+    CRASHED = "crashed"
+    WARMING = "warming"
 
 
 class FleetNode(MTCache):
@@ -33,7 +54,9 @@ class FleetNode(MTCache):
 
     def __init__(self, name, backend, network, *, fleet_metrics=None,
                  failure_threshold=3, reset_timeout=5.0, max_remote_wait=60.0,
-                 retry_backoff=0.25, **mtcache_kwargs):
+                 retry_backoff=0.25, warmup_seconds=2.0,
+                 failover_threshold=None, failover_check_interval=None,
+                 **mtcache_kwargs):
         self.name = name
         self.network = network
         self.fleet_metrics = fleet_metrics if fleet_metrics is not None else NULL_REGISTRY
@@ -48,6 +71,16 @@ class FleetNode(MTCache):
         #: out drops, outages and breaker cooldowns before giving up.
         self.max_remote_wait = max_remote_wait
         self.retry_backoff = retry_backoff
+        #: How long a restarted node stays WARMING before the router
+        #: treats it as a full peer again.
+        self.warmup_seconds = warmup_seconds
+        #: Stalled-agent failover: promote a standby once a region's agent
+        #: makes no progress for this many simulated seconds (None: off).
+        self.failover_threshold = failover_threshold
+        self.failover_check_interval = failover_check_interval
+        self.supervisors = {}  # cid -> AgentSupervisor
+        self._lifecycle = NodeLifecycle.UP
+        self._warm_event = None
         #: Router bookkeeping (FleetRouter maintains these).
         self.inflight = 0
         self.queries_routed = 0
@@ -56,12 +89,182 @@ class FleetNode(MTCache):
         super().__init__(backend, **mtcache_kwargs)
 
     # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def lifecycle(self):
+        return self._lifecycle
+
+    @property
+    def accepting(self):
+        """May the router send this node new queries right now?"""
+        return self._lifecycle in (NodeLifecycle.UP, NodeLifecycle.WARMING)
+
+    def _lifecycle_event(self, state, message, severity="info"):
+        self._lifecycle = state
+        now = self.clock.now()
+        self.fleet_metrics.counter(
+            "fleet_node_lifecycle_total",
+            labels={"node": self.name, "state": state.value},
+            help="node lifecycle transitions by target state",
+        ).inc()
+        self.fleet_metrics.event(
+            "lifecycle", message, severity=severity, time=now,
+            node=self.name, state=state.value,
+        )
+
+    def _cancel_warmup(self):
+        if self._warm_event is not None:
+            self._warm_event.cancel()
+            self._warm_event = None
+
+    def crash(self):
+        """Kill the node: everything in memory is lost.
+
+        Materialized views, the plan cache, the query log and the local
+        heartbeat tables vanish; agents and supervisors stop mid-flight.
+        The durable pieces — catalog definitions and the agent checkpoint
+        store — survive for :meth:`restart` to rebuild from.
+        """
+        if self._lifecycle is NodeLifecycle.CRASHED:
+            raise FleetStateError(f"node {self.name} is already crashed")
+        self._cancel_warmup()
+        for supervisor in self.supervisors.values():
+            supervisor.stop()
+        for agent in self.agents.values():
+            agent.stop()
+        for view in self.catalog.matviews():
+            view.table.truncate()
+            view.applied_txn = 0
+            view.snapshot_time = 0.0
+        for heartbeat in self._local_heartbeats.values():
+            heartbeat.truncate()
+        self.invalidate_plans()
+        self.query_log.clear()
+        # A fresh process starts with a fresh (closed) breaker.
+        self.breaker.state = BreakerState.CLOSED
+        self.breaker.failures = 0
+        self.breaker.opened_at = None
+        self._lifecycle_event(
+            NodeLifecycle.CRASHED,
+            f"{self.name} crashed: views, plan cache and heartbeats lost",
+            severity="error",
+        )
+
+    def restart(self, warmup=None):
+        """Cold-restart a crashed node and begin warming it up.
+
+        Rebuild order per region: a fresh agent re-registers against the
+        region, re-subscribes every view (repopulating from the back-end
+        and replaying the replication-log tail), checkpoints, and resumes
+        its propagation cadence.  The node then serves as WARMING —
+        degraded in the router's eyes — until ``warmup`` (default
+        ``warmup_seconds``) simulated seconds pass.
+
+        The rebuild needs the back-end: when this node's link is cut
+        (outage or partition), the restart is deferred to just after the
+        covering window ends and False is returned.
+        """
+        if self._lifecycle is not NodeLifecycle.CRASHED:
+            raise FleetStateError(
+                f"node {self.name} is {self._lifecycle.value}, not crashed"
+            )
+        warmup = self.warmup_seconds if warmup is None else warmup
+        if not self.network.backend_available(node=self.name):
+            ends = self.network.outage_ends_at(node=self.name)
+            retry_at = (ends if ends is not None else self.clock.now()) + 1e-3
+            self.fleet_metrics.event(
+                "lifecycle",
+                f"{self.name} restart deferred to t={retry_at:g}: "
+                f"back-end unreachable", severity="warning",
+                time=self.clock.now(), node=self.name, state="restart_deferred",
+            )
+            self.scheduler.at(
+                retry_at,
+                lambda: self.restart(warmup=warmup)
+                if self._lifecycle is NodeLifecycle.CRASHED else None,
+                name=f"restart:{self.name}",
+            )
+            return False
+        self._lifecycle_event(
+            NodeLifecycle.WARMING,
+            f"{self.name} restarting: cold-cache rebuild begins",
+        )
+        for region in self.catalog.regions():
+            self._rebuild_region(region)
+        self.fleet_metrics.counter(
+            "fleet_node_restarts_total", labels={"node": self.name},
+            help="cold restarts completed",
+        ).inc()
+        self._warm_event = self.scheduler.after(
+            warmup, self._complete_warmup, name=f"warmup:{self.name}"
+        )
+        return True
+
+    def _rebuild_region(self, region):
+        """One region's cold rebuild: fresh agent, re-subscribed views."""
+        agent = DistributionAgent(
+            region, self.backend.catalog, self.backend.txn_manager.log,
+            self.catalog, self.clock,
+            registry=self.metrics, checkpoints=self.checkpoints,
+        )
+        agent.attach_heartbeat(self._local_heartbeats[region.cid])
+        for view_name in region.view_names:
+            agent.subscribe(self.catalog.matview(view_name))
+        self.network.wrap_agent(agent, node=self.name)
+        agent.start(self.scheduler, interval=region.update_interval)
+        self.agents[region.cid] = agent
+        self._start_supervisor(region.cid)
+
+    def _complete_warmup(self):
+        self._warm_event = None
+        if self._lifecycle is NodeLifecycle.WARMING:
+            self._lifecycle_event(
+                NodeLifecycle.UP, f"{self.name} warmed up: serving normally"
+            )
+
+    def drain(self):
+        """Quiesce: stop accepting new queries, keep the caches warm.
+
+        Returns the number of queries still in flight (always 0 in the
+        discrete-time simulation — queries complete within their tick)."""
+        if self._lifecycle is NodeLifecycle.CRASHED:
+            raise FleetStateError(f"cannot drain crashed node {self.name}")
+        self._cancel_warmup()
+        self._lifecycle_event(
+            NodeLifecycle.DRAINING, f"{self.name} draining: refusing new queries"
+        )
+        return self.inflight
+
+    def resume(self):
+        """Put a drained node back into rotation."""
+        if self._lifecycle is not NodeLifecycle.DRAINING:
+            raise FleetStateError(
+                f"node {self.name} is {self._lifecycle.value}, not draining"
+            )
+        self._lifecycle_event(NodeLifecycle.UP, f"{self.name} resumed")
+
+    def _start_supervisor(self, cid):
+        if self.failover_threshold is None:
+            return None
+        supervisor = AgentSupervisor(
+            self, cid,
+            stall_threshold=self.failover_threshold,
+            check_interval=self.failover_check_interval,
+            registry=self.fleet_metrics, node=self.name,
+        )
+        supervisor.start(self.scheduler)
+        self.supervisors[cid] = supervisor
+        return supervisor
+
+    # ------------------------------------------------------------------
     # Back-end access
     # ------------------------------------------------------------------
     def remote_available(self):
         """Would a remote call have a chance right now?  Used by guards
         to decide between the remote branch and graceful degradation."""
-        return self.network.backend_available() and self.breaker.available()
+        return (self.network.backend_available(node=self.name)
+                and self.breaker.available())
 
     def remote_executor(self, sql):
         """Back-end call with retry/backoff over the simulated network.
@@ -164,6 +367,7 @@ class FleetNode(MTCache):
         agent = self.agents[cid]
         self.network.wrap_agent(agent, node=self.name)
         agent.start(self.scheduler, interval=update_interval)
+        self._start_supervisor(cid)
         return region
 
     # ------------------------------------------------------------------

@@ -1,7 +1,11 @@
 """Replication: heartbeat service and distribution agents maintaining the
-cache's materialized views one region at a time, in commit order."""
+cache's materialized views one region at a time, in commit order — plus
+the durability plumbing (checkpointed resume cutoffs, standby promotion)
+that keeps regions maintained across agent death."""
 
 from repro.replication.agent import DistributionAgent
+from repro.replication.checkpoint import Checkpoint, CheckpointStore
+from repro.replication.failover import AgentSupervisor
 from repro.replication.heartbeat import (
     HEARTBEAT_TABLE,
     HeartbeatService,
@@ -11,6 +15,9 @@ from repro.replication.heartbeat import (
 from repro.replication.row_refresh import RowRefreshAgent, RowSync
 
 __all__ = [
+    "AgentSupervisor",
+    "Checkpoint",
+    "CheckpointStore",
     "DistributionAgent",
     "HEARTBEAT_TABLE",
     "HeartbeatService",

@@ -58,7 +58,7 @@ class DistributionAgent:
     """Propagates committed back-end changes to one currency region."""
 
     def __init__(self, region_info, backend_catalog, replication_log, cache_catalog, clock,
-                 registry=None):
+                 registry=None, checkpoints=None):
         self.region = region_info
         self.backend_catalog = backend_catalog
         self.log = replication_log
@@ -69,9 +69,17 @@ class DistributionAgent:
         self._subscriptions = {}  # base table name -> [_ViewSubscription]
         self._local_heartbeat = None
         self._event = None
+        self._interval = None
         #: Metrics registry: refresh counts, records applied, staleness
         #: gauge — all labelled by region.  The owning cache sets this.
         self.registry = registry if registry is not None else NULL_REGISTRY
+        #: Durable resume cutoff (survives agent death).  None disables
+        #: checkpointing; the owning cache passes its CheckpointStore.
+        self.checkpoints = checkpoints
+        #: Simulated time of the last propagation wake that actually ran
+        #: (injected stall windows skip the wake without touching this),
+        #: which is what the failover supervisor watches.
+        self.last_progress_at = clock.now()
 
     # ------------------------------------------------------------------
     # Setup
@@ -101,6 +109,7 @@ class DistributionAgent:
         # The region as a whole is now synchronized to "now".
         self.snapshot_time = now
         self._sync_views_metadata()
+        self._checkpoint()
 
     def unsubscribe(self, view):
         """Remove a view's subscription (it stops receiving updates)."""
@@ -114,6 +123,7 @@ class DistributionAgent:
     def start(self, scheduler, interval=None):
         """Begin periodic propagation on the scheduler."""
         interval = interval if interval is not None else self.region.update_interval
+        self._interval = interval
         if self._event is not None:
             self._event.cancel()
         self._event = scheduler.every(
@@ -135,6 +145,7 @@ class DistributionAgent:
         The default cutoff is ``now − update_delay``.  Returns the number of
         records applied.
         """
+        self.last_progress_at = self.clock.now()
         if cutoff is None:
             cutoff = self.clock.now() - self.region.update_delay
         if cutoff < self.snapshot_time:
@@ -150,6 +161,7 @@ class DistributionAgent:
             self.applied_txn = max(self.applied_txn, record.txn_id)
         self.snapshot_time = max(self.snapshot_time, cutoff)
         self._sync_views_metadata()
+        self._checkpoint()
         labels = {"region": self.region.cid}
         registry = self.registry
         registry.counter("replication_refreshes_total", labels=labels,
@@ -177,6 +189,47 @@ class DistributionAgent:
                 sub.view.applied_txn = self.applied_txn
                 sub.view.snapshot_time = self.snapshot_time
 
+    # ------------------------------------------------------------------
+    # Durability & failover
+    # ------------------------------------------------------------------
+    def _checkpoint(self):
+        if self.checkpoints is not None:
+            self.checkpoints.save(
+                self.region.cid, self.applied_txn, self.snapshot_time,
+                saved_at=self.clock.now(),
+            )
+
+    def adopt(self, other):
+        """Take over ``other``'s subscriptions and local heartbeat table.
+
+        The standby writes to the *same* local views — it is the same
+        region, just a fresh process.  Resume state (``applied_txn`` /
+        ``snapshot_time``) is NOT copied: a promoted standby must trust
+        only the durable checkpoint, never the dead primary's memory.
+        """
+        self._subscriptions = {
+            table: list(subs) for table, subs in other._subscriptions.items()
+        }
+        self._local_heartbeat = other._local_heartbeat
+        self._interval = other._interval
+        return self
+
+    def resume_from_checkpoint(self):
+        """Restore the durable cutoff (no-op without a store/checkpoint).
+
+        The next :meth:`propagate` then replays the log from there; the
+        stretch between the checkpoint and whatever the dead agent had
+        actually applied is re-applied, which :meth:`_apply` tolerates.
+        """
+        if self.checkpoints is None:
+            return None
+        checkpoint = self.checkpoints.load(self.region.cid)
+        if checkpoint is None:
+            return None
+        self.applied_txn = checkpoint.applied_txn
+        self.snapshot_time = checkpoint.snapshot_time
+        return checkpoint
+
     def _apply(self, record):
         """Apply one log record; returns True if anything changed locally."""
         if record.table == HEARTBEAT_TABLE:
@@ -191,15 +244,15 @@ class DistributionAgent:
         return changed
 
     def _apply_to_view(self, sub, record):
+        """Apply one record to one view — idempotently.
+
+        Every op locates the current local row by primary key first, so
+        INSERT degrades to an upsert: re-applying an already-applied log
+        prefix (checkpointed failover, replayed restart) leaves the view
+        byte-identical instead of duplicating rows.
+        """
         view_table = sub.view.table
         ci = view_table.clustered_index()
-        if record.op is Operation.INSERT:
-            if sub.satisfies(record.values):
-                view_table.insert(sub.project(record.values), xtime=record.txn_id,
-                                  commit_time=record.commit_time)
-                return True
-            return False
-        # UPDATE / DELETE: locate the current local row by primary key.
         rid = None
         for candidate in ci.seek(record.pk):
             rid = candidate
@@ -209,7 +262,8 @@ class DistributionAgent:
                 view_table.delete(rid)
                 return True
             return False
-        # UPDATE: the row may enter, leave, or change within the view.
+        # INSERT / UPDATE: the row may enter, leave, or change within the
+        # view; both upsert against the current local state.
         now_in = sub.satisfies(record.values)
         if rid is not None and now_in:
             view_table.update(rid, sub.project(record.values), xtime=record.txn_id,

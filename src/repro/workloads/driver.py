@@ -98,7 +98,7 @@ class WorkloadDriver:
         self.rng = random.Random(seed)
 
     def run(self, query_factory, bounds, n_queries, think_time=1.0,
-            raise_errors=True):
+            raise_errors=True, on_result=None, on_error=None):
         """Execute ``n_queries`` queries.
 
         ``query_factory(rng, bound)`` returns SQL text for one request;
@@ -109,6 +109,11 @@ class WorkloadDriver:
         records raised :class:`~repro.common.errors.ReproError` subtypes
         (currency violations, network failures) in ``report.errors``
         instead of aborting, which is what fault-injection runs want.
+
+        ``on_result(bound, result)`` / ``on_error(bound, exc)`` are
+        per-query observer hooks — the chaos harness uses them to audit
+        every delivered result against its declared bound and to
+        timestamp each outcome on the simulated clock.
         """
         report = DriverReport()
         is_fleet = hasattr(self.cache, "router")
@@ -124,8 +129,12 @@ class WorkloadDriver:
                 if raise_errors:
                     raise
                 report.record_error(bound, exc)
+                if on_error is not None:
+                    on_error(bound, exc)
             else:
                 report.record(bound, result)
+                if on_result is not None:
+                    on_result(bound, result)
             if think_time:
                 self.cache.run_for(self.rng.expovariate(1.0 / think_time))
         report.metrics = self._metrics_snapshot()

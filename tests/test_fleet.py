@@ -209,6 +209,39 @@ class TestCircuitBreaker:
         breaker.record_failure()
         assert breaker.state is BreakerState.CLOSED
 
+    def test_half_open_retrip_restarts_the_cooldown(self):
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(clock, failure_threshold=2, reset_timeout=5.0)
+        breaker.record_failure()
+        breaker.record_failure()  # trips at t=0
+        clock.advance(5.0)
+        assert breaker.available()
+        assert breaker.state is BreakerState.HALF_OPEN
+        # A single probe failure re-trips immediately — no second chance,
+        # no waiting for the full failure threshold — and the cooldown
+        # restarts from the re-trip, not the original open.
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.retry_at == pytest.approx(10.0)
+        assert not breaker.available()
+        clock.advance(4.9)
+        assert not breaker.available()
+        clock.advance(0.2)
+        assert breaker.available()
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_breaker_state_surfaces_in_fleet_status(self):
+        fleet = make_fleet(reset_timeout=5.0)
+        node = fleet.node("node1")
+        for _ in range(node.breaker.failure_threshold):
+            node.breaker.record_failure()
+        status = fleet.status()
+        assert status["nodes"]["node1"]["breaker"] == "open"
+        assert status["nodes"]["node0"]["breaker"] == "closed"
+        fleet.run_for(5.0)
+        node.breaker.available()  # cooldown elapsed: probe admitted
+        assert fleet.status()["nodes"]["node1"]["breaker"] == "half_open"
+
 
 # ----------------------------------------------------------------------
 # Fleet topology & DDL
@@ -345,6 +378,26 @@ class TestFleetDriver:
         assert report.errors == 0
         assert report.queries == 20
         assert report.local_fraction_for(600) == 1.0
+
+    def test_outage_plus_stall_degrades_instead_of_erroring(self):
+        # Regression for the lifecycle refactor: an outage combined with
+        # stalled agents must still end in stale-with-warning serves (the
+        # serve_stale fallback), never raised errors.
+        fleet = make_fleet(reset_timeout=0.5)
+        fleet.network.stall_agents(10.0)
+        fleet.network.inject_outage(10.0)
+        fleet.run_for(4.0)  # staleness grows past the strict bound
+        factory = point_lookup_factory("t", "id", (1, 20))
+        report = WorkloadDriver(fleet, seed=3).run(
+            factory, [2], n_queries=10, think_time=0.2, raise_errors=False
+        )
+        assert report.errors == 0
+        assert report.queries == 10
+        assert report.warnings >= 1  # explicitly-declared degradation
+        snap = fleet.metrics.snapshot()
+        degraded = sum(v for k, v in snap.items()
+                       if k.startswith("fleet_degraded_total"))
+        assert degraded >= 1
 
     def test_single_cache_metrics_snapshot_unchanged(self):
         from repro.cache.mtcache import MTCache

@@ -182,3 +182,94 @@ class TestHeartbeat:
         assert low == pytest.approx(2.0)
         assert high == pytest.approx(11.9)
         assert reset == pytest.approx(2.0)
+
+
+class TestReplaySafety:
+    def test_reapplying_applied_prefix_is_a_noop(self):
+        # Satellite regression: a restarted agent that lost its cutoffs
+        # replays the whole log; idempotent application must leave the
+        # view byte-identical — no duplicate inserts, no lost deletes.
+        backend, cache, view = make_env(interval=10.0, delay=2.0)
+        backend.execute("INSERT INTO items VALUES (4, 1, 40.0)")
+        backend.execute("UPDATE items SET qty = 7 WHERE id = 2")
+        backend.execute("DELETE FROM items WHERE id = 3")
+        cache.run_for(10.0)
+        agent = cache.agents["r1"]
+        before = sorted(values for _, values in view.table.scan())
+        assert len(before) == 3  # 1, 2 (qty=7), 4
+
+        # Simulate losing the resume cutoffs entirely.
+        agent.applied_txn = 0
+        agent.snapshot_time = 0.0
+        reapplied = agent.propagate(cutoff=cache.clock.now())
+        after = sorted(values for _, values in view.table.scan())
+        assert after == before
+        assert reapplied > 0  # the prefix really was replayed
+
+    def test_replay_with_predicate_view(self):
+        backend, cache, _ = make_env(interval=10.0, delay=2.0)
+        view = cache.create_matview(
+            "cheap", "items", ["id", "price"], predicate="price < 25",
+            region="r1",
+        )
+        backend.execute("UPDATE items SET price = 5.0 WHERE id = 3")  # moves in
+        backend.execute("UPDATE items SET price = 90.0 WHERE id = 1")  # moves out
+        cache.run_for(10.0)
+        agent = cache.agents["r1"]
+        before = sorted(values for _, values in view.table.scan())
+        agent.applied_txn = 0
+        agent.snapshot_time = 0.0
+        agent.propagate(cutoff=cache.clock.now())
+        assert sorted(values for _, values in view.table.scan()) == before
+
+
+class TestCheckpoints:
+    def test_agent_checkpoints_every_propagation(self):
+        backend, cache, _ = make_env(interval=10.0, delay=2.0)
+        checkpoint = cache.checkpoints.load("r1")
+        assert checkpoint is not None  # saved at subscribe time
+        backend.execute("INSERT INTO items VALUES (4, 1, 40.0)")
+        cache.run_for(10.0)
+        agent = cache.agents["r1"]
+        checkpoint = cache.checkpoints.load("r1")
+        assert checkpoint.applied_txn == agent.applied_txn
+        assert checkpoint.snapshot_time == pytest.approx(agent.snapshot_time)
+        assert cache.checkpoints.saves >= 2
+
+    def test_resume_from_checkpoint_restores_cutoffs(self):
+        from repro.replication import DistributionAgent
+
+        backend, cache, view = make_env(interval=10.0, delay=2.0)
+        backend.execute("INSERT INTO items VALUES (4, 1, 40.0)")
+        cache.run_for(10.0)
+        old = cache.agents["r1"]
+
+        standby = DistributionAgent(
+            cache.catalog.region("r1"), backend.catalog,
+            backend.txn_manager.log, cache.catalog, cache.clock,
+            checkpoints=cache.checkpoints,
+        )
+        standby.adopt(old)
+        checkpoint = standby.resume_from_checkpoint()
+        assert checkpoint.applied_txn == old.applied_txn
+        assert standby.applied_txn == old.applied_txn
+        # Replaying up to the checkpointed snapshot applies nothing...
+        assert standby.propagate(cutoff=standby.snapshot_time) == 0
+        # ...and catching up to "now" only takes the log *tail* (the
+        # heartbeats committed since), leaving the view rows untouched.
+        before = sorted(values for _, values in view.table.scan())
+        standby.propagate(cutoff=cache.clock.now())
+        assert sorted(values for _, values in view.table.scan()) == before
+        assert view.table.row_count == 4
+
+    def test_clear_checkpoints(self):
+        from repro.replication import CheckpointStore
+
+        store = CheckpointStore()
+        store.save("a", 3, 1.5)
+        store.save("b", 9, 2.5)
+        assert "a" in store and len(store) == 2
+        store.clear("a")
+        assert store.load("a") is None and len(store) == 1
+        store.clear()
+        assert len(store) == 0
