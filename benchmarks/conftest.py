@@ -6,7 +6,7 @@ deposit their headline numbers (qps, p50/p95 latency, speedups) into a
 shared dict, and at session end each non-empty dict is merge-written to
 its ``benchmarks/BENCH_<n>.json`` so the perf trajectory is recorded per
 PR (BENCH_2: batch engine; BENCH_3: cache fleet; BENCH_4: tracing
-overhead; BENCH_5: chaos recovery).
+overhead; BENCH_5: chaos recovery; BENCH_6: sharded back-end scaling).
 """
 
 import json
@@ -18,11 +18,12 @@ from repro.workloads.experiment import build_paper_setup
 
 #: Accumulates {workload/section -> metrics} per summary file.
 _BENCH = {"BENCH_2.json": {}, "BENCH_3.json": {}, "BENCH_4.json": {},
-          "BENCH_5.json": {}}
+          "BENCH_5.json": {}, "BENCH_6.json": {}}
 _BENCH2 = _BENCH["BENCH_2.json"]
 _BENCH3 = _BENCH["BENCH_3.json"]
 _BENCH4 = _BENCH["BENCH_4.json"]
 _BENCH5 = _BENCH["BENCH_5.json"]
+_BENCH6 = _BENCH["BENCH_6.json"]
 
 
 @pytest.fixture(scope="session")
@@ -59,6 +60,12 @@ def bench4_recorder():
 def bench5_recorder():
     """Mutable dict whose contents land in benchmarks/BENCH_5.json."""
     return _BENCH5
+
+
+@pytest.fixture(scope="session")
+def bench6_recorder():
+    """Mutable dict whose contents land in benchmarks/BENCH_6.json."""
+    return _BENCH6
 
 
 def pytest_sessionfinish(session, exitstatus):

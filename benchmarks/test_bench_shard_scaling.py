@@ -1,0 +1,209 @@
+"""Benchmark: sharded back-end QPS scaling (PR 6's tentpole).
+
+Open-loop scaling experiment over :class:`~repro.shard.ShardedBackend`
+at M ∈ {1, 2, 4} partitions:
+
+* **calibration** — a few hundred *real* queries per topology (90%
+  point lookups, 10% three-key IN probes) run through the full
+  parse/route/execute path; the backend's per-shard busy ledger charges
+  each sub-execution its measured service time, which yields a mean
+  service time per query class and shard count.
+* **open loop** — 1.2M session arrivals (``SHARD_BENCH_SESSIONS``
+  scales this down for CI smoke runs) are drawn from a Zipf(s=1.1)
+  popularity distribution over the key space, decorrelated from the key
+  ordering with a Knuth multiplicative mix, routed with the *real*
+  ``shard_of`` hash, and charged analytically to the owning shards'
+  ledgers.  Shards drain in parallel, so the QPS denominator is the
+  busiest shard's finish time (``simulated_makespan``), exactly like the
+  fleet throughput bench.
+
+Acceptance bar: M=4 sustains >= 1.7x the QPS of M=1 under the same
+arrival stream — near-linear scaling lost only to the Zipf hot keys and
+the multi-shard IN fan-out.  Headline numbers land in
+``benchmarks/BENCH_6.json``.
+
+Run:  pytest benchmarks/test_bench_shard_scaling.py -s
+"""
+
+import bisect
+import os
+import random
+
+from repro.shard import ShardedBackend
+
+N_ROWS = 4000
+ZIPF_S = 1.1
+#: Arrival stream size; override with SHARD_BENCH_SESSIONS for smoke runs.
+N_SESSIONS = int(os.environ.get("SHARD_BENCH_SESSIONS", 1_200_000))
+#: Real queries per topology used to calibrate service times.
+N_CALIBRATION = 300
+#: Fraction of sessions that are single-key point lookups (the rest are
+#: three-key IN probes spanning shards).
+POINT_FRACTION = 0.9
+PARTITION_COUNTS = (1, 2, 4)
+
+
+def build_backend(m):
+    backend = ShardedBackend(m)
+    backend.create_table(
+        "CREATE TABLE profile (id INT NOT NULL, score INT NOT NULL, "
+        "PRIMARY KEY (id))"
+    )
+    backend.bulk_load("profile", [(i, i % 100) for i in range(N_ROWS)])
+    backend.refresh_statistics()
+    return backend
+
+
+def zipf_cdf(n, s):
+    """Cumulative popularity of ranks 1..n under Zipf(s)."""
+    weights = [1.0 / (rank ** s) for rank in range(1, n + 1)]
+    total = sum(weights)
+    cdf, acc = [], 0.0
+    for w in weights:
+        acc += w
+        cdf.append(acc / total)
+    return cdf
+
+
+def sample_key(rng, cdf):
+    """Zipf-ranked key, decorrelated from the key ordering so hot ranks
+    spread across the hash space (Knuth multiplicative mix)."""
+    rank = bisect.bisect_left(cdf, rng.random())
+    return (rank * 2654435761) % N_ROWS
+
+
+def session_stream(seed, n):
+    """The deterministic arrival stream: (kind, keys) per session."""
+    rng = random.Random(seed)
+    cdf = zipf_cdf(N_ROWS, ZIPF_S)
+    for _ in range(n):
+        if rng.random() < POINT_FRACTION:
+            yield "point", (sample_key(rng, cdf),)
+        else:
+            yield "in", tuple(sample_key(rng, cdf) for _ in range(3))
+
+
+def point_sql(key):
+    return f"SELECT p.id, p.score FROM profile p WHERE p.id = {key}"
+
+
+def in_sql(keys):
+    return (
+        "SELECT p.id, p.score FROM profile p "
+        f"WHERE p.id IN ({', '.join(str(k) for k in keys)})"
+    )
+
+
+def calibrate(backend, seed=23):
+    """Run real queries; return mean service seconds per query class.
+
+    The IN probe's cost is charged per *leg* (each contributing shard
+    runs its subset scan concurrently), so its calibrated unit is
+    seconds per shard-leg, not per statement.
+    """
+    backend.reset_load()
+    legs = 0
+    rng = random.Random(seed)
+    cdf = zipf_cdf(N_ROWS, ZIPF_S)
+    n_points = int(N_CALIBRATION * POINT_FRACTION)
+    for _ in range(n_points):
+        backend.execute(point_sql(sample_key(rng, cdf)))
+    point_total = sum(backend.shard_load())
+    backend.reset_load()
+    for _ in range(N_CALIBRATION - n_points):
+        keys = tuple(sample_key(rng, cdf) for _ in range(3))
+        legs += len({backend.shard_of("profile", k) for k in keys})
+        backend.execute(in_sql(keys))
+    in_total = sum(backend.shard_load())
+    return {
+        "point_s": point_total / n_points,
+        "in_leg_s": in_total / max(legs, 1),
+    }
+
+
+def open_loop(backend, service, n_sessions, seed=29):
+    """Charge the whole arrival stream to the per-shard ledgers."""
+    backend.reset_load()
+    charge = backend._charge
+    shard_of = backend.shard_of
+    point_s = service["point_s"]
+    in_leg_s = service["in_leg_s"]
+    sessions = 0
+    for kind, keys in session_stream(seed, n_sessions):
+        sessions += 1
+        if kind == "point":
+            charge(shard_of("profile", keys[0]), point_s)
+        else:
+            for shard in {shard_of("profile", k) for k in keys}:
+                charge(shard, in_leg_s)
+    return sessions, backend.simulated_makespan()
+
+
+def test_shard_scaling_qps(benchmark, bench6_recorder):
+    backends = {m: build_backend(m) for m in PARTITION_COUNTS}
+
+    def run_all():
+        out = {}
+        for m, backend in backends.items():
+            service = calibrate(backend)
+            sessions, makespan = open_loop(backend, service, N_SESSIONS)
+            out[m] = {
+                "service": service,
+                "sessions": sessions,
+                "makespan": makespan,
+                "qps": sessions / makespan,
+                "shard_load": backend.shard_load(),
+            }
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Sanity: the sharded topologies answer the same rows as M=1.
+    probe = in_sql((1, 2, 3))
+    want = sorted(backends[1].execute(probe).rows)
+    for m in PARTITION_COUNTS[1:]:
+        assert sorted(backends[m].execute(probe).rows) == want
+
+    qps1 = results[1]["qps"]
+    speedups = {m: results[m]["qps"] / qps1 for m in PARTITION_COUNTS}
+    load4 = results[4]["shard_load"]
+    balance = min(load4) / max(load4)
+
+    bench6_recorder["shard_scaling"] = {
+        "workload": (
+            f"open loop, Zipf(s={ZIPF_S}) over {N_ROWS} keys, "
+            f"{POINT_FRACTION:.0%} point lookups + "
+            f"{1 - POINT_FRACTION:.0%} 3-key IN probes"
+        ),
+        "sessions": N_SESSIONS,
+        "calibration_queries_per_topology": N_CALIBRATION,
+        "topologies": {
+            f"m{m}": {
+                "qps": results[m]["qps"],
+                "simulated_makespan_s": results[m]["makespan"],
+                "service_point_us": results[m]["service"]["point_s"] * 1e6,
+                "service_in_leg_us": results[m]["service"]["in_leg_s"] * 1e6,
+                "speedup_vs_m1": speedups[m],
+            }
+            for m in PARTITION_COUNTS
+        },
+        "shard_load_balance_m4": balance,
+        "speedup_m4_vs_m1": speedups[4],
+    }
+
+    print(
+        "\n=== shard scaling: "
+        + " | ".join(
+            f"M={m} {results[m]['qps']:.0f} qps ({speedups[m]:.2f}x)"
+            for m in PARTITION_COUNTS
+        )
+        + f" | M=4 balance {balance:.2f} ==="
+    )
+
+    # The PR's acceptance bar: near-linear scaling to 4 partitions.
+    assert speedups[4] >= 1.7, (
+        f"M=4 at {results[4]['qps']:.0f} qps is only {speedups[4]:.2f}x "
+        f"the single partition's {qps1:.0f} qps"
+    )
+    assert speedups[2] >= 1.2
+    assert balance > 0.25, f"hot keys collapsed onto one shard: {load4}"

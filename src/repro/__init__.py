@@ -28,6 +28,7 @@ Quickstart::
 
 from repro.cache.backend import BackendServer
 from repro.cache.mtcache import FallbackPolicy, MTCache
+from repro.common.backend import Backend, ReplicationSource
 from repro.cc.constraint import CCConstraint, CCTuple, constraint_from_select
 from repro.cc.properties import BACKEND_REGION, ConsistencyProperty
 from repro.cc.timeline import TimelineSession
@@ -42,16 +43,18 @@ from repro.common.errors import (
     ReproError,
 )
 from repro.engine.executor import QueryResult
-from repro.fleet import CacheFleet, FleetRouter, SimulatedNetwork
+from repro.fleet import CacheFleet, FleetConfig, FleetRouter, SimulatedNetwork
 from repro.obs import MetricsRegistry, NullRegistry, Span
 from repro.optimizer.cost import CostModel, guard_probability
 from repro.semantics.checker import ResultChecker
+from repro.shard import ShardedBackend
 from repro.sql.parser import parse, parse_expression
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BACKEND_REGION",
+    "Backend",
     "BackendServer",
     "CCConstraint",
     "CCTuple",
@@ -62,6 +65,7 @@ __all__ = [
     "CostModel",
     "CurrencyError",
     "FallbackPolicy",
+    "FleetConfig",
     "FleetRouter",
     "MTCache",
     "MetricsRegistry",
@@ -70,8 +74,10 @@ __all__ = [
     "OptimizerError",
     "ParseError",
     "QueryResult",
+    "ReplicationSource",
     "ReproError",
     "ResultChecker",
+    "ShardedBackend",
     "SimulatedClock",
     "SimulatedNetwork",
     "Span",

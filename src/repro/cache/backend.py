@@ -14,6 +14,7 @@ join, filter with a subquery runner, aggregate, sort).
 """
 
 from repro.catalog.catalog import Catalog
+from repro.common.backend import Backend
 from repro.common.clock import SimulatedClock
 from repro.common.errors import ExecutionError, OptimizerError
 from repro.common.scheduler import EventScheduler
@@ -36,8 +37,12 @@ from repro.sql.parser import parse
 from repro.txn.manager import TransactionManager
 
 
-class BackendServer:
+class BackendServer(Backend):
     """The master DBMS holding the up-to-date database state.
+
+    Implements the :class:`~repro.common.backend.Backend` protocol with
+    the single-node topology defaults (one partition, one replication
+    source).
 
     ``batch_size`` (keyword-only) sets the chunk size of the batch
     execution engine; ``batch_size=1`` forces the legacy row-at-a-time
@@ -137,8 +142,12 @@ class BackendServer:
             return self.create_index(stmt)
         raise ExecutionError(f"unsupported statement: {type(stmt).__name__}")
 
-    def execute_remote(self, sql):
-        """Endpoint for the cache's RemoteQuery operator: rows only."""
+    def execute_remote(self, sql, shards=None):
+        """Endpoint for the cache's RemoteQuery operator: rows only.
+
+        ``shards`` (a shard pin from the cache optimizer) is accepted for
+        protocol compatibility and ignored — one server is one shard.
+        """
         result = self.execute(sql)
         return result.rows
 

@@ -20,6 +20,7 @@ from collections import OrderedDict
 
 from repro.catalog.catalog import Catalog
 from repro.cc.properties import BACKEND_REGION, ConsistencyProperty
+from repro.common.backend import coerce_backend
 from repro.cc.timeline import TimelineSession
 from repro.common.errors import CatalogError, CurrencyError, OptimizerError
 from repro.engine import operators as ops
@@ -114,7 +115,11 @@ class CachePlacement(PlacementProvider):
 
         # Finite bound: wrap each local alternative in a SwitchUnion whose
         # selector is the currency guard over the region's local heartbeat.
-        remote = self._operand_remote_candidate(operand)
+        # A plan whose sargs pin the operand to one partition only answers
+        # for that shard's replication lag (and its remote fallback only
+        # hits that shard).
+        shard = self.mtcache.shard_hint(operand)
+        remote = self._operand_remote_candidate(operand, shard=shard)
         if self.probability_aware:
             p = guard_probability(bound, region.update_delay, region.update_interval)
         else:
@@ -125,7 +130,7 @@ class CachePlacement(PlacementProvider):
         delivered = ConsistencyProperty.single(("guarded", region.cid, bound), [alias])
         for local in locals_:
             def build(local=local, remote=remote, view=view, bound=bound,
-                      needed=needed, common_binding=common_binding):
+                      needed=needed, common_binding=common_binding, shard=shard):
                 # Project the local branch to the remote branch's column
                 # order so both SwitchUnion inputs agree — unless the view
                 # already produces exactly those columns in that order.
@@ -140,7 +145,7 @@ class CachePlacement(PlacementProvider):
                     local_branch = stamp_estimates(
                         ops.Project(local.operator(), exprs, common_binding), local.rows
                     )
-                selector = self.mtcache.make_currency_guard(view, bound)
+                selector = self.mtcache.make_currency_guard(view, bound, shard=shard)
                 return ops.SwitchUnion(
                     [local_branch, remote.operator()],
                     selector,
@@ -169,7 +174,7 @@ class CachePlacement(PlacementProvider):
     # ------------------------------------------------------------------
     # Remote candidates
     # ------------------------------------------------------------------
-    def _operand_remote_candidate(self, operand):
+    def _operand_remote_candidate(self, operand, shard=None):
         """A remote query fetching one operand (σπ of a base table)."""
         needed = sorted(operand.needed_columns)
         select = ast.Select(
@@ -180,7 +185,8 @@ class CachePlacement(PlacementProvider):
         binding = RowBinding([OutputCol(c, operand.alias) for c in needed])
         width = sum(operand.stats.column(c).avg_width for c in needed)
         return self._remote_candidate(
-            select, binding, [operand.alias], "remote-fetch", width=width
+            select, binding, [operand.alias], "remote-fetch", width=width,
+            shards=None if shard is None else (shard,),
         )
 
     def subset_remote_candidate(self, aliases, query_info):
@@ -251,7 +257,7 @@ class CachePlacement(PlacementProvider):
                 width += 8.0
         return width
 
-    def _remote_candidate(self, select, binding, aliases, kind, width=None):
+    def _remote_candidate(self, select, binding, aliases, kind, width=None, shards=None):
         backend = self.mtcache.backend
         sql = select.to_sql()
         cost, rows, est_width = backend.estimate(select)
@@ -260,8 +266,14 @@ class CachePlacement(PlacementProvider):
         total = cost + self.cost_model.transfer(rows, max(width, 1.0))
         delivered = ConsistencyProperty.single(BACKEND_REGION, aliases)
 
-        def build(sql=sql, binding=binding):
-            return ops.RemoteQuery(sql, binding, self.mtcache.remote_executor)
+        def build(sql=sql, binding=binding, shards=shards):
+            if shards is None:
+                return ops.RemoteQuery(sql, binding, self.mtcache.remote_executor)
+
+            def pinned_executor(q):
+                return self.mtcache.remote_executor(q, shards=shards)
+
+            return ops.RemoteQuery(sql, binding, pinned_executor)
 
         return Candidate(build, total, rows, width, binding, delivered, aliases, kind, detail=sql[:60])
 
@@ -402,9 +414,9 @@ class MTCache:
         #: Ring buffer of finished query traces (look up by
         #: ``result.trace_id``; rendered by ``\trace`` and TraceExporter).
         self.traces = TraceLog(64)
-        self.backend = backend
-        self.clock = backend.clock
-        self.scheduler = backend.scheduler
+        self.backend = coerce_backend(backend)
+        self.clock = self.backend.clock
+        self.scheduler = self.backend.scheduler
         self.catalog = Catalog()
         self.cost_model = cost_model or backend.cost_model
         if self.batch_size == 1:
@@ -415,11 +427,16 @@ class MTCache:
         self.executor = Executor(clock=self.clock, registry=self.metrics,
                                  batch_size=self.batch_size)
         self.session = TimelineSession()
-        self.agents = {}  # cid -> DistributionAgent
+        #: agent key -> DistributionAgent.  The key is the region cid on
+        #: an unsharded back-end; on a sharded one a region runs one agent
+        #: per partition, keyed ``"{cid}#p{shard}"``.
+        self.agents = {}
+        #: region cid -> [(shard_id, agent_key)] in partition order.
+        self._region_agent_keys = {}
         #: Durable agent resume cutoffs ("the disk"): survives simulated
         #: agent death and node crashes, feeding restart and failover.
         self.checkpoints = CheckpointStore()
-        self._local_heartbeats = {}  # cid -> HeapTable
+        self._local_heartbeats = {}  # agent key -> HeapTable
         self.mirror_backend()
 
     def set_metrics(self, registry):
@@ -515,19 +532,45 @@ class MTCache:
     # ------------------------------------------------------------------
     # Regions, agents, views
     # ------------------------------------------------------------------
+    @staticmethod
+    def _agent_key(cid, shard_id):
+        """Key a region's agent per replication source (partition)."""
+        return cid if shard_id is None else f"{cid}#p{shard_id}"
+
+    def region_agents(self, cid):
+        """The region's distribution agents, one per replication source."""
+        keys = self._region_agent_keys.get(cid)
+        if keys is None:
+            agent = self.agents.get(cid)
+            return [agent] if agent is not None else []
+        return [self.agents[key] for _, key in keys if key in self.agents]
+
     def create_region(self, cid, update_interval, update_delay, heartbeat_interval=2.0):
-        """Create a currency region with its agent and heartbeat plumbing."""
+        """Create a currency region with its agent and heartbeat plumbing.
+
+        On a sharded back-end the region becomes partition-scoped: one
+        distribution agent (and one local heartbeat table) per replication
+        source, each tailing its own partition's transaction log.
+        """
         region = self.catalog.create_region(cid, update_interval, update_delay)
         self.backend.heartbeats.register_region(cid, beat_interval=heartbeat_interval)
-        local_hb = HeapTable(local_heartbeat_name(cid), heartbeat_schema(), primary_key=["cid"])
-        self._local_heartbeats[cid] = local_hb
-        agent = DistributionAgent(
-            region, self.backend.catalog, self.backend.txn_manager.log, self.catalog,
-            self.clock, registry=self.metrics, checkpoints=self.checkpoints,
-        )
-        agent.attach_heartbeat(local_hb)
-        agent.start(self.scheduler, interval=update_interval)
-        self.agents[cid] = agent
+        keys = []
+        for source in self.backend.replication_sources():
+            key = self._agent_key(cid, source.shard_id)
+            local_hb = HeapTable(
+                local_heartbeat_name(key), heartbeat_schema(), primary_key=["cid"]
+            )
+            self._local_heartbeats[key] = local_hb
+            agent = DistributionAgent(
+                region, source.catalog, source.log, self.catalog,
+                self.clock, registry=self.metrics, checkpoints=self.checkpoints,
+                shard_id=source.shard_id, checkpoint_key=key,
+            )
+            agent.attach_heartbeat(local_hb)
+            agent.start(self.scheduler, interval=update_interval)
+            self.agents[key] = agent
+            keys.append((source.shard_id, key))
+        self._region_agent_keys[cid] = keys
         self.invalidate_plans()
         return region
 
@@ -539,10 +582,22 @@ class MTCache:
             raise CatalogError("a materialized view must belong to a currency region")
         if isinstance(predicate, str):
             predicate = parse_expression(predicate)
+        if not self.catalog.has_table(base_table) and self.backend.catalog.has_table(
+            base_table
+        ):
+            # The base table was created after this cache attached (e.g. a
+            # FleetConfig-built fleet defines DDL last): pick it up now.
+            self.mirror_backend()
         view = self.catalog.create_matview(
             name, base_table, columns, predicate=predicate, region=region
         )
-        self.agents[region].subscribe(view)
+        agents = self.region_agents(region)
+        if not agents:
+            raise KeyError(region)
+        for agent in agents:
+            # The view was just created (empty): every source agent adds
+            # its partition's rows without wiping its siblings' work.
+            agent.subscribe(view, truncate=False)
         self._refresh_view_stats(view)
         self.invalidate_plans()
         return view
@@ -550,8 +605,7 @@ class MTCache:
     def drop_matview(self, name):
         """Drop a local materialized view and its subscription."""
         view = self.catalog.drop_matview(name)
-        agent = self.agents.get(view.region)
-        if agent is not None:
+        for agent in self.region_agents(view.region):
             agent.unsubscribe(view)
         self.invalidate_plans()
         return view
@@ -559,11 +613,12 @@ class MTCache:
     def drop_region(self, cid):
         """Drop an (empty) currency region: stop its agent and heartbeat."""
         region = self.catalog.drop_region(cid)
-        agent = self.agents.pop(cid, None)
-        if agent is not None:
-            agent.stop()
+        for _, key in self._region_agent_keys.pop(cid, [(None, cid)]):
+            agent = self.agents.pop(key, None)
+            if agent is not None:
+                agent.stop()
+            self._local_heartbeats.pop(key, None)
         self.backend.heartbeats.stop(cid)
-        self._local_heartbeats.pop(cid, None)
         self.invalidate_plans()
         return region
 
@@ -576,14 +631,42 @@ class MTCache:
     # ------------------------------------------------------------------
     # Currency guards
     # ------------------------------------------------------------------
-    def make_currency_guard(self, view, bound):
+    def _view_snapshot(self, view, shard):
+        """The snapshot a guard vouches for: the pinned shard's own
+        snapshot when the plan touches one partition, else the view's
+        normalized (min-over-shards) snapshot time."""
+        if shard is not None and view.shard_snapshots:
+            return view.shard_snapshots.get(shard, view.snapshot_time)
+        return view.snapshot_time
+
+    def _guard_heartbeats(self, region_cid, shard):
+        """Local heartbeat tables a guard must consult.
+
+        Unsharded: the region's single table.  Sharded: every source's
+        table — unless the plan is pinned to one shard, in which case only
+        that partition's replication lag matters (per-shard C&C: a result
+        is as current as its stalest *contributing* shard, and a pinned
+        point lookup contributes exactly one).
+        """
+        keys = self._region_agent_keys.get(region_cid)
+        if keys is None:
+            return [self._local_heartbeats[region_cid]]
+        if shard is not None:
+            pinned = [self._local_heartbeats[k] for s, k in keys if s == shard]
+            if pinned:
+                return pinned
+        return [self._local_heartbeats[k] for _, k in keys]
+
+    def make_currency_guard(self, view, bound, shard=None):
         """The selector of a SwitchUnion: 0 = local branch, 1 = remote.
 
         Equivalent to the paper's predicate
         ``EXISTS (SELECT 1 FROM Heartbeat_R WHERE TimeStamp > getdate() - B)``
         plus, inside a TIMEORDERED bracket, the timeline watermark test.
+        On a sharded back-end the probe takes the *minimum* heartbeat over
+        the contributing partitions (all of them, or just the pinned one).
         """
-        heartbeat = self._local_heartbeats[view.region]
+        heartbeats = self._guard_heartbeats(view.region, shard)
         clock = self.clock
         policy = self.fallback_policy
         mtcache = self  # guards read the *current* registry on each probe
@@ -594,12 +677,19 @@ class MTCache:
 
         def selector(ctx):
             ts = None
-            for _, values in heartbeat.scan():
-                ts = values[1]
-                break
+            for heartbeat in heartbeats:
+                shard_ts = None
+                for _, values in heartbeat.scan():
+                    shard_ts = values[1]
+                    break
+                if shard_ts is None:
+                    ts = None  # a silent partition caps the whole probe
+                    break
+                ts = shard_ts if ts is None else min(ts, shard_ts)
             now = clock.now()
+            snapshot_time = mtcache._view_snapshot(view, shard)
             fresh = ts is not None and ts > now - bound
-            timely = ctx.timeline is None or ctx.timeline.admits(view.snapshot_time)
+            timely = ctx.timeline is None or ctx.timeline.admits(snapshot_time)
             registry = mtcache.metrics
             if memo[0] is not registry:
                 memo[0] = registry
@@ -646,7 +736,7 @@ class MTCache:
                 slack_hist.observe(bound - (now - ts))
             if fresh and timely:
                 region_local.inc()
-                ctx.record_snapshot(view.snapshot_time)
+                ctx.record_snapshot(snapshot_time)
                 return 0
             staleness = float("inf") if ts is None else now - ts
             message = (
@@ -675,18 +765,46 @@ class MTCache:
                 view=view.name, region=view.region, outcome="stale",
             )
             ctx.record_warning(message)
-            ctx.record_snapshot(view.snapshot_time)
+            ctx.record_snapshot(snapshot_time)
             return 0
 
         return selector
 
-    def remote_executor(self, sql):
+    def shard_hint(self, operand):
+        """The single partition an operand's sargs pin it to, or None.
+
+        Equality and IN sargs on the base table's partition column
+        intersect; only an unambiguous single-shard pin is returned —
+        anything wider falls back to the conservative all-shards guard.
+        """
+        pcol = self.backend.partition_column(operand.table_name)
+        if pcol is None:
+            return None
+        pinned = None
+        for sarg in operand.sargs:
+            if sarg.column != pcol:
+                continue
+            if sarg.op == "=":
+                shards = {self.backend.shard_of(operand.table_name, sarg.value)}
+            elif sarg.op == "in":
+                shards = {
+                    self.backend.shard_of(operand.table_name, value)
+                    for value in sarg.value
+                }
+            else:
+                continue
+            pinned = shards if pinned is None else pinned & shards
+        if pinned is not None and len(pinned) == 1:
+            return next(iter(pinned))
+        return None
+
+    def remote_executor(self, sql, shards=None):
         """Connection to the back-end used by RemoteQuery operators."""
         trace = self.metrics.active_trace
         if not trace:
-            return self.backend.execute_remote(sql)
+            return self.backend.execute_remote(sql, shards=shards)
         with trace.span("backend.remote_query", sql=sql[:60]):
-            return self.backend.execute_remote(sql)
+            return self.backend.execute_remote(sql, shards=shards)
 
     # ------------------------------------------------------------------
     # Query processing
@@ -712,7 +830,14 @@ class MTCache:
             key = None
             select = sql_or_select
         with self.metrics.span("optimize"):
-            query_info = analyze_select(select, self.catalog)
+            try:
+                query_info = analyze_select(select, self.catalog)
+            except CatalogError:
+                # The back-end may have grown tables since this cache
+                # attached (e.g. DDL after FleetConfig.build()); re-mirror
+                # the shadow catalog once before giving up.
+                self.mirror_backend()
+                query_info = analyze_select(select, self.catalog)
             if query_info.complex or query_info.post_conjuncts or query_info.semi_joins:
                 # Subquery-bearing statements ship to the back-end wholesale;
                 # the master trivially satisfies any C&C constraint.
@@ -997,7 +1122,7 @@ class MTCache:
         now = self.clock.now()
         out = {}
         for region in self.catalog.regions():
-            agent = self.agents.get(region.cid)
+            agents = self.region_agents(region.cid)
             views = {}
             for name in region.view_names:
                 view = self.catalog.matview(name)
@@ -1006,10 +1131,19 @@ class MTCache:
                     "snapshot_age": now - view.snapshot_time,
                     "applied_txn": view.applied_txn,
                 }
+                if view.shard_snapshots:
+                    views[name]["shard_snapshot_ages"] = {
+                        shard: now - t
+                        for shard, t in sorted(view.shard_snapshots.items())
+                    }
+            # The region's bound is its *worst* source: any silent
+            # partition (no heartbeat yet) makes the bound unknown.
+            bounds = [agent.staleness_bound() for agent in agents]
+            bound = None if (not bounds or any(b is None for b in bounds)) else max(bounds)
             out[region.cid] = {
                 "update_interval": region.update_interval,
                 "update_delay": region.update_delay,
-                "staleness_bound": agent.staleness_bound() if agent else None,
+                "staleness_bound": bound,
                 "views": views,
             }
         return out

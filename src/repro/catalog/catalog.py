@@ -103,7 +103,12 @@ class MatViewDef:
         #: id of the last back-end transaction applied to this view.
         self.applied_txn = 0
         #: commit time of that transaction (the view's snapshot time).
+        #: On a sharded back-end this is normalized to the *minimum* over
+        #: ``shard_snapshots`` — the per-shard C&C rule.
         self.snapshot_time = 0.0
+        #: shard id -> that partition agent's snapshot time (empty when
+        #: the backing store is unsharded).
+        self.shard_snapshots = {}
 
     @property
     def schema(self):

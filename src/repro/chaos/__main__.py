@@ -24,15 +24,17 @@ def main(argv=None):
     parser.add_argument("--duration", type=float, default=60.0,
                         help="simulated seconds of workload under faults")
     parser.add_argument("--nodes", type=int, default=3)
+    parser.add_argument("--partitions", type=int, default=1,
+                        help="back-end shard count (1 = single server)")
     args = parser.parse_args(argv)
 
-    fleet = build_demo_fleet(n_nodes=args.nodes)
+    fleet = build_demo_fleet(n_nodes=args.nodes, partitions=args.partitions)
     chaos = ChaosScheduler(fleet, seed=args.seed)
     chaos.random_schedule(args.duration)
     report = chaos.run(args.duration)
 
     print(f"# chaos seed={args.seed} duration={args.duration:g}s "
-          f"nodes={args.nodes}")
+          f"nodes={args.nodes} partitions={args.partitions}")
     for line in report.history_lines():
         print(line)
     print(json.dumps(report.summary(), indent=2, sort_keys=True))

@@ -4,27 +4,43 @@ One shared recipe so ``python -m repro.chaos``, the ``\\chaos`` shell
 command, the determinism tests and the recovery benchmark all exercise
 the same topology: a small back-end table, an N-node fleet with fast
 agent cadence, short breaker cooldowns, warm-up windows, and stalled-
-agent failover armed on every node.
+agent failover armed on every node.  The recipe is expressed as a
+:class:`~repro.fleet.config.FleetConfig`, so the same entry points can
+run it over a hash-partitioned back-end by passing ``partitions > 1``
+(or a fully custom ``config``).
 """
 
-from repro.cache.backend import BackendServer
-from repro.fleet import CacheFleet
+from repro.fleet import FleetConfig
 from repro.workloads.driver import point_lookup_factory
 
 __all__ = ["build_demo_fleet", "default_point_lookup_factory"]
 
 
-def build_demo_fleet(n_nodes=3, n_rows=400, *, policy="round_robin",
-                     failover_threshold=2.5, warmup_seconds=1.0,
-                     reset_timeout=0.5, **node_kwargs):
+def build_demo_fleet(n_nodes=3, n_rows=400, *, partitions=1, config=None,
+                     policy="round_robin", failover_threshold=2.5,
+                     warmup_seconds=1.0, reset_timeout=0.5, **node_kwargs):
     """A ready-to-break fleet: region ``r`` + view ``profile_copy``.
 
     Fast knobs relative to the fleet benchmarks — 1 s agent cadence,
     0.5 s heartbeats, 0.5 s breaker cooldown — so a 60 s chaos schedule
     sees many propagation cycles, and a 2.5 s stall already counts as a
-    dead agent.
+    dead agent.  ``partitions > 1`` shards the back-end; passing a
+    ``config`` overrides the topology knobs entirely (its ``node_kwargs``
+    still gain the demo's fast failover defaults unless it sets them).
     """
-    backend = BackendServer()
+    if config is None:
+        config = FleetConfig(
+            nodes=n_nodes, partitions=partitions, policy=policy,
+            reset_timeout=reset_timeout,
+        )
+    defaults = {
+        "warmup_seconds": warmup_seconds,
+        "failover_threshold": failover_threshold,
+        **node_kwargs,
+    }
+    config.node_kwargs = {**defaults, **config.node_kwargs}
+    fleet = config.build()
+    backend = fleet.backend
     backend.create_table(
         "CREATE TABLE profile (id INT NOT NULL, score INT NOT NULL, "
         "PRIMARY KEY (id))"
@@ -36,13 +52,6 @@ def build_demo_fleet(n_nodes=3, n_rows=400, *, policy="round_robin",
         )
         backend.execute(f"INSERT INTO profile VALUES {values}")
     backend.refresh_statistics()
-    fleet = CacheFleet(
-        backend, n_nodes=n_nodes, policy=policy,
-        reset_timeout=reset_timeout,
-        warmup_seconds=warmup_seconds,
-        failover_threshold=failover_threshold,
-        **node_kwargs,
-    )
     fleet.create_region("r", 1.0, 0.25, heartbeat_interval=0.5)
     fleet.create_matview("profile_copy", "profile", ["id", "score"], region="r")
     fleet.run_for(3.0)
@@ -51,16 +60,20 @@ def build_demo_fleet(n_nodes=3, n_rows=400, *, policy="round_robin",
 
 def default_point_lookup_factory(fleet):
     """Guarded point lookups against the fleet's first materialized view,
-    with the key range read off the backing base table."""
+    with the key range read off the backing base table (unioned over the
+    back-end's partitions when sharded)."""
     node = fleet.nodes[0]
     views = node.catalog.matviews()
     if not views:
         raise ValueError("fleet has no materialized views to query")
     view = views[0]
-    base_entry = node.backend.catalog.table(view.base_table)
-    pk = base_entry.table.primary_key[0]
-    position = base_entry.table.schema.index_of(pk)
-    keys = [values[position] for _, values in base_entry.table.scan()]
+    keys = []
+    pk = None
+    for source in node.backend.replication_sources():
+        entry = source.catalog.table(view.base_table)
+        pk = entry.table.primary_key[0]
+        position = entry.table.schema.index_of(pk)
+        keys.extend(values[position] for _, values in entry.table.scan())
     lo, hi = (min(keys), max(keys)) if keys else (0, 0)
     return point_lookup_factory(view.base_table, pk, (lo, hi),
                                 alias=view.base_table[0])

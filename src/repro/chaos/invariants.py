@@ -55,7 +55,20 @@ class InvariantChecker:
         """Audit one delivered result against its declared bound.
 
         Returns the violations found for this result (empty = clean).
+
+        A scatter-gathered result (``result.shard_results``) is audited
+        leg by leg: each single-shard leg must satisfy the bound and the
+        one-snapshot rule on its own, while the merged row set is allowed
+        to mix per-shard snapshots — that is exactly the per-shard C&C
+        rule (the merged result is as current as its stalest leg, which
+        the worst leg's own bound check already covers).
         """
+        sub_results = getattr(result, "shard_results", None)
+        if sub_results:
+            found = []
+            for sub in sub_results:
+                found.extend(self.check_result(sub, bound, now=now))
+            return found
         self.results_checked += 1
         now = self.fleet.clock.now() if now is None else now
         found = []
@@ -99,13 +112,19 @@ class InvariantChecker:
                 continue
             for view in node.catalog.matviews():
                 self.views_checked += 1
-                base_entry = node.backend.catalog.table(view.base_table)
-                sub = _ViewSubscription(view, base_entry.table)
-                expected = sorted(
-                    tuple(sub.project(values))
-                    for _, values in base_entry.table.scan()
-                    if sub.satisfies(values)
-                )
+                # Union the expected rows over every replicated partition:
+                # one source on a single server, one per shard on a
+                # sharded back-end (each holds a disjoint row subset).
+                expected = []
+                for source in node.backend.replication_sources():
+                    base_entry = source.catalog.table(view.base_table)
+                    sub = _ViewSubscription(view, base_entry.table)
+                    expected.extend(
+                        tuple(sub.project(values))
+                        for _, values in base_entry.table.scan()
+                        if sub.satisfies(values)
+                    )
+                expected.sort()
                 actual = sorted(
                     tuple(values) for _, values in view.table.scan()
                 )

@@ -210,12 +210,31 @@ class ChaosScheduler:
         self.fault_windows.append((when, when + duration))
         return when
 
+    def shard_outage(self, shard, at, duration):
+        """Take one back-end partition dark, ``at`` seconds from now.
+
+        Remote queries pinned to other shards keep flowing; only calls
+        that touch ``shard`` (or that declare no shard set) fail during
+        the window — the failure mode unique to a sharded back-end.
+        """
+        when = self.fleet.clock.now() + at
+        self.fleet.network.inject_outage(duration, start=when, shard=shard)
+        self.faults.append({
+            "kind": "shard_outage", "shard": shard, "at": when,
+            "duration": duration,
+        })
+        self.fault_windows.append((when, when + duration))
+        return when
+
     def random_schedule(self, duration, *, n_crashes=2, n_outages=1,
-                        n_partitions=1, n_stalls=1):
+                        n_partitions=1, n_stalls=1, n_shard_outages=1):
         """Place a full fault mix inside ``duration`` from the seeded rng.
 
         Crashes restart while the run is still going; stalls are sized to
         outlast the nodes' failover thresholds so supervisors promote.
+        Shard outages are only placed over a sharded back-end — and draw
+        nothing from the rng otherwise, so adding partitions never
+        perturbs the schedule of an unsharded run with the same seed.
         """
         rng = self.rng
         names = [n.name for n in self.fleet.nodes]
@@ -237,6 +256,12 @@ class ChaosScheduler:
         for _ in range(n_stalls):
             self.stall(rng.uniform(0.1, 0.3) * duration,
                        rng.uniform(0.2, 0.3) * duration)
+        partitions = getattr(self.fleet.backend, "partition_count", 1)
+        if partitions > 1:
+            for _ in range(n_shard_outages):
+                self.shard_outage(rng.randrange(partitions),
+                                  rng.uniform(0.55, 0.75) * duration,
+                                  rng.uniform(0.05, 0.1) * duration)
         return self.faults
 
     # ------------------------------------------------------------------

@@ -182,6 +182,12 @@ class Shell:
             return
         status = self.fleet.status()
         self.write(f"policy: {status['policy']}   nodes: {len(status['nodes'])}")
+        backend = status["backend"]
+        line = f"backend: {backend['kind']} partitions={backend['partitions']}"
+        rows = backend.get("rows_per_shard")
+        if rows:
+            line += " rows=[" + ",".join(str(n) for n in rows) + "]"
+        self.write(line)
         for name, info in sorted(status["nodes"].items()):
             staleness = info["staleness"]
             staleness_text = f"{staleness:.2f}s" if staleness is not None else "unknown"

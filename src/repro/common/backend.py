@@ -1,0 +1,218 @@
+"""The storage-tier ``Backend`` protocol.
+
+Everything above the storage tier — :class:`~repro.cache.mtcache.MTCache`,
+the distribution agents, :class:`~repro.fleet.node.FleetNode`, the chaos
+harness — consumes this surface instead of the concrete
+:class:`~repro.cache.backend.BackendServer`, so a single-node back-end and
+a hash-partitioned :class:`~repro.shard.ShardedBackend` are the same code
+path.  The protocol is the union of what those consumers actually touch:
+
+* **execution** — ``execute`` / ``execute_remote`` / ``estimate``;
+* **DDL & statistics** — ``create_table`` / ``refresh_statistics``;
+* **replication surface** — :meth:`Backend.replication_sources` enumerates
+  the independent (catalog, log) pairs agents must tail: one for a single
+  server, one *per partition* for a sharded deployment;
+* **heartbeat surface** — ``backend.heartbeats.register_region`` /
+  ``stop``, fanned out to every partition by sharded implementations;
+* **topology** — ``partition_count`` / ``shard_of`` / ``partition_column``
+  / ``describe_topology`` let the optimizer pin single-shard plans and let
+  monitoring report the shard layout.
+
+Shared attributes (``clock``, ``scheduler``, ``catalog``, ``cost_model``)
+stay plain attributes; implementations set them in ``__init__``.
+"""
+
+import warnings
+import zlib
+
+__all__ = [
+    "Backend",
+    "ReplicationSource",
+    "coerce_backend",
+    "stable_shard_hash",
+]
+
+
+def stable_shard_hash(value):
+    """A deterministic 32-bit hash for partition routing.
+
+    Python's builtin ``hash`` is salted per process for strings, which
+    would scatter the same key to different shards across runs; routing
+    must be stable so logs, benchmarks and equivalence tests replay
+    identically.  Integers use a Knuth multiplicative mix (plain
+    ``key % M`` would correlate with sequential key ranges); everything
+    else hashes its ``repr`` bytes through CRC-32.
+    """
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, int):
+        return (value * 0x9E3779B1) & 0xFFFFFFFF
+    return zlib.crc32(repr(value).encode("utf-8")) & 0xFFFFFFFF
+
+
+class ReplicationSource:
+    """One independently replicated storage unit: a partition (or the
+    whole back-end) with its own catalog and transaction log.
+
+    Distribution agents tail exactly one source; a currency region on a
+    sharded deployment therefore runs one agent *per source*, and the
+    region's effective snapshot is the minimum over its sources.
+    """
+
+    __slots__ = ("shard_id", "name", "catalog", "log")
+
+    def __init__(self, shard_id, name, catalog, log):
+        #: None for an unsharded back-end; the partition index otherwise.
+        self.shard_id = shard_id
+        self.name = name
+        self.catalog = catalog
+        self.log = log
+
+    def __repr__(self):
+        return f"<ReplicationSource {self.name} shard={self.shard_id}>"
+
+
+class Backend:
+    """Abstract base of every storage back-end the cache tier can attach.
+
+    Subclasses must provide the execution surface (:meth:`execute`,
+    :meth:`execute_remote`, :meth:`estimate`, :meth:`create_table`,
+    :meth:`refresh_statistics`, :meth:`run_for`) plus the shared
+    attributes ``clock``, ``scheduler``, ``catalog``, ``cost_model`` and
+    ``heartbeats``.  The topology methods below default to the
+    single-node answers, so :class:`~repro.cache.backend.BackendServer`
+    inherits them unchanged and only sharded implementations override.
+    """
+
+    # ------------------------------------------------------------------
+    # Execution surface (must be provided by implementations)
+    # ------------------------------------------------------------------
+    def execute(self, sql_or_stmt, ctx=None):
+        raise NotImplementedError
+
+    def execute_remote(self, sql, shards=None):
+        """Rows-only endpoint for the cache's RemoteQuery operators.
+
+        ``shards`` is an optional pin: an iterable of partition indexes
+        the statement is known to touch (the optimizer supplies it for
+        single-shard point plans).  Unsharded back-ends ignore it.
+        """
+        raise NotImplementedError
+
+    def estimate(self, select):
+        raise NotImplementedError
+
+    def create_table(self, sql_or_stmt):
+        raise NotImplementedError
+
+    def refresh_statistics(self, table_name=None):
+        raise NotImplementedError
+
+    def run_for(self, seconds):
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Topology (single-node defaults)
+    # ------------------------------------------------------------------
+    @property
+    def partition_count(self):
+        """Number of storage partitions (1 for a single server)."""
+        return 1
+
+    def replication_sources(self):
+        """The (catalog, log) pairs distribution agents must tail."""
+        return [
+            ReplicationSource(None, "backend", self.catalog, self.txn_manager.log)
+        ]
+
+    def partition_column(self, table_name):
+        """The column a table is hash-partitioned on (None: unpartitioned,
+        all rows on one storage unit)."""
+        return None
+
+    def shard_of(self, table_name, key):
+        """Partition index owning rows of ``table_name`` with the given
+        partition-column value (None: the table is not partitioned)."""
+        return None
+
+    def bulk_load(self, table_name, rows):
+        """Load pre-built value tuples through the transaction manager
+        (they still flow down the replication log, in one batch commit).
+        Returns the number of rows loaded."""
+        rows = [tuple(r) for r in rows]
+
+        def _apply(txn):
+            for row in rows:
+                txn.insert(table_name, row)
+
+        self.txn_manager.run(_apply)
+        return len(rows)
+
+    def describe_topology(self):
+        """Monitoring snapshot of the storage layout (``status()`` /
+        ``\\fleet`` render this)."""
+        return {
+            "kind": type(self).__name__,
+            "partitions": self.partition_count,
+            "tables": sorted(t.name for t in self.catalog.tables()),
+        }
+
+
+class _LegacyBackendShim:
+    """One-release adapter for duck-typed backend objects.
+
+    Anything that predates the :class:`Backend` protocol (a hand-rolled
+    stub exposing ``catalog`` / ``txn_manager`` / ``execute_remote``) is
+    wrapped so the topology methods the cache tier now calls exist; every
+    other attribute passes straight through to the wrapped object.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    @property
+    def partition_count(self):
+        return 1
+
+    def replication_sources(self):
+        return [
+            ReplicationSource(
+                None, "backend", self._inner.catalog, self._inner.txn_manager.log
+            )
+        ]
+
+    def partition_column(self, table_name):
+        return None
+
+    def shard_of(self, table_name, key):
+        return None
+
+    def describe_topology(self):
+        return {"kind": type(self._inner).__name__, "partitions": 1}
+
+    def __repr__(self):
+        return f"<LegacyBackendShim {self._inner!r}>"
+
+
+def coerce_backend(backend):
+    """Accept a :class:`Backend`; shim (and deprecate) anything else.
+
+    ``MTCache`` and ``CacheFleet`` historically typed their first
+    parameter as the concrete ``BackendServer``.  The parameter is now
+    the protocol; concrete servers and sharded backends pass through
+    untouched, while foreign duck-typed objects keep working for one
+    release behind a :class:`DeprecationWarning`.
+    """
+    if isinstance(backend, Backend):
+        return backend
+    warnings.warn(
+        f"passing a {type(backend).__name__} (not a repro.common.backend.Backend) "
+        "as the backend is deprecated; implement the Backend protocol "
+        "(BackendServer and ShardedBackend already do)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return _LegacyBackendShim(backend)

@@ -45,6 +45,7 @@ Quickstart::
 """
 
 from repro.fleet.breaker import BreakerState, CircuitBreaker
+from repro.fleet.config import FleetConfig
 from repro.fleet.fleet import CacheFleet, FleetRouter
 from repro.fleet.network import FaultWindow, SimulatedNetwork
 from repro.fleet.node import FleetNode, NodeLifecycle
@@ -63,6 +64,7 @@ __all__ = [
     "CacheFleet",
     "CircuitBreaker",
     "FaultWindow",
+    "FleetConfig",
     "FleetNode",
     "FleetRouter",
     "LeastLoadedPolicy",

@@ -1,0 +1,109 @@
+"""One declarative recipe for building a cache fleet and its back-end.
+
+Before :class:`FleetConfig`, every entry point (the CLI, ``python -m
+repro.chaos``, the benchmarks, ad-hoc scripts) assembled its own
+``BackendServer``/``ShardedBackend`` + :class:`~repro.fleet.fleet.CacheFleet`
+with slightly different knob spellings.  The config collects the whole
+topology in one value:
+
+* ``nodes`` — how many MTCache front-ends;
+* ``partitions`` — how many back-end shards (1 = a plain
+  :class:`~repro.cache.backend.BackendServer`; >1 = a
+  :class:`~repro.shard.ShardedBackend`);
+* ``policy`` / ``network`` / ``metrics`` / breaker tuning — forwarded to
+  :class:`~repro.fleet.fleet.CacheFleet` unchanged;
+* ``clock`` / ``scheduler`` / ``cost_model`` — shared simulation services
+  for a back-end the config builds itself;
+* ``backend`` — a pre-built back-end to use instead (``partitions`` must
+  then agree with its ``partition_count``).
+
+Build with :meth:`FleetConfig.build` (or pass the config straight to
+``CacheFleet(config)`` / ``CacheFleet.from_config(config)``)::
+
+    from repro.fleet import FleetConfig
+
+    config = FleetConfig(nodes=3, partitions=4, policy="staleness_aware")
+    fleet = config.build()
+    fleet.backend.create_table(...)
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.backend import Backend, coerce_backend
+
+__all__ = ["FleetConfig"]
+
+
+@dataclass
+class FleetConfig:
+    """Declarative topology for one fleet: front-end count, back-end
+    shard count, routing policy and shared plumbing."""
+
+    nodes: int = 3
+    partitions: int = 1
+    policy: str = "round_robin"
+    names: list = None
+    backend: object = None
+    clock: object = None
+    scheduler: object = None
+    cost_model: object = None
+    network: object = None
+    metrics: object = None
+    failure_threshold: int = 3
+    reset_timeout: float = 5.0
+    max_remote_wait: float = 60.0
+    #: Extra keyword arguments forwarded to every FleetNode/MTCache
+    #: (``fallback_policy``, ``warmup_seconds``, ``failover_threshold``...).
+    node_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.nodes < 1:
+            raise ValueError("a fleet needs at least one node")
+        if self.partitions < 1:
+            raise ValueError("a back-end needs at least one partition")
+        if self.names is not None and len(self.names) != self.nodes:
+            raise ValueError(
+                f"{len(self.names)} names for {self.nodes} nodes"
+            )
+
+    # ------------------------------------------------------------------
+    def resolve_backend(self):
+        """The back-end this config describes: the one handed in, or a
+        freshly built single/sharded server."""
+        if self.backend is not None:
+            backend = coerce_backend(self.backend)
+            if isinstance(self.backend, Backend):
+                count = self.backend.partition_count
+                if self.partitions not in (1, count):
+                    raise ValueError(
+                        f"config says partitions={self.partitions} but the "
+                        f"supplied backend has {count}"
+                    )
+                self.partitions = count
+            return backend
+        if self.partitions > 1:
+            from repro.shard.backend import ShardedBackend
+
+            return ShardedBackend(
+                self.partitions, clock=self.clock, scheduler=self.scheduler,
+                cost_model=self.cost_model,
+            )
+        from repro.cache.backend import BackendServer
+
+        return BackendServer(
+            clock=self.clock, scheduler=self.scheduler,
+            cost_model=self.cost_model,
+        )
+
+    def build(self):
+        """Materialize the fleet (back-end included)."""
+        from repro.fleet.fleet import CacheFleet
+
+        return CacheFleet.from_config(self)
+
+    def describe(self):
+        """One-line topology summary for logs and the CLI."""
+        return (
+            f"{self.nodes} node(s) x {self.partitions} partition(s), "
+            f"policy={self.policy}"
+        )

@@ -16,12 +16,17 @@ with the nodes truly running in parallel.  That is the number the fleet
 throughput benchmark compares against a single cache.
 """
 
-from repro.common.errors import FleetStateError
+from repro.common.errors import FleetStateError, ParseError
+from repro.engine.executor import ExecutionContext, PhaseTimings, QueryResult
+from repro.fleet.config import FleetConfig
 from repro.fleet.network import SimulatedNetwork
 from repro.fleet.node import FleetNode, NodeLifecycle
 from repro.fleet.routing import bound_from_sql, make_policy
 from repro.obs.metrics import MetricsRegistry, NullRegistry
 from repro.obs.trace import TraceLog
+from repro.optimizer.query_info import _constant_value, _split_conjuncts
+from repro.sql import ast
+from repro.sql.parser import parse
 
 #: Floor on a query's simulated service time, so zero-cost results still
 #: occupy their node for a tick.
@@ -29,7 +34,17 @@ _MIN_SERVICE = 1e-6
 
 
 class FleetRouter:
-    """Routes queries to nodes according to a pluggable policy."""
+    """Routes queries to nodes according to a pluggable policy.
+
+    Over a sharded back-end the router additionally *scatter-gathers*:
+    a select whose IN-list on the partition column spans several shards
+    is split into one single-shard leg per shard (each a normal query
+    the policy routes independently, so legs land on different nodes),
+    and the legs' rows are concatenated.  The merged result carries the
+    per-shard C&C rule — its recorded snapshots are the union over the
+    legs, so it is only as current as the stalest contributing shard —
+    and exposes the legs as ``result.shard_results``.
+    """
 
     def __init__(self, fleet, policy="round_robin"):
         self.fleet = fleet
@@ -62,6 +77,141 @@ class FleetRouter:
     def execute(self, sql, bound=None):
         """Route and execute one statement; annotates the result with the
         serving node's name (``result.node``).
+
+        Multi-shard IN-list selects are scatter-gathered (see the class
+        docstring); everything else takes the single-leg path.
+        """
+        legs = self.scatter_split(sql)
+        if legs is None:
+            return self._execute_one(sql, bound=bound)
+        return self._execute_scatter(legs, bound=bound)
+
+    # ------------------------------------------------------------------
+    # Scatter-gather over a sharded back-end
+    # ------------------------------------------------------------------
+    def scatter_split(self, sql):
+        """Split a multi-shard IN-list select into single-shard legs.
+
+        Returns ``[(shard_id, leg_sql), ...]`` when the statement is a
+        plain select over one table whose only cross-shard fan-out is a
+        top-level ``pcol IN (...)`` conjunct spanning >1 shard — the one
+        shape where splitting is exact (shards hold disjoint rows and
+        there is no final aggregation/ordering pass).  Anything else
+        returns None and routes as a single query.
+        """
+        backend = self.fleet.backend
+        if getattr(backend, "partition_count", 1) <= 1:
+            return None
+        if not isinstance(sql, str):
+            return None
+        try:
+            stmt = parse(sql)
+        except ParseError:
+            return None
+        if not isinstance(stmt, ast.Select):
+            return None
+        if (
+            len(stmt.from_items) != 1
+            or not isinstance(stmt.from_items[0], ast.FromTable)
+            or stmt.group_by
+            or stmt.having is not None
+            or stmt.order_by
+            or stmt.distinct
+            or stmt.limit is not None
+        ):
+            return None
+        for item in stmt.items:
+            if item.star:
+                continue
+            if any(
+                isinstance(node, ast.FuncCall) and node.is_aggregate
+                for node in item.expr.walk()
+            ):
+                return None
+        table = stmt.from_items[0]
+        pcol = backend.partition_column(table.name)
+        if pcol is None:
+            return None
+        conjuncts = _split_conjuncts(stmt.where)
+        split_at = None
+        for i, conjunct in enumerate(conjuncts):
+            if (
+                isinstance(conjunct, ast.InList)
+                and not conjunct.negated
+                and isinstance(conjunct.operand, ast.ColumnRef)
+                and conjunct.operand.name == pcol
+                and conjunct.operand.qualifier in (None, table.alias)
+            ):
+                if split_at is not None:
+                    return None  # two IN lists on the key: don't split
+                split_at = i
+        if split_at is None:
+            return None
+        in_list = conjuncts[split_at]
+        by_shard = {}
+        for item in in_list.items:
+            ok, value = _constant_value(item)
+            if not ok:
+                return None
+            shard = backend.shard_of(table.name, value)
+            by_shard.setdefault(shard, []).append(item)
+        if len(by_shard) <= 1:
+            return None
+        legs = []
+        for shard in sorted(by_shard):
+            parts = list(conjuncts)
+            parts[split_at] = ast.InList(in_list.operand, by_shard[shard])
+            where = parts[0]
+            for conjunct in parts[1:]:
+                where = ast.BinaryOp("and", where, conjunct)
+            leg = ast.Select(
+                stmt.items, [table], where=where, currency=stmt.currency
+            )
+            legs.append((shard, leg.to_sql()))
+        return legs
+
+    def _execute_scatter(self, legs, bound=None):
+        """Run the legs through the normal routed path and merge."""
+        fleet = self.fleet
+        fleet.metrics.counter(
+            "fleet_scatter_total",
+            help="multi-shard selects split by the scatter-gather router",
+        ).inc()
+        fleet.metrics.counter(
+            "fleet_scatter_legs_total",
+            help="single-shard legs issued by the scatter-gather router",
+        ).inc(len(legs))
+        results = []
+        for shard, leg_sql in legs:
+            result = self._execute_one(leg_sql, bound=bound)
+            result.shard = shard
+            results.append(result)
+        ctx = ExecutionContext(clock=fleet.clock)
+        rows = []
+        service = 0.0
+        for result in results:
+            rows.extend(result.rows)
+            leg_ctx = result.context
+            if leg_ctx is not None:
+                ctx.branches.extend(leg_ctx.branches)
+                ctx.remote_queries.extend(leg_ctx.remote_queries)
+                ctx.snapshots_used.extend(leg_ctx.snapshots_used)
+                ctx.warnings.extend(leg_ctx.warnings)
+            timings = getattr(result, "timings", None)
+            if timings is not None:
+                service = max(service, timings.total)
+        merged = QueryResult(
+            results[0].columns, rows, PhaseTimings(run=service), ctx
+        )
+        #: per-leg results (each annotated with ``.shard`` and ``.node``),
+        #: for invariant checkers and tests auditing the fan-out.
+        merged.shard_results = results
+        merged.node = "+".join(r.node for r in results)
+        return merged
+
+    def _execute_one(self, sql, bound=None):
+        """The single-leg path: route, execute, charge the capacity
+        ledger and record the query's trace tree.
 
         The router is the tier that first sees the query, so it creates
         the query's :class:`~repro.obs.trace.TraceContext` here and passes
@@ -124,11 +274,43 @@ class CacheFleet:
       ``max_remote_wait``) is applied to every node;
     * remaining keyword arguments (``fallback_policy``, ``batch_size``,
       ...) are forwarded to each :class:`FleetNode`/MTCache.
+
+    Instead of a backend + knobs, the first argument may be a
+    :class:`~repro.fleet.config.FleetConfig` — the fleet then builds its
+    own back-end (sharded when ``config.partitions > 1``) and takes every
+    unspecified knob from the config (see :meth:`from_config`).
     """
 
-    def __init__(self, backend, n_nodes=3, *, names=None, policy="round_robin",
-                 network=None, metrics=None, failure_threshold=3,
-                 reset_timeout=5.0, max_remote_wait=60.0, **node_kwargs):
+    @classmethod
+    def from_config(cls, config):
+        """Build the fleet (and its back-end) from a
+        :class:`~repro.fleet.config.FleetConfig`."""
+        return cls(config)
+
+    def __init__(self, backend, n_nodes=None, *, names=None, policy=None,
+                 network=None, metrics=None, failure_threshold=None,
+                 reset_timeout=None, max_remote_wait=None, **node_kwargs):
+        config = backend if isinstance(backend, FleetConfig) else None
+        if config is not None:
+            backend = config.resolve_backend()
+            node_kwargs = {**config.node_kwargs, **node_kwargs}
+        defaults = config if config is not None else FleetConfig()
+        n_nodes = defaults.nodes if n_nodes is None else n_nodes
+        names = defaults.names if names is None else names
+        policy = defaults.policy if policy is None else policy
+        network = defaults.network if network is None else network
+        metrics = defaults.metrics if metrics is None else metrics
+        failure_threshold = (
+            defaults.failure_threshold if failure_threshold is None
+            else failure_threshold
+        )
+        reset_timeout = (
+            defaults.reset_timeout if reset_timeout is None else reset_timeout
+        )
+        max_remote_wait = (
+            defaults.max_remote_wait if max_remote_wait is None
+            else max_remote_wait
+        )
         if names is None:
             names = [f"node{i}" for i in range(n_nodes)]
         if not names:
@@ -362,6 +544,7 @@ class CacheFleet:
         now = self.clock.now()
         return {
             "policy": self.router.policy.name,
+            "backend": self.backend.describe_topology(),
             "nodes": nodes,
             "network": {
                 "latency": self.network.latency,

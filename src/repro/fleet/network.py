@@ -30,29 +30,43 @@ from repro.common.errors import NetworkError
 class FaultWindow:
     """One injected fault interval on the simulated timeline."""
 
-    __slots__ = ("start", "end", "node")
+    __slots__ = ("start", "end", "node", "shard")
 
-    def __init__(self, start, end, node=None):
+    def __init__(self, start, end, node=None, shard=None):
         self.start = start
         self.end = end
         self.node = node  # None = applies to every node
+        self.shard = shard  # None = applies to every back-end partition
 
-    def active(self, now, node=None):
+    def active(self, now, node=None, shards=None):
         if not (self.start <= now < self.end):
             return False
-        return self.node is None or node is None or self.node == node
+        if not (self.node is None or node is None or self.node == node):
+            return False
+        return self._covers_shards(shards)
 
-    def applies_to(self, now, node):
+    def applies_to(self, now, node, shards=None):
         """Strict variant of :meth:`active`: a node-scoped window applies
         only to that node — a ``node=None`` caller asks about the *global*
         link, which per-node partitions do not cut."""
         if not (self.start <= now < self.end):
             return False
-        return self.node is None or self.node == node
+        if not (self.node is None or self.node == node):
+            return False
+        return self._covers_shards(shards)
+
+    def _covers_shards(self, shards):
+        """A shard-scoped window only cuts calls touching that partition.
+        Callers that don't declare their shards (``shards=None``) are
+        treated as touching all of them — the conservative reading."""
+        if self.shard is None:
+            return True
+        return shards is None or self.shard in shards
 
     def __repr__(self):
         who = self.node or "*"
-        return f"<FaultWindow [{self.start:g}, {self.end:g}) node={who}>"
+        part = "*" if self.shard is None else f"p{self.shard}"
+        return f"<FaultWindow [{self.start:g}, {self.end:g}) node={who} shard={part}>"
 
 
 class SimulatedNetwork:
@@ -84,15 +98,19 @@ class SimulatedNetwork:
     # ------------------------------------------------------------------
     # Fault injection
     # ------------------------------------------------------------------
-    def inject_outage(self, duration, start=None):
+    def inject_outage(self, duration, start=None, shard=None):
         """Make the back-end unreachable for ``duration`` simulated
-        seconds, beginning at ``start`` (default: now)."""
+        seconds, beginning at ``start`` (default: now).  With ``shard``
+        only that partition goes dark: single-shard plans pinned to other
+        partitions keep their remote branch."""
         start = self.clock.now() if start is None else start
-        window = FaultWindow(start, start + duration)
+        window = FaultWindow(start, start + duration, shard=shard)
         self._outages.append(window)
+        scope = "back-end" if shard is None else f"back-end shard p{shard}"
         self.registry.event(
-            "outage", f"back-end outage [{start:g}, {window.end:g})",
+            "outage", f"{scope} outage [{start:g}, {window.end:g})",
             severity="error", time=start, start=start, end=window.end,
+            shard="*" if shard is None else shard,
         )
         if self.scheduler is not None:
             self.scheduler.at(
@@ -105,28 +123,34 @@ class SimulatedNetwork:
             )
         return window
 
-    def partition(self, node, duration, start=None):
+    def partition(self, node, duration, start=None, shard=None):
         """Cut one node off from the back-end for ``duration`` simulated
         seconds: a node-scoped outage window.  Other nodes keep their
-        link; the partitioned node's guards degrade per its policy."""
+        link; the partitioned node's guards degrade per its policy.
+        With ``shard`` the cut only severs that node's link to one
+        back-end partition."""
         start = self.clock.now() if start is None else start
-        window = FaultWindow(start, start + duration, node=node)
+        window = FaultWindow(start, start + duration, node=node, shard=shard)
         self._outages.append(window)
+        what = "the back-end" if shard is None else f"back-end shard p{shard}"
         self.registry.event(
             "partition",
-            f"{node} partitioned from the back-end [{start:g}, {window.end:g})",
+            f"{node} partitioned from {what} [{start:g}, {window.end:g})",
             severity="error", time=start, node=node, start=start, end=window.end,
+            shard="*" if shard is None else shard,
         )
         return window
 
-    def stall_agents(self, duration, start=None, node=None):
+    def stall_agents(self, duration, start=None, node=None, shard=None):
         """Stall distribution-agent propagation for ``duration`` seconds.
 
         With ``node`` given only that node's agents stall; otherwise every
-        wrapped agent in the fleet skips its propagation wakes.
+        wrapped agent in the fleet skips its propagation wakes.  With
+        ``shard`` only the agents tailing that partition stall — the
+        other shards of the same region keep replicating.
         """
         start = self.clock.now() if start is None else start
-        window = FaultWindow(start, start + duration, node=node)
+        window = FaultWindow(start, start + duration, node=node, shard=shard)
         self._stalls.append(window)
         self.registry.event(
             "agent_stall",
@@ -142,11 +166,13 @@ class SimulatedNetwork:
         self._outages.clear()
         self._stalls.clear()
 
-    def backend_available(self, now=None, node=None):
+    def backend_available(self, now=None, node=None, shards=None):
         """True when no outage (or, given ``node``, partition) window
-        covers the current instant for that caller."""
+        covers the current instant for that caller.  ``shards`` declares
+        which partitions the caller would touch; shard-scoped windows on
+        other partitions don't block it (undeclared = touches all)."""
         now = self.clock.now() if now is None else now
-        return not any(w.applies_to(now, node) for w in self._outages)
+        return not any(w.applies_to(now, node, shards=shards) for w in self._outages)
 
     def outage_ends_at(self, now=None, node=None):
         """End of the outage/partition window covering ``now`` for
@@ -163,9 +189,10 @@ class SimulatedNetwork:
             if w.node is not None and w.applies_to(now, w.node)
         })
 
-    def agents_stalled(self, node=None, now=None):
+    def agents_stalled(self, node=None, now=None, shard=None):
         now = self.clock.now() if now is None else now
-        return any(w.active(now, node=node) for w in self._stalls)
+        shards = None if shard is None else (shard,)
+        return any(w.active(now, node=node, shards=shards) for w in self._stalls)
 
     # ------------------------------------------------------------------
     # Transport
@@ -180,7 +207,7 @@ class SimulatedNetwork:
         else:
             self.clock.advance(seconds)
 
-    def call(self, fn, *args, node="", trace=None):
+    def call(self, fn, *args, node="", shards=None, trace=None):
         """One attempt of a cache→back-end call over the simulated link.
 
         Pays the round-trip latency, then raises :class:`NetworkError`
@@ -190,7 +217,7 @@ class SimulatedNetwork:
         """
         span = trace.span("net.call", node=node or "-").__enter__() if trace else None
         try:
-            outcome, result = self._attempt(fn, args, node)
+            outcome, result = self._attempt(fn, args, node, shards)
             if span is not None:
                 span.attrs["outcome"] = outcome
             return result
@@ -202,7 +229,7 @@ class SimulatedNetwork:
             if span is not None:
                 span.__exit__(None, None, None)
 
-    def _attempt(self, fn, args, node):
+    def _attempt(self, fn, args, node, shards=None):
         rtt = self.latency
         if self.jitter:
             rtt += self.rng.uniform(0.0, self.jitter)
@@ -214,7 +241,7 @@ class SimulatedNetwork:
                 reason="timeout",
             )
         self.sleep(rtt)
-        if not self.backend_available(node=node or None):
+        if not self.backend_available(node=node or None, shards=shards):
             self._count(node, "outage")
             raise NetworkError(
                 f"back-end unreachable from {node or 'cache'} (outage window)",
@@ -239,17 +266,19 @@ class SimulatedNetwork:
     # ------------------------------------------------------------------
     # Agent plumbing
     # ------------------------------------------------------------------
-    def wrap_agent(self, agent, node=""):
+    def wrap_agent(self, agent, node="", shard=None):
         """Route an agent's propagation wakes through the stall windows.
 
         Replaces ``agent.propagate`` with a shim that skips (and counts)
-        wakes landing inside a stall window for ``node``.  The caller must
-        restart the agent afterwards so the scheduler picks up the shim.
+        wakes landing inside a stall window for ``node`` (and, for a
+        partition agent, its ``shard``).  The caller must restart the
+        agent afterwards so the scheduler picks up the shim.
         """
         original = agent.propagate
+        shard = shard if shard is not None else getattr(agent, "shard_id", None)
 
         def propagate(cutoff=None):
-            if self.agents_stalled(node=node):
+            if self.agents_stalled(node=node, shard=shard):
                 self.registry.counter(
                     "fleet_agent_stall_skips_total", labels={"node": node or "-"},
                     help="agent propagation wakes skipped by injected stalls",

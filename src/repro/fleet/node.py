@@ -137,6 +137,7 @@ class FleetNode(MTCache):
             view.table.truncate()
             view.applied_txn = 0
             view.snapshot_time = 0.0
+            view.shard_snapshots.clear()
         for heartbeat in self._local_heartbeats.values():
             heartbeat.truncate()
         self.invalidate_plans()
@@ -202,19 +203,30 @@ class FleetNode(MTCache):
         return True
 
     def _rebuild_region(self, region):
-        """One region's cold rebuild: fresh agent, re-subscribed views."""
-        agent = DistributionAgent(
-            region, self.backend.catalog, self.backend.txn_manager.log,
-            self.catalog, self.clock,
-            registry=self.metrics, checkpoints=self.checkpoints,
-        )
-        agent.attach_heartbeat(self._local_heartbeats[region.cid])
-        for view_name in region.view_names:
-            agent.subscribe(self.catalog.matview(view_name))
-        self.network.wrap_agent(agent, node=self.name)
-        agent.start(self.scheduler, interval=region.update_interval)
-        self.agents[region.cid] = agent
-        self._start_supervisor(region.cid)
+        """One region's cold rebuild: fresh agents, re-subscribed views.
+
+        One agent per replication source; the views were truncated by the
+        crash, so each source agent re-populates its partition's slice
+        without wiping its siblings' (``truncate=False``).
+        """
+        keys = []
+        for source in self.backend.replication_sources():
+            key = self._agent_key(region.cid, source.shard_id)
+            agent = DistributionAgent(
+                region, source.catalog, source.log, self.catalog, self.clock,
+                registry=self.metrics, checkpoints=self.checkpoints,
+                shard_id=source.shard_id, checkpoint_key=key,
+            )
+            agent.attach_heartbeat(self._local_heartbeats[key])
+            for view_name in region.view_names:
+                agent.subscribe(self.catalog.matview(view_name), truncate=False)
+            self.network.wrap_agent(agent, node=self.name, shard=source.shard_id)
+            agent.start(self.scheduler, interval=region.update_interval)
+            self.agents[key] = agent
+            keys.append((source.shard_id, key))
+        self._region_agent_keys[region.cid] = keys
+        for _, key in keys:
+            self._start_supervisor(key)
 
     def _complete_warmup(self):
         self._warm_event = None
@@ -260,13 +272,15 @@ class FleetNode(MTCache):
     # ------------------------------------------------------------------
     # Back-end access
     # ------------------------------------------------------------------
-    def remote_available(self):
+    def remote_available(self, shards=None):
         """Would a remote call have a chance right now?  Used by guards
-        to decide between the remote branch and graceful degradation."""
-        return (self.network.backend_available(node=self.name)
+        to decide between the remote branch and graceful degradation.
+        ``shards`` narrows the check to the partitions the call would
+        touch (a shard-scoped outage doesn't block other shards)."""
+        return (self.network.backend_available(node=self.name, shards=shards)
                 and self.breaker.available())
 
-    def remote_executor(self, sql):
+    def remote_executor(self, sql, shards=None):
         """Back-end call with retry/backoff over the simulated network.
 
         Failed attempts feed the circuit breaker; an open breaker is
@@ -289,8 +303,8 @@ class FleetNode(MTCache):
                 continue
             try:
                 rows = self.network.call(
-                    self.backend.execute_remote, sql, node=self.name,
-                    trace=self.metrics.active_trace,
+                    self.backend.execute_remote, sql, shards, node=self.name,
+                    shards=shards, trace=self.metrics.active_trace,
                 )
             except NetworkError as exc:
                 self.breaker.record_failure()
@@ -315,7 +329,7 @@ class FleetNode(MTCache):
     # ------------------------------------------------------------------
     # Availability-aware currency guards
     # ------------------------------------------------------------------
-    def make_currency_guard(self, view, bound):
+    def make_currency_guard(self, view, bound, shard=None):
         """Wrap the base guard with the degraded mode.
 
         When the guard picks the remote branch but the back-end is
@@ -323,17 +337,18 @@ class FleetNode(MTCache):
         letting the remote branch fail — availability over currency, the
         coordination-avoidance trade the fleet exists to demonstrate.
         """
-        base = super().make_currency_guard(view, bound)
+        base = super().make_currency_guard(view, bound, shard=shard)
         node = self
+        pin = None if shard is None else (shard,)
 
         def selector(ctx):
             choice = base(ctx)
-            if choice == 1 and not node.remote_available():
+            if choice == 1 and not node.remote_available(shards=pin):
                 ctx.record_warning(
                     f"degraded: back-end unreachable from {node.name}; serving "
                     f"{view.name} beyond its {bound:g}s bound"
                 )
-                ctx.record_snapshot(view.snapshot_time)
+                ctx.record_snapshot(node._view_snapshot(view, shard))
                 node.metrics.counter(
                     "currency_guard_degraded_total", labels={"view": view.name},
                     help="guard fallbacks forced by back-end unavailability",
@@ -362,12 +377,13 @@ class FleetNode(MTCache):
         region = super().create_region(
             cid, update_interval, update_delay, heartbeat_interval=heartbeat_interval
         )
-        # Route the agent's wakes through the network's stall windows; the
-        # scheduler captured the unwrapped bound method, so restart it.
-        agent = self.agents[cid]
-        self.network.wrap_agent(agent, node=self.name)
-        agent.start(self.scheduler, interval=update_interval)
-        self._start_supervisor(cid)
+        # Route each agent's wakes through the network's stall windows;
+        # the scheduler captured the unwrapped bound method, so restart.
+        for shard_id, key in self._region_agent_keys[cid]:
+            agent = self.agents[key]
+            self.network.wrap_agent(agent, node=self.name, shard=shard_id)
+            agent.start(self.scheduler, interval=update_interval)
+            self._start_supervisor(key)
         return region
 
     # ------------------------------------------------------------------

@@ -58,12 +58,22 @@ class DistributionAgent:
     """Propagates committed back-end changes to one currency region."""
 
     def __init__(self, region_info, backend_catalog, replication_log, cache_catalog, clock,
-                 registry=None, checkpoints=None):
+                 registry=None, checkpoints=None, shard_id=None, checkpoint_key=None):
         self.region = region_info
         self.backend_catalog = backend_catalog
         self.log = replication_log
         self.cache_catalog = cache_catalog
         self.clock = clock
+        #: Partition this agent tails (None: unsharded back-end).  On a
+        #: sharded deployment a region runs one agent per partition; each
+        #: writes its own entry in ``view.shard_snapshots`` and the view's
+        #: scalar ``snapshot_time`` is the minimum over shards — a result
+        #: is only as current as its stalest contributing shard.
+        self.shard_id = shard_id
+        #: Key for durable checkpoints and scheduler events.  Distinct per
+        #: shard agent (e.g. ``"r#p1"``) so sibling agents of one region
+        #: don't clobber each other's resume cutoffs.
+        self.checkpoint_key = checkpoint_key if checkpoint_key is not None else region_info.cid
         self.applied_txn = 0
         self.snapshot_time = 0.0
         self._subscriptions = {}  # base table name -> [_ViewSubscription]
@@ -88,26 +98,32 @@ class DistributionAgent:
         """Register the cache-local heartbeat table for this region."""
         self._local_heartbeat = local_heartbeat_table
 
-    def subscribe(self, view):
+    def subscribe(self, view, truncate=True):
         """Subscribe a materialized view and populate it from the back-end.
 
         To keep the whole region on a single snapshot, any pending changes
         are first propagated with zero delay, bringing existing views to
         "now"; the new view is then populated by scanning the base table.
+
+        ``truncate=False`` keeps existing view rows: on a sharded back-end
+        M sibling agents subscribe the *same* view (each contributing its
+        partition's rows), so only the first caller may wipe it — the
+        orchestrating cache passes ``truncate=False`` when the view is
+        known to be freshly created (and therefore already empty).
         """
         base_entry = self.backend_catalog.table(view.base_table)
         subscription = _ViewSubscription(view, base_entry.table)
         self.propagate(cutoff=self.clock.now())
-        view.table.truncate()
+        if truncate:
+            view.table.truncate()
         for _, values in base_entry.table.scan():
             if subscription.satisfies(values):
                 view.table.insert(subscription.project(values))
         now = self.clock.now()
-        view.applied_txn = self.applied_txn
-        view.snapshot_time = now
         self._subscriptions.setdefault(view.base_table, []).append(subscription)
-        # The region as a whole is now synchronized to "now".
+        # This agent's slice of the region is now synchronized to "now".
         self.snapshot_time = now
+        self._sync_view(view)
         self._sync_views_metadata()
         self._checkpoint()
 
@@ -127,7 +143,7 @@ class DistributionAgent:
         if self._event is not None:
             self._event.cancel()
         self._event = scheduler.every(
-            interval, self.propagate, name=f"agent:{self.region.cid}"
+            interval, self.propagate, name=f"agent:{self.checkpoint_key}"
         )
         return self._event
 
@@ -163,6 +179,8 @@ class DistributionAgent:
         self._sync_views_metadata()
         self._checkpoint()
         labels = {"region": self.region.cid}
+        if self.shard_id is not None:
+            labels["shard"] = str(self.shard_id)
         registry = self.registry
         registry.counter("replication_refreshes_total", labels=labels,
                          help="agent propagation runs").inc()
@@ -183,11 +201,25 @@ class DistributionAgent:
                            ).set(bound)
         return applied
 
+    def _sync_view(self, view):
+        """Publish this agent's snapshot onto one view's metadata.
+
+        Unsharded: the agent owns the view outright.  Sharded: the agent
+        owns one entry of ``view.shard_snapshots`` and the scalar
+        ``snapshot_time`` is normalized to the minimum over shards (the
+        per-shard C&C rule: worst contributing shard wins).
+        """
+        view.applied_txn = self.applied_txn
+        if self.shard_id is None:
+            view.snapshot_time = self.snapshot_time
+        else:
+            view.shard_snapshots[self.shard_id] = self.snapshot_time
+            view.snapshot_time = min(view.shard_snapshots.values())
+
     def _sync_views_metadata(self):
         for subs in self._subscriptions.values():
             for sub in subs:
-                sub.view.applied_txn = self.applied_txn
-                sub.view.snapshot_time = self.snapshot_time
+                self._sync_view(sub.view)
 
     # ------------------------------------------------------------------
     # Durability & failover
@@ -195,7 +227,7 @@ class DistributionAgent:
     def _checkpoint(self):
         if self.checkpoints is not None:
             self.checkpoints.save(
-                self.region.cid, self.applied_txn, self.snapshot_time,
+                self.checkpoint_key, self.applied_txn, self.snapshot_time,
                 saved_at=self.clock.now(),
             )
 
@@ -223,7 +255,7 @@ class DistributionAgent:
         """
         if self.checkpoints is None:
             return None
-        checkpoint = self.checkpoints.load(self.region.cid)
+        checkpoint = self.checkpoints.load(self.checkpoint_key)
         if checkpoint is None:
             return None
         self.applied_txn = checkpoint.applied_txn

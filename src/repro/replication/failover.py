@@ -30,9 +30,13 @@ class AgentSupervisor:
     def __init__(self, cache, cid, *, stall_threshold, check_interval=None,
                  registry=None, node=""):
         self.cache = cache
+        #: The supervised agent's key in ``cache.agents``: the region cid,
+        #: or ``"{cid}#p{shard}"`` for one partition agent of a sharded
+        #: region (each shard agent gets its own supervisor).
         self.cid = cid
         self.stall_threshold = stall_threshold
-        region = cache.catalog.region(cid)
+        agent = cache.agents.get(cid)
+        region = agent.region if agent is not None else cache.catalog.region(cid)
         self.check_interval = (
             check_interval if check_interval is not None
             else region.update_interval
@@ -77,10 +81,14 @@ class AgentSupervisor:
         cache = self.cache
         old = cache.agents[self.cid]
         old.stop()
+        # The standby tails the *same* replication source as the dead
+        # primary (its partition's catalog and log, not necessarily the
+        # whole back-end) and inherits its checkpoint identity.
         standby = DistributionAgent(
-            old.region, cache.backend.catalog, cache.backend.txn_manager.log,
+            old.region, old.backend_catalog, old.log,
             cache.catalog, cache.clock,
             registry=old.registry, checkpoints=old.checkpoints,
+            shard_id=old.shard_id, checkpoint_key=old.checkpoint_key,
         )
         standby.adopt(old)
         checkpoint = standby.resume_from_checkpoint()

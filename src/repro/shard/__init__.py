@@ -1,0 +1,5 @@
+"""Hash-partitioned storage tier: ``ShardedBackend``."""
+
+from repro.shard.backend import ShardedBackend, ShardRoute
+
+__all__ = ["ShardedBackend", "ShardRoute"]
