@@ -1,12 +1,14 @@
 """Shared fixtures for the paper-reproduction benchmarks.
 
 Besides the environment fixtures, this conftest maintains the per-PR
-benchmark summaries: tests that opt in via a ``bench*_recorder`` fixture
-deposit their headline numbers (qps, p50/p95 latency, speedups) into a
-shared dict, and at session end each non-empty dict is merge-written to
-its ``benchmarks/BENCH_<n>.json`` so the perf trajectory is recorded per
-PR (BENCH_2: batch engine; BENCH_3: cache fleet; BENCH_4: tracing
-overhead; BENCH_5: chaos recovery; BENCH_6: sharded back-end scaling).
+benchmark summaries: tests that opt in via a ``bench_recorder(n)`` (or
+legacy ``bench<n>_recorder``) fixture deposit their headline numbers
+(qps, p50/p95 latency, speedups) into a shared dict, and at session end
+each non-empty dict is merge-written to its ``benchmarks/BENCH_<n>.json``
+so the perf trajectory is recorded per PR (BENCH_2: batch engine;
+BENCH_3: cache fleet; BENCH_4: tracing overhead; BENCH_5: chaos
+recovery; BENCH_6: sharded back-end scaling; BENCH_7: columnar engine +
+plan snapshots, keyed per engine mode).
 """
 
 import json
@@ -17,13 +19,11 @@ import pytest
 from repro.workloads.experiment import build_paper_setup
 
 #: Accumulates {workload/section -> metrics} per summary file.
-_BENCH = {"BENCH_2.json": {}, "BENCH_3.json": {}, "BENCH_4.json": {},
-          "BENCH_5.json": {}, "BENCH_6.json": {}}
-_BENCH2 = _BENCH["BENCH_2.json"]
-_BENCH3 = _BENCH["BENCH_3.json"]
-_BENCH4 = _BENCH["BENCH_4.json"]
-_BENCH5 = _BENCH["BENCH_5.json"]
-_BENCH6 = _BENCH["BENCH_6.json"]
+_BENCH = {f"BENCH_{n}.json": {} for n in range(2, 8)}
+
+
+def _recorder(n):
+    return _BENCH[f"BENCH_{n}.json"]
 
 
 @pytest.fixture(scope="session")
@@ -39,33 +39,50 @@ def execution_setup():
 
 
 @pytest.fixture(scope="session")
+def bench_recorder():
+    """``bench_recorder(n)`` -> the mutable dict whose contents land in
+    ``benchmarks/BENCH_<n>.json`` (merge-written at session end)."""
+    return _recorder
+
+
+@pytest.fixture(scope="session")
 def bench2_recorder():
     """Mutable dict whose contents land in benchmarks/BENCH_2.json."""
-    return _BENCH2
+    return _recorder(2)
 
 
 @pytest.fixture(scope="session")
 def bench3_recorder():
     """Mutable dict whose contents land in benchmarks/BENCH_3.json."""
-    return _BENCH3
+    return _recorder(3)
 
 
 @pytest.fixture(scope="session")
 def bench4_recorder():
     """Mutable dict whose contents land in benchmarks/BENCH_4.json."""
-    return _BENCH4
+    return _recorder(4)
 
 
 @pytest.fixture(scope="session")
 def bench5_recorder():
     """Mutable dict whose contents land in benchmarks/BENCH_5.json."""
-    return _BENCH5
+    return _recorder(5)
 
 
 @pytest.fixture(scope="session")
 def bench6_recorder():
     """Mutable dict whose contents land in benchmarks/BENCH_6.json."""
-    return _BENCH6
+    return _recorder(6)
+
+
+@pytest.fixture(scope="session")
+def bench7_recorder():
+    """Mutable dict whose contents land in benchmarks/BENCH_7.json.
+
+    Convention for PR 7: top-level sections keyed by workload, with
+    per-engine-mode sub-dicts (``{"scan": {"columnar": {...}, ...}}``).
+    """
+    return _recorder(7)
 
 
 def pytest_sessionfinish(session, exitstatus):

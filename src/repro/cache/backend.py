@@ -45,20 +45,26 @@ class BackendServer(Backend):
     source).
 
     ``batch_size`` (keyword-only) sets the chunk size of the batch
-    execution engine; ``batch_size=1`` forces the legacy row-at-a-time
-    path (and the matching row-engine cost model) for debugging.
+    execution engine; ``engine`` selects the evaluation mode ("row" /
+    "batch" / "columnar", default columnar).  ``batch_size=1`` forces
+    the legacy row-at-a-time path (and the matching row-engine cost
+    model) for debugging.
     """
 
     def __init__(self, clock=None, scheduler=None, cost_model=None, metrics=None,
-                 *, batch_size=ops.DEFAULT_BATCH_SIZE):
+                 *, batch_size=ops.DEFAULT_BATCH_SIZE, engine=None):
         self.clock = clock or SimulatedClock()
         self.scheduler = scheduler or EventScheduler(self.clock)
         self.catalog = Catalog()
         self.txn_manager = TransactionManager(self.clock)
         self.batch_size = ops.coerce_batch_size(batch_size)
-        self.cost_model = cost_model or CostModel()
-        if self.batch_size == 1:
-            self.cost_model = self.cost_model.row_engine_variant()
+        self.engine = ops.coerce_engine(engine, self.batch_size)
+        self.cost_model = (cost_model or CostModel()).engine_variant(self.engine)
+        #: Monotonic schema/statistics version.  Every DDL or stats
+        #: refresh bumps it; plan caches and snapshot stores compare it
+        #: against the epoch they compiled under and re-optimize on
+        #: mismatch (explicit invalidation — never silently stale).
+        self._ddl_epoch = 0
         #: Back-end metrics registry; no-op unless a caller supplies a
         #: real one (the cache keeps its own registry for the mid-tier).
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
@@ -68,7 +74,7 @@ class BackendServer(Backend):
         )
         self.optimizer = Optimizer(self.placement, registry=self.metrics)
         self.executor = Executor(clock=self.clock, registry=self.metrics,
-                                 batch_size=self.batch_size)
+                                 batch_size=self.batch_size, engine=self.engine)
         self.heartbeats = HeartbeatService(
             self.txn_manager, self.clock, self.scheduler, registry=self.metrics
         )
@@ -82,23 +88,36 @@ class BackendServer(Backend):
     # ------------------------------------------------------------------
     # DDL
     # ------------------------------------------------------------------
+    @property
+    def ddl_epoch(self):
+        """Current schema/statistics version (bumped by every DDL)."""
+        return self._ddl_epoch
+
+    def bump_ddl_epoch(self):
+        self._ddl_epoch += 1
+        return self._ddl_epoch
+
     def create_table(self, sql_or_stmt):
         """CREATE TABLE from SQL text or a parsed statement."""
         stmt = parse(sql_or_stmt) if isinstance(sql_or_stmt, str) else sql_or_stmt
         entry = self.catalog.create_table_from_ast(stmt)
         self.txn_manager.register_table(entry.table)
+        self.bump_ddl_epoch()
         return entry
 
     def create_index(self, sql_or_stmt):
         stmt = parse(sql_or_stmt) if isinstance(sql_or_stmt, str) else sql_or_stmt
         table = self.catalog.table(stmt.table).table
-        return table.create_index(stmt.name, stmt.columns, unique=stmt.unique, clustered=stmt.clustered)
+        index = table.create_index(stmt.name, stmt.columns, unique=stmt.unique, clustered=stmt.clustered)
+        self.bump_ddl_epoch()
+        return index
 
     def refresh_statistics(self, table_name=None):
         """Recompute statistics (all tables, or one)."""
         entries = [self.catalog.table(table_name)] if table_name else self.catalog.tables()
         for entry in entries:
             entry.refresh_stats()
+        self.bump_ddl_epoch()
 
     def schedule_statistics_refresh(self, interval, caches=()):
         """Periodically recompute statistics (auto-stats maintenance).

@@ -15,6 +15,7 @@ query's C&C constraint:
 """
 
 import enum
+import hashlib
 import warnings
 from collections import OrderedDict
 
@@ -34,6 +35,11 @@ from repro.optimizer.cost import guard_probability
 from repro.optimizer.optimizer import Optimizer, OptimizedPlan
 from repro.optimizer.placement import PlacementProvider, combine_conjuncts
 from repro.optimizer.query_info import analyze_select
+from repro.plan.snapshot import (
+    SnapshotUnsupported,
+    instantiate_snapshot,
+    serialize_plan,
+)
 from repro.replication.agent import DistributionAgent
 from repro.replication.checkpoint import CheckpointStore
 from repro.replication.heartbeat import heartbeat_schema, local_heartbeat_name
@@ -273,7 +279,7 @@ class CachePlacement(PlacementProvider):
             def pinned_executor(q):
                 return self.mtcache.remote_executor(q, shards=shards)
 
-            return ops.RemoteQuery(sql, binding, pinned_executor)
+            return ops.RemoteQuery(sql, binding, pinned_executor, shards=shards)
 
         return Candidate(build, total, rows, width, binding, delivered, aliases, kind, detail=sql[:60])
 
@@ -389,19 +395,28 @@ class MTCache:
     * ``batch_size`` — chunk size of the batch execution engine
       (default 256).  ``batch_size=1`` forces the legacy row-at-a-time
       path (and the matching row-engine cost model) for debugging and
-      equivalence testing.
+      equivalence testing;
+    * ``engine`` — evaluation mode: ``"columnar"`` (default), ``"batch"``
+      (row-tuple chunks) or ``"row"``;
+    * ``snapshot_store`` — an optional shared
+      :class:`~repro.plan.store.PlanSnapshotStore`: on a local plan-cache
+      miss the cache tries to instantiate a published snapshot before
+      re-optimizing, and publishes freshly optimized plans back.
     """
 
     FALLBACK_POLICIES = tuple(p.value for p in FallbackPolicy)
 
     def __init__(self, backend, *, cost_model=None, fallback_policy=FallbackPolicy.REMOTE,
-                 plan_cache_size=128, metrics=None, batch_size=ops.DEFAULT_BATCH_SIZE):
+                 plan_cache_size=128, metrics=None, batch_size=ops.DEFAULT_BATCH_SIZE,
+                 engine=None, snapshot_store=None):
         self._fallback_policy = _coerce_policy(fallback_policy).value
         self.batch_size = ops.coerce_batch_size(batch_size)
+        self.engine = ops.coerce_engine(engine, self.batch_size)
         #: Observability registry: every hot-path component below reports
         #: into it (see repro.obs).  Real by default — instrumentation is
         #: always-on; pass NullRegistry() for zero-overhead micro-runs.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._resolve_plan_cache_counters()
         #: Compiled-plan cache (paper §3.2: "This approach requires
         #: re-optimization only if a view's consistency properties
         #: change").  Keyed by SQL text, LRU-ordered (least recently used
@@ -418,14 +433,18 @@ class MTCache:
         self.clock = self.backend.clock
         self.scheduler = self.backend.scheduler
         self.catalog = Catalog()
-        self.cost_model = cost_model or backend.cost_model
-        if self.batch_size == 1:
-            # Cost the plans the way the row engine actually runs them.
-            self.cost_model = self.cost_model.row_engine_variant()
+        # Cost the plans the way the selected engine actually runs them.
+        self.cost_model = (cost_model or backend.cost_model).engine_variant(self.engine)
         self.placement = CachePlacement(self, self.cost_model)
         self.optimizer = Optimizer(self.placement, registry=self.metrics)
         self.executor = Executor(clock=self.clock, registry=self.metrics,
-                                 batch_size=self.batch_size)
+                                 batch_size=self.batch_size, engine=self.engine)
+        #: Optional fleet-shared snapshot store (see repro.plan.store).
+        self.snapshot_store = snapshot_store
+        #: Back-end schema/statistics version the cached plans were
+        #: compiled under; checked on the execute hot path so DDL on the
+        #: back-end invalidates explicitly rather than going stale.
+        self._plans_ddl_epoch = self.backend.ddl_epoch
         self.session = TimelineSession()
         #: agent key -> DistributionAgent.  The key is the region cid on
         #: an unsharded back-end; on a sharded one a region runs one agent
@@ -447,11 +466,27 @@ class MTCache:
         dynamically, so they do not need invalidation.
         """
         self.metrics = registry if registry is not None else NullRegistry()
+        self._resolve_plan_cache_counters()
         self.executor.set_registry(self.metrics)
         self.optimizer.registry = self.metrics
         for agent in self.agents.values():
             agent.registry = self.metrics
         return self.metrics
+
+    def _resolve_plan_cache_counters(self):
+        """Pre-resolve the plan-cache hit/miss counters: they fire once
+        per query, so the hot path must not rebuild label dicts."""
+        registry = self.metrics
+        self._c_plan_hits = registry.counter(
+            "plan_cache_events_total", labels={"event": "hits"},
+            help="compiled-plan cache activity")
+        self._c_plan_misses = registry.counter(
+            "plan_cache_events_total", labels={"event": "misses"})
+        # queries_total is labelled by run-time routing outcome, which is
+        # only known post-execution — resolve lazily but memoize per label.
+        self._c_queries_by_routing = {}
+        #: Null registries skip per-query counter feeding wholesale.
+        self._counters_null = isinstance(registry, NullRegistry)
 
     # ------------------------------------------------------------------
     # Plan cache
@@ -483,11 +518,102 @@ class MTCache:
         self.metrics.counter("plan_cache_events_total", labels={"event": event},
                              help="compiled-plan cache activity").inc(n)
 
-    def invalidate_plans(self):
-        """Drop all cached plans (view/region/statistics changes)."""
+    def invalidate_plans(self, reason="ddl"):
+        """Drop all cached plans (view/region/statistics changes).
+
+        A node-level invalidation also wipes the shared snapshot store:
+        whatever changed here (DDL, region reconfiguration) changes the
+        config fingerprint every published snapshot was keyed under, so
+        keeping them would only produce fingerprint misses anyway.
+        """
         if self._plan_cache:
             self._plan_cache_event("invalidations")
         self._plan_cache.clear()
+        if self.snapshot_store is not None and len(self.snapshot_store):
+            self.snapshot_store.invalidate(reason)
+
+    def _check_plan_epoch(self):
+        """Hot-path staleness gate: one integer compare per query.  DDL on
+        the back-end (new tables/indexes, refreshed statistics) bumps its
+        ``ddl_epoch``; plans and snapshots compiled under an older epoch
+        are dropped before they can be reused."""
+        epoch = self.backend.ddl_epoch
+        if epoch != self._plans_ddl_epoch:
+            self.invalidate_plans(reason="backend-ddl")
+            self._plans_ddl_epoch = epoch
+
+    # ------------------------------------------------------------------
+    # Plan snapshots (repro.plan)
+    # ------------------------------------------------------------------
+    def config_fingerprint(self):
+        """Digest of everything plan choice depends on besides SQL text.
+
+        Two nodes may share a precompiled snapshot only when this matches:
+        fallback policy, execution engine, shard topology, every region's
+        currency parameters and every view's definition and indexes.
+        Fleet nodes suffix their region cids with ``@node``; the digest
+        strips the suffix so identically-configured replicas fingerprint
+        identically — that is the whole point of the shared store.
+        """
+        parts = [
+            "v1",
+            self._fallback_policy,
+            self.engine,
+            str(getattr(self.backend, "partition_count", 1)),
+        ]
+        def bare(cid):
+            return cid.split("@", 1)[0] if isinstance(cid, str) else str(cid)
+        regions = sorted(self.catalog.regions(), key=lambda r: bare(r.cid))
+        for region in regions:
+            parts.append(
+                f"region:{bare(region.cid)}:{region.update_interval}:{region.update_delay}"
+            )
+        views = sorted(self.catalog.matviews(), key=lambda v: v.name)
+        for view in views:
+            indexes = ",".join(
+                f"{name}({'+'.join(ix.column_names)}{'!u' if ix.unique else ''})"
+                for name, ix in sorted(view.table.indexes.items())
+            )
+            parts.append(
+                f"view:{view.name}:{bare(view.region)}:{view.definition_sql()}:{indexes}"
+            )
+        return hashlib.sha1("|".join(parts).encode()).hexdigest()
+
+    def _probe_snapshots(self, sql):
+        """Try to satisfy a plan-cache miss from the shared snapshot
+        store: instantiate (no parse, no optimize) when a fingerprint- and
+        epoch-valid snapshot exists."""
+        store = self.snapshot_store
+        if store is None:
+            return None
+        snapshot = store.get(
+            sql, self.config_fingerprint(), self.engine,
+            epoch=self.backend.ddl_epoch,
+        )
+        if snapshot is None:
+            return None
+        try:
+            return instantiate_snapshot(
+                snapshot, self, reuse_root=self.engine != "row"
+            )
+        except SnapshotUnsupported:
+            return None
+
+    def _publish_snapshot(self, sql, plan):
+        """Publish a freshly optimized plan to the shared store so peer
+        nodes (and this node after a restart) skip parse + optimize.
+        Plans outside the snapshot vocabulary just stay node-local."""
+        store = self.snapshot_store
+        if store is None:
+            return
+        try:
+            snapshot = serialize_plan(plan, engine=self.engine)
+        except SnapshotUnsupported:
+            return
+        store.publish(
+            sql, self.config_fingerprint(), self.engine, snapshot,
+            epoch=self.backend.ddl_epoch,
+        )
 
     # ------------------------------------------------------------------
     # Shadow database
@@ -622,6 +748,24 @@ class MTCache:
         self.invalidate_plans()
         return region
 
+    def alter_region(self, cid, update_interval=None, update_delay=None):
+        """Reconfigure a region's currency parameters (ALTER-style DDL).
+
+        The new interval re-paces the region's distribution agents; both
+        parameters feed the optimizer's guard-probability model, so every
+        cached plan — and every published snapshot, whose fingerprint
+        embeds the old parameters — is invalidated.
+        """
+        region = self.catalog.region(cid)
+        if update_interval is not None:
+            region.update_interval = float(update_interval)
+            for agent in self.region_agents(cid):
+                agent.start(self.scheduler, interval=region.update_interval)
+        if update_delay is not None:
+            region.update_delay = float(update_delay)
+        self.invalidate_plans(reason="alter-region")
+        return region
+
     def create_view_index(self, view_name, index_name, columns, unique=False):
         view = self.catalog.matview(view_name)
         index = view.table.create_index(index_name, columns, unique=unique)
@@ -678,10 +822,8 @@ class MTCache:
         def selector(ctx):
             ts = None
             for heartbeat in heartbeats:
-                shard_ts = None
-                for _, values in heartbeat.scan():
-                    shard_ts = values[1]
-                    break
+                values = heartbeat.first_values()
+                shard_ts = values[1] if values is not None else None
                 if shard_ts is None:
                     ts = None  # a silent partition caps the whole probe
                     break
@@ -693,7 +835,10 @@ class MTCache:
             registry = mtcache.metrics
             if memo[0] is not registry:
                 memo[0] = registry
-                memo[1] = (
+                # Null registries skip the metric feeding entirely — the
+                # probe itself is ~10 no-op calls otherwise, and guards sit
+                # on the hottest path there is.
+                memo[1] = None if isinstance(registry, NullRegistry) else (
                     registry.counter(
                         "currency_guard_total",
                         labels={"view": view.name, "outcome": "pass"},
@@ -725,17 +870,21 @@ class MTCache:
                         labels={"region": view.region, "outcome": "stale"},
                     ),
                 )
-            (pass_counter, fail_counter, staleness_gauge,
-             slack_hist, region_local, region_remote, region_stale) = memo[1]
-            (pass_counter if fresh and timely else fail_counter).inc()
-            if ts is not None:
-                staleness_gauge.set(now - ts)
-                # Currency slack: how much headroom the bound had at probe
-                # time.  Negative observations are served-stale/remote
-                # fallbacks; the distribution is the per-region SLO signal.
-                slack_hist.observe(bound - (now - ts))
+            handles = memo[1]
+            if handles is not None:
+                (pass_counter, fail_counter, staleness_gauge,
+                 slack_hist, region_local, region_remote, region_stale) = handles
+                (pass_counter if fresh and timely else fail_counter).inc()
+                if ts is not None:
+                    staleness_gauge.set(now - ts)
+                    # Currency slack: how much headroom the bound had at
+                    # probe time.  Negative observations are served-stale/
+                    # remote fallbacks; the distribution is the per-region
+                    # SLO signal.
+                    slack_hist.observe(bound - (now - ts))
             if fresh and timely:
-                region_local.inc()
+                if handles is not None:
+                    region_local.inc()
                 ctx.record_snapshot(snapshot_time)
                 return 0
             staleness = float("inf") if ts is None else now - ts
@@ -746,7 +895,8 @@ class MTCache:
                 else f"timeline constraint not met by {view.name}"
             )
             if policy == "remote":
-                region_remote.inc()
+                if handles is not None:
+                    region_remote.inc()
                 registry.event(
                     "guard", f"{message}; using remote branch", time=now,
                     view=view.name, region=view.region, outcome="remote",
@@ -759,7 +909,8 @@ class MTCache:
                 )
                 raise CurrencyError(message)
             # serve_stale: return the data but flag the violation.
-            region_stale.inc()
+            if handles is not None:
+                region_stale.inc()
             registry.event(
                 "guard", f"{message}; serving stale", severity="warning", time=now,
                 view=view.name, region=view.region, outcome="stale",
@@ -768,6 +919,10 @@ class MTCache:
             ctx.record_snapshot(snapshot_time)
             return 0
 
+        #: Serializable recipe for plan snapshots: any cache can rebuild
+        #: an equivalent guard from (view, bound, shard) against its own
+        #: local heartbeat state.
+        selector.guard_params = {"view": view.name, "bound": bound, "shard": shard}
         return selector
 
     def shard_hint(self, operand):
@@ -820,11 +975,19 @@ class MTCache:
         """
         if isinstance(sql_or_select, str):
             key = sql_or_select
+            self._check_plan_epoch()
             cached = self._plan_cache.get(key) if use_cache else None
             if cached is not None:
                 self._plan_cache.move_to_end(key)  # LRU: touch on hit
-                self._plan_cache_event("hits")
+                self._c_plan_hits.inc()
                 return cached
+            if use_cache:
+                snap_plan = self._probe_snapshots(key)
+                if snap_plan is not None:
+                    # Precompiled by a peer (or a past life of this node):
+                    # no parse, no optimize — instantiate and cache.
+                    self._cache_plan(key, snap_plan)
+                    return snap_plan
             select = parse(sql_or_select)
         else:
             key = None
@@ -846,15 +1009,21 @@ class MTCache:
             else:
                 plan = self.optimizer.optimize_info(query_info)
         if key is not None and use_cache:
-            self._plan_cache_event("misses")
-            while len(self._plan_cache) >= self._plan_cache_size:
-                self._plan_cache.popitem(last=False)  # evict least recent
-                self._plan_cache_event("evictions")
-            # Cached plans are executed repeatedly; under the batch engine
-            # they also keep their built operator tree across executions.
-            plan.reuse_root = self.batch_size > 1
-            self._plan_cache[key] = plan
+            self._cache_plan(key, plan)
+            self._publish_snapshot(key, plan)
         return plan
+
+    def _cache_plan(self, key, plan):
+        self._c_plan_misses.inc()
+        while len(self._plan_cache) >= self._plan_cache_size:
+            self._plan_cache.popitem(last=False)  # evict least recent
+            self._plan_cache_event("evictions")
+        # Cached plans are executed repeatedly; under the batch and
+        # columnar engines they also keep their built operator tree
+        # across executions (row mode rebuilds it, matching the old
+        # per-execution semantics).
+        plan.reuse_root = self.engine != "row"
+        self._plan_cache[key] = plan
 
     def _ship_whole(self, select, query_info):
         stripped = ast.Select(
@@ -905,11 +1074,14 @@ class MTCache:
         """
         if isinstance(sql_or_stmt, str):
             # Hot path: a SQL text with a cached plan skips the parser and
-            # the optimizer entirely — one dict probe, then execution.
+            # the optimizer entirely — epoch compare, one dict probe, then
+            # execution.
+            self._check_plan_epoch()
             plan = self._plan_cache.get(sql_or_stmt)
             if plan is not None:
                 self._plan_cache.move_to_end(sql_or_stmt)  # LRU: touch on hit
-                self._plan_cache_event("hits")
+                if not self._counters_null:
+                    self._c_plan_hits.inc()
                 return self._execute_plan(plan, sql_text=sql_or_stmt, trace=trace)
             registry = self.metrics
             owned = trace is None
@@ -1015,20 +1187,31 @@ class MTCache:
         owned = trace is None
         if owned:
             trace = registry.new_trace()
-        prev = registry.active_trace
-        registry.active_trace = trace
-        qspan = trace.span("mtcache.execute", node=getattr(self, "name", "cache"))
-        qspan.__enter__()
-        try:
+        # NULL_TRACE is falsy: skip the span/active-trace ceremony entirely
+        # on zero-instrumentation runs (this is the per-query hot path).
+        if not trace:
             result = self._run_plan(plan, trace)
-        finally:
-            qspan.__exit__(None, None, None)
-            registry.active_trace = prev
-            if owned:
-                self.traces.record(trace)
+        else:
+            prev = registry.active_trace
+            registry.active_trace = trace
+            qspan = trace.span("mtcache.execute", node=getattr(self, "name", "cache"))
+            qspan.__enter__()
+            try:
+                result = self._run_plan(plan, trace)
+            finally:
+                qspan.__exit__(None, None, None)
+                registry.active_trace = prev
+                if owned:
+                    self.traces.record(trace)
         ctx = result.context
-        self.metrics.counter("queries_total", labels={"routing": result.routing},
-                             help="SELECTs by run-time routing outcome").inc()
+        if not self._counters_null:
+            counter = self._c_queries_by_routing.get(result.routing)
+            if counter is None:
+                counter = self.metrics.counter(
+                    "queries_total", labels={"routing": result.routing},
+                    help="SELECTs by run-time routing outcome")
+                self._c_queries_by_routing[result.routing] = counter
+            counter.inc()
         self.query_log.record(
             QueryLogEntry(
                 sql_text if sql_text is not None else select.to_sql(),

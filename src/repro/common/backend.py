@@ -115,6 +115,15 @@ class Backend:
     # Topology (single-node defaults)
     # ------------------------------------------------------------------
     @property
+    def ddl_epoch(self):
+        """Monotonic schema/statistics version: implementations bump it on
+        every DDL and statistics refresh, so plan caches and snapshot
+        stores can detect staleness without subscribing to DDL events.
+        The protocol default (0, never moving) keeps duck-typed stubs
+        working: their plans simply never expire by epoch."""
+        return 0
+
+    @property
     def partition_count(self):
         """Number of storage partitions (1 for a single server)."""
         return 1
@@ -172,6 +181,10 @@ class _LegacyBackendShim:
 
     def __getattr__(self, name):
         return getattr(self._inner, name)
+
+    @property
+    def ddl_epoch(self):
+        return getattr(self._inner, "ddl_epoch", 0)
 
     @property
     def partition_count(self):

@@ -1,7 +1,8 @@
 """EXPLAIN ANALYZE: per-operator run-time statistics.
 
 :func:`instrument` shadows ``open`` / ``rows`` / ``batches`` /
-``_record_fused`` on every node of a physical operator tree with
+``col_batches`` / ``_record_fused`` on every node of a physical operator
+tree with
 counting-and-timing wrappers (instance attributes shadow the class
 methods, so the operators themselves stay untouched — and because both
 the row and the batch protocol are wrapped, the same instrumentation
@@ -36,7 +37,8 @@ __all__ = ["OpStats", "instrument", "analysis_rows", "render_analysis"]
 class OpStats:
     """Run-time actuals accumulated by one instrumented operator."""
 
-    __slots__ = ("loops", "rows_out", "batches_out", "seconds", "fused", "_depth")
+    __slots__ = ("loops", "rows_out", "batches_out", "seconds", "fused",
+                 "col_batches_out", "col_rows_capacity", "_depth")
 
     def __init__(self):
         self.loops = 0
@@ -44,6 +46,11 @@ class OpStats:
         self.batches_out = 0
         self.seconds = 0.0
         self.fused = False
+        #: Columnar batches emitted and their total *underlying* row
+        #: capacity; ``rows_out`` counts the live (selected) rows, so
+        #: ``rows_out / col_rows_capacity`` is the selection density.
+        self.col_batches_out = 0
+        self.col_rows_capacity = 0
         # Reentrancy depth: the compatibility batches() fallback pulls from
         # self.rows() — the *wrapped* rows once instrumented — so only the
         # outermost wrapper of an operator may count, or rows and time
@@ -112,6 +119,39 @@ def _wrap(op, stats, timer=time.perf_counter):
                 stats.rows_out += len(chunk)
             yield chunk
 
+    orig_col_batches = op.col_batches
+
+    def col_batches(size=DEFAULT_BATCH_SIZE):
+        it = iter(orig_col_batches(size))
+        while True:
+            outer = stats._depth == 0
+            if outer:
+                t0 = timer()
+            stats._depth += 1
+            try:
+                batch = next(it)
+            except StopIteration:
+                stats._depth -= 1
+                if outer:
+                    stats.seconds += timer() - t0
+                return
+            stats._depth -= 1
+            if outer:
+                stats.seconds += timer() - t0
+                stats.col_batches_out += 1
+                stats.col_rows_capacity += batch.length
+                stats.rows_out += batch.n_rows
+            yield batch
+
+    def all_rows(size=DEFAULT_BATCH_SIZE):
+        # Route the materializing fast path through the wrapped batches()
+        # so the whole subtree is counted — the operators' own all_rows
+        # overrides would bypass the children's instrumentation.
+        out = []
+        for chunk in batches(size):
+            out.extend(chunk)
+        return out
+
     def record_fused(ctx):
         stats.fused = True
         return orig_record_fused(ctx)
@@ -119,6 +159,8 @@ def _wrap(op, stats, timer=time.perf_counter):
     op.open = open
     op.rows = rows
     op.batches = batches
+    op.col_batches = col_batches
+    op.all_rows = all_rows
     op._record_fused = record_fused
 
 
@@ -138,6 +180,14 @@ def _node_records(op, depth, out):
     stats = getattr(op, "exec_stats", None) or OpStats()
     executed = stats.loops > 0
     est = op.est_rows
+    if stats.col_batches_out:
+        mode = "columnar"
+    elif stats.batches_out:
+        mode = "batch"
+    elif executed:
+        mode = "row"
+    else:
+        mode = None
     record = {
         "op": type(op).__name__,
         "describe": op.describe(),
@@ -147,6 +197,15 @@ def _node_records(op, depth, out):
         "actual_rows": stats.rows_out,
         "loops": stats.loops,
         "batches": stats.batches_out,
+        "col_batches": stats.col_batches_out,
+        # Evaluation mode this node actually produced output in, and the
+        # selection-vector density of its columnar output (live rows over
+        # underlying batch capacity; 1.0 = dense, no filtering upstream).
+        "mode": mode,
+        "sel_density": (
+            stats.rows_out / stats.col_rows_capacity
+            if stats.col_rows_capacity else None
+        ),
         "time_ms": stats.seconds * 1e3,
         "fused": stats.fused,
         "executed": executed,
@@ -185,16 +244,21 @@ def render_analysis(records):
                           "(never executed)"))
             continue
         notes = []
+        if r["mode"] is not None:
+            notes.append(f"mode={r['mode']}")
+        if r["sel_density"] is not None:
+            notes.append(f"density={r['sel_density']:.2f}")
         if r["fused"]:
             notes.append("fused")
         if r["branch"] is not None:
             notes.append(f"branch={r['branch']}")
+        n_batches = r["batches"] or r["col_batches"]
         table.append((
             name,
             _fmt_est(r["est_rows"]),
             str(r["actual_rows"]),
             str(r["loops"]),
-            str(r["batches"]) if r["batches"] else "-",
+            str(n_batches) if n_batches else "-",
             f"{r['time_ms']:.3f}ms",
             f"{r['q_error']:.2f}" if r["q_error"] is not None else "-",
             " ".join(notes),

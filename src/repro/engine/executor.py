@@ -9,8 +9,13 @@ each phase with a high-resolution counter.
 
 import time
 
-from repro.engine.operators import DEFAULT_BATCH_SIZE
-from repro.obs.metrics import NULL_REGISTRY
+from repro.engine.operators import DEFAULT_BATCH_SIZE, coerce_engine
+from repro.obs.metrics import NULL_REGISTRY, NullRegistry
+
+#: Below this estimated row count the columnar drive falls back to row
+#: chunks: columnarizing a handful of rows costs more than it saves
+#: (guarded point lookups are the case that matters).
+COLUMNAR_MIN_EST_ROWS = 33
 
 
 class PhaseTimings:
@@ -41,11 +46,18 @@ class ExecutionContext:
     callers (and tests) can see exactly how a dynamic plan behaved.
     """
 
+    __slots__ = ("clock", "timeline", "trace", "engine", "branches",
+                 "remote_queries", "snapshots_used", "warnings",
+                 "fused_pipelines")
+
     def __init__(self, clock=None, timeline=None, trace=None):
         self.clock = clock
         self.timeline = timeline
         #: The query's TraceContext (None / NULL_TRACE when untraced).
         self.trace = trace
+        #: Execution engine driving this run ("row"/"batch"/"columnar");
+        #: operators consult it at open() (join build-side strategy).
+        self.engine = "batch"
         self.branches = []  # (label, chosen index)
         self.remote_queries = []  # (sql, row count)
         #: Snapshot times of the local views actually read, for timeline
@@ -104,7 +116,9 @@ class QueryResult:
 
     def __init__(self, columns, rows, timings, context, plan=None, trace_id=None):
         self.columns = list(columns)
-        self.rows = list(rows)
+        # Rows are materialized fresh by every execution path, so a list
+        # input is adopted as-is (the copy only matters for iterators).
+        self.rows = rows if type(rows) is list else list(rows)
         self.timings = timings
         self.context = context
         self.plan = plan
@@ -179,15 +193,22 @@ class Executor:
         timer=time.perf_counter,
         registry=None,
         batch_size=DEFAULT_BATCH_SIZE,
+        engine=None,
     ):
         self.clock = clock
         self.timer = timer
         self.batch_size = batch_size
+        #: "row" | "batch" | "columnar" (None resolves per coerce_engine:
+        #: columnar unless batch_size forces the row path).
+        self.engine = coerce_engine(engine, batch_size)
         self.set_registry(registry if registry is not None else NULL_REGISTRY)
 
     def set_registry(self, registry):
         """Attach a metrics registry and pre-resolve the hot-path series."""
         self.registry = registry
+        #: Null registries skip the per-query metric feeding wholesale —
+        #: cheaper than a dozen no-op calls on the hottest path.
+        self._metrics_null = isinstance(registry, NullRegistry)
         self._h_setup = registry.histogram(
             "exec_phase_seconds", labels={"phase": "setup"},
             help="per-phase execution time (Table 4.5 breakdown)")
@@ -217,18 +238,39 @@ class Executor:
         branches_before = len(ctx.branches)
         fused_before = len(ctx.fused_pipelines)
         batch_size = self.batch_size
+        engine = self.engine
+        tiny = False
+        if engine != "row" and batch_size > 1:
+            est = plan.est_rows
+            if est is not None and est < COLUMNAR_MIN_EST_ROWS:
+                # Tiny plans (guarded point lookups — the cache's hottest
+                # request) skip vectorization *and* the generator chain:
+                # one materialized list end to end, row-mode join builds.
+                engine = "batch"
+                tiny = True
+        ctx.engine = engine
         n_batches = 0
 
+        traced = bool(trace)
         t0 = timer()
-        span = trace.span("exec.setup").__enter__() if trace else None
+        span = trace.span("exec.setup").__enter__() if traced else None
         plan.open(ctx)
         if span is not None:
             span.__exit__(None, None, None)
         t1 = timer()
-        span = trace.span("exec.run").__enter__() if trace else None
-        if batch_size <= 1:
+        span = trace.span("exec.run").__enter__() if traced else None
+        if engine == "row" or batch_size <= 1:
             # Legacy row-at-a-time path (debugging / equivalence baseline).
             rows = list(plan.rows())
+        elif tiny:
+            rows = plan.all_rows(batch_size)
+            n_batches = 1 if rows else 0
+        elif engine == "columnar":
+            rows = []
+            extend = rows.extend
+            for batch in plan.col_batches(batch_size):
+                extend(batch.to_rows())
+                n_batches += 1
         else:
             rows = []
             extend = rows.extend
@@ -238,28 +280,29 @@ class Executor:
         if span is not None:
             span.__exit__(None, None, None)
         t2 = timer()
-        span = trace.span("exec.shutdown").__enter__() if trace else None
+        span = trace.span("exec.shutdown").__enter__() if traced else None
         plan.close()
         if span is not None:
             span.__exit__(None, None, None)
         t3 = timer()
 
         timings = PhaseTimings(setup=t1 - t0, run=t2 - t1, shutdown=t3 - t2)
-        self._h_setup.observe(timings.setup)
-        self._h_run.observe(timings.run)
-        self._h_shutdown.observe(timings.shutdown)
-        self._c_queries.inc()
-        self._c_rows.inc(len(rows))
-        if n_batches:
-            self._c_batches.inc(n_batches)
-        n_fused = len(ctx.fused_pipelines) - fused_before
-        if n_fused:
-            self._c_fused.inc(n_fused)
-        for _, index in ctx.branches[branches_before:]:
-            (self._c_branch_local if index == 0 else self._c_branch_remote).inc()
+        if not self._metrics_null:
+            self._h_setup.observe(timings.setup)
+            self._h_run.observe(timings.run)
+            self._h_shutdown.observe(timings.shutdown)
+            self._c_queries.inc()
+            self._c_rows.inc(len(rows))
+            if n_batches:
+                self._c_batches.inc(n_batches)
+            n_fused = len(ctx.fused_pipelines) - fused_before
+            if n_fused:
+                self._c_fused.inc(n_fused)
+            for _, index in ctx.branches[branches_before:]:
+                (self._c_branch_local if index == 0 else self._c_branch_remote).inc()
         if column_names is None:
             column_names = [c.name for c in plan.output.columns]
         return QueryResult(
             column_names, rows, timings, ctx, plan=plan,
-            trace_id=trace.trace_id if trace else None,
+            trace_id=trace.trace_id if traced else None,
         )

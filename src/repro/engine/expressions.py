@@ -159,8 +159,22 @@ def compile_expr(expr, binding, ctx=None):
         pos = getattr(row_fn, "column_pos", None)
         if pos is not None:
             env_fn.column_pos = pos
+        env_fn.ir = _ir_of(expr, binding)
         return env_fn
-    return _compile(expr, binding, ctx, row_mode=False)
+    fn = _compile(expr, binding, ctx, row_mode=False)
+    fn.ir = _ir_of(expr, binding)
+    return fn
+
+
+def _ir_of(expr, binding):
+    """Serializable IR for a compiled expression, or None when it has no
+    IR form (subqueries; plans holding such closures cannot snapshot)."""
+    from repro.engine import ir as _ir  # local: ir imports _binary from here
+
+    try:
+        return _ir.from_ast(expr, binding)
+    except Exception:
+        return None
 
 
 def row_fn_of(fn):

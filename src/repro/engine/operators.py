@@ -28,13 +28,24 @@ expressions at plan-build time.
 """
 
 from itertools import islice
+from operator import itemgetter
 
 from repro.common.errors import ExecutionError
+from repro.engine.columnar import ColumnBatch, column_store
 from repro.engine.expressions import make_env, row_fn_of, row_fns_of
+from repro.engine.ir import selection_fn
 
 #: Target chunk size of the batch protocol.  Large enough to amortize
 #: per-batch dispatch, small enough to stay cache-resident.
 DEFAULT_BATCH_SIZE = 256
+
+#: The three execution engines, by exchange format: row tuples, row-tuple
+#: chunks, and :class:`~repro.engine.columnar.ColumnBatch`.
+ENGINES = ("row", "batch", "columnar")
+
+#: Shared rowless environment for evaluating uncorrelated key expressions
+#: (expressions only ever read an env, so one instance serves all opens).
+_EMPTY_ENV = make_env(())
 
 
 def coerce_batch_size(value):
@@ -45,6 +56,20 @@ def coerce_batch_size(value):
             f"1 selects the legacy row-at-a-time engine)"
         )
     return value
+
+
+def coerce_engine(engine, batch_size=DEFAULT_BATCH_SIZE):
+    """Resolve the engine knob: None picks columnar (or row when
+    ``batch_size=1``); an explicit name is validated, with ``batch_size=1``
+    always forcing the row engine (a 1-row batch is just a slower row)."""
+    if engine is None:
+        return "row" if batch_size == 1 else "columnar"
+    name = str(engine).lower()
+    if name not in ENGINES:
+        raise ValueError(
+            f"invalid engine: {engine!r} (expected one of: {', '.join(ENGINES)})"
+        )
+    return "row" if batch_size == 1 else name
 
 
 class PhysicalOperator:
@@ -77,6 +102,32 @@ class PhysicalOperator:
             if not chunk:
                 return
             yield chunk
+
+    def col_batches(self, size=DEFAULT_BATCH_SIZE):
+        """Produce result rows as :class:`ColumnBatch`es.
+
+        Compatibility default: columnarize the ``batches()`` chunks (each
+        batch remembers its source rows, so a downstream ``to_rows()`` is
+        free).  Columnar-native operators — scans, filters, positional
+        projections — override this with per-column pipelines.
+        """
+        width = len(self.output) if self.output is not None else 0
+        for chunk in self.batches(size):
+            yield ColumnBatch.from_rows(chunk, width)
+
+    def all_rows(self, size=DEFAULT_BATCH_SIZE):
+        """Materialize the whole result as one list of row tuples.
+
+        The executor drives this instead of ``batches()`` when the plan's
+        estimated cardinality is tiny (guarded point lookups — the cache's
+        hottest request): one list in, one list out, zero generator frames
+        on the hot path.  The default drains ``batches()``; operators on
+        the point-lookup spine override it with direct list builds.
+        """
+        out = []
+        for chunk in self.batches(size):
+            out.extend(chunk)
+        return out
 
     def close(self):
         pass
@@ -187,6 +238,27 @@ class SeqScan(PhysicalOperator):
             if out:
                 yield out
 
+    def col_batches(self, size=DEFAULT_BATCH_SIZE):
+        """Zero-copy columnar scan: one batch referencing the table's
+        column store, with the (IR-compiled) predicate collapsed into a
+        selection vector.  Predicates without a columnar kernel fall back
+        to the row pipeline."""
+        predicate = self.predicate
+        store = column_store(self.table)
+        if predicate is None:
+            self._record_fused(self._ctx)
+            return [store] if store.length else []
+        sel_fn = selection_fn(getattr(predicate, "ir", None))
+        if sel_fn is None:
+            return PhysicalOperator.col_batches(self, size)
+        self._record_fused(self._ctx)
+        if not store.length:
+            return []
+        sel = sel_fn(store.columns, None, store.length)
+        if not sel:
+            return []
+        return [ColumnBatch(store.columns, store.length, sel)]
+
     def describe(self):
         return f"SeqScan({self.table.name})"
 
@@ -208,18 +280,32 @@ class IndexSeek(PhysicalOperator):
         self._outer_env = None
         self._ctx = None
         self._key = None
+        # Single-component keys (the common point lookup) skip the
+        # key-tuple genexpr at open().
+        self._single_key_fn = self.key_fns[0] if len(self.key_fns) == 1 else None
 
     def open(self, ctx, outer_env=None):
         self._ctx = ctx
         self._outer_env = outer_env
-        env = make_env((), outer_env)
-        self._key = tuple(fn(env) for fn in self.key_fns)
+        env = _EMPTY_ENV if outer_env is None else make_env((), outer_env)
+        single = self._single_key_fn
+        if single is not None:
+            self._key = (single(env),)
+        else:
+            self._key = tuple([fn(env) for fn in self.key_fns])
 
     def _rid_iter(self):
         key = self._key
         if len(key) == len(self.index.key_positions):
             return self.index.seek(key)
         return (rid for _, rid in self.index.range(low=key, high=key))
+
+    def _rid_list(self):
+        key = self._key
+        index = self.index
+        if len(key) == len(index.key_positions):
+            return index.seek_list(key)
+        return [rid for _, rid in index.range(low=key, high=key)]
 
     def rows(self):
         predicate = self.predicate
@@ -263,6 +349,22 @@ class IndexSeek(PhysicalOperator):
             ]
         for start in range(0, len(out), size):
             yield out[start:start + size]
+
+    def all_rows(self, size=DEFAULT_BATCH_SIZE):
+        predicate = self.predicate
+        table_row = self.table.row
+        if predicate is None:
+            self._record_fused(self._ctx)
+            return list(map(table_row, self._rid_list()))
+        row_pred = row_fn_of(predicate)
+        if row_pred is None:
+            return list(self.rows())
+        self._record_fused(self._ctx)
+        return [
+            values
+            for values in map(table_row, self._rid_list())
+            if row_pred(values) is True
+        ]
 
     def describe(self):
         return f"IndexSeek({self.table.name}.{self.index.name})"
@@ -399,6 +501,43 @@ class Filter(PhysicalOperator):
             if out:
                 yield out
 
+    def all_rows(self, size=DEFAULT_BATCH_SIZE):
+        predicate = self.predicate
+        row_pred = row_fn_of(predicate)
+        if row_pred is not None:
+            self._record_fused(self._ctx)
+            return [
+                row for row in self.child.all_rows(size) if row_pred(row) is True
+            ]
+        outer = self._outer_env
+        return [
+            row
+            for row in self.child.all_rows(size)
+            if predicate(make_env(row, outer)) is True
+        ]
+
+    def col_batches(self, size=DEFAULT_BATCH_SIZE):
+        """Columnar filter: shrink the selection vector in place (no row
+        materialization).  Predicates without a columnar kernel apply
+        their row form to the live rows of each incoming batch."""
+        sel_fn = selection_fn(getattr(self.predicate, "ir", None))
+        if sel_fn is not None:
+            self._record_fused(self._ctx)
+            for batch in self.child.col_batches(size):
+                sel = sel_fn(batch.columns, batch.sel, batch.length)
+                if sel:
+                    yield ColumnBatch(batch.columns, batch.length, sel)
+            return
+        row_pred = row_fn_of(self.predicate)
+        if row_pred is not None:
+            width = len(self.output)
+            for batch in self.child.col_batches(size):
+                out = [row for row in batch.to_rows() if row_pred(row) is True]
+                if out:
+                    yield ColumnBatch.from_rows(out, width)
+            return
+        yield from PhysicalOperator.col_batches(self, size)
+
     def close(self):
         self.child.close()
 
@@ -424,6 +563,16 @@ class Project(PhysicalOperator):
         self._row_exprs = row_fns_of(self.exprs)
         positions = [getattr(fn, "column_pos", None) for fn in self.exprs]
         self._positions = positions if all(p is not None for p in positions) else None
+        # C-speed row picker for the positional case: itemgetter builds the
+        # output tuple without a per-row generator frame (the all_rows fast
+        # path maps it straight over the child's materialized list).
+        if self._positions is None:
+            self._picker = None
+        elif len(self._positions) == 1:
+            pos = self._positions[0]
+            self._picker = lambda row, _p=pos: (row[_p],)
+        else:
+            self._picker = itemgetter(*self._positions)
 
     def children(self):
         return (self.child,)
@@ -467,6 +616,36 @@ class Project(PhysicalOperator):
                 out.append(tuple(fn(env) for fn in exprs))
             yield out
 
+    def col_batches(self, size=DEFAULT_BATCH_SIZE):
+        """Columnar projection: pure column picking when every output is
+        a plain column reference — no per-row work at all."""
+        positions = self._positions
+        if positions is None:
+            yield from PhysicalOperator.col_batches(self, size)
+            return
+        self._record_fused(self._ctx)
+        for batch in self.child.col_batches(size):
+            yield batch.take(positions)
+
+    def all_rows(self, size=DEFAULT_BATCH_SIZE):
+        picker = self._picker
+        if picker is not None:
+            self._record_fused(self._ctx)
+            return list(map(picker, self.child.all_rows(size)))
+        row_exprs = self._row_exprs
+        if row_exprs is not None:
+            self._record_fused(self._ctx)
+            return [
+                tuple(fn(row) for fn in row_exprs)
+                for row in self.child.all_rows(size)
+            ]
+        exprs = self.exprs
+        outer = self._outer_env
+        return [
+            tuple(fn(make_env(row, outer)) for fn in exprs)
+            for row in self.child.all_rows(size)
+        ]
+
     def close(self):
         self.child.close()
 
@@ -480,6 +659,15 @@ def _key_of(fns, row_fns, row, outer):
         return tuple(fn(row) for fn in row_fns)
     env = make_env(row, outer)
     return tuple(fn(env) for fn in fns)
+
+
+def _key_positions(key_fns):
+    """Column positions when every key is a bare column ref, else None —
+    the precondition for building/probing a hash join on key columns."""
+    positions = [getattr(fn, "column_pos", None) for fn in key_fns]
+    if positions and all(p is not None for p in positions):
+        return positions
+    return None
 
 
 class HashJoin(PhysicalOperator):
@@ -504,6 +692,18 @@ class HashJoin(PhysicalOperator):
         self.right.open(ctx, outer_env)
         self._hash_table = table = {}
         key_fns = self.right_key_fns
+        positions = _key_positions(key_fns)
+        if positions is not None and getattr(ctx, "engine", None) == "columnar":
+            # Columnar build: the join keys come straight off the key
+            # columns (one zip over column buffers per batch), rows
+            # materialize once for the output side.
+            for batch in self.right.col_batches():
+                keys = zip(*[batch.column_values(p) for p in positions])
+                for row, key in zip(batch.to_rows(), keys):
+                    if None in key:
+                        continue
+                    table.setdefault(key, []).append(row)
+            return
         row_keys = row_fns_of(key_fns)
         for chunk in self.right.batches():
             for row in chunk:
@@ -541,6 +741,37 @@ class HashJoin(PhysicalOperator):
             out = list(self._probe(chunk))
             if out:
                 yield out
+
+    def col_batches(self, size=DEFAULT_BATCH_SIZE):
+        """Columnar probe: per-batch key tuples zipped off the probe-side
+        key columns, residual applied to the concatenated rows."""
+        positions = _key_positions(self.left_key_fns)
+        if positions is None:
+            yield from PhysicalOperator.col_batches(self, size)
+            return
+        table = self._hash_table
+        residual = self.residual
+        row_residual = None if residual is None else row_fn_of(residual)
+        outer = self._outer_env
+        width = len(self.output)
+        get = table.get
+        for batch in self.left.col_batches(size):
+            keys = zip(*[batch.column_values(p) for p in positions])
+            out = []
+            for left_row, key in zip(batch.to_rows(), keys):
+                if None in key:
+                    continue
+                for right_row in get(key, ()):
+                    combined = left_row + right_row
+                    if residual is None:
+                        out.append(combined)
+                    elif row_residual is not None:
+                        if row_residual(combined) is True:
+                            out.append(combined)
+                    elif residual(make_env(combined, outer)) is True:
+                        out.append(combined)
+            if out:
+                yield ColumnBatch.from_rows(out, width)
 
     def close(self):
         self._hash_table = None
@@ -641,6 +872,15 @@ class HashSemiJoin(PhysicalOperator):
         self.right.open(ctx, outer_env)
         self._keys = keys = set()
         key_fns = self.right_key_fns
+        positions = _key_positions(key_fns)
+        if positions is not None and getattr(ctx, "engine", None) == "columnar":
+            # Columnar build: only the key columns are ever touched — the
+            # build side's rows are never materialized.
+            for batch in self.right.col_batches():
+                for key in zip(*[batch.column_values(p) for p in positions]):
+                    if None not in key:
+                        keys.add(key)
+            return
         row_keys = row_fns_of(key_fns)
         for chunk in self.right.batches():
             for row in chunk:
@@ -706,6 +946,15 @@ class HashAntiJoin(PhysicalOperator):
         self._keys = keys = set()
         self._right_had_null = False
         key_fns = self.right_key_fns
+        positions = _key_positions(key_fns)
+        if positions is not None and getattr(ctx, "engine", None) == "columnar":
+            for batch in self.right.col_batches():
+                for key in zip(*[batch.column_values(p) for p in positions]):
+                    if None in key:
+                        self._right_had_null = True
+                    else:
+                        keys.add(key)
+            return
         row_keys = row_fns_of(key_fns)
         for chunk in self.right.batches():
             for row in chunk:
@@ -1062,6 +1311,18 @@ class Limit(PhysicalOperator):
             remaining -= len(chunk)
             yield chunk
 
+    def col_batches(self, size=DEFAULT_BATCH_SIZE):
+        remaining = self.limit
+        if remaining <= 0:
+            return
+        for batch in self.child.col_batches(size):
+            n = batch.n_rows
+            if n >= remaining:
+                yield batch.head(remaining)
+                return
+            remaining -= n
+            yield batch
+
     def close(self):
         self.child.close()
 
@@ -1086,6 +1347,9 @@ class Materialized(PhysicalOperator):
         rows = self._rows
         for start in range(0, len(rows), size):
             yield rows[start:start + size]
+
+    def all_rows(self, size=DEFAULT_BATCH_SIZE):
+        return list(self._rows)
 
     def describe(self):
         return f"Materialized({len(self._rows)} rows)"
@@ -1131,6 +1395,12 @@ class SwitchUnion(PhysicalOperator):
     def batches(self, size=DEFAULT_BATCH_SIZE):
         return self.inputs[self.chosen].batches(size)
 
+    def col_batches(self, size=DEFAULT_BATCH_SIZE):
+        return self.inputs[self.chosen].col_batches(size)
+
+    def all_rows(self, size=DEFAULT_BATCH_SIZE):
+        return self.inputs[self.chosen].all_rows(size)
+
     def close(self):
         if self.chosen is not None:
             self.inputs[self.chosen].close()
@@ -1149,10 +1419,13 @@ class RemoteQuery(PhysicalOperator):
     binding makes plan setup more expensive.
     """
 
-    def __init__(self, sql, output, remote_executor):
+    def __init__(self, sql, output, remote_executor, shards=None):
         self.sql = sql
         self.output = output
         self.remote_executor = remote_executor
+        #: Optional shard pin the executor closure was built with; carried
+        #: on the operator so plan snapshots can re-pin on instantiation.
+        self.shards = shards
         self._buffered = None
 
     def open(self, ctx, outer_env=None):
@@ -1167,6 +1440,9 @@ class RemoteQuery(PhysicalOperator):
         rows = self._buffered
         for start in range(0, len(rows), size):
             yield rows[start:start + size]
+
+    def all_rows(self, size=DEFAULT_BATCH_SIZE):
+        return list(self._buffered)
 
     def close(self):
         self._buffered = None

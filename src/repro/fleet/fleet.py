@@ -25,6 +25,7 @@ from repro.fleet.routing import bound_from_sql, make_policy
 from repro.obs.metrics import MetricsRegistry, NullRegistry
 from repro.obs.trace import TraceLog
 from repro.optimizer.query_info import _constant_value, _split_conjuncts
+from repro.plan.store import PlanSnapshotStore
 from repro.sql import ast
 from repro.sql.parser import parse
 
@@ -327,6 +328,12 @@ class CacheFleet:
             # the fleet's.
             network.registry = self.metrics
         self.network = network
+        #: Fleet-shared precompiled-plan snapshot store: the first node to
+        #: optimize a statement publishes; identically-configured peers
+        #: instantiate without re-parse/re-optimize (see repro.plan).
+        self.snapshot_store = node_kwargs.pop(
+            "snapshot_store", PlanSnapshotStore(backend.clock)
+        )
         self.nodes = [
             FleetNode(
                 name, backend, network,
@@ -334,6 +341,7 @@ class CacheFleet:
                 failure_threshold=failure_threshold,
                 reset_timeout=reset_timeout,
                 max_remote_wait=max_remote_wait,
+                snapshot_store=self.snapshot_store,
                 **node_kwargs,
             )
             for name in names
@@ -387,6 +395,24 @@ class CacheFleet:
             )
         return views
 
+    def alter_region(self, cid, update_interval=None, update_delay=None):
+        """Reconfigure region ``cid``'s currency parameters on every node.
+
+        Each node's :meth:`~repro.cache.mtcache.MTCache.alter_region`
+        invalidates its plan cache and the shared snapshot store — the
+        parameters feed plan choice and the snapshot fingerprint.
+        """
+        if cid not in self.regions:
+            raise KeyError(f"unknown fleet region {cid!r}")
+        altered = {}
+        for node in self.nodes:
+            altered[node.name] = node.alter_region(
+                self.regions[cid][node.name],
+                update_interval=update_interval,
+                update_delay=update_delay,
+            )
+        return altered
+
     # ------------------------------------------------------------------
     # Node lifecycle
     # ------------------------------------------------------------------
@@ -394,12 +420,17 @@ class CacheFleet:
         """Kill one node (in-memory state lost; router skips it)."""
         node = self.node(name)
         node.crash()
+        # Topology change: snapshots may embed guards/placements chosen
+        # under the old fleet shape — drop them rather than reason about
+        # which survive.
+        self.snapshot_store.invalidate(reason="node-crash")
         return node
 
     def restart_node(self, name, warmup=None):
         """Cold-restart a crashed node (deferred if its link is down)."""
         node = self.node(name)
         node.restart(warmup=warmup)
+        self.snapshot_store.invalidate(reason="node-restart")
         return node
 
     def drain_node(self, name):

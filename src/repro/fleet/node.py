@@ -368,6 +368,9 @@ class FleetNode(MTCache):
                 return 0
             return choice
 
+        # Keep the snapshot recipe of the base guard: snapshot-plan
+        # instantiation on any node rebuilds the full wrapped guard.
+        selector.guard_params = base.guard_params
         return selector
 
     # ------------------------------------------------------------------

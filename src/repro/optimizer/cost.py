@@ -122,6 +122,32 @@ class CostModel:
         clone.fused_row_factor = 1.0
         return clone
 
+    #: Additional per-row discount of a columnar fused pipeline over the
+    #: batch engine's: filters run as one generated comprehension per
+    #: predicate over column buffers, projections pick columns, rows
+    #: materialize once at the boundary.  Kept mild — the guarded
+    #: local-vs-remote tradeoff (switch_union) must not flip on engine
+    #: choice alone.
+    columnar_row_factor = 0.75
+
+    def engine_variant(self, engine):
+        """The model matching an execution engine: "row" maps to
+        :meth:`row_engine_variant`, "batch" to this model unchanged,
+        "columnar" to a clone with the columnar discount folded into the
+        fused-pipeline factor and halved batch dispatch (a columnar scan
+        moves one batch per table, not one per 256 rows)."""
+        if engine == "row":
+            return self.row_engine_variant()
+        if engine == "batch" or engine is None:
+            return self
+        if engine != "columnar":
+            raise ValueError(f"unknown engine for cost model: {engine!r}")
+        clone = CostModel.__new__(CostModel)
+        clone.__dict__.update(self.__dict__)
+        clone.fused_row_factor = self.fused_row_factor * self.columnar_row_factor
+        clone.batch_dispatch = self.batch_dispatch * 0.5
+        return clone
+
     # ------------------------------------------------------------------
     # Scans
     # ------------------------------------------------------------------

@@ -10,7 +10,20 @@ finite currency bound applies — and remote-query candidates.
 from repro.cc.properties import BACKEND_REGION, ConsistencyProperty
 from repro.engine.expressions import ExpressionContext, OutputCol, RowBinding, compile_expr
 from repro.engine import operators as ops
+from repro.engine.ir import IRUnsupported, compile_ir, const_ir
 from repro.sql import ast
+
+
+def _const_key_fns(values):
+    """Key evaluators for plan-time constants, carrying their IR so the
+    plan can snapshot (falls back to bare closures for exotic values)."""
+    out = []
+    for v in values:
+        try:
+            out.append(compile_ir(const_ir(v)))
+        except IRUnsupported:
+            out.append(lambda env, v=v: v)
+    return out
 
 
 def combine_conjuncts(conjuncts):
@@ -251,7 +264,7 @@ class PlacementProvider:
                     else None
                 )
                 if range_low is None and range_high is None:
-                    key_fns = [lambda env, v=v: v for v in eq_values]
+                    key_fns = _const_key_fns(eq_values)
                     return ops.IndexSeek(table, index, key_fns, binding, predicate=predicate)
                 low = tuple(eq_values) + ((range_low,) if range_low is not None else ())
                 high = tuple(eq_values) + ((range_high,) if range_high is not None else ())

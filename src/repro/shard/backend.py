@@ -117,7 +117,7 @@ class ShardedBackend(Backend):
     """
 
     def __init__(self, n_partitions=2, clock=None, scheduler=None, cost_model=None,
-                 metrics=None, *, batch_size=None):
+                 metrics=None, *, batch_size=None, engine=None):
         if n_partitions < 1:
             raise ValueError("n_partitions must be >= 1")
         self.clock = clock or SimulatedClock()
@@ -125,6 +125,8 @@ class ShardedBackend(Backend):
         self.cost_model = cost_model or CostModel()
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         kwargs = {} if batch_size is None else {"batch_size": batch_size}
+        if engine is not None:
+            kwargs["engine"] = engine
         self.partitions = [
             BackendServer(self.clock, self.scheduler, self.cost_model, **kwargs)
             for _ in range(n_partitions)
@@ -148,6 +150,13 @@ class ShardedBackend(Backend):
     # ------------------------------------------------------------------
     # Topology
     # ------------------------------------------------------------------
+    @property
+    def ddl_epoch(self):
+        """Coordinator epoch: the sum over shard epochs.  Every fan-out
+        DDL bumps each shard, so the sum moves exactly when any shard's
+        schema or statistics do."""
+        return sum(p.ddl_epoch for p in self.partitions)
+
     @property
     def partition_count(self):
         return len(self.partitions)

@@ -88,6 +88,22 @@ class Index:
             yield self._entries[pos][1]
             pos += 1
 
+    def seek_list(self, key):
+        """Row ids whose key equals ``key``, as a list.
+
+        Same contract as :meth:`seek` without the generator frame — the
+        equality-seek hot path (guarded point lookups) materializes its
+        handful of rids in one pass.
+        """
+        entries = self._entries
+        n = len(entries)
+        pos = bisect.bisect_left(entries, (key, -1))
+        out = []
+        while pos < n and entries[pos][0] == key:
+            out.append(entries[pos][1])
+            pos += 1
+        return out
+
     def range(self, low=None, high=None, low_inclusive=True, high_inclusive=True):
         """Yield (key, rid) pairs with low <= key <= high, in key order.
 

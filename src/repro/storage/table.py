@@ -40,6 +40,10 @@ class HeapTable:
         self.schema = schema
         self._rows = []  # rowid -> RowVersion | None (tombstone)
         self._live = 0
+        #: Bumped on every successful mutation; cheap change detection for
+        #: derived structures (the columnar engine's column store).
+        self.mutation_count = 0
+        self._column_store = None  # (mutation_count, ColumnBatch) cache
         self.indexes = {}
         self.primary_key = None
         if primary_key:
@@ -107,6 +111,7 @@ class HeapTable:
             raise
         self._rows.append(version)
         self._live += 1
+        self.mutation_count += 1
         return rid
 
     def delete(self, rid, xtime=0, commit_time=0.0):
@@ -116,6 +121,7 @@ class HeapTable:
             ix.delete(version.values, rid)
         self._rows[rid] = None
         self._live -= 1
+        self.mutation_count += 1
         return version.values
 
     def update(self, rid, values, xtime=0, commit_time=0.0):
@@ -141,12 +147,14 @@ class HeapTable:
         version.values = values
         version.xtime = xtime
         version.commit_time = commit_time
+        self.mutation_count += 1
         return old
 
     def truncate(self):
         """Remove all rows."""
         self._rows = []
         self._live = 0
+        self.mutation_count += 1
         for ix in self.indexes.values():
             ix.clear()
 
@@ -171,6 +179,15 @@ class HeapTable:
         for rid, version in enumerate(self._rows):
             if version is not None:
                 yield rid, version.values
+
+    def first_values(self):
+        """Values of the first live row, or None (currency guards probe
+        single-row heartbeat tables on every query; this skips the
+        generator machinery of :meth:`scan`)."""
+        for version in self._rows:
+            if version is not None:
+                return version.values
+        return None
 
     def scan_versions(self):
         """Yield (rid, RowVersion) for all live rows in heap order."""

@@ -60,6 +60,7 @@ def build_paper_setup(
     paper_scale_stats=True,
     settle=True,
     batch_size=None,
+    engine=None,
 ):
     """Assemble the paper's experimental environment.
 
@@ -68,9 +69,12 @@ def build_paper_setup(
     ``settle=True`` advances simulated time far enough for heartbeats to
     propagate, so currency guards can pass immediately.  ``batch_size``
     overrides the execution engine's chunk size on both servers
-    (``1`` = legacy row engine).
+    (``1`` = legacy row engine); ``engine`` picks the execution engine
+    explicitly (``"row"`` / ``"batch"`` / ``"columnar"``).
     """
     engine_kwargs = {} if batch_size is None else {"batch_size": batch_size}
+    if engine is not None:
+        engine_kwargs["engine"] = engine
     backend = BackendServer(**engine_kwargs)
     load_tpcd(backend, scale_factor=scale_factor, seed=seed)
     cache = MTCache(backend, **engine_kwargs)

@@ -1,9 +1,11 @@
-"""Batch-engine equivalence: batch execution == row execution, everywhere.
+"""Engine equivalence: row == batch == columnar execution, everywhere.
 
-The batch engine (``batch_size`` > 1, the default) and the legacy row
-engine (``batch_size=1``) must be observationally identical: same rows,
-same warnings, same routing, for every query shape the other suites
-exercise.  This module drives both engines over
+The three execution engines — legacy row-at-a-time (``engine="row"`` /
+``batch_size=1``), row-tuple batches (``"batch"``) and columnar
+:class:`~repro.engine.columnar.ColumnBatch` (``"columnar"``, the
+default) — must be observationally identical: same rows, same warnings,
+same routing, for every query shape the other suites exercise.  This
+module drives all three engines over
 
 * the deterministic enumeration of every query shape from
   ``test_optimizer_equivalence.py`` (scans, aggregates, 2/3-way joins,
@@ -13,8 +15,11 @@ exercise.  This module drives both engines over
   plan-choice benches (guarded SwitchUnion plans, serve-stale warnings,
   mixed routing) on MTCache,
 
-asserting zero diffs.  It also pins down the ``batch_size`` knob's
-contract on both servers.
+asserting zero diffs.  The paper-environment half additionally replays
+every query through a *snapshot-instantiated* plan (serialize the
+optimized plan with :mod:`repro.plan`, instantiate it back, execute) and
+requires identical results there too.  It also pins down the
+``batch_size`` / ``engine`` knobs' contracts on both servers.
 """
 
 from collections import Counter
@@ -23,6 +28,8 @@ import pytest
 
 from repro.cache.backend import BackendServer
 from repro.cache.mtcache import MTCache
+from repro.engine.operators import ENGINES
+from repro.plan import SnapshotUnsupported, instantiate_snapshot, serialize_plan
 from repro.workloads.bookstore import load_bookstore
 from repro.workloads.experiment import build_paper_setup
 from repro.workloads.queries import guard_query, plan_choice_query
@@ -38,8 +45,9 @@ PREDICATES_JOIN = ["", "s.y = 2", "r.a + s.x < 30", "s.y < r.b"]
 ITEMS = ["r.a", "r.a, r.c", "r.b, r.a", "r.a, r.b, r.c"]
 
 
-def _make_server(batch_size):
-    backend = BackendServer(batch_size=batch_size)
+def _make_server(engine):
+    batch_size = 1 if engine == "row" else 256
+    backend = BackendServer(batch_size=batch_size, engine=engine)
     backend.create_table(
         "CREATE TABLE r (a INT NOT NULL, b INT NOT NULL, c FLOAT NOT NULL, "
         "PRIMARY KEY (a))"
@@ -63,18 +71,20 @@ def _make_server(batch_size):
 
 @pytest.fixture(scope="module")
 def engines():
-    """(batch backend, row backend) over identical data."""
-    return _make_server(256), _make_server(1)
+    """One backend per engine, over identical data."""
+    return {engine: _make_server(engine) for engine in ENGINES}
 
 
 def _assert_same_bag(engines, sql):
-    batch, row = engines
-    assert Counter(batch.execute(sql).rows) == Counter(row.execute(sql).rows), sql
+    reference = Counter(engines["row"].execute(sql).rows)
+    for engine in ("batch", "columnar"):
+        assert Counter(engines[engine].execute(sql).rows) == reference, (engine, sql)
 
 
 def _assert_same_list(engines, sql):
-    batch, row = engines
-    assert batch.execute(sql).rows == row.execute(sql).rows, sql
+    reference = engines["row"].execute(sql).rows
+    for engine in ("batch", "columnar"):
+        assert engines[engine].execute(sql).rows == reference, (engine, sql)
 
 
 class TestBackendEquivalence:
@@ -141,7 +151,7 @@ class TestBackendEquivalence:
     @pytest.mark.parametrize("direction", ["ASC", "DESC"])
     def test_order_by(self, engines, pred, direction):
         where = f" WHERE {pred}" if pred else ""
-        # Unique sort key -> a total order both engines must agree on.
+        # Unique sort key -> a total order all engines must agree on.
         _assert_same_list(
             engines, f"SELECT r.a FROM r{where} ORDER BY r.a {direction}"
         )
@@ -156,41 +166,68 @@ class TestBackendEquivalence:
 
 
 @pytest.fixture(scope="module")
-def paper_pair():
-    """(batch, row) paper environments, same seed, same settle."""
-    return (
-        build_paper_setup(scale_factor=0.002, paper_scale_stats=True),
-        build_paper_setup(scale_factor=0.002, paper_scale_stats=True, batch_size=1),
+def paper_envs():
+    """One paper environment per engine, same seed, same settle."""
+    return {
+        engine: build_paper_setup(
+            scale_factor=0.002, paper_scale_stats=True,
+            batch_size=1 if engine == "row" else None, engine=engine,
+        )
+        for engine in ENGINES
+    }
+
+
+def _snapshot_replay(cache, sql, reference):
+    """Serialize the cached plan, instantiate it back on the same node,
+    execute, and require identical rows.  Plans outside the snapshot
+    vocabulary (shipped subqueries) are exempt by design."""
+    plan = cache._plan_cache.get(sql)
+    if plan is None:
+        plan = cache.optimize(sql)
+    try:
+        snapshot = serialize_plan(plan, engine=cache.engine)
+    except SnapshotUnsupported:
+        return
+    replayed = cache._execute_plan(
+        instantiate_snapshot(snapshot, cache), sql_text=sql
     )
+    assert Counter(replayed.rows) == reference, ("snapshot", sql)
 
 
 class TestPaperSetupEquivalence:
     @pytest.mark.parametrize("name", ["q1", "q2", "q3", "q4", "q5", "q6", "q7"])
-    def test_plan_choice_queries(self, paper_pair, name):
-        batch, row = paper_pair
+    def test_plan_choice_queries(self, paper_envs, name):
         sql = plan_choice_query(name)  # SF-1.0 selectivities, like the bench
-        b = batch.cache.execute(sql)
-        r = row.cache.execute(sql)
-        assert Counter(b.rows) == Counter(r.rows), name
-        assert b.routing == r.routing, name
-        assert b.warnings == r.warnings, name
-        assert b.plan.summary() == r.plan.summary(), name
+        row = paper_envs["row"].cache.execute(sql)
+        reference = Counter(row.rows)
+        for engine in ("batch", "columnar"):
+            cache = paper_envs[engine].cache
+            result = cache.execute(sql)
+            assert Counter(result.rows) == reference, (engine, name)
+            assert result.routing == row.routing, (engine, name)
+            assert result.warnings == row.warnings, (engine, name)
+            assert result.plan.summary() == row.plan.summary(), (engine, name)
+            _snapshot_replay(cache, sql, reference)
 
     @pytest.mark.parametrize("name", ["gq1", "gq2", "gq3"])
-    def test_guard_queries(self, paper_pair, name):
-        batch, row = paper_pair
+    def test_guard_queries(self, paper_envs, name):
         sql = guard_query(name, scale_factor=0.002)
-        b = batch.cache.execute(sql)
-        r = row.cache.execute(sql)
-        assert Counter(b.rows) == Counter(r.rows), name
-        assert b.routing == r.routing, name
-        assert b.warnings == r.warnings, name
+        row = paper_envs["row"].cache.execute(sql)
+        reference = Counter(row.rows)
+        for engine in ("batch", "columnar"):
+            cache = paper_envs[engine].cache
+            result = cache.execute(sql)
+            assert Counter(result.rows) == reference, (engine, name)
+            assert result.routing == row.routing, (engine, name)
+            assert result.warnings == row.warnings, (engine, name)
+            _snapshot_replay(cache, sql, reference)
 
 
-def _make_bookstore(batch_size):
-    backend = BackendServer(batch_size=batch_size)
+def _make_bookstore(engine):
+    batch_size = 1 if engine == "row" else 256
+    backend = BackendServer(batch_size=batch_size, engine=engine)
     load_bookstore(backend, n_books=30)
-    cache = MTCache(backend, batch_size=batch_size,
+    cache = MTCache(backend, batch_size=batch_size, engine=engine,
                     fallback_policy="serve_stale")
     cache.create_region("books_r", 3600.0, 1.0, heartbeat_interval=1.0)
     cache.create_matview("books_copy", "books", ["isbn", "title", "price"],
@@ -214,42 +251,63 @@ class TestWalkthroughEquivalence:
         " CURRENCY BOUND 30 MIN ON (b), 30 MIN ON (r)",
     ])
     def test_bookstore_join(self, currency):
-        batch = _make_bookstore(256)
-        row = _make_bookstore(1)
-        batch.run_for(1800)
-        row.run_for(1800)
         sql = BOOK_JOIN + currency
-        b = batch.execute(sql)
-        r = row.execute(sql)
-        assert Counter(b.rows) == Counter(r.rows), currency
-        assert b.routing == r.routing, currency
-        assert b.warnings == r.warnings, currency
+        caches = {}
+        for engine in ENGINES:
+            caches[engine] = _make_bookstore(engine)
+            caches[engine].run_for(1800)
+        row = caches["row"].execute(sql)
+        for engine in ("batch", "columnar"):
+            result = caches[engine].execute(sql)
+            assert Counter(result.rows) == Counter(row.rows), (engine, currency)
+            assert result.routing == row.routing, (engine, currency)
+            assert result.warnings == row.warnings, (engine, currency)
 
     def test_serve_stale_warnings_fire_identically(self):
-        batch = _make_bookstore(256)
-        row = _make_bookstore(1)
-        batch.run_for(1800)
-        row.run_for(1800)
         sql = BOOK_JOIN + " CURRENCY BOUND 30 MIN ON (b), 30 MIN ON (r)"
-        b = batch.execute(sql)
-        r = row.execute(sql)
+        results = {}
+        for engine in ENGINES:
+            cache = _make_bookstore(engine)
+            cache.run_for(1800)
+            results[engine] = cache.execute(sql)
         # Guard equivalence must not be vacuous: this shape fails its
-        # guards mid-cycle under both engines.
-        assert len(b.warnings) == 2
-        assert b.warnings == r.warnings
+        # guards mid-cycle under every engine.
+        assert len(results["row"].warnings) == 2
+        assert results["batch"].warnings == results["row"].warnings
+        assert results["columnar"].warnings == results["row"].warnings
 
 
-class TestBatchSizeKnob:
-    def test_mtcache_rejects_bad_values(self):
+class TestEngineKnobs:
+    def test_mtcache_rejects_bad_batch_sizes(self):
         backend = BackendServer()
         for bad in (0, -1, 2.5, "256", True, None):
             with pytest.raises(ValueError, match="batch_size"):
                 MTCache(backend, batch_size=bad)
 
-    def test_backend_rejects_bad_values(self):
+    def test_backend_rejects_bad_batch_sizes(self):
         for bad in (0, -3, 1.0, "row", False):
             with pytest.raises(ValueError, match="batch_size"):
                 BackendServer(batch_size=bad)
+
+    def test_bad_engine_names_rejected(self):
+        backend = BackendServer()
+        for bad in ("vectorized", "columns", 7):
+            with pytest.raises(ValueError, match="engine"):
+                BackendServer(engine=bad)
+            with pytest.raises(ValueError, match="engine"):
+                MTCache(backend, engine=bad)
+
+    def test_default_engine_is_columnar(self):
+        backend = BackendServer()
+        assert backend.engine == "columnar"
+        assert MTCache(backend).engine == "columnar"
+
+    def test_batch_size_one_forces_row_engine(self):
+        backend = BackendServer(batch_size=1)
+        assert backend.engine == "row"
+        # Even an explicit columnar request: a 1-row batch is just a row.
+        assert BackendServer(batch_size=1, engine="columnar").engine == "row"
+        assert MTCache(backend, batch_size=1, engine="columnar").engine == "row"
 
     def test_knob_is_keyword_only(self):
         backend = BackendServer()
@@ -257,7 +315,7 @@ class TestBatchSizeKnob:
             MTCache(backend, None, "remote", 128, None, 64)  # noqa: PLE (positional)
 
     def test_batch_size_one_forces_row_path(self, engines):
-        _, row = engines
+        row = engines["row"]
         assert row.executor.batch_size == 1
         # The row engine never moves chunks, so the batch counter stays 0.
         from repro.obs.metrics import MetricsRegistry
@@ -271,7 +329,7 @@ class TestBatchSizeKnob:
             row.executor.set_registry(row.metrics)
 
     def test_batch_engine_counts_batches_and_fused_pipelines(self, engines):
-        batch, _ = engines
+        batch = engines["batch"]
         from repro.obs.metrics import MetricsRegistry
 
         registry = MetricsRegistry()
