@@ -8,7 +8,8 @@ each non-empty dict is merge-written to its ``benchmarks/BENCH_<n>.json``
 so the perf trajectory is recorded per PR (BENCH_2: batch engine;
 BENCH_3: cache fleet; BENCH_4: tracing overhead; BENCH_5: chaos
 recovery; BENCH_6: sharded back-end scaling; BENCH_7: columnar engine +
-plan snapshots, keyed per engine mode).
+plan snapshots, keyed per engine mode; BENCH_8: session write path +
+ledger workload).
 """
 
 import json
@@ -19,7 +20,7 @@ import pytest
 from repro.workloads.experiment import build_paper_setup
 
 #: Accumulates {workload/section -> metrics} per summary file.
-_BENCH = {f"BENCH_{n}.json": {} for n in range(2, 8)}
+_BENCH = {f"BENCH_{n}.json": {} for n in range(2, 9)}
 
 
 def _recorder(n):

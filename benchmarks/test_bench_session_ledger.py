@@ -1,0 +1,157 @@
+"""Benchmark: the session-aware write path under the ledger workload
+(PR 8's tentpole).
+
+Three experiments against a 3-node fleet running the double-entry
+ledger (strict ``ledger`` table, relaxed ``accounts``):
+
+* **read-your-writes transition** — a session INSERTs a transfer and
+  re-reads it at the loosest bound: the first read must bounce to the
+  back-end (the replica has not applied the session's commit yet), and
+  once replication catches up the same read must serve locally;
+* **routing split vs write rate** — the seeded mixed workload at write
+  rates 0 / 5 / 10 / 20 %: the local-read fraction falls as the write
+  rate grows, because every fresh commit pins its re-reads remote until
+  the agents apply it;
+* **mixed throughput** — operations/second of the 10 %-write mix versus
+  the read-only baseline (median of three interleaved trials, both over
+  the same preloaded key distribution), with the acceptance bar at
+  >= 80 % of the baseline: the write path must not tax the read path.
+
+Headline numbers land in ``benchmarks/BENCH_8.json``.
+
+Run:  pytest benchmarks/test_bench_session_ledger.py -s
+"""
+
+import statistics
+import time
+
+from repro import FleetConfig, Session
+from repro.chaos import InvariantChecker
+from repro.workloads import LedgerWorkload
+
+WRITE_RATES = (0.0, 0.05, 0.1, 0.2)
+DURATION = 60.0
+THINK = 0.1
+PRELOAD = 60
+TRIALS = 3
+
+
+def build_ledger(write_rate, seed=7):
+    """A 3-node fleet + installed workload on a fast replication cadence
+    (100 ms agents), preloaded so every run re-reads the same keys."""
+    fleet = FleetConfig(nodes=3).build()
+    workload = LedgerWorkload(
+        fleet, n_accounts=64, seed=seed, write_rate=write_rate,
+        update_interval=0.1, update_delay=0.05, heartbeat_interval=0.1,
+    ).install()
+    fleet.run_for(3.0)
+    workload.preload(PRELOAD)
+    fleet.run_for(2.0)
+    return fleet, workload
+
+
+def drive_once(write_rate):
+    """One seeded run; returns (ops/s wall, workload, checker)."""
+    fleet, workload = build_ledger(write_rate)
+    checker = InvariantChecker(fleet)
+    t0 = time.perf_counter()
+    workload.drive(DURATION, think_time=THINK, checker=checker,
+                   raise_errors=True)
+    wall = time.perf_counter() - t0
+    workload.audit(checker)
+    summary = workload.summary()
+    ops = summary["reads"] + summary["writes"]
+    return ops / wall, workload, checker
+
+
+def test_read_your_writes_transition(bench_recorder):
+    fleet, _ = build_ledger(0.0)
+    session = Session("bench-writer")
+    fleet.execute(
+        "INSERT INTO ledger VALUES (9001, 0, 1, 42), (9001, 1, 2, -42)",
+        session=session,
+    )
+    read = (
+        "SELECT l.tid, l.leg, l.account, l.delta FROM ledger l "
+        "WHERE l.tid = 9001 CURRENCY BOUND 600 SEC ON (l)"
+    )
+    first = fleet.execute(read, session=session)
+    fleet.run_for(3.0)
+    after = fleet.execute(read, session=session)
+
+    bench_recorder(8)["ryw_transition"] = {
+        "scenario": "strict ledger, 600 s bound: the session floor alone "
+                    "decides the branch",
+        "floors": dict(session.floors),
+        "first_read_routing": first.routing,
+        "first_read_rows": len(first.rows),
+        "post_catchup_routing": after.routing,
+        "post_catchup_rows": len(after.rows),
+    }
+    print(f"\n=== ryw transition: first read {first.routing}, "
+          f"after catch-up {after.routing} ===")
+
+    # The guard must serve the write remotely while the replica lags and
+    # locally once replication has caught the session's floor up.
+    assert (len(first.rows), first.routing) == (2, "remote")
+    assert (len(after.rows), after.routing) == (2, "local")
+
+
+def test_routing_split_vs_write_rate(bench_recorder):
+    split = {}
+    for rate in WRITE_RATES:
+        _, workload, checker = drive_once(rate)
+        assert checker.violations == []
+        assert checker.ryw_checked == checker.ryw_satisfied
+        summary = workload.summary()
+        routed = summary["read_routing"]
+        local_fraction = routed["local"] / max(1, sum(routed.values()))
+        split[rate] = {
+            "writes": summary["writes"],
+            "reads": summary["reads"],
+            "read_routing": routed,
+            "local_read_fraction": round(local_fraction, 4),
+        }
+        print(f"\n=== write rate {rate:.0%}: {summary['writes']} writes, "
+              f"{summary['reads']} reads, local {local_fraction:.1%} ===")
+
+    bench_recorder(8)["routing_split"] = {
+        "scenario": f"{DURATION:g}s sim, mean think {THINK:g}s, 3 nodes, "
+                    f"64 accounts, {PRELOAD} preloaded transfers, "
+                    "bounds [0, 2, 600] s",
+        "by_write_rate": {f"{r:g}": v for r, v in split.items()},
+    }
+
+    # Fresh commits pin their re-reads remote until the agents apply
+    # them: the local fraction falls monotonically-in-spirit — at least
+    # strictly from the read-only split to the 20%-write split.
+    assert split[0.2]["local_read_fraction"] < split[0.0]["local_read_fraction"]
+    # And even at a 20% write rate most reads still serve locally.
+    assert split[0.2]["local_read_fraction"] >= 0.4
+
+
+def test_mixed_throughput_vs_read_only(bench_recorder):
+    base_trials, mixed_trials = [], []
+    for _ in range(TRIALS):  # interleaved, so machine drift hits both
+        base_trials.append(drive_once(0.0)[0])
+        mixed_trials.append(drive_once(0.1)[0])
+    baseline = statistics.median(base_trials)
+    mixed = statistics.median(mixed_trials)
+    relative = mixed / baseline
+
+    bench_recorder(8)["mixed_throughput"] = {
+        "scenario": f"median of {TRIALS} interleaved trials, "
+                    f"{DURATION:g}s sim at mean think {THINK:g}s",
+        "read_only_ops_per_s": round(baseline, 1),
+        "mixed_10pct_ops_per_s": round(mixed, 1),
+        "mixed_over_read_only": round(relative, 4),
+    }
+    print(f"\n=== mixed 10% writes: {mixed:.0f} ops/s vs read-only "
+          f"{baseline:.0f} ops/s ({relative:.2f}x) ===")
+
+    # The write path must not tax the read path: the mixed stream
+    # sustains at least 80% of the read-only throughput.
+    assert relative >= 0.8, (
+        f"mixed throughput {mixed:.0f} ops/s is only {relative:.0%} of the "
+        f"read-only {baseline:.0f} ops/s"
+    )

@@ -47,6 +47,7 @@ from repro.fleet import CacheFleet, FleetConfig, FleetRouter, SimulatedNetwork
 from repro.obs import MetricsRegistry, NullRegistry, Span
 from repro.optimizer.cost import CostModel, guard_probability
 from repro.semantics.checker import ResultChecker
+from repro.session import Session, SessionToken
 from repro.shard import ShardedBackend
 from repro.sql.parser import parse, parse_expression
 
@@ -77,6 +78,8 @@ __all__ = [
     "ReplicationSource",
     "ReproError",
     "ResultChecker",
+    "Session",
+    "SessionToken",
     "ShardedBackend",
     "SimulatedClock",
     "SimulatedNetwork",

@@ -16,12 +16,10 @@ query's C&C constraint:
 
 import enum
 import hashlib
-import warnings
 from collections import OrderedDict
 
 from repro.catalog.catalog import Catalog
 from repro.cc.properties import BACKEND_REGION, ConsistencyProperty
-from repro.common.backend import coerce_backend
 from repro.cc.timeline import TimelineSession
 from repro.common.errors import CatalogError, CurrencyError, OptimizerError
 from repro.engine import operators as ops
@@ -114,9 +112,13 @@ class CachePlacement(PlacementProvider):
             binding=binding,
             skip_conjuncts=skip,
         )
-        if bound == ast.UNBOUNDED:
+        strict = self.mtcache.table_consistency(view.base_table) == "strict"
+        if bound == ast.UNBOUNDED and not strict:
             # No guard needed: any staleness is acceptable.  (Consistency
-            # still matters, hence the region id in the property.)
+            # still matters, hence the region id in the property.)  Strict
+            # tables keep the guard even unbounded: the selector must be
+            # able to bounce a read whose session floor outruns the local
+            # replica, however stale the query is willing to go.
             return locals_
 
         # Finite bound: wrap each local alternative in a SwitchUnion whose
@@ -429,7 +431,7 @@ class MTCache:
         #: Ring buffer of finished query traces (look up by
         #: ``result.trace_id``; rendered by ``\trace`` and TraceExporter).
         self.traces = TraceLog(64)
-        self.backend = coerce_backend(backend)
+        self.backend = backend
         self.clock = self.backend.clock
         self.scheduler = self.backend.scheduler
         self.catalog = Catalog()
@@ -446,6 +448,15 @@ class MTCache:
         #: back-end invalidates explicitly rather than going stale.
         self._plans_ddl_epoch = self.backend.ddl_epoch
         self.session = TimelineSession()
+        #: table name -> "strict" (absent: relaxed).  Strict tables always
+        #: guard reads to the caller's session floor, whatever the query's
+        #: currency bound says (Antidote-style per-table declarations).
+        self._table_consistency = {}
+        #: table name -> rows mutated through the cache since the last
+        #: statistics refresh (the DML write path feeds this; crossing the
+        #: threshold triggers a back-end statistics refresh, which bumps
+        #: the ddl epoch and invalidates plans and snapshots fleet-wide).
+        self._dml_mods = {}
         #: agent key -> DistributionAgent.  The key is the region cid on
         #: an unsharded back-end; on a sharded one a region runs one agent
         #: per partition, keyed ``"{cid}#p{shard}"``.
@@ -541,6 +552,11 @@ class MTCache:
         if epoch != self._plans_ddl_epoch:
             self.invalidate_plans(reason="backend-ddl")
             self._plans_ddl_epoch = epoch
+            # The epoch moves on statistics refreshes too (e.g. a peer
+            # node's write-driven refresh): re-mirror so this node's next
+            # optimization sees the fresh cardinalities, not the stale
+            # shadow copy it attached with.
+            self._resync_shadow_stats()
 
     # ------------------------------------------------------------------
     # Plan snapshots (repro.plan)
@@ -561,6 +577,10 @@ class MTCache:
             self.engine,
             str(getattr(self.backend, "partition_count", 1)),
         ]
+        if self._table_consistency:
+            # Strictness changes guard construction; only appended when
+            # declared so pre-existing fingerprints stay stable.
+            parts.append("strict:" + ",".join(sorted(self._table_consistency)))
         def bare(cid):
             return cid.split("@", 1)[0] if isinstance(cid, str) else str(cid)
         regions = sorted(self.catalog.regions(), key=lambda r: bare(r.cid))
@@ -654,6 +674,15 @@ class MTCache:
             )
             stats = stats.scaled(rows / max(base_stats.row_count, 1))
         view.stats = stats
+
+    def _resync_shadow_stats(self):
+        """Copy the back-end's current statistics into the shadow catalog
+        (and every view's derived stats) without recomputing them — the
+        cheap half of :meth:`refresh_shadow_stats`, used when the back-end
+        already refreshed (write-driven or by a peer node)."""
+        self.mirror_backend()
+        for view in self.catalog.matviews():
+            self._refresh_view_stats(view)
 
     # ------------------------------------------------------------------
     # Regions, agents, views
@@ -773,6 +802,39 @@ class MTCache:
         return index
 
     # ------------------------------------------------------------------
+    # Per-table consistency declarations
+    # ------------------------------------------------------------------
+    def declare_table_consistency(self, table, mode):
+        """Declare a base table ``strict`` or ``relaxed`` (the default).
+
+        Reads of a *strict* table always guard to the caller's session
+        floor — even at CURRENCY UNBOUNDED — so a session sees its own
+        writes no matter what the query's currency clause allows.  Reads
+        of a *relaxed* table obey the query's currency bound alone.
+        Changing a declaration invalidates cached plans (guards are
+        compiled in) and shifts the config fingerprint, so fleet-shared
+        snapshots cannot cross a strictness boundary.
+        """
+        mode = str(mode).lower()
+        if mode not in ("strict", "relaxed"):
+            raise ValueError(
+                f"table consistency must be 'strict' or 'relaxed', not {mode!r}"
+            )
+        table = table.lower()
+        current = self._table_consistency.get(table, "relaxed")
+        if mode != current:
+            if mode == "relaxed":
+                self._table_consistency.pop(table, None)
+            else:
+                self._table_consistency[table] = "strict"
+            self.invalidate_plans(reason="table-consistency")
+        return mode
+
+    def table_consistency(self, table):
+        """The declared consistency mode of a base table."""
+        return self._table_consistency.get(table.lower(), "relaxed")
+
+    # ------------------------------------------------------------------
     # Currency guards
     # ------------------------------------------------------------------
     def _view_snapshot(self, view, shard):
@@ -801,6 +863,32 @@ class MTCache:
                 return pinned
         return [self._local_heartbeats[k] for _, k in keys]
 
+    def _session_floor_check(self, region_cid, shard, session):
+        """Compare a session's commit floors against a region's agents.
+
+        Returns ``(checked, lagging_source)``: ``checked`` is True when
+        the session holds a positive floor for at least one contributing
+        replication source; ``lagging_source`` names the first source
+        whose agent has not yet applied the floor transaction (None when
+        every floor is satisfied — the local replica already contains the
+        session's own writes).  A pinned plan only answers for its own
+        partition, so only that source's floor is consulted.
+        """
+        pairs = self._region_agent_keys.get(region_cid) or [(None, region_cid)]
+        checked = False
+        for shard_id, key in pairs:
+            if shard is not None and shard_id is not None and shard_id != shard:
+                continue
+            source = "backend" if shard_id is None else f"p{shard_id}"
+            floor = session.floor_for(source)
+            if floor <= 0:
+                continue
+            checked = True
+            agent = self.agents.get(key)
+            if agent is None or agent.applied_txn < floor:
+                return True, source
+        return checked, None
+
     def make_currency_guard(self, view, bound, shard=None):
         """The selector of a SwitchUnion: 0 = local branch, 1 = remote.
 
@@ -809,10 +897,19 @@ class MTCache:
         plus, inside a TIMEORDERED bracket, the timeline watermark test.
         On a sharded back-end the probe takes the *minimum* heartbeat over
         the contributing partitions (all of them, or just the pinned one).
+
+        When the executing context carries a read-your-writes session and
+        the view's base table is declared *strict*, the selector first
+        compares the session's commit floors against the region's agent
+        progress: a lagging source forces the remote branch outright (a
+        session demand, not a currency violation — the fallback policy
+        does not apply), a satisfied floor proceeds to the normal
+        currency test.
         """
         heartbeats = self._guard_heartbeats(view.region, shard)
         clock = self.clock
         policy = self.fallback_policy
+        strict = self.table_consistency(view.base_table) == "strict"
         mtcache = self  # guards read the *current* registry on each probe
         # Single-slot memo of resolved metric handles per registry, so the
         # per-probe cost is two list reads (an identity check) — guards sit
@@ -820,18 +917,6 @@ class MTCache:
         memo = [None, None]
 
         def selector(ctx):
-            ts = None
-            for heartbeat in heartbeats:
-                values = heartbeat.first_values()
-                shard_ts = values[1] if values is not None else None
-                if shard_ts is None:
-                    ts = None  # a silent partition caps the whole probe
-                    break
-                ts = shard_ts if ts is None else min(ts, shard_ts)
-            now = clock.now()
-            snapshot_time = mtcache._view_snapshot(view, shard)
-            fresh = ts is not None and ts > now - bound
-            timely = ctx.timeline is None or ctx.timeline.admits(snapshot_time)
             registry = mtcache.metrics
             if memo[0] is not registry:
                 memo[0] = registry
@@ -869,11 +954,54 @@ class MTCache:
                         "currency_guard_region_total",
                         labels={"region": view.region, "outcome": "stale"},
                     ),
+                    registry.counter(
+                        "session_guard_total",
+                        labels={"view": view.name, "outcome": "local"},
+                        help="session floor checks on strict-table reads",
+                    ),
+                    registry.counter(
+                        "session_guard_total",
+                        labels={"view": view.name, "outcome": "remote"},
+                    ),
                 )
             handles = memo[1]
+            session = ctx.session
+            if strict and session is not None and session.floors:
+                checked, lagging = mtcache._session_floor_check(
+                    view.region, shard, session
+                )
+                if lagging is not None:
+                    ctx.record_session_decision(view.name, "remote", lagging)
+                    if handles is not None:
+                        handles[8].inc()
+                    registry.event(
+                        "guard",
+                        f"session floor not yet applied by {view.name}: "
+                        f"source {lagging} lags the session's own commit; "
+                        "using remote branch",
+                        time=clock.now(), view=view.name, region=view.region,
+                        outcome="session-remote",
+                    )
+                    return 1
+                if checked:
+                    ctx.record_session_decision(view.name, "local", None)
+                    if handles is not None:
+                        handles[7].inc()
+            ts = None
+            for heartbeat in heartbeats:
+                values = heartbeat.first_values()
+                shard_ts = values[1] if values is not None else None
+                if shard_ts is None:
+                    ts = None  # a silent partition caps the whole probe
+                    break
+                ts = shard_ts if ts is None else min(ts, shard_ts)
+            now = clock.now()
+            snapshot_time = mtcache._view_snapshot(view, shard)
+            fresh = ts is not None and ts > now - bound
+            timely = ctx.timeline is None or ctx.timeline.admits(snapshot_time)
             if handles is not None:
                 (pass_counter, fail_counter, staleness_gauge,
-                 slack_hist, region_local, region_remote, region_stale) = handles
+                 slack_hist, region_local, region_remote, region_stale) = handles[:7]
                 (pass_counter if fresh and timely else fail_counter).inc()
                 if ts is not None:
                     staleness_gauge.set(now - ts)
@@ -1058,7 +1186,7 @@ class MTCache:
             detail=sql[:60],
         )
 
-    def execute(self, sql_or_stmt, *, trace=None):
+    def execute(self, sql_or_stmt, *, trace=None, session=None):
         """Execute any statement submitted to the cache.
 
         The single public query entry point.  SELECTs return a
@@ -1071,6 +1199,11 @@ class MTCache:
         fleet router passes the one it opened so the node's spans join
         the router's tree; standalone callers leave it None and the cache
         creates (and records, in ``self.traces``) its own.
+
+        ``session`` is an optional read-your-writes
+        :class:`~repro.session.Session`: DML advances its commit floors
+        with the transaction ids the back-end reports, and reads of
+        strict tables consult the floors through the currency guard.
         """
         if isinstance(sql_or_stmt, str):
             # Hot path: a SQL text with a cached plan skips the parser and
@@ -1082,7 +1215,9 @@ class MTCache:
                 self._plan_cache.move_to_end(sql_or_stmt)  # LRU: touch on hit
                 if not self._counters_null:
                     self._c_plan_hits.inc()
-                return self._execute_plan(plan, sql_text=sql_or_stmt, trace=trace)
+                return self._execute_plan(
+                    plan, sql_text=sql_or_stmt, trace=trace, session=session
+                )
             registry = self.metrics
             owned = trace is None
             if owned:
@@ -1092,14 +1227,16 @@ class MTCache:
             try:
                 # Parse inside the trace window so the parse span joins it.
                 stmt = parse(sql_or_stmt, registry=registry)
-                return self._dispatch(stmt, sql_text=sql_or_stmt, trace=trace)
+                return self._dispatch(
+                    stmt, sql_text=sql_or_stmt, trace=trace, session=session
+                )
             finally:
                 registry.active_trace = prev
                 if owned:
                     self.traces.record(trace)
-        return self._dispatch(sql_or_stmt, sql_text=None, trace=trace)
+        return self._dispatch(sql_or_stmt, sql_text=None, trace=trace, session=session)
 
-    def _dispatch(self, stmt, sql_text=None, trace=None):
+    def _dispatch(self, stmt, sql_text=None, trace=None, session=None):
         if isinstance(stmt, ast.BeginTimeordered):
             self.session.begin()
             return None
@@ -1107,14 +1244,13 @@ class MTCache:
             self.session.end()
             return None
         if isinstance(stmt, ast.Explain):
-            return self.explain(stmt.select, analyze=stmt.analyze)
+            return self.explain(stmt.select, analyze=stmt.analyze, session=session)
         if isinstance(stmt, ast.Select):
-            return self._execute_select(stmt, sql_text=sql_text, trace=trace)
+            return self._execute_select(
+                stmt, sql_text=sql_text, trace=trace, session=session
+            )
         if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
-            # All DML is forwarded transparently to the back-end (§3 step 5).
-            self.metrics.counter("dml_forwarded_total",
-                                 help="DML statements forwarded to the back-end").inc()
-            return self.backend.execute(stmt)
+            return self._execute_dml(stmt, session=session)
         if isinstance(stmt, ast.CreateRegion):
             kwargs = {}
             if stmt.heartbeat is not None:
@@ -1148,24 +1284,56 @@ class MTCache:
             stmt.name, base, columns, predicate=select.where, region=stmt.region
         )
 
-    def execute_select(self, select, sql_text=None):
-        """Deprecated alias for :meth:`execute` (kept for one release).
+    # ------------------------------------------------------------------
+    # Write path (paper §3 step 5, session-aware)
+    # ------------------------------------------------------------------
+    def backend_dml(self, stmt):
+        """Ship one DML statement to the back-end; returns
+        ``(rowcount, commits)`` per :meth:`Backend.execute_dml`.  Fleet
+        nodes override this with their retry/breaker network path."""
+        return self.backend.execute_dml(stmt)
 
-        ``execute`` accepts SQL text or a parsed statement and is the
-        single supported entry point; this shim only remains so existing
-        callers keep working while they migrate.
-        """
-        warnings.warn(
-            "MTCache.execute_select() is deprecated; use MTCache.execute()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if isinstance(select, str):
-            sql_text = sql_text if sql_text is not None else select
-            select = parse(select)
-        return self._execute_select(select, sql_text=sql_text)
+    def _execute_dml(self, stmt, session=None):
+        """Route INSERT/UPDATE/DELETE to the back-end (shard-aware: the
+        sharded back-end buckets rows / pins predicates itself), stamp the
+        session's commit floor, and account the mutation toward the
+        table's statistics-refresh threshold."""
+        self.metrics.counter("dml_forwarded_total",
+                             help="DML statements forwarded to the back-end").inc()
+        rowcount, commits = self.backend_dml(stmt)
+        if session is not None and commits:
+            session.observe_commit(commits)
+        self._note_table_mutation(stmt.table, rowcount)
+        return rowcount
 
-    def _execute_select(self, select, sql_text=None, trace=None):
+    def _note_table_mutation(self, table, rowcount):
+        """DML must invalidate what it stales: once cache-routed writes
+        have churned a meaningful fraction of a table, refresh its
+        back-end statistics — which bumps the ddl epoch, so cached plans
+        *and* fleet-shared snapshots with now-stale cardinalities are
+        dropped everywhere, exactly as DDL would drop them."""
+        mods = self._dml_mods.get(table, 0) + max(int(rowcount), 1)
+        baseline = 0
+        if self.catalog.has_table(table):
+            baseline = self.catalog.table(table).stats.row_count
+        # The floor is deliberately high: a refresh bumps the *global*
+        # ddl epoch (every node drops every cached plan and snapshot),
+        # so small-table churn must not wipe the fleet's plan caches on
+        # every few dozen rows.
+        if mods < max(200, 0.2 * baseline):
+            self._dml_mods[table] = mods
+            return
+        self._dml_mods[table] = 0
+        self.backend.refresh_statistics(table)
+        self.metrics.counter(
+            "auto_stats_refresh_total", labels={"table": table},
+            help="write-driven statistics refreshes",
+        ).inc()
+        # The epoch just moved; resync our own shadow now (peers resync
+        # on their next _check_plan_epoch).
+        self._check_plan_epoch()
+
+    def _execute_select(self, select, sql_text=None, trace=None, session=None):
         registry = self.metrics
         owned = trace is None
         if owned:
@@ -1176,13 +1344,15 @@ class MTCache:
             # Optimizing by SQL text engages the compiled-plan cache; the
             # optimize span enrolls in the active trace.
             plan = self.optimize(sql_text if sql_text is not None else select)
-            return self._execute_plan(plan, sql_text=sql_text, select=select, trace=trace)
+            return self._execute_plan(
+                plan, sql_text=sql_text, select=select, trace=trace, session=session
+            )
         finally:
             registry.active_trace = prev
             if owned:
                 self.traces.record(trace)
 
-    def _execute_plan(self, plan, sql_text=None, select=None, trace=None):
+    def _execute_plan(self, plan, sql_text=None, select=None, trace=None, session=None):
         registry = self.metrics
         owned = trace is None
         if owned:
@@ -1190,14 +1360,14 @@ class MTCache:
         # NULL_TRACE is falsy: skip the span/active-trace ceremony entirely
         # on zero-instrumentation runs (this is the per-query hot path).
         if not trace:
-            result = self._run_plan(plan, trace)
+            result = self._run_plan(plan, trace, session=session)
         else:
             prev = registry.active_trace
             registry.active_trace = trace
             qspan = trace.span("mtcache.execute", node=getattr(self, "name", "cache"))
             qspan.__enter__()
             try:
-                result = self._run_plan(plan, trace)
+                result = self._run_plan(plan, trace, session=session)
             finally:
                 qspan.__exit__(None, None, None)
                 registry.active_trace = prev
@@ -1226,8 +1396,10 @@ class MTCache:
         )
         return result
 
-    def _run_plan(self, plan, trace):
-        ctx = ExecutionContext(clock=self.clock, timeline=self.session, trace=trace)
+    def _run_plan(self, plan, trace, session=None):
+        ctx = ExecutionContext(
+            clock=self.clock, timeline=self.session, trace=trace, session=session
+        )
         root = plan.root()
         if isinstance(root, ops.RemoteQuery) and not plan.column_names:
             # Complex shipped query with unknown output shape (e.g. ``*`` of
@@ -1244,7 +1416,7 @@ class MTCache:
         result.plan = plan
         return result
 
-    def explain(self, select, analyze=False):
+    def explain(self, select, analyze=False, session=None):
         """EXPLAIN on the cache: the plan the optimizer would run, with the
         normalized C&C constraint it enforces.
 
@@ -1256,6 +1428,11 @@ class MTCache:
         histogram family).  The fresh tree keeps instrumentation
         wrappers off cached/reused plans; the returned result carries the
         structured per-node records in ``result.analysis``.
+
+        Pass a read-your-writes ``session`` to see the session decision:
+        each strict-table guard that consulted the session's commit floor
+        contributes a ``session guard`` line saying whether the floor was
+        already applied locally or forced the remote branch.
         """
         if isinstance(select, str):
             stmt = parse(select)
@@ -1277,7 +1454,7 @@ class MTCache:
             return QueryResult(["plan"], [(line,) for line in lines], PhaseTimings(), ctx)
         root = plan.root()
         instrument(root)
-        result = self._run_plan(plan, self.metrics.new_trace())
+        result = self._run_plan(plan, self.metrics.new_trace(), session=session)
         records = analysis_rows(root)
         for record in records:
             if record["q_error"] is not None:
@@ -1285,10 +1462,16 @@ class MTCache:
                     "cost_model_q_error", labels={"op": record["op"]},
                     help="max(est/actual, actual/est) cardinality Q-error",
                 ).observe(record["q_error"])
+        session_lines = [
+            f"session guard: {view} -> {outcome}"
+            + (f" (source {source} lags the session floor)" if source else
+               " (floor already applied)")
+            for view, outcome, source in result.context.session_decisions
+        ]
         lines = header + [
             f"actual: {len(result.rows)} rows, routing={result.routing}, "
             f"total {result.timings.total * 1e3:.3f}ms",
-        ] + render_analysis(records)
+        ] + session_lines + render_analysis(records)
         out = QueryResult(
             ["plan"], [(line,) for line in lines], result.timings, result.context,
             plan=plan, trace_id=result.trace_id,

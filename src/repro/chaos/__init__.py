@@ -29,7 +29,11 @@ Quickstart::
 or from a shell: ``python -m repro.chaos --seed 11 --duration 60``.
 """
 
-from repro.chaos.env import build_demo_fleet, default_point_lookup_factory
+from repro.chaos.env import (
+    build_demo_fleet,
+    build_ledger_fleet,
+    default_point_lookup_factory,
+)
 from repro.chaos.invariants import InvariantChecker
 from repro.chaos.scheduler import HISTORY_KINDS, ChaosReport, ChaosScheduler
 from repro.common.errors import InvariantViolation
@@ -41,5 +45,6 @@ __all__ = [
     "InvariantChecker",
     "InvariantViolation",
     "build_demo_fleet",
+    "build_ledger_fleet",
     "default_point_lookup_factory",
 ]

@@ -1,17 +1,21 @@
 """Run one seeded chaos schedule from the shell.
 
     python -m repro.chaos --seed 11 --duration 60
+    python -m repro.chaos --workload ledger --seed 23 --duration 45
 
 Prints the run's fault/recovery history (simulated timestamps only) and
 a deterministic JSON summary — the same seed must print the same bytes,
-which is what the CI chaos-smoke job verifies by diffing two runs.
+which is what the CI chaos-smoke job verifies by diffing two runs.  The
+``ledger`` workload replaces the read-only point lookups with the mixed
+read/write double-entry stream, adding the read-your-writes and
+balance-conservation audits to the invariant set.
 """
 
 import argparse
 import json
 import sys
 
-from repro.chaos.env import build_demo_fleet
+from repro.chaos.env import build_demo_fleet, build_ledger_fleet
 from repro.chaos.scheduler import ChaosScheduler
 
 
@@ -26,15 +30,26 @@ def main(argv=None):
     parser.add_argument("--nodes", type=int, default=3)
     parser.add_argument("--partitions", type=int, default=1,
                         help="back-end shard count (1 = single server)")
+    parser.add_argument("--workload", choices=("lookup", "ledger"),
+                        default="lookup",
+                        help="read-only point lookups (default) or the "
+                             "mixed read/write double-entry ledger")
     args = parser.parse_args(argv)
 
-    fleet = build_demo_fleet(n_nodes=args.nodes, partitions=args.partitions)
+    workload = None
+    if args.workload == "ledger":
+        fleet, workload = build_ledger_fleet(
+            n_nodes=args.nodes, partitions=args.partitions,
+        )
+    else:
+        fleet = build_demo_fleet(n_nodes=args.nodes, partitions=args.partitions)
     chaos = ChaosScheduler(fleet, seed=args.seed)
     chaos.random_schedule(args.duration)
-    report = chaos.run(args.duration)
+    report = chaos.run(args.duration, workload=workload)
 
     print(f"# chaos seed={args.seed} duration={args.duration:g}s "
-          f"nodes={args.nodes} partitions={args.partitions}")
+          f"nodes={args.nodes} partitions={args.partitions} "
+          f"workload={args.workload}")
     for line in report.history_lines():
         print(line)
     print(json.dumps(report.summary(), indent=2, sort_keys=True))

@@ -12,8 +12,13 @@ run it over a hash-partitioned back-end by passing ``partitions > 1``
 
 from repro.fleet import FleetConfig
 from repro.workloads.driver import point_lookup_factory
+from repro.workloads.ledger import LedgerWorkload
 
-__all__ = ["build_demo_fleet", "default_point_lookup_factory"]
+__all__ = [
+    "build_demo_fleet",
+    "build_ledger_fleet",
+    "default_point_lookup_factory",
+]
 
 
 def build_demo_fleet(n_nodes=3, n_rows=400, *, partitions=1, config=None,
@@ -56,6 +61,40 @@ def build_demo_fleet(n_nodes=3, n_rows=400, *, partitions=1, config=None,
     fleet.create_matview("profile_copy", "profile", ["id", "score"], region="r")
     fleet.run_for(3.0)
     return fleet
+
+
+def build_ledger_fleet(n_nodes=3, *, partitions=1, config=None,
+                       policy="round_robin", failover_threshold=2.5,
+                       warmup_seconds=1.0, reset_timeout=0.5,
+                       n_accounts=64, write_rate=0.1, workload_seed=7,
+                       **node_kwargs):
+    """A fleet plus an installed double-entry ledger workload.
+
+    Same fast fault-tolerance knobs as :func:`build_demo_fleet`, but the
+    schema is the ledger's (strict ``ledger`` + relaxed ``accounts``)
+    and the returned :class:`~repro.workloads.ledger.LedgerWorkload`
+    carries the writing session.  Returns ``(fleet, workload)``; pass
+    the workload to :meth:`ChaosScheduler.run(workload=...)
+    <repro.chaos.scheduler.ChaosScheduler.run>`.
+    """
+    if config is None:
+        config = FleetConfig(
+            nodes=n_nodes, partitions=partitions, policy=policy,
+            reset_timeout=reset_timeout,
+        )
+    defaults = {
+        "warmup_seconds": warmup_seconds,
+        "failover_threshold": failover_threshold,
+        **node_kwargs,
+    }
+    config.node_kwargs = {**defaults, **config.node_kwargs}
+    fleet = config.build()
+    workload = LedgerWorkload(
+        fleet, n_accounts=n_accounts, seed=workload_seed,
+        write_rate=write_rate,
+    ).install()
+    fleet.run_for(3.0)
+    return fleet, workload
 
 
 def default_point_lookup_factory(fleet):

@@ -16,7 +16,13 @@ once the dust settles:
   of §2.4 collapses to "one snapshot per result");
 * **convergence** — after recovery (faults cleared, crashed nodes
   restarted, agents caught up) every live node's views must match the
-  back-end's current base-table state exactly.
+  back-end's current base-table state exactly;
+* **read_your_writes** — a session re-reading a transfer it committed
+  must see every leg of it, unless the result is explicitly degraded
+  (:meth:`InvariantChecker.check_ryw`, driven by the ledger workload);
+* **balance_conservation** — double-entry deltas must sum to zero on
+  the back-end, with exactly two legs per committed transfer
+  (:meth:`InvariantChecker.check_ledger_conservation`).
 
 Violations become structured
 :class:`~repro.common.errors.InvariantViolation` records: collected on
@@ -47,6 +53,12 @@ class InvariantChecker:
         self.violations = []
         self.results_checked = 0
         self.views_checked = 0
+        #: Read-your-writes audit counters (fed by :meth:`check_ryw`):
+        #: 100% satisfaction = checked == satisfied + excused and no
+        #: ``read_your_writes`` violations recorded.
+        self.ryw_checked = 0
+        self.ryw_satisfied = 0
+        self.ryw_excused = 0
 
     # ------------------------------------------------------------------
     # Per-result audit (driven from the workload hooks)
@@ -95,9 +107,75 @@ class InvariantChecker:
             ))
         return found
 
+    def check_ryw(self, result, expected_rows, tid=None, now=None):
+        """Read-your-writes audit: a session re-reading a transfer it
+        committed must see every leg of it.
+
+        The session's commit floor makes this a *guarantee*, not a
+        probability: either the strict-table guard verified the local
+        replica had applied the session's own transaction, or it fell
+        back to the back-end (which trivially has it).  The one excuse is
+        an explicitly degraded result (``result.warnings``) — a node that
+        cannot reach the back-end during an outage serves stale *and says
+        so*, the same trade the currency audit honors.
+        """
+        self.ryw_checked += 1
+        rows = getattr(result, "rows", None) or []
+        if len(rows) >= expected_rows:
+            self.ryw_satisfied += 1
+            return []
+        if result.warnings:
+            self.ryw_excused += 1
+            return []
+        node = getattr(result, "node", "-")
+        now = self.fleet.clock.now() if now is None else now
+        return [self._record(
+            "read_your_writes",
+            f"session re-read of transfer {tid} from {node} returned "
+            f"{len(rows)} of {expected_rows} legs with no degraded warning",
+            node=node, tid=tid, rows=len(rows),
+            expected_rows=expected_rows, time=now,
+        )]
+
     # ------------------------------------------------------------------
     # Post-recovery audit
     # ------------------------------------------------------------------
+    def check_ledger_conservation(self, table="ledger", delta_column="delta",
+                                  expected_rows=None):
+        """Balance conservation: the double-entry deltas on the back-end
+        must sum to exactly zero, and (when the workload reports how many
+        transfers it committed) the table must hold exactly two legs per
+        transfer — a transfer is one atomic transaction, so no fault may
+        ever persist half of one.  Sums over every replication source, so
+        a sharded back-end is audited across all partitions.
+        """
+        found = []
+        total = 0
+        count = 0
+        for source in self.fleet.backend.replication_sources():
+            entry = source.catalog.table(table)
+            column = entry.schema.names().index(delta_column)
+            for _, values in entry.table.scan():
+                total += values[column]
+                count += 1
+        now = self.fleet.clock.now()
+        if total != 0:
+            found.append(self._record(
+                "balance_conservation",
+                f"{table} deltas sum to {total}, not 0 — money was created "
+                "or destroyed",
+                table=table, total=total, rows=count, time=now,
+            ))
+        if expected_rows is not None and count != expected_rows:
+            found.append(self._record(
+                "balance_conservation",
+                f"{table} holds {count} legs for {expected_rows} expected — "
+                "a transfer was torn or double-applied",
+                table=table, rows=count, expected_rows=expected_rows,
+                time=now,
+            ))
+        return found
+
     def check_convergence(self):
         """After recovery, every live node's views must equal the back-end.
 

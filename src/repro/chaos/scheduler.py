@@ -40,7 +40,8 @@ class ChaosReport:
     """Everything one chaos run produced, with sim-time accounting."""
 
     def __init__(self, *, seed, duration, start, end, fleet, driver_report,
-                 outcomes, checker, faults, fault_windows):
+                 outcomes, checker, faults, fault_windows,
+                 workload_summary=None):
         self.seed = seed
         self.duration = duration
         self.start = start
@@ -56,6 +57,9 @@ class ChaosReport:
         #: ``(start, end)`` sim intervals during which a fault was live
         #: (``end=None``: until the run ended).
         self.fault_windows = fault_windows
+        #: The workload's own deterministic summary (ledger transfers,
+        #: routing split, ...) when the run drove one; None otherwise.
+        self.workload_summary = workload_summary
 
     # ------------------------------------------------------------------
     def history_lines(self):
@@ -111,7 +115,7 @@ class ChaosReport:
         counts = {}
         for _, status in self.outcomes:
             counts[status] = counts.get(status, 0) + 1
-        return {
+        out = {
             "seed": self.seed,
             "duration_s": self.duration,
             "queries": self.report.queries + self.report.errors,
@@ -129,6 +133,16 @@ class ChaosReport:
             "served_ok_fraction_in_fault_windows":
                 round(self.served_fraction(), 6),
         }
+        ryw_checked = getattr(self.checker, "ryw_checked", 0)
+        if ryw_checked:
+            out["read_your_writes"] = {
+                "checked": ryw_checked,
+                "satisfied": self.checker.ryw_satisfied,
+                "excused_degraded": self.checker.ryw_excused,
+            }
+        if self.workload_summary is not None:
+            out["workload"] = self.workload_summary
+        return out
 
     def __repr__(self):
         return (
@@ -268,7 +282,7 @@ class ChaosScheduler:
     # Execution
     # ------------------------------------------------------------------
     def run(self, duration, factory=None, *, bounds=(0.0, 2.0, 600.0),
-            think_time=0.2, checker=None, settle=None):
+            think_time=0.2, checker=None, settle=None, workload=None):
         """Drive the workload through the schedule, then recover + audit.
 
         ``duration`` simulated seconds of mixed-bound workload (mean
@@ -278,12 +292,17 @@ class ChaosScheduler:
         cleared, still-crashed nodes restarted, every agent is caught up
         to "now", and convergence is checked.  Returns a
         :class:`ChaosReport`.
+
+        Pass ``workload`` (e.g. an installed
+        :class:`~repro.workloads.ledger.LedgerWorkload`) to drive a
+        stateful mixed read/write stream instead of the stateless
+        ``factory``: the workload gets the same per-result hooks and the
+        checker (for read-your-writes audits), and its own
+        post-recovery ``audit`` (balance conservation) runs before the
+        convergence check; its ``summary()`` lands in the report.
         """
         fleet = self.fleet
         clock = fleet.clock
-        if factory is None:
-            from repro.chaos.env import default_point_lookup_factory
-            factory = default_point_lookup_factory(fleet)
         checker = checker if checker is not None else InvariantChecker(fleet)
         start = clock.now()
         end = start + duration
@@ -297,22 +316,38 @@ class ChaosScheduler:
         def on_error(bound, exc):
             outcomes.append((clock.now(), "error"))
 
-        driver = WorkloadDriver(fleet, seed=self.seed + 1000)
-        n_queries = max(1, int(duration / think_time)) if think_time else 1
-        report = driver.run(
-            factory, list(bounds), n_queries, think_time=think_time,
-            raise_errors=False, on_result=on_result, on_error=on_error,
-        )
+        if workload is not None:
+            report = workload.drive(
+                duration, think_time=think_time, raise_errors=False,
+                on_result=on_result, on_error=on_error, checker=checker,
+            )
+        else:
+            if factory is None:
+                from repro.chaos.env import default_point_lookup_factory
+                factory = default_point_lookup_factory(fleet)
+            driver = WorkloadDriver(fleet, seed=self.seed + 1000)
+            n_queries = max(1, int(duration / think_time)) if think_time else 1
+            report = driver.run(
+                factory, list(bounds), n_queries, think_time=think_time,
+                raise_errors=False, on_result=on_result, on_error=on_error,
+            )
         if clock.now() < end:
             fleet.run_for(end - clock.now())
 
         self._recover(settle=settle)
+        if workload is not None and hasattr(workload, "audit"):
+            workload.audit(checker)
         checker.check_convergence()
         return ChaosReport(
             seed=self.seed, duration=duration, start=start, end=clock.now(),
             fleet=fleet, driver_report=report, outcomes=outcomes,
             checker=checker, faults=list(self.faults),
             fault_windows=list(self.fault_windows),
+            workload_summary=(
+                workload.summary()
+                if workload is not None and hasattr(workload, "summary")
+                else None
+            ),
         )
 
     def _recover(self, settle=None):

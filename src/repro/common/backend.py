@@ -22,13 +22,11 @@ Shared attributes (``clock``, ``scheduler``, ``catalog``, ``cost_model``)
 stay plain attributes; implementations set them in ``__init__``.
 """
 
-import warnings
 import zlib
 
 __all__ = [
     "Backend",
     "ReplicationSource",
-    "coerce_backend",
     "stable_shard_hash",
 ]
 
@@ -111,6 +109,30 @@ class Backend:
     def run_for(self, seconds):
         raise NotImplementedError
 
+    def execute_dml(self, stmt):
+        """Execute one DML statement and report its commit floor.
+
+        Returns ``(rowcount, commits)`` where ``commits`` is a list of
+        ``(source_name, txn_id)`` pairs — one per replication source the
+        statement actually committed on, carrying the transaction id a
+        read-your-writes session must see applied before a local replica
+        of that source may serve its reads.
+
+        The default implementation diffs each source's replication-log
+        tail around :meth:`execute`, so it is shard-precise for free: on
+        a sharded back-end only the partitions the DML touched grow new
+        log records, and untouched partitions contribute no floor.
+        """
+        sources = self.replication_sources()
+        before = [len(source.log.records) for source in sources]
+        rowcount = self.execute(stmt)
+        commits = []
+        for source, n in zip(sources, before):
+            records = source.log.records
+            if len(records) > n:
+                commits.append((source.name, records[-1].txn_id))
+        return rowcount, commits
+
     # ------------------------------------------------------------------
     # Topology (single-node defaults)
     # ------------------------------------------------------------------
@@ -165,67 +187,3 @@ class Backend:
             "partitions": self.partition_count,
             "tables": sorted(t.name for t in self.catalog.tables()),
         }
-
-
-class _LegacyBackendShim:
-    """One-release adapter for duck-typed backend objects.
-
-    Anything that predates the :class:`Backend` protocol (a hand-rolled
-    stub exposing ``catalog`` / ``txn_manager`` / ``execute_remote``) is
-    wrapped so the topology methods the cache tier now calls exist; every
-    other attribute passes straight through to the wrapped object.
-    """
-
-    def __init__(self, inner):
-        self._inner = inner
-
-    def __getattr__(self, name):
-        return getattr(self._inner, name)
-
-    @property
-    def ddl_epoch(self):
-        return getattr(self._inner, "ddl_epoch", 0)
-
-    @property
-    def partition_count(self):
-        return 1
-
-    def replication_sources(self):
-        return [
-            ReplicationSource(
-                None, "backend", self._inner.catalog, self._inner.txn_manager.log
-            )
-        ]
-
-    def partition_column(self, table_name):
-        return None
-
-    def shard_of(self, table_name, key):
-        return None
-
-    def describe_topology(self):
-        return {"kind": type(self._inner).__name__, "partitions": 1}
-
-    def __repr__(self):
-        return f"<LegacyBackendShim {self._inner!r}>"
-
-
-def coerce_backend(backend):
-    """Accept a :class:`Backend`; shim (and deprecate) anything else.
-
-    ``MTCache`` and ``CacheFleet`` historically typed their first
-    parameter as the concrete ``BackendServer``.  The parameter is now
-    the protocol; concrete servers and sharded backends pass through
-    untouched, while foreign duck-typed objects keep working for one
-    release behind a :class:`DeprecationWarning`.
-    """
-    if isinstance(backend, Backend):
-        return backend
-    warnings.warn(
-        f"passing a {type(backend).__name__} (not a repro.common.backend.Backend) "
-        "as the backend is deprecated; implement the Backend protocol "
-        "(BackendServer and ShardedBackend already do)",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    return _LegacyBackendShim(backend)

@@ -46,15 +46,18 @@ class ExecutionContext:
     callers (and tests) can see exactly how a dynamic plan behaved.
     """
 
-    __slots__ = ("clock", "timeline", "trace", "engine", "branches",
+    __slots__ = ("clock", "timeline", "trace", "session", "engine", "branches",
                  "remote_queries", "snapshots_used", "warnings",
-                 "fused_pipelines")
+                 "fused_pipelines", "session_decisions")
 
-    def __init__(self, clock=None, timeline=None, trace=None):
+    def __init__(self, clock=None, timeline=None, trace=None, session=None):
         self.clock = clock
         self.timeline = timeline
         #: The query's TraceContext (None / NULL_TRACE when untraced).
         self.trace = trace
+        #: The caller's read-your-writes Session (None: no session
+        #: guarantees requested); strict-table guards consult its floors.
+        self.session = session
         #: Execution engine driving this run ("row"/"batch"/"columnar");
         #: operators consult it at open() (join build-side strategy).
         self.engine = "batch"
@@ -67,9 +70,15 @@ class ExecutionContext:
         self.warnings = []
         #: Labels of fused scan pipelines that ran (batch engine only).
         self.fused_pipelines = []
+        #: Session-floor guard decisions: (view, "local"/"remote",
+        #: lagging source or None) — EXPLAIN ANALYZE renders these.
+        self.session_decisions = []
 
     def record_branch(self, label, index):
         self.branches.append((label, index))
+
+    def record_session_decision(self, view, outcome, source=None):
+        self.session_decisions.append((view, outcome, source))
 
     def record_fused(self, label):
         self.fused_pipelines.append(label)

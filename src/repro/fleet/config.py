@@ -29,7 +29,7 @@ Build with :meth:`FleetConfig.build` (or pass the config straight to
 
 from dataclasses import dataclass, field
 
-from repro.common.backend import Backend, coerce_backend
+from repro.common.backend import Backend
 
 __all__ = ["FleetConfig"]
 
@@ -71,16 +71,20 @@ class FleetConfig:
         """The back-end this config describes: the one handed in, or a
         freshly built single/sharded server."""
         if self.backend is not None:
-            backend = coerce_backend(self.backend)
-            if isinstance(self.backend, Backend):
-                count = self.backend.partition_count
-                if self.partitions not in (1, count):
-                    raise ValueError(
-                        f"config says partitions={self.partitions} but the "
-                        f"supplied backend has {count}"
-                    )
-                self.partitions = count
-            return backend
+            if not isinstance(self.backend, Backend):
+                raise TypeError(
+                    f"backend must implement repro.common.backend.Backend, "
+                    f"got {type(self.backend).__name__} (the pre-protocol "
+                    "duck-typing shim has been removed)"
+                )
+            count = self.backend.partition_count
+            if self.partitions not in (1, count):
+                raise ValueError(
+                    f"config says partitions={self.partitions} but the "
+                    f"supplied backend has {count}"
+                )
+            self.partitions = count
+            return self.backend
         if self.partitions > 1:
             from repro.shard.backend import ShardedBackend
 

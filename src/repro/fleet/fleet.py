@@ -75,17 +75,20 @@ class FleetRouter:
             raise FleetStateError(f"no fleet node accepting queries: {states}")
         return self.policy.choose(candidates, bound=bound)
 
-    def execute(self, sql, bound=None):
+    def execute(self, sql, bound=None, session=None):
         """Route and execute one statement; annotates the result with the
         serving node's name (``result.node``).
 
         Multi-shard IN-list selects are scatter-gathered (see the class
-        docstring); everything else takes the single-leg path.
+        docstring); everything else takes the single-leg path.  A
+        read-your-writes ``session`` rides along to whichever node the
+        policy picks — tokens are keyed by replication source, so the
+        floor means the same thing on every node.
         """
         legs = self.scatter_split(sql)
         if legs is None:
-            return self._execute_one(sql, bound=bound)
-        return self._execute_scatter(legs, bound=bound)
+            return self._execute_one(sql, bound=bound, session=session)
+        return self._execute_scatter(legs, bound=bound, session=session)
 
     # ------------------------------------------------------------------
     # Scatter-gather over a sharded back-end
@@ -171,7 +174,7 @@ class FleetRouter:
             legs.append((shard, leg.to_sql()))
         return legs
 
-    def _execute_scatter(self, legs, bound=None):
+    def _execute_scatter(self, legs, bound=None, session=None):
         """Run the legs through the normal routed path and merge."""
         fleet = self.fleet
         fleet.metrics.counter(
@@ -184,7 +187,7 @@ class FleetRouter:
         ).inc(len(legs))
         results = []
         for shard, leg_sql in legs:
-            result = self._execute_one(leg_sql, bound=bound)
+            result = self._execute_one(leg_sql, bound=bound, session=session)
             result.shard = shard
             results.append(result)
         ctx = ExecutionContext(clock=fleet.clock)
@@ -210,7 +213,7 @@ class FleetRouter:
         merged.node = "+".join(r.node for r in results)
         return merged
 
-    def _execute_one(self, sql, bound=None):
+    def _execute_one(self, sql, bound=None, session=None):
         """The single-leg path: route, execute, charge the capacity
         ledger and record the query's trace tree.
 
@@ -238,7 +241,9 @@ class FleetRouter:
             node.queries_routed += 1
             start = max(fleet.clock.now(), node.busy_until)
             try:
-                result = node.execute(sql, trace=trace if trace else None)
+                result = node.execute(
+                    sql, trace=trace if trace else None, session=session
+                )
             finally:
                 node.inflight -= 1
         finally:
@@ -395,6 +400,18 @@ class CacheFleet:
             )
         return views
 
+    def declare_table_consistency(self, table, mode):
+        """Declare a base table ``strict``/``relaxed`` on every node.
+
+        Strictness shapes guard construction and the snapshot
+        fingerprint, so the declaration must be fleet-uniform — a session
+        token is only honored if whichever node serves the read knows the
+        table is strict.
+        """
+        for node in self.nodes:
+            node.declare_table_consistency(table, mode)
+        return mode
+
     def alter_region(self, cid, update_interval=None, update_delay=None):
         """Reconfigure region ``cid``'s currency parameters on every node.
 
@@ -448,9 +465,9 @@ class CacheFleet:
     # ------------------------------------------------------------------
     # Query entry point
     # ------------------------------------------------------------------
-    def execute(self, sql, bound=None):
+    def execute(self, sql, bound=None, session=None):
         """Route one statement through the front door."""
-        return self.router.execute(sql, bound=bound)
+        return self.router.execute(sql, bound=bound, session=session)
 
     def run_for(self, seconds):
         """Advance simulated time (shared scheduler: heartbeats, agents

@@ -280,13 +280,16 @@ class FleetNode(MTCache):
         return (self.network.backend_available(node=self.name, shards=shards)
                 and self.breaker.available())
 
-    def remote_executor(self, sql, shards=None):
+    def _backend_call(self, fn, *args, shards=None):
         """Back-end call with retry/backoff over the simulated network.
 
         Failed attempts feed the circuit breaker; an open breaker is
         waited out on the simulated clock (modelling client retry-after)
         rather than busy-looped.  Gives up — re-raising the last network
         error — once ``max_remote_wait`` simulated seconds have passed.
+        Retrying is safe for DML too: the simulated network raises its
+        faults *before* invoking ``fn``, so a failed attempt never
+        reached the back-end.
         """
         clock = self.clock
         deadline = clock.now() + self.max_remote_wait
@@ -302,8 +305,8 @@ class FleetNode(MTCache):
                     )
                 continue
             try:
-                rows = self.network.call(
-                    self.backend.execute_remote, sql, shards, node=self.name,
+                out = self.network.call(
+                    fn, *args, node=self.name,
                     shards=shards, trace=self.metrics.active_trace,
                 )
             except NetworkError as exc:
@@ -324,7 +327,18 @@ class FleetNode(MTCache):
                     )
                 continue
             self.breaker.record_success()
-            return rows
+            return out
+
+    def remote_executor(self, sql, shards=None):
+        """Rows-only back-end endpoint for RemoteQuery operators."""
+        return self._backend_call(
+            self.backend.execute_remote, sql, shards, shards=shards
+        )
+
+    def backend_dml(self, stmt):
+        """Ship DML to the back-end through the node's network path, so
+        writes see the same faults, retries and breaker as reads."""
+        return self._backend_call(self.backend.execute_dml, stmt)
 
     # ------------------------------------------------------------------
     # Availability-aware currency guards

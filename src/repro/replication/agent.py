@@ -167,8 +167,14 @@ class DistributionAgent:
         if cutoff < self.snapshot_time:
             return 0
         applied = 0
+        # Skip against the cutoff held at entry, not the live counter: a
+        # multi-statement transaction emits several records under one txn
+        # id, and advancing ``applied_txn`` on the first would skip its
+        # siblings.  All records of a txn share one commit_time, so a txn
+        # never straddles the cutoff break below.
+        resume_floor = self.applied_txn
         for record in self.log.records:
-            if record.txn_id <= self.applied_txn:
+            if record.txn_id <= resume_floor:
                 continue
             if record.commit_time > cutoff:
                 break

@@ -1,0 +1,24 @@
+"""Session guarantees over the cache tier: read-your-writes tokens.
+
+The paper's C&C model relaxes *currency* — a query may read data up to B
+seconds stale — but says nothing about a client that just wrote.  This
+package adds the missing session layer: a :class:`Session` travels with a
+client's statements, observes the transaction id of every commit its DML
+produced, and carries that knowledge as a portable
+:class:`SessionToken` — a per-replication-source commit floor ("my reads
+must see my own commit >= txn T").  Currency guards on *strict* tables
+compare the floor against their region's replication progress and fall
+back to the back-end exactly when the local replica has not yet applied
+the session's own writes.
+
+Floors are keyed by replication-source *name* — ``"backend"`` on a
+single server, ``"p0"``/``"p1"``/... per partition on a sharded one —
+the same names agent checkpoint keys embed (``cid#p<shard>``), so a
+token is meaningful on every fleet node and composes with sharding: a
+write that only touched partition 1 never forces partition 0 reads
+remote.
+"""
+
+from repro.session.session import Session, SessionToken
+
+__all__ = ["Session", "SessionToken"]

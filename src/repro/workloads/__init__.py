@@ -1,9 +1,11 @@
 """Workloads: TPC-D-style data, the bookstore schema from §2, the paper's
-experiment queries, and the full experimental setup of §4."""
+experiment queries, the full experimental setup of §4, and the
+double-entry ledger mixed read/write workload."""
 
 from repro.workloads.bookstore import load_bookstore
 from repro.workloads.driver import DriverReport, WorkloadDriver, point_lookup_factory
 from repro.workloads.experiment import PaperSetup, build_paper_setup
+from repro.workloads.ledger import LedgerWorkload
 from repro.workloads.queries import (
     GUARD_QUERIES,
     PLAN_CHOICE_QUERIES,
@@ -15,6 +17,7 @@ from repro.workloads.tpcd import apply_paper_scale_stats, load_tpcd
 __all__ = [
     "DriverReport",
     "GUARD_QUERIES",
+    "LedgerWorkload",
     "PLAN_CHOICE_QUERIES",
     "PaperSetup",
     "WorkloadDriver",

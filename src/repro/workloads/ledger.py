@@ -1,0 +1,285 @@
+"""A double-entry ledger workload: the write path's proving ground.
+
+Every transfer is one atomic INSERT of two legs — ``+amount`` to one
+account, ``-amount`` to another, sharing a transfer id — so two
+invariants hold by construction on the back-end and must survive
+replication, crashes and routing changes:
+
+* **balance conservation** — the deltas always sum to zero (a torn
+  transfer would break this);
+* **read-your-writes** — the writing session, re-reading its own
+  transfer through the cache tier, must see both legs.
+
+The ``ledger`` table is declared *strict* (reads guard to the session's
+commit floor regardless of the query's currency bound); ``accounts`` is
+reference data and stays *relaxed* (reads obey the currency bound
+alone).  The first primary-key column is the transfer id, so on a
+sharded back-end both legs hash to the same partition and the session
+floor only pins the partition the transfer actually touched.
+
+:class:`LedgerWorkload` drives a seeded mixed read/write stream against
+an :class:`~repro.cache.mtcache.MTCache` or a
+:class:`~repro.fleet.fleet.CacheFleet`, audits every re-read through
+:meth:`InvariantChecker.check_ryw <repro.chaos.invariants.InvariantChecker.check_ryw>`,
+and offers :meth:`LedgerWorkload.audit` for the post-recovery
+conservation check.  It plugs into
+:meth:`ChaosScheduler.run(workload=...)
+<repro.chaos.scheduler.ChaosScheduler.run>` in place of the default
+point-lookup driver.
+"""
+
+import random
+
+from repro.common.errors import ReproError
+from repro.session import Session
+from repro.workloads.driver import DriverReport
+
+__all__ = ["LedgerWorkload"]
+
+ACCOUNTS_DDL = (
+    "CREATE TABLE accounts (id INT NOT NULL, grp INT NOT NULL, "
+    "PRIMARY KEY (id))"
+)
+LEDGER_DDL = (
+    "CREATE TABLE ledger (tid INT NOT NULL, leg INT NOT NULL, "
+    "account INT NOT NULL, delta INT NOT NULL, PRIMARY KEY (tid, leg))"
+)
+
+
+class LedgerWorkload:
+    """Seeded accounts + random transfers over a cache or a fleet.
+
+    ``write_rate`` is the probability an operation is a transfer; every
+    transfer is followed by an immediate read-your-writes re-read, and
+    background reads mix strict ledger re-reads with relaxed account
+    lookups.  All sampling comes from one ``random.Random(seed)`` on the
+    simulated clock, so a (seed, schedule) pair is one exact history.
+    """
+
+    def __init__(self, target, *, n_accounts=64, seed=7, write_rate=0.1,
+                 bounds=(0.0, 2.0, 600.0), region="ledger",
+                 update_interval=0.25, update_delay=0.1,
+                 heartbeat_interval=0.25):
+        #: The target: an MTCache or (detected by ``router``) a CacheFleet.
+        self.target = target
+        self.is_fleet = hasattr(target, "router")
+        self.n_accounts = n_accounts
+        self.seed = seed
+        self.write_rate = write_rate
+        self.bounds = list(bounds)
+        self.region = region
+        self.update_interval = update_interval
+        self.update_delay = update_delay
+        self.heartbeat_interval = heartbeat_interval
+        #: The writing client's read-your-writes session.  It lives
+        #: *here* — client-side — so node crashes and routing changes
+        #: cannot lose it; its token is portable across the fleet.
+        self.session = Session(name="ledger-writer")
+        self.committed = []  # transfer ids that committed on the back-end
+        self.next_tid = 1
+        self.writes = 0
+        self.write_errors = 0
+        self.reads = 0
+        self.ryw_reads = 0
+        self.read_routing = {"local": 0, "remote": 0, "mixed": 0}
+        self.report = None
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def install(self):
+        """Create the schema on the back-end, seed the accounts, and
+        build the cache-side region/views with ``ledger`` declared
+        strict.  Call once before :meth:`drive`."""
+        backend = self.target.backend
+        backend.create_table(ACCOUNTS_DDL)
+        backend.create_table(LEDGER_DDL)
+        rows = ", ".join(f"({i}, {i % 8})" for i in range(self.n_accounts))
+        backend.execute(f"INSERT INTO accounts VALUES {rows}")
+        backend.refresh_statistics()
+        self.target.create_region(
+            self.region, self.update_interval, self.update_delay,
+            heartbeat_interval=self.heartbeat_interval,
+        )
+        self.target.create_matview(
+            "ledger_copy", "ledger", ["tid", "leg", "account", "delta"],
+            region=self.region,
+        )
+        self.target.create_matview(
+            "accounts_copy", "accounts", ["id", "grp"], region=self.region,
+        )
+        self.target.declare_table_consistency("ledger", "strict")
+        return self
+
+    def preload(self, n_transfers):
+        """Commit ``n_transfers`` through the front door before driving.
+
+        Gives read-heavy runs a populated ledger to re-read, so a
+        read-only baseline and a mixed run sample the same key
+        distribution (benchmarks compare their throughput).  The
+        transfers land in ``committed`` (the conservation audit counts
+        them) and advance the session floor, but are not counted in the
+        drive statistics.
+        """
+        rng = random.Random(self.seed + 1)
+        for _ in range(n_transfers):
+            tid = self.next_tid
+            self.next_tid += 1
+            src = rng.randrange(self.n_accounts)
+            dst = (src + 1 + rng.randrange(self.n_accounts - 1)) \
+                % self.n_accounts
+            amount = rng.randint(1, 99)
+            self._execute(
+                f"INSERT INTO ledger VALUES "
+                f"({tid}, 0, {src}, {amount}), ({tid}, 1, {dst}, -{amount})"
+            )
+            self.committed.append(tid)
+        return self
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def drive(self, duration, *, think_time=0.2, on_result=None,
+              on_error=None, checker=None, raise_errors=False):
+        """Run ``duration`` simulated seconds of mixed operations.
+
+        Matches the hook contract of
+        :meth:`~repro.workloads.driver.WorkloadDriver.run`:
+        ``on_result(bound, result)`` fires for every delivered read,
+        ``on_error(bound, exc)`` for every swallowed fault, and
+        ``checker.check_ryw`` audits each ledger re-read.  Returns a
+        :class:`~repro.workloads.driver.DriverReport` over the reads.
+        """
+        rng = random.Random(self.seed)
+        report = DriverReport()
+        n_ops = max(1, int(duration / think_time)) if think_time else 1
+        for _ in range(n_ops):
+            if not self.committed or rng.random() < self.write_rate:
+                self._transfer(rng, report, on_result, on_error, checker,
+                               raise_errors)
+            else:
+                self._background_read(rng, report, on_result, on_error,
+                                      checker, raise_errors)
+            if think_time:
+                self.target.run_for(rng.expovariate(1.0 / think_time))
+        self.report = report
+        return report
+
+    def _execute(self, sql, bound=None):
+        if self.is_fleet:
+            return self.target.execute(sql, bound=bound, session=self.session)
+        return self.target.execute(sql, session=self.session)
+
+    def _transfer(self, rng, report, on_result, on_error, checker,
+                  raise_errors):
+        """One atomic two-leg transfer, then the read-your-writes
+        re-read.  A failed INSERT never reached the back-end (the
+        simulated network faults before invoking the call), so the
+        transfer id is simply not committed."""
+        tid = self.next_tid
+        self.next_tid += 1
+        src = rng.randrange(self.n_accounts)
+        dst = (src + 1 + rng.randrange(self.n_accounts - 1)) % self.n_accounts
+        amount = rng.randint(1, 99)
+        sql = (
+            f"INSERT INTO ledger VALUES "
+            f"({tid}, 0, {src}, {amount}), ({tid}, 1, {dst}, -{amount})"
+        )
+        try:
+            self._execute(sql)
+        except ReproError as exc:
+            if raise_errors:
+                raise
+            self.write_errors += 1
+            report.record_error(None, exc)
+            if on_error is not None:
+                on_error(None, exc)
+            return
+        self.writes += 1
+        self.committed.append(tid)
+        # Immediately read the write back at the loosest bound, so the
+        # session floor — not currency — decides local versus remote.
+        self.ryw_reads += 1
+        self._read_transfer(tid, max(self.bounds), report, on_result,
+                            on_error, checker, raise_errors)
+
+    def _background_read(self, rng, report, on_result, on_error, checker,
+                         raise_errors):
+        """A read op: mostly strict ledger re-reads of earlier transfers
+        (still session-floored), sometimes a relaxed account lookup."""
+        bound = rng.choice(self.bounds)
+        if rng.random() < 0.3:
+            key = rng.randrange(self.n_accounts)
+            sql = (
+                f"SELECT a.id, a.grp FROM accounts a WHERE a.id = {key} "
+                f"CURRENCY BOUND {bound:g} SEC ON (a)"
+            )
+            self._run_read(sql, bound, report, on_result, on_error,
+                           raise_errors)
+            return
+        tid = rng.choice(self.committed)
+        self._read_transfer(tid, bound, report, on_result, on_error,
+                            checker, raise_errors)
+
+    def _read_transfer(self, tid, bound, report, on_result, on_error,
+                       checker, raise_errors):
+        sql = (
+            f"SELECT l.tid, l.leg, l.account, l.delta FROM ledger l "
+            f"WHERE l.tid = {tid} CURRENCY BOUND {bound:g} SEC ON (l)"
+        )
+        result = self._run_read(sql, bound, report, on_result, on_error,
+                                raise_errors)
+        if result is not None and checker is not None:
+            # The session floor covers *all* its commits (application is
+            # in transaction order), so every committed transfer must be
+            # fully visible, not just the latest.
+            checker.check_ryw(result, 2, tid=tid)
+        return result
+
+    def _run_read(self, sql, bound, report, on_result, on_error,
+                  raise_errors):
+        try:
+            result = self._execute(sql, bound=bound)
+        except ReproError as exc:
+            if raise_errors:
+                raise
+            report.record_error(bound, exc)
+            if on_error is not None:
+                on_error(bound, exc)
+            return None
+        self.reads += 1
+        routing = result.routing
+        self.read_routing[routing] = self.read_routing.get(routing, 0) + 1
+        report.record(bound, result)
+        if on_result is not None:
+            on_result(bound, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Auditing & reporting
+    # ------------------------------------------------------------------
+    def audit(self, checker):
+        """Post-recovery conservation audit: deltas sum to zero and the
+        back-end holds exactly two legs per committed transfer."""
+        return checker.check_ledger_conservation(
+            table="ledger", expected_rows=2 * len(self.committed)
+        )
+
+    def summary(self):
+        """Deterministic scalar summary (safe to print / diff / JSON)."""
+        return {
+            "accounts": self.n_accounts,
+            "transfers_committed": len(self.committed),
+            "writes": self.writes,
+            "write_errors": self.write_errors,
+            "reads": self.reads,
+            "ryw_reads": self.ryw_reads,
+            "read_routing": dict(sorted(self.read_routing.items())),
+            "session_floors": dict(sorted(self.session.floors.items())),
+        }
+
+    def __repr__(self):
+        return (
+            f"<LedgerWorkload transfers={len(self.committed)} "
+            f"reads={self.reads} errors={self.write_errors}>"
+        )

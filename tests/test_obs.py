@@ -1,7 +1,6 @@
 """Tests for the observability subsystem (repro.obs) and the metrics
 threaded through the MTCache query path, plus the unified-API redesign
-riders: LRU plan-cache eviction, the deprecated execute_select alias and
-keyword-only constructor knobs."""
+riders: LRU plan-cache eviction and keyword-only constructor knobs."""
 
 import re
 
@@ -338,11 +337,9 @@ class TestPlanCacheLRU:
 # Unified entry point + constructor hygiene
 # ----------------------------------------------------------------------
 class TestUnifiedAPI:
-    def test_execute_select_is_deprecated_but_works(self, cache):
-        from repro.sql.parser import parse
-
-        with pytest.warns(DeprecationWarning, match="execute_select.*deprecated"):
-            result = cache.execute_select(parse(GUARDED), sql_text=GUARDED)
+    def test_execute_select_shim_is_gone(self, cache):
+        assert not hasattr(cache, "execute_select")
+        result = cache.execute(GUARDED)
         assert len(result.rows) == 3
         assert result.plan.summary() == "guarded(t_copy)"
 

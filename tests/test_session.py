@@ -1,0 +1,395 @@
+"""Tests for the session-aware write path: read-your-writes tokens,
+per-table strictness, DML routing with statistics invalidation, token
+portability across fleet nodes / crashes / shards, and the seeded
+double-entry ledger workload with its chaos invariants."""
+
+import pytest
+
+from repro import (
+    BackendServer,
+    FleetConfig,
+    MTCache,
+    Session,
+    SessionToken,
+)
+from repro.chaos import ChaosScheduler, InvariantChecker, build_ledger_fleet
+from repro.common.backend import stable_shard_hash
+from repro.workloads import LedgerWorkload
+
+LEDGER_DDL = (
+    "CREATE TABLE ledger (tid INT NOT NULL, leg INT NOT NULL, "
+    "account INT NOT NULL, delta INT NOT NULL, PRIMARY KEY (tid, leg))"
+)
+READ_TID2 = (
+    "SELECT l.tid, l.leg, l.account, l.delta FROM ledger l "
+    "WHERE l.tid = 2 CURRENCY BOUND 600 SEC ON (l)"
+)
+TRANSFER_TID2 = "INSERT INTO ledger VALUES (2, 0, 3, 10), (2, 1, 4, -10)"
+
+
+def make_cache():
+    backend = BackendServer()
+    backend.create_table(LEDGER_DDL)
+    backend.execute("INSERT INTO ledger VALUES (1, 0, 1, 50), (1, 1, 2, -50)")
+    backend.refresh_statistics()
+    cache = MTCache(backend)
+    cache.create_region("r", 1.0, 0.25, heartbeat_interval=0.5)
+    cache.create_matview("ledger_copy", "ledger",
+                         ["tid", "leg", "account", "delta"], region="r")
+    cache.declare_table_consistency("ledger", "strict")
+    cache.run_for(3.0)
+    return cache
+
+
+def make_ledger_fleet(partitions=1, nodes=3):
+    fleet = FleetConfig(nodes=nodes, partitions=partitions).build()
+    backend = fleet.backend
+    backend.create_table(LEDGER_DDL)
+    backend.execute("INSERT INTO ledger VALUES (1, 0, 1, 50), (1, 1, 2, -50)")
+    backend.refresh_statistics()
+    fleet.create_region("r", 1.0, 0.25, heartbeat_interval=0.5)
+    fleet.create_matview("ledger_copy", "ledger",
+                         ["tid", "leg", "account", "delta"], region="r")
+    fleet.declare_table_consistency("ledger", "strict")
+    fleet.run_for(3.0)
+    return fleet
+
+
+# ----------------------------------------------------------------------
+# Tokens and sessions
+# ----------------------------------------------------------------------
+class TestSessionToken:
+    def test_empty_token_is_falsy(self):
+        assert not SessionToken()
+        assert SessionToken({"backend": 3})
+
+    def test_merge_is_pointwise_max(self):
+        a = SessionToken({"p0": 5, "p1": 2})
+        b = SessionToken({"p1": 7, "p2": 1})
+        merged = a.merge(b)
+        assert merged.floors == {"p0": 5, "p1": 7, "p2": 1}
+        # inputs untouched
+        assert a.floors == {"p0": 5, "p1": 2}
+        assert b.floors == {"p1": 7, "p2": 1}
+
+    def test_dict_round_trip(self):
+        token = SessionToken({"backend": 9})
+        assert SessionToken.from_dict(token.as_dict()) == token
+        assert SessionToken.from_dict(None) == SessionToken()
+
+    def test_session_from_token_accepts_dict_and_token(self):
+        for raw in ({"p0": 4}, SessionToken({"p0": 4})):
+            session = Session.from_token(raw, name="resumed")
+            assert session.floors == {"p0": 4}
+            assert session.name == "resumed"
+
+    def test_observe_commit_is_monotonic(self):
+        session = Session("w")
+        session.observe_commit([("backend", 5)])
+        session.observe_commit([("backend", 3)])  # replay/laggard: ignored
+        assert session.floors == {"backend": 5}
+        assert session.writes == 2
+
+    def test_observe_token_merges(self):
+        session = Session.from_token({"p0": 4})
+        session.observe_token({"p0": 2, "p1": 9})
+        assert session.floors == {"p0": 4, "p1": 9}
+
+    def test_floor_for_defaults_to_zero(self):
+        assert Session("w").floor_for("backend") == 0
+
+    def test_token_property_is_a_snapshot(self):
+        session = Session("w")
+        session.observe_commit([("backend", 1)])
+        token = session.token
+        session.observe_commit([("backend", 8)])
+        assert token.floors == {"backend": 1}
+        assert session.token.floors == {"backend": 8}
+
+
+# ----------------------------------------------------------------------
+# Single-cache read-your-writes
+# ----------------------------------------------------------------------
+class TestReadYourWrites:
+    def test_dml_stamps_the_session_floor(self):
+        cache = make_cache()
+        session = Session("writer")
+        rowcount = cache.execute(TRANSFER_TID2, session=session)
+        assert rowcount == 2
+        assert session.floors == {"backend": cache.agents["r"].log.records[-1].txn_id}
+        assert session.writes == 1
+
+    def test_lagging_replica_forces_remote_then_local(self):
+        cache = make_cache()
+        session = Session("writer")
+        cache.execute(TRANSFER_TID2, session=session)
+        result = cache.execute(READ_TID2, session=session)
+        assert len(result.rows) == 2
+        assert result.routing == "remote"
+        assert ("ledger_copy", "remote", "backend") in result.context.session_decisions
+        cache.run_for(3.0)
+        result = cache.execute(READ_TID2, session=session)
+        assert len(result.rows) == 2
+        assert result.routing == "local"
+        assert ("ledger_copy", "local", None) in result.context.session_decisions
+
+    def test_sessionless_read_is_untouched(self):
+        cache = make_cache()
+        cache.execute(TRANSFER_TID2, session=Session("writer"))
+        result = cache.execute(READ_TID2)  # 600 s bound: stale local is fine
+        assert result.routing == "local"
+        assert not result.context.session_decisions
+
+    def test_guard_outcome_metrics(self):
+        cache = make_cache()
+        session = Session("writer")
+        cache.execute(TRANSFER_TID2, session=session)
+        cache.execute(READ_TID2, session=session)
+        cache.run_for(3.0)
+        cache.execute(READ_TID2, session=session)
+        snapshot = cache.metrics.snapshot()
+        assert snapshot['session_guard_total{outcome="remote",view="ledger_copy"}'] == 1
+        assert snapshot['session_guard_total{outcome="local",view="ledger_copy"}'] == 1
+        assert snapshot["dml_forwarded_total"] == 1
+
+    def test_explain_analyze_shows_the_session_decision(self):
+        cache = make_cache()
+        session = Session("writer")
+        cache.execute(TRANSFER_TID2, session=session)
+        lines = [row[0] for row in
+                 cache.explain(READ_TID2, analyze=True, session=session).rows]
+        assert any("session guard: ledger_copy -> remote" in line
+                   and "lags the session floor" in line for line in lines)
+        cache.run_for(3.0)
+        lines = [row[0] for row in
+                 cache.explain(READ_TID2, analyze=True, session=session).rows]
+        assert any("session guard: ledger_copy -> local" in line
+                   for line in lines)
+
+
+# ----------------------------------------------------------------------
+# Per-table strictness
+# ----------------------------------------------------------------------
+class TestTableConsistency:
+    UNBOUNDED_READ = (
+        "SELECT l.tid FROM ledger l WHERE l.tid = 2 "
+        "CURRENCY BOUND UNBOUNDED ON (l)"
+    )
+
+    def test_strict_guards_even_unbounded(self):
+        cache = make_cache()
+        session = Session("writer")
+        cache.execute(TRANSFER_TID2, session=session)
+        result = cache.execute(self.UNBOUNDED_READ, session=session)
+        assert result.plan.summary() == "guarded(ledger_copy)"
+        assert result.routing == "remote"
+        cache.run_for(3.0)
+        assert cache.execute(self.UNBOUNDED_READ, session=session).routing == "local"
+
+    def test_relaxed_unbounded_skips_the_guard(self):
+        cache = make_cache()
+        cache.declare_table_consistency("ledger", "relaxed")
+        session = Session("writer")
+        cache.execute(TRANSFER_TID2, session=session)
+        result = cache.execute(self.UNBOUNDED_READ, session=session)
+        assert result.plan.summary() == "scan(ledger_copy)"
+        assert result.routing == "local"
+
+    def test_declaration_validates_mode(self):
+        cache = make_cache()
+        with pytest.raises(ValueError):
+            cache.declare_table_consistency("ledger", "eventual")
+
+    def test_declaration_invalidates_cached_plans(self):
+        cache = make_cache()
+        first = cache.optimize(self.UNBOUNDED_READ)
+        cache.declare_table_consistency("ledger", "relaxed")
+        second = cache.optimize(self.UNBOUNDED_READ)
+        assert second is not first
+        assert second.summary() == "scan(ledger_copy)"
+        assert cache.plan_cache_stats["invalidations"] >= 1
+
+    def test_default_is_relaxed(self):
+        cache = make_cache()
+        assert cache.table_consistency("accounts") == "relaxed"
+        assert cache.table_consistency("ledger") == "strict"
+
+
+# ----------------------------------------------------------------------
+# Satellite: DML invalidates what it stales
+# ----------------------------------------------------------------------
+class TestDmlInvalidation:
+    def test_small_dml_leaves_plans_alone(self):
+        cache = make_cache()
+        first = cache.optimize(READ_TID2)
+        cache.execute("INSERT INTO ledger VALUES (5, 0, 1, 7), (5, 1, 2, -7)")
+        assert cache.optimize(READ_TID2) is first
+        assert "auto_stats_refresh_total" not in str(cache.metrics.snapshot())
+
+    def test_bulk_dml_refreshes_stats_and_bumps_the_epoch(self):
+        cache = make_cache()
+        first = cache.optimize(READ_TID2)
+        epoch = cache.backend.ddl_epoch
+        values = ", ".join(f"({100 + i}, 0, 1, 1)" for i in range(200))
+        cache.execute(f"INSERT INTO ledger VALUES {values}")
+        snapshot = cache.metrics.snapshot()
+        assert snapshot['auto_stats_refresh_total{table="ledger"}'] == 1
+        assert cache.backend.ddl_epoch > epoch
+        assert cache.optimize(READ_TID2) is not first
+        # the refreshed shadow stats see the churn
+        assert cache.catalog.table("ledger").stats.row_count >= 202
+
+    def test_mutation_counter_accumulates_across_statements(self):
+        cache = make_cache()
+        for i in range(100):
+            cache.execute(f"INSERT INTO ledger VALUES ({200 + i}, 0, 1, 1), "
+                          f"({200 + i}, 1, 2, -1)")
+        snapshot = cache.metrics.snapshot()
+        assert snapshot['auto_stats_refresh_total{table="ledger"}'] == 1
+
+
+# ----------------------------------------------------------------------
+# Replication regression: multi-record transactions
+# ----------------------------------------------------------------------
+class TestAtomicTransferReplication:
+    def test_agent_applies_every_record_of_one_txn(self):
+        # Both legs of a transfer share one transaction id; the agent
+        # must not advance its cutoff mid-transaction and skip the
+        # second record.
+        cache = make_cache()
+        cache.execute(TRANSFER_TID2)
+        cache.run_for(3.0)
+        view = cache.catalog.matview("ledger_copy")
+        rows = [values for _, values in view.table.scan()]
+        assert len([r for r in rows if r[0] == 2]) == 2
+
+
+# ----------------------------------------------------------------------
+# Satellite: token portability (fleet, crash/restart, shards)
+# ----------------------------------------------------------------------
+class TestTokenPortability:
+    def test_floor_honored_on_every_fleet_node(self):
+        fleet = make_ledger_fleet()
+        session = Session("writer")
+        fleet.execute(TRANSFER_TID2, session=session)
+        for _ in range(3):  # round-robin visits each node
+            result = fleet.execute(READ_TID2, session=session)
+            assert len(result.rows) == 2
+            assert result.routing == "remote"
+        fleet.run_for(3.0)
+        for _ in range(3):
+            result = fleet.execute(READ_TID2, session=session)
+            assert len(result.rows) == 2
+            assert result.routing == "local"
+
+    def test_token_survives_crash_and_restart(self):
+        fleet = make_ledger_fleet()
+        session = Session("writer")
+        fleet.execute(TRANSFER_TID2, session=session)
+        token = session.token.as_dict()  # "persisted" client-side
+        fleet.node("node0").crash()
+        resumed = Session.from_token(token, name="resumed")
+        result = fleet.execute(READ_TID2, session=resumed)
+        assert len(result.rows) == 2 and result.routing == "remote"
+        fleet.node("node0").restart()
+        fleet.run_for(6.0)
+        # the restarted node rebuilt its views past the floor
+        result = fleet.node("node0").execute(READ_TID2, session=resumed)
+        assert len(result.rows) == 2 and result.routing == "local"
+
+    def test_floor_is_scoped_to_the_written_shard(self):
+        fleet = make_ledger_fleet(partitions=2)
+        session = Session("writer")
+        fleet.execute(TRANSFER_TID2, session=session)
+        written = stable_shard_hash(2) % 2
+        assert set(session.floors) == {f"p{written}"}
+        # a strict read pinned to the *other* shard has no floor to
+        # honor — the session does not force it remote
+        other_tid = next(t for t in range(3, 100)
+                         if stable_shard_hash(t) % 2 != written)
+        other = fleet.execute(
+            f"SELECT l.tid, l.leg FROM ledger l WHERE l.tid = {other_tid} "
+            f"CURRENCY BOUND 600 SEC ON (l)", session=session)
+        assert other.routing == "local"
+        # while the written shard still bounces to the back-end
+        assert fleet.execute(READ_TID2, session=session).routing == "remote"
+
+    def test_merged_tokens_keep_both_guarantees(self):
+        fleet = make_ledger_fleet(partitions=2)
+        a, b = Session("a"), Session("b")
+        fleet.execute(TRANSFER_TID2, session=a)
+        tid_other = next(t for t in range(3, 100)
+                         if stable_shard_hash(t) % 2 != stable_shard_hash(2) % 2)
+        fleet.execute(f"INSERT INTO ledger VALUES ({tid_other}, 0, 5, 3), "
+                      f"({tid_other}, 1, 6, -3)", session=b)
+        merged = Session.from_token(a.token.merge(b.token), name="merged")
+        assert set(merged.floors) == {"p0", "p1"}
+        assert fleet.execute(READ_TID2, session=merged).routing == "remote"
+
+
+# ----------------------------------------------------------------------
+# The ledger workload and its chaos invariants
+# ----------------------------------------------------------------------
+class TestLedgerWorkload:
+    def test_install_declares_strict_ledger(self):
+        fleet = FleetConfig(nodes=2).build()
+        workload = LedgerWorkload(fleet, n_accounts=16).install()
+        fleet.run_for(3.0)
+        for node in fleet.nodes:
+            assert node.table_consistency("ledger") == "strict"
+            assert node.table_consistency("accounts") == "relaxed"
+        assert workload.session.name == "ledger-writer"
+
+    def test_quiet_drive_is_clean_and_deterministic(self):
+        def run():
+            fleet = FleetConfig(nodes=2).build()
+            workload = LedgerWorkload(fleet, n_accounts=16, seed=5,
+                                      write_rate=0.3).install()
+            fleet.run_for(3.0)
+            checker = InvariantChecker(fleet)
+            workload.drive(10.0, checker=checker, raise_errors=True)
+            workload.audit(checker)
+            return workload.summary(), checker
+
+        summary, checker = run()
+        assert summary["writes"] > 0 and summary["reads"] > 0
+        assert summary["write_errors"] == 0
+        assert checker.violations == []
+        assert checker.ryw_checked == checker.ryw_satisfied > 0
+        assert summary == run()[0]
+
+    def test_conservation_audit_catches_a_torn_transfer(self):
+        fleet = FleetConfig(nodes=2).build()
+        workload = LedgerWorkload(fleet, n_accounts=16).install()
+        fleet.run_for(3.0)
+        fleet.backend.execute("INSERT INTO ledger VALUES (900, 0, 1, 33)")
+        checker = InvariantChecker(fleet)
+        checker.check_ledger_conservation(table="ledger")
+        assert any(v.invariant == "balance_conservation"
+                   for v in checker.violations)
+
+    def test_seeded_ledger_chaos_is_clean_and_deterministic(self):
+        def run():
+            fleet, workload = build_ledger_fleet(n_nodes=3)
+            chaos = ChaosScheduler(fleet, seed=23)
+            chaos.random_schedule(20.0)
+            report = chaos.run(20.0, workload=workload)
+            return report
+
+        report = run()
+        assert report.violations == []
+        summary = report.summary()
+        ryw = summary["read_your_writes"]
+        assert ryw["checked"] == ryw["satisfied"] + ryw["excused_degraded"]
+        assert summary["workload"]["write_errors"] + \
+            summary["workload"]["writes"] == summary["workload"]["transfers_committed"] + \
+            summary["workload"]["write_errors"]
+        assert summary == run().summary()
+
+    def test_sharded_ledger_chaos_is_clean(self):
+        fleet, workload = build_ledger_fleet(n_nodes=3, partitions=2)
+        chaos = ChaosScheduler(fleet, seed=31)
+        chaos.random_schedule(20.0)
+        report = chaos.run(20.0, workload=workload)
+        assert report.violations == []
+        assert report.summary()["read_your_writes"]["checked"] > 0

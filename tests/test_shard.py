@@ -1,14 +1,12 @@
 """Tests for the hash-partitioned back-end and partition-scoped C&C.
 
-Covers the :class:`~repro.common.backend.Backend` protocol boundary
-(including the one-release deprecation shim), cross-shard equivalence
-against a single server under an identical transaction history, the
-per-shard currency rule (a result is only as current as its stalest
-contributing shard; pinned plans only answer to their own shard), the
-scatter-gather fleet router, and a seeded chaos run with one shard dark.
+Covers the :class:`~repro.common.backend.Backend` protocol boundary,
+cross-shard equivalence against a single server under an identical
+transaction history, the per-shard currency rule (a result is only as
+current as its stalest contributing shard; pinned plans only answer to
+their own shard), the scatter-gather fleet router, and a seeded chaos
+run with one shard dark.
 """
-
-import warnings
 
 import pytest
 
@@ -16,7 +14,7 @@ from repro.cache.backend import BackendServer
 from repro.cache.mtcache import MTCache
 from repro.chaos import ChaosScheduler
 from repro.chaos.env import build_demo_fleet
-from repro.common.backend import Backend, coerce_backend, stable_shard_hash
+from repro.common.backend import Backend, stable_shard_hash
 from repro.common.errors import ExecutionError
 from repro.fleet import CacheFleet, FleetConfig
 from repro.shard import ShardedBackend
@@ -66,36 +64,17 @@ class TestStableHash:
 
 
 class TestBackendProtocol:
-    def test_concrete_backends_pass_through(self):
+    def test_concrete_backends_implement_protocol(self):
         for backend in (BackendServer(), ShardedBackend(2)):
-            with warnings.catch_warnings():
-                warnings.simplefilter("error")
-                assert coerce_backend(backend) is backend
+            assert isinstance(backend, Backend)
+            assert MTCache(backend).backend is backend
 
-    def test_duck_typed_backend_is_shimmed_and_deprecated(self):
-        backend = load_history(BackendServer())
-
+    def test_config_rejects_non_protocol_backend(self):
         class Legacy:
-            """Pre-protocol duck type: forwards everything by hand."""
+            """Pre-protocol duck type: no longer shimmed."""
 
-            def __init__(self, inner):
-                self._inner = inner
-
-            def __getattr__(self, name):
-                return getattr(self._inner, name)
-
-        with pytest.warns(DeprecationWarning):
-            cache = MTCache(Legacy(backend))
-        assert not isinstance(cache.backend, Backend) or True
-        assert cache.backend.partition_count == 1
-        assert len(cache.backend.replication_sources()) == 1
-        cache.create_region("r", 5.0, 1.0)
-        cache.create_matview("inv_c", "inv", ["id", "qty"], region="r")
-        cache.run_for(6.0)
-        result = cache.execute(
-            "SELECT i.id FROM inv i WHERE i.id = 7 CURRENCY BOUND 60 SEC ON (i)"
-        )
-        assert result.rows == [(7,)]
+        with pytest.raises(TypeError, match="Backend"):
+            FleetConfig(backend=Legacy()).resolve_backend()
 
     def test_replication_sources_shape(self):
         single = load_history(BackendServer())
