@@ -1,0 +1,93 @@
+"""Benchmark: history-recording overhead on the mixed ledger workload
+(PR 9's tentpole budget).
+
+The recorder's contract is "observability you can leave on in a run you
+care about": commit observation is one truthiness check per commit,
+per-read capture is gated on a single ``ctx.capture_reads`` boolean, and
+the per-query record is one dict append — so throughput with recording
+ON must stay within 5 % of recording OFF.
+
+One experiment: the 10 %-write ledger mix on a 3-node fleet, recorder
+off vs on, median of three interleaved trials (machine drift hits both
+arms equally).  The ON arm also reports what the budget bought: record
+counts by kind and a clean certification of the captured history.
+
+Headline numbers land in ``benchmarks/BENCH_9.json``.
+
+Run:  pytest benchmarks/test_bench_history_overhead.py -s
+"""
+
+import statistics
+import time
+
+from repro import FleetConfig
+from repro.history import ConsistencyCertifier
+from repro.workloads import LedgerWorkload
+
+DURATION = 60.0
+THINK = 0.1
+PRELOAD = 60
+WRITE_RATE = 0.1
+TRIALS = 3
+MAX_OVERHEAD = 0.05  # recording may cost at most 5% of throughput
+
+
+def build_ledger(record_history, seed=7):
+    """A 3-node ledger fleet on the fast replication cadence, preloaded
+    so both arms re-read the same key distribution."""
+    fleet = FleetConfig(nodes=3, record_history=record_history).build()
+    workload = LedgerWorkload(
+        fleet, n_accounts=64, seed=seed, write_rate=WRITE_RATE,
+        update_interval=0.1, update_delay=0.05, heartbeat_interval=0.1,
+    ).install()
+    fleet.run_for(3.0)
+    workload.preload(PRELOAD)
+    fleet.run_for(2.0)
+    return fleet, workload
+
+
+def drive_once(record_history):
+    """One seeded run; returns (ops/s wall, fleet)."""
+    fleet, workload = build_ledger(record_history)
+    t0 = time.perf_counter()
+    workload.drive(DURATION, think_time=THINK, raise_errors=True)
+    wall = time.perf_counter() - t0
+    summary = workload.summary()
+    ops = summary["reads"] + summary["writes"]
+    return ops / wall, fleet
+
+
+def test_recording_overhead_within_budget(bench_recorder):
+    drive_once(False)  # untimed warm-up: imports, allocator, caches
+    off_trials, on_trials = [], []
+    recorded_fleet = None
+    for _ in range(TRIALS):  # interleaved, so machine drift hits both
+        off_trials.append(drive_once(False)[0])
+        ops, recorded_fleet = drive_once(True)
+        on_trials.append(ops)
+    off = statistics.median(off_trials)
+    on = statistics.median(on_trials)
+    relative = on / off
+
+    history = recorded_fleet.history.history
+    certification = ConsistencyCertifier(history).certify()
+    assert certification.ok, certification.anomalies
+
+    bench_recorder(9)["recording_overhead"] = {
+        "scenario": f"median of {TRIALS} interleaved trials, {DURATION:g}s "
+                    f"sim of the {WRITE_RATE:.0%}-write ledger mix at mean "
+                    f"think {THINK:g}s, 3 nodes",
+        "recorder_off_ops_per_s": round(off, 1),
+        "recorder_on_ops_per_s": round(on, 1),
+        "on_over_off": round(relative, 4),
+        "history_records": len(history),
+        "records_by_kind": history.counts_by_kind(),
+        "certified_anomalies": len(certification.anomalies),
+    }
+    print(f"\n=== recording on: {on:.0f} ops/s vs off {off:.0f} ops/s "
+          f"({relative:.3f}x, {len(history)} records captured) ===")
+
+    assert relative >= 1.0 - MAX_OVERHEAD, (
+        f"recording costs {1 - relative:.1%} of throughput "
+        f"(budget {MAX_OVERHEAD:.0%}): {on:.0f} vs {off:.0f} ops/s"
+    )

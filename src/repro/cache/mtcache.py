@@ -410,7 +410,7 @@ class MTCache:
 
     def __init__(self, backend, *, cost_model=None, fallback_policy=FallbackPolicy.REMOTE,
                  plan_cache_size=128, metrics=None, batch_size=ops.DEFAULT_BATCH_SIZE,
-                 engine=None, snapshot_store=None):
+                 engine=None, snapshot_store=None, record_history=False):
         self._fallback_policy = _coerce_policy(fallback_policy).value
         self.batch_size = ops.coerce_batch_size(batch_size)
         self.engine = ops.coerce_engine(engine, self.batch_size)
@@ -467,6 +467,19 @@ class MTCache:
         #: agent death and node crashes, feeding restart and failover.
         self.checkpoints = CheckpointStore()
         self._local_heartbeats = {}  # agent key -> HeapTable
+        #: Optional :class:`~repro.history.recorder.HistoryRecorder` (off
+        #: by default; ``record_history=True`` creates one and observes
+        #: the back-end's commit points; a fleet instead shares one
+        #: recorder across its nodes via ``CacheFleet.attach_history``).
+        self.history = None
+        if record_history:
+            from repro.history.recorder import HistoryRecorder
+
+            if isinstance(record_history, HistoryRecorder):
+                self.history = record_history
+            else:
+                self.history = HistoryRecorder()
+                self.history.attach_backend(backend)
         self.mirror_backend()
 
     def set_metrics(self, registry):
@@ -889,6 +902,22 @@ class MTCache:
                 return True, source
         return checked, None
 
+    def _read_sources(self, region_cid, shard):
+        """Per-source agent progress for one local read: ``{source:
+        applied_txn}`` over the replication sources a (possibly pinned)
+        read of the region actually contributes — the sync points the
+        certifier's session and Δ-consistency checks audit.  History
+        capture only (guards gate the call on ``ctx.capture_reads``)."""
+        pairs = self._region_agent_keys.get(region_cid) or [(None, region_cid)]
+        out = {}
+        for shard_id, key in pairs:
+            if shard is not None and shard_id is not None and shard_id != shard:
+                continue
+            agent = self.agents.get(key)
+            source = "backend" if shard_id is None else f"p{shard_id}"
+            out[source] = agent.applied_txn if agent is not None else 0
+        return out
+
     def make_currency_guard(self, view, bound, shard=None):
         """The selector of a SwitchUnion: 0 = local branch, 1 = remote.
 
@@ -1014,6 +1043,12 @@ class MTCache:
                 if handles is not None:
                     region_local.inc()
                 ctx.record_snapshot(snapshot_time)
+                if ctx.capture_reads:
+                    ctx.record_read(
+                        view.name, view.base_table, view.region, shard,
+                        snapshot_time, strict,
+                        mtcache._read_sources(view.region, shard),
+                    )
                 return 0
             staleness = float("inf") if ts is None else now - ts
             message = (
@@ -1045,6 +1080,12 @@ class MTCache:
             )
             ctx.record_warning(message)
             ctx.record_snapshot(snapshot_time)
+            if ctx.capture_reads:
+                ctx.record_read(
+                    view.name, view.base_table, view.region, shard,
+                    snapshot_time, strict,
+                    mtcache._read_sources(view.region, shard),
+                )
             return 0
 
         #: Serializable recipe for plan snapshots: any cache can rebuild
@@ -1239,9 +1280,19 @@ class MTCache:
     def _dispatch(self, stmt, sql_text=None, trace=None, session=None):
         if isinstance(stmt, ast.BeginTimeordered):
             self.session.begin()
+            if self.history is not None:
+                self.history.record_timeline(
+                    node=getattr(self, "name", "cache"), event="begin",
+                    time=self.clock.now(),
+                )
             return None
         if isinstance(stmt, ast.EndTimeordered):
             self.session.end()
+            if self.history is not None:
+                self.history.record_timeline(
+                    node=getattr(self, "name", "cache"), event="end",
+                    time=self.clock.now(),
+                )
             return None
         if isinstance(stmt, ast.Explain):
             return self.explain(stmt.select, analyze=stmt.analyze, session=session)
@@ -1303,6 +1354,16 @@ class MTCache:
         rowcount, commits = self.backend_dml(stmt)
         if session is not None and commits:
             session.observe_commit(commits)
+        if self.history is not None:
+            self.history.record_dml(
+                node=getattr(self, "name", "cache"),
+                sql=stmt.to_sql() if hasattr(stmt, "to_sql") else repr(stmt),
+                time=self.clock.now(),
+                table=stmt.table,
+                rowcount=rowcount,
+                commits=commits,
+                session=session.name if session is not None else None,
+            )
         self._note_table_mutation(stmt.table, rowcount)
         return rowcount
 
@@ -1352,8 +1413,68 @@ class MTCache:
             if owned:
                 self.traces.record(trace)
 
+    def _plan_history_meta(self, plan):
+        """The plan's static history metadata ``(bound, classes)``:
+        the tightest finite currency bound of its normalized constraint
+        (None: unbounded) and the declared consistency classes as sorted
+        base-table name lists.  Memoized on the plan — the recording
+        overhead per cached-plan execution is one attribute probe."""
+        meta = getattr(plan, "_history_meta", None)
+        if meta is None:
+            bound = None
+            classes = []
+            info = getattr(plan, "query_info", None)
+            constraint = getattr(info, "constraint", None)
+            if constraint is not None:
+                for cc_tuple in constraint.tuples:
+                    tables = set()
+                    for alias in cc_tuple.operands:
+                        operand = info.operands.get(alias)
+                        tables.add(
+                            operand.table_name if operand is not None else alias
+                        )
+                    classes.append(sorted(tables))
+                    if cc_tuple.bound != ast.UNBOUNDED and (
+                        bound is None or cc_tuple.bound < bound
+                    ):
+                        bound = cc_tuple.bound
+                classes.sort()
+            meta = (bound, classes)
+            try:
+                plan._history_meta = meta
+            except AttributeError:
+                pass
+        return meta
+
+    def _record_query_history(self, recorder, plan, sql_text, select, result,
+                              started, session):
+        ctx = result.context
+        bound, classes = self._plan_history_meta(plan)
+        result.history_qid = recorder.record_query(
+            node=getattr(self, "name", "cache"),
+            sql=sql_text if sql_text is not None else (
+                select.to_sql() if select is not None else plan.summary()
+            ),
+            time=started,
+            bound=bound,
+            classes=classes,
+            routing=result.routing,
+            snapshots=list(ctx.snapshots_used),
+            reads=list(ctx.reads),
+            branches=[[label, index] for label, index in ctx.branches],
+            warnings=len(ctx.warnings),
+            remote_queries=len(ctx.remote_queries),
+            session=session.name if session is not None else None,
+            floors=dict(session.floors) if session is not None else None,
+            rows=len(result.rows),
+        )
+
     def _execute_plan(self, plan, sql_text=None, select=None, trace=None, session=None):
         registry = self.metrics
+        recorder = self.history
+        # Query time is stamped at execution *start*: remote waits inside
+        # the run must not count against the snapshots' measured age.
+        started = self.clock.now() if recorder is not None else 0.0
         owned = trace is None
         if owned:
             trace = registry.new_trace()
@@ -1394,12 +1515,18 @@ class MTCache:
                 list(ctx.warnings),
             )
         )
+        if recorder is not None:
+            self._record_query_history(
+                recorder, plan, sql_text, select, result, started, session
+            )
         return result
 
     def _run_plan(self, plan, trace, session=None):
         ctx = ExecutionContext(
             clock=self.clock, timeline=self.session, trace=trace, session=session
         )
+        if self.history is not None:
+            ctx.capture_reads = True
         root = plan.root()
         if isinstance(root, ops.RemoteQuery) and not plan.column_names:
             # Complex shipped query with unknown output shape (e.g. ``*`` of

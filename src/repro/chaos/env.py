@@ -23,7 +23,8 @@ __all__ = [
 
 def build_demo_fleet(n_nodes=3, n_rows=400, *, partitions=1, config=None,
                      policy="round_robin", failover_threshold=2.5,
-                     warmup_seconds=1.0, reset_timeout=0.5, **node_kwargs):
+                     warmup_seconds=1.0, reset_timeout=0.5,
+                     record_history=False, **node_kwargs):
     """A ready-to-break fleet: region ``r`` + view ``profile_copy``.
 
     Fast knobs relative to the fleet benchmarks — 1 s agent cadence,
@@ -32,12 +33,17 @@ def build_demo_fleet(n_nodes=3, n_rows=400, *, partitions=1, config=None,
     dead agent.  ``partitions > 1`` shards the back-end; passing a
     ``config`` overrides the topology knobs entirely (its ``node_kwargs``
     still gain the demo's fast failover defaults unless it sets them).
+    ``record_history=True`` attaches a shared
+    :class:`~repro.history.recorder.HistoryRecorder` so the run can be
+    certified afterwards.
     """
     if config is None:
         config = FleetConfig(
             nodes=n_nodes, partitions=partitions, policy=policy,
-            reset_timeout=reset_timeout,
+            reset_timeout=reset_timeout, record_history=record_history,
         )
+    elif record_history:
+        config.record_history = True
     defaults = {
         "warmup_seconds": warmup_seconds,
         "failover_threshold": failover_threshold,
@@ -67,7 +73,7 @@ def build_ledger_fleet(n_nodes=3, *, partitions=1, config=None,
                        policy="round_robin", failover_threshold=2.5,
                        warmup_seconds=1.0, reset_timeout=0.5,
                        n_accounts=64, write_rate=0.1, workload_seed=7,
-                       **node_kwargs):
+                       record_history=False, **node_kwargs):
     """A fleet plus an installed double-entry ledger workload.
 
     Same fast fault-tolerance knobs as :func:`build_demo_fleet`, but the
@@ -80,8 +86,10 @@ def build_ledger_fleet(n_nodes=3, *, partitions=1, config=None,
     if config is None:
         config = FleetConfig(
             nodes=n_nodes, partitions=partitions, policy=policy,
-            reset_timeout=reset_timeout,
+            reset_timeout=reset_timeout, record_history=record_history,
         )
+    elif record_history:
+        config.record_history = True
     defaults = {
         "warmup_seconds": warmup_seconds,
         "failover_threshold": failover_threshold,

@@ -32,7 +32,7 @@ __all__ = ["ChaosReport", "ChaosScheduler", "HISTORY_KINDS"]
 #: so the 256-entry fleet ring comfortably holds a whole run).
 HISTORY_KINDS = frozenset({
     "outage", "partition", "agent_stall", "lifecycle",
-    "failover", "breaker", "invariant",
+    "failover", "breaker", "invariant", "certify",
 })
 
 
@@ -41,7 +41,7 @@ class ChaosReport:
 
     def __init__(self, *, seed, duration, start, end, fleet, driver_report,
                  outcomes, checker, faults, fault_windows,
-                 workload_summary=None):
+                 workload_summary=None, certification=None):
         self.seed = seed
         self.duration = duration
         self.start = start
@@ -60,6 +60,9 @@ class ChaosReport:
         #: The workload's own deterministic summary (ledger transfers,
         #: routing split, ...) when the run drove one; None otherwise.
         self.workload_summary = workload_summary
+        #: :meth:`~repro.history.certify.CertificationReport.summary` of
+        #: the run's recorded history, when the fleet recorded one.
+        self.certification = certification
 
     # ------------------------------------------------------------------
     def history_lines(self):
@@ -123,6 +126,7 @@ class ChaosReport:
             "errors": self.report.errors,
             "faults_injected": len(self.faults),
             "invariant_violations": len(self.violations),
+            "invariant_violations_by_check": self._violations_by_check(),
             "results_checked": self.checker.results_checked,
             "views_checked": self.checker.views_checked,
             "recoveries": [
@@ -142,7 +146,18 @@ class ChaosReport:
             }
         if self.workload_summary is not None:
             out["workload"] = self.workload_summary
+        if self.certification is not None:
+            out["certification"] = self.certification
         return out
+
+    def _violations_by_check(self):
+        """Violation counts grouped by the invariant that fired, sorted
+        by check name — ``{}`` on a clean run."""
+        by_check = {}
+        for violation in self.violations:
+            name = getattr(violation, "invariant", None) or "unknown"
+            by_check[name] = by_check.get(name, 0) + 1
+        return dict(sorted(by_check.items()))
 
     def __repr__(self):
         return (
@@ -338,6 +353,7 @@ class ChaosScheduler:
         if workload is not None and hasattr(workload, "audit"):
             workload.audit(checker)
         checker.check_convergence()
+        certification = self._certify()
         return ChaosReport(
             seed=self.seed, duration=duration, start=start, end=clock.now(),
             fleet=fleet, driver_report=report, outcomes=outcomes,
@@ -348,7 +364,31 @@ class ChaosScheduler:
                 if workload is not None and hasattr(workload, "summary")
                 else None
             ),
+            certification=certification,
         )
+
+    def _certify(self):
+        """Certify the recorded history (when the fleet recorded one)
+        against the paper's formal semantics, log the verdict as a
+        ``certify`` fleet event, and return the summary dict."""
+        recorder = getattr(self.fleet, "history", None)
+        if recorder is None:
+            return None
+        from repro.history.certify import ConsistencyCertifier
+
+        history = recorder.history
+        certification = ConsistencyCertifier(history).certify()
+        anomalies = len(certification.anomalies)
+        self.fleet.metrics.events.record(
+            "certify",
+            f"certified {len(history)} history records: "
+            f"{anomalies} anomalies",
+            severity="error" if anomalies else "info",
+            time=self.fleet.clock.now(),
+            anomalies=anomalies,
+            records=len(history),
+        )
+        return certification.summary()
 
     def _recover(self, settle=None):
         """Clear faults, restart the dead, catch every agent up to now."""

@@ -299,6 +299,24 @@ class Shell:
             self.write(
                 f"t={when} [{event.severity:7}] {event.kind}: {event.message}"
             )
+        totals = self._session_guard_totals()
+        if any(totals.values()):
+            rendered = ", ".join(f"{k}={v}" for k, v in sorted(totals.items()))
+            self.write(f"session guards: {rendered}")
+
+    def _session_guard_totals(self):
+        """Aggregate ``session_guard_total`` outcomes across every node
+        (or the single cache): {outcome: count}."""
+        registries = (
+            [node.metrics for node in self.fleet.nodes]
+            if self.fleet is not None else [self.cache.metrics]
+        )
+        totals = {}
+        for reg in registries:
+            for key, counter in reg.family("session_guard_total").items():
+                outcome = dict(key).get("outcome", "-")
+                totals[outcome] = totals.get(outcome, 0) + counter.value
+        return totals
 
     # ------------------------------------------------------------------
     def _sql(self, sql):

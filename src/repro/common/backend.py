@@ -156,6 +156,13 @@ class Backend:
             ReplicationSource(None, "backend", self.catalog, self.txn_manager.log)
         ]
 
+    def transaction_managers(self):
+        """``(source_name, TransactionManager)`` per replication source —
+        the commit points a history recorder observes.  Source names
+        match :meth:`replication_sources` (and therefore the commit
+        floors :meth:`execute_dml` reports)."""
+        return [("backend", self.txn_manager)]
+
     def partition_column(self, table_name):
         """The column a table is hash-partitioned on (None: unpartitioned,
         all rows on one storage unit)."""

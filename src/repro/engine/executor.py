@@ -48,7 +48,8 @@ class ExecutionContext:
 
     __slots__ = ("clock", "timeline", "trace", "session", "engine", "branches",
                  "remote_queries", "snapshots_used", "warnings",
-                 "fused_pipelines", "session_decisions")
+                 "fused_pipelines", "session_decisions", "capture_reads",
+                 "reads")
 
     def __init__(self, clock=None, timeline=None, trace=None, session=None):
         self.clock = clock
@@ -73,6 +74,14 @@ class ExecutionContext:
         #: Session-floor guard decisions: (view, "local"/"remote",
         #: lagging source or None) — EXPLAIN ANALYZE renders these.
         self.session_decisions = []
+        #: History capture: when True (a recording cache set it), guards
+        #: call :meth:`record_read` with full per-read provenance on
+        #: every local serve.  One boolean check on the non-recording
+        #: hot path.
+        self.capture_reads = False
+        #: Structured local-read records (view, table, region, shard,
+        #: snapshot, strictness, per-source applied txns at guard time).
+        self.reads = []
 
     def record_branch(self, label, index):
         self.branches.append((label, index))
@@ -88,6 +97,13 @@ class ExecutionContext:
 
     def record_snapshot(self, snapshot_time):
         self.snapshots_used.append(snapshot_time)
+
+    def record_read(self, view, table, region, shard, snapshot, strict,
+                    sources):
+        self.reads.append({
+            "view": view, "table": table, "region": region, "shard": shard,
+            "snapshot": snapshot, "strict": strict, "sources": sources,
+        })
 
     def record_warning(self, message):
         self.warnings.append(message)

@@ -52,6 +52,11 @@ class FleetConfig:
     failure_threshold: int = 3
     reset_timeout: float = 5.0
     max_remote_wait: float = 60.0
+    #: Capture a seed-deterministic run history (repro.history): one
+    #: shared recorder across every node, the back-end's commit points
+    #: and the fleet event log.  Off by default — recording costs a few
+    #: percent on the hot path.
+    record_history: bool = False
     #: Extra keyword arguments forwarded to every FleetNode/MTCache
     #: (``fallback_policy``, ``warmup_seconds``, ``failover_threshold``...).
     node_kwargs: dict = field(default_factory=dict)

@@ -88,7 +88,21 @@ class FleetRouter:
         legs = self.scatter_split(sql)
         if legs is None:
             return self._execute_one(sql, bound=bound, session=session)
-        return self._execute_scatter(legs, bound=bound, session=session)
+        merged = self._execute_scatter(legs, bound=bound, session=session)
+        recorder = self.fleet.history
+        if recorder is not None:
+            recorder.record_scatter(
+                node=merged.node,
+                sql=sql,
+                time=self.fleet.clock.now(),
+                legs=[
+                    getattr(r, "history_qid", None)
+                    for r in merged.shard_results
+                ],
+                shards=[r.shard for r in merged.shard_results],
+                rows=len(merged.rows),
+            )
+        return merged
 
     # ------------------------------------------------------------------
     # Scatter-gather over a sharded back-end
@@ -295,7 +309,8 @@ class CacheFleet:
 
     def __init__(self, backend, n_nodes=None, *, names=None, policy=None,
                  network=None, metrics=None, failure_threshold=None,
-                 reset_timeout=None, max_remote_wait=None, **node_kwargs):
+                 reset_timeout=None, max_remote_wait=None,
+                 record_history=None, **node_kwargs):
         config = backend if isinstance(backend, FleetConfig) else None
         if config is not None:
             backend = config.resolve_backend()
@@ -316,6 +331,10 @@ class CacheFleet:
         max_remote_wait = (
             defaults.max_remote_wait if max_remote_wait is None
             else max_remote_wait
+        )
+        record_history = (
+            defaults.record_history if record_history is None
+            else record_history
         )
         if names is None:
             names = [f"node{i}" for i in range(n_nodes)]
@@ -357,6 +376,29 @@ class CacheFleet:
         self.traces = TraceLog(128)
         self.regions = {}  # base cid -> {node name: per-node cid}
         self._epoch = self.clock.now()
+        #: Optional shared history recorder (repro.history), None when
+        #: recording is off.
+        self.history = None
+        if record_history:
+            from repro.history.recorder import HistoryRecorder
+
+            self.attach_history(
+                record_history
+                if isinstance(record_history, HistoryRecorder)
+                else HistoryRecorder()
+            )
+
+    def attach_history(self, recorder):
+        """Share one :class:`~repro.history.recorder.HistoryRecorder`
+        across the whole deployment: commit observers on every
+        replication source, the fleet event log's sink, and every node's
+        per-query capture.  Returns the recorder."""
+        self.history = recorder
+        recorder.attach_backend(self.backend)
+        recorder.attach_events(self.metrics)
+        for node in self.nodes:
+            node.history = recorder
+        return recorder
 
     # ------------------------------------------------------------------
     # Topology
@@ -516,6 +558,10 @@ class CacheFleet:
           toward (and past) zero.
         * ``guard_outcomes`` — per node: local / remote / stale serve
           counts from ``currency_guard_region_total``.
+        * ``session_guards`` — per node: session-floor guard outcomes
+          (``local`` / ``remote`` / ``degraded``) from
+          ``session_guard_total`` — how often read-your-writes tokens
+          forced a routing decision.
         * ``degraded`` — stale serves forced by back-end unavailability.
         * ``routing`` — queries by serving node.
         * ``breaker_transitions`` — per node, by target state.
@@ -523,6 +569,7 @@ class CacheFleet:
         """
         slack = {}
         outcomes = {}
+        session_guards = {}
         events = dict(self.metrics.events.counts_by_kind())
         for node in self.nodes:
             reg = node.metrics
@@ -541,6 +588,13 @@ class CacheFleet:
                 node_outcomes[outcome] = node_outcomes.get(outcome, 0) + counter.value
             if node_outcomes:
                 outcomes[node.name] = node_outcomes
+            node_session = {}
+            for key, counter in sorted(reg.family("session_guard_total").items()):
+                labels = dict(key)
+                outcome = labels.get("outcome", "-")
+                node_session[outcome] = node_session.get(outcome, 0) + counter.value
+            if node_session:
+                session_guards[node.name] = node_session
             for kind, n in reg.events.counts_by_kind().items():
                 events[kind] = events.get(kind, 0) + n
         routing = {}
@@ -561,6 +615,7 @@ class CacheFleet:
         return {
             "slack": slack,
             "guard_outcomes": outcomes,
+            "session_guards": session_guards,
             "degraded": degraded,
             "routing": routing,
             "breaker_transitions": breakers,

@@ -362,7 +362,15 @@ class FleetNode(MTCache):
                     f"degraded: back-end unreachable from {node.name}; serving "
                     f"{view.name} beyond its {bound:g}s bound"
                 )
-                ctx.record_snapshot(node._view_snapshot(view, shard))
+                snapshot = node._view_snapshot(view, shard)
+                ctx.record_snapshot(snapshot)
+                if ctx.capture_reads:
+                    ctx.record_read(
+                        view.name, view.base_table, view.region, shard,
+                        snapshot,
+                        node.table_consistency(view.base_table) == "strict",
+                        node._read_sources(view.region, shard),
+                    )
                 node.metrics.counter(
                     "currency_guard_degraded_total", labels={"view": view.name},
                     help="guard fallbacks forced by back-end unavailability",

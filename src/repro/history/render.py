@@ -1,0 +1,101 @@
+"""ASCII rendering of histories and certification reports.
+
+:func:`ascii_timeline` buckets a history onto one fixed-width time axis
+with one lane per commit source, one per serving node, and one for
+fault/lifecycle events — enough to see, in a terminal, where the faults
+landed relative to the reads that absorbed them.  :func:`
+render_certificates` prints a certification report, one check per line
+plus the anomalies.  Both render from simulated timestamps only, so the
+output is deterministic for a seeded run.
+"""
+
+__all__ = ["ascii_timeline", "render_certificates"]
+
+
+def _bucket_char(n):
+    if n <= 0:
+        return "."
+    if n < 10:
+        return str(n)
+    return "+"
+
+
+def ascii_timeline(history, width=64):
+    """Render ``history`` as lane-per-actor bucket counts; returns a
+    list of lines."""
+    records = [r for r in history if r.get("time") is not None]
+    if not records:
+        return ["(empty history)"]
+    times = [r["time"] for r in records]
+    t0, t1 = min(times), max(times)
+    span = max(t1 - t0, 1e-9)
+    per_col = span / width
+
+    def bucket(t):
+        return min(int((t - t0) / span * width), width - 1)
+
+    lanes = {}  # (order, label) -> [count] * width
+    flags = {}  # (order, label) -> {column: char override}
+
+    def lane(order, label):
+        key = (order, label)
+        if key not in lanes:
+            lanes[key] = [0] * width
+            flags[key] = {}
+        return lanes[key], flags[key]
+
+    for r in records:
+        kind = r["kind"]
+        if kind == "commit":
+            counts, _ = lane(0, f"commits {r['source']}")
+            counts[bucket(r["time"])] += 1
+        elif kind in ("query", "dml"):
+            counts, over = lane(1, f"queries {r['node']}")
+            col = bucket(r["time"])
+            counts[col] += 1
+            if kind == "query" and r["warnings"]:
+                over[col] = "d"  # degraded serve in this bucket
+        elif kind == "event":
+            counts, over = lane(2, "events")
+            col = bucket(r["time"])
+            counts[col] += 1
+            if r["severity"] in ("warning", "error"):
+                over[col] = "!"
+
+    lines = [
+        f"t={t0:g}..{t1:g}s  ({width} cols, {per_col:.3g}s/col; "
+        "digits=count, +=10+, d=degraded, !=fault)"
+    ]
+    label_width = max(len(label) for _, label in lanes)
+    for (order, label) in sorted(lanes):
+        counts = lanes[(order, label)]
+        over = flags[(order, label)]
+        row = "".join(
+            over.get(i, _bucket_char(n)) for i, n in enumerate(counts)
+        )
+        lines.append(f"{label.ljust(label_width)} |{row}|")
+    return lines
+
+
+def render_certificates(report):
+    """One line per certificate plus its anomalies; returns lines."""
+    lines = []
+    for cert in report.certificates:
+        verdict = "ok  " if cert.ok else "FAIL"
+        detail = ""
+        if cert.details:
+            detail = "  " + " ".join(
+                f"{k}={v}" for k, v in sorted(cert.details.items())
+                if not isinstance(v, dict)
+            )
+        lines.append(
+            f"[{verdict}] {cert.check}: checked={cert.checked} "
+            f"anomalies={len(cert.anomalies)}{detail}".rstrip()
+        )
+        for anomaly in cert.anomalies:
+            lines.append(f"       - {anomaly.message}")
+    lines.append(
+        f"certification: {len(report.anomalies)} anomalies over "
+        f"{len(report.history)} records"
+    )
+    return lines

@@ -40,6 +40,10 @@ class EventLog:
     def __init__(self, capacity=256):
         self.capacity = capacity
         self._entries = []
+        #: Optional live tap (``sink(event)`` on every record): the ring
+        #: forgets, the sink — e.g. a history recorder — keeps the full
+        #: sequence of a run.
+        self.sink = None
 
     def record(self, kind, message, severity="info", time=None, **attrs):
         """Append an event; returns it (or None when capacity is 0)."""
@@ -49,6 +53,8 @@ class EventLog:
         self._entries.append(event)
         if len(self._entries) > self.capacity:
             del self._entries[: len(self._entries) - self.capacity]
+        if self.sink is not None:
+            self.sink(event)
         return event
 
     def recent(self, n=20, kind=None, min_severity=None):

@@ -167,6 +167,11 @@ class ShardedBackend(Backend):
             for i, p in enumerate(self.partitions)
         ]
 
+    def transaction_managers(self):
+        return [
+            (f"p{i}", p.txn_manager) for i, p in enumerate(self.partitions)
+        ]
+
     def partition_column(self, table_name):
         return self._partition_columns.get(table_name.lower())
 

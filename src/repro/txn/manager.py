@@ -84,6 +84,10 @@ class TransactionManager:
         self.log = ReplicationLog()
         self._next_txn_id = 1
         self.committed = []  # list of (txn_id, commit_time) in order
+        #: Commit observers (``callback(txn)`` after a successful commit);
+        #: the history recorder registers here.  Kept as a plain list so
+        #: the non-observed commit path pays one truthiness check.
+        self.observers = []
 
     def register_table(self, table):
         self._tables[table.name] = table
@@ -142,6 +146,9 @@ class TransactionManager:
         txn.txn_id = txn_id
         txn.commit_time = commit_time
         txn.state = "committed"
+        if self.observers:
+            for observer in self.observers:
+                observer(txn)
 
     def run(self, callback):
         """Run ``callback(txn)`` inside a new transaction and commit it.
