@@ -9,7 +9,8 @@ so the perf trajectory is recorded per PR (BENCH_2: batch engine;
 BENCH_3: cache fleet; BENCH_4: tracing overhead; BENCH_5: chaos
 recovery; BENCH_6: sharded back-end scaling; BENCH_7: columnar engine +
 plan snapshots, keyed per engine mode; BENCH_8: session write path +
-ledger workload; BENCH_9: history-recording overhead).
+ledger workload; BENCH_9: history-recording overhead; BENCH_10: shard
+replica failover).
 """
 
 import json
@@ -20,7 +21,7 @@ import pytest
 from repro.workloads.experiment import build_paper_setup
 
 #: Accumulates {workload/section -> metrics} per summary file.
-_BENCH = {f"BENCH_{n}.json": {} for n in range(2, 10)}
+_BENCH = {f"BENCH_{n}.json": {} for n in range(2, 11)}
 
 
 def _recorder(n):

@@ -1,0 +1,116 @@
+"""Benchmark: shard-primary failover under the mixed ledger workload
+(PR 10's tentpole acceptance run).
+
+One scripted scenario: a 3-node fleet over 2 back-end shards with one
+log-shipping standby each runs the 10 %-write double-entry ledger; at
+35 % of the run one shard primary crashes, the heartbeat failure
+detector promotes its standby, and the workload keeps flowing.  The
+acceptance bar: >= 99 % of queries inside the failover window are
+served (fresh or explicitly degraded), zero invariant violations, and
+zero certification anomalies over the recorded history.
+
+A second, back-end-only section sweeps the detector's
+``failure_timeout`` to chart what the promotion latency buys: the
+latency is silence threshold + detection cadence, deterministic per
+seed, so the sweep doubles as a regression fence on detection time.
+
+Headline numbers land in ``benchmarks/BENCH_10.json``.
+
+Run:  pytest benchmarks/test_bench_failover.py -s
+"""
+
+from repro.chaos import ChaosScheduler
+from repro.chaos.env import build_ledger_fleet
+from repro.shard import ShardedBackend
+
+DURATION = 45.0
+SEED = 7
+MIN_SERVED = 0.99
+
+
+def test_ledger_failover_meets_acceptance_bar(bench_recorder):
+    fleet, workload = build_ledger_fleet(
+        partitions=2, replicas=1, record_history=True,
+    )
+    chaos = ChaosScheduler(fleet, seed=SEED)
+    shard = SEED % fleet.backend.partition_count
+    chaos.backend_crash(shard, 0.35 * DURATION)
+    report = chaos.run(DURATION, workload=workload)
+
+    assert report.violations == []
+    promotions = report.promotions()
+    assert len(promotions) == 1
+    promoted_shard, crashed_at, promoted_at, latency, epoch = promotions[0]
+    assert promoted_shard == shard and epoch == 1
+
+    served = report.served_fraction()
+    assert served >= MIN_SERVED
+
+    counts = {}
+    for _, status in report.outcomes:
+        counts[status] = counts.get(status, 0) + 1
+    total = sum(counts.values())
+    degraded_fraction = counts.get("degraded", 0) / total if total else 0.0
+
+    certification = report.summary()["certification"]
+    assert certification["anomalies"] == 0
+
+    snap = fleet.metrics.snapshot()
+    degraded_reads = sum(
+        v for k, v in snap.items()
+        if k.startswith("fleet_failover_degraded_total")
+    )
+    blocked_reads = sum(
+        v for k, v in snap.items()
+        if k.startswith("fleet_failover_blocked_total")
+    )
+
+    bench_recorder(10)["ledger_failover"] = {
+        "seed": SEED,
+        "duration_s": DURATION,
+        "queries": total,
+        "promotion_latency_s": round(latency, 6),
+        "crashed_at_s": round(crashed_at, 6),
+        "promoted_at_s": round(promoted_at, 6),
+        "served_fraction_in_window": round(served, 6),
+        "degraded_read_fraction": round(degraded_fraction, 6),
+        "failover_degraded_reads": degraded_reads,
+        "failover_blocked_reads": blocked_reads,
+        "invariant_violations": len(report.violations),
+        "certification_anomalies": certification["anomalies"],
+    }
+    print(
+        f"\nfailover: promoted p{promoted_shard} in {latency:.2f}s, "
+        f"served {served:.1%} in-window, "
+        f"degraded {degraded_fraction:.1%} of {total} queries"
+    )
+
+
+def _promotion_latency(failure_timeout):
+    backend = ShardedBackend(
+        2, replicas=1, failure_timeout=failure_timeout,
+    )
+    backend.create_table(
+        "CREATE TABLE kv (k INT NOT NULL, v INT NOT NULL, PRIMARY KEY (k))"
+    )
+    backend.execute(
+        "INSERT INTO kv VALUES " + ", ".join(f"({i}, {i})" for i in range(32))
+    )
+    backend.scheduler.run_until(5.0)
+    crashed_at = backend.crash_primary(0)
+    backend.scheduler.run_until(crashed_at + failure_timeout + 5.0)
+    assert len(backend.promotions) == 1
+    return backend.promotions[0]["time"] - crashed_at
+
+
+def test_detector_timeout_sweep(bench_recorder):
+    sweep = {}
+    for timeout in (0.75, 1.5, 3.0):
+        latency = _promotion_latency(timeout)
+        # Latency = heartbeat silence past ``timeout`` caught at the next
+        # 0.25 s detector sweep: strictly ordered, near the timeout.
+        assert timeout < latency <= timeout + 1.0
+        sweep[f"{timeout:g}s"] = round(latency, 6)
+    assert list(sweep.values()) == sorted(sweep.values())
+    bench_recorder(10)["detector_timeout_sweep"] = sweep
+    print(f"\ndetector sweep (timeout -> promotion latency): {sweep}")

@@ -114,7 +114,7 @@ def test_fleet_rides_out_backend_outage(benchmark, bench3_recorder):
 
     snap = report.metrics["fleet"]
     retries = sum(v for k, v in snap.items()
-                  if k.startswith("fleet_retries_total"))
+                  if k.startswith("fleet_remote_retries_total"))
     transitions = sum(v for k, v in snap.items()
                       if k.startswith("fleet_breaker_transitions_total"))
     degraded = sum(v for k, v in snap.items()

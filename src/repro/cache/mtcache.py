@@ -898,7 +898,8 @@ class MTCache:
                 continue
             checked = True
             agent = self.agents.get(key)
-            if agent is None or agent.applied_txn < floor:
+            applied = agent.applied_txn if agent is not None else 0
+            if not session.covers(source, applied):
                 return True, source
         return checked, None
 

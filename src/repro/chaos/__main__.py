@@ -2,6 +2,7 @@
 
     python -m repro.chaos --seed 11 --duration 60
     python -m repro.chaos --workload ledger --seed 23 --duration 45
+    python -m repro.chaos --fault backend_crash
 
 Prints the run's fault/recovery history (simulated timestamps only) and
 a deterministic JSON summary — the same seed must print the same bytes,
@@ -9,6 +10,12 @@ which is what the CI chaos-smoke job verifies by diffing two runs.  The
 ``ledger`` workload replaces the read-only point lookups with the mixed
 read/write double-entry stream, adding the read-your-writes and
 balance-conservation audits to the invariant set.
+
+``--fault backend_crash`` scripts the shard-failover scenario instead of
+the random mix: one back-end shard primary crashes mid-workload, the
+failure detector promotes its freshest replica, and the run records +
+certifies its full history — the exit code also fails on certification
+anomalies, which is what the CI failover-chaos job gates on.
 """
 
 import argparse
@@ -30,30 +37,56 @@ def main(argv=None):
     parser.add_argument("--nodes", type=int, default=3)
     parser.add_argument("--partitions", type=int, default=1,
                         help="back-end shard count (1 = single server)")
+    parser.add_argument("--replicas", type=int, default=None,
+                        help="log-shipping standbys per shard (default 0; "
+                             "1 under --fault backend_crash)")
     parser.add_argument("--workload", choices=("lookup", "ledger"),
                         default="lookup",
                         help="read-only point lookups (default) or the "
                              "mixed read/write double-entry ledger")
+    parser.add_argument("--fault", choices=("random", "backend_crash"),
+                        default="random",
+                        help="the seeded random fault mix (default), or a "
+                             "scripted shard-primary crash with replica "
+                             "promotion (records + certifies the history)")
     args = parser.parse_args(argv)
 
+    failover = args.fault == "backend_crash"
+    replicas = args.replicas
+    if replicas is None:
+        replicas = 1 if failover else 0
+    if failover and replicas < 1:
+        parser.error("--fault backend_crash needs --replicas >= 1")
+
+    build_kwargs = {
+        "n_nodes": args.nodes, "partitions": args.partitions,
+        "replicas": replicas, "record_history": failover,
+    }
     workload = None
     if args.workload == "ledger":
-        fleet, workload = build_ledger_fleet(
-            n_nodes=args.nodes, partitions=args.partitions,
-        )
+        fleet, workload = build_ledger_fleet(**build_kwargs)
     else:
-        fleet = build_demo_fleet(n_nodes=args.nodes, partitions=args.partitions)
+        fleet = build_demo_fleet(**build_kwargs)
     chaos = ChaosScheduler(fleet, seed=args.seed)
-    chaos.random_schedule(args.duration)
+    if failover:
+        # One scripted primary crash mid-workload: the shard is seeded,
+        # the crash lands at 35% of the run, and the failure detector
+        # does the rest.  No other faults, so the served fraction and
+        # the certification verdict isolate the failover machinery.
+        shard = args.seed % fleet.backend.partition_count
+        chaos.backend_crash(shard, 0.35 * args.duration)
+    else:
+        chaos.random_schedule(args.duration)
     report = chaos.run(args.duration, workload=workload)
 
     print(f"# chaos seed={args.seed} duration={args.duration:g}s "
           f"nodes={args.nodes} partitions={args.partitions} "
-          f"workload={args.workload}")
+          f"replicas={replicas} workload={args.workload} fault={args.fault}")
     for line in report.history_lines():
         print(line)
     print(json.dumps(report.summary(), indent=2, sort_keys=True))
-    return 1 if report.violations else 0
+    anomalies = (report.certification or {}).get("anomalies", 0)
+    return 1 if (report.violations or anomalies) else 0
 
 
 if __name__ == "__main__":

@@ -21,10 +21,10 @@ __all__ = [
 ]
 
 
-def build_demo_fleet(n_nodes=3, n_rows=400, *, partitions=1, config=None,
-                     policy="round_robin", failover_threshold=2.5,
-                     warmup_seconds=1.0, reset_timeout=0.5,
-                     record_history=False, **node_kwargs):
+def build_demo_fleet(n_nodes=3, n_rows=400, *, partitions=1, replicas=0,
+                     config=None, policy="round_robin",
+                     failover_threshold=2.5, warmup_seconds=1.0,
+                     reset_timeout=0.5, record_history=False, **node_kwargs):
     """A ready-to-break fleet: region ``r`` + view ``profile_copy``.
 
     Fast knobs relative to the fleet benchmarks — 1 s agent cadence,
@@ -39,8 +39,9 @@ def build_demo_fleet(n_nodes=3, n_rows=400, *, partitions=1, config=None,
     """
     if config is None:
         config = FleetConfig(
-            nodes=n_nodes, partitions=partitions, policy=policy,
-            reset_timeout=reset_timeout, record_history=record_history,
+            nodes=n_nodes, partitions=partitions, replicas=replicas,
+            policy=policy, reset_timeout=reset_timeout,
+            record_history=record_history,
         )
     elif record_history:
         config.record_history = True
@@ -69,7 +70,7 @@ def build_demo_fleet(n_nodes=3, n_rows=400, *, partitions=1, config=None,
     return fleet
 
 
-def build_ledger_fleet(n_nodes=3, *, partitions=1, config=None,
+def build_ledger_fleet(n_nodes=3, *, partitions=1, replicas=0, config=None,
                        policy="round_robin", failover_threshold=2.5,
                        warmup_seconds=1.0, reset_timeout=0.5,
                        n_accounts=64, write_rate=0.1, workload_seed=7,
@@ -85,8 +86,9 @@ def build_ledger_fleet(n_nodes=3, *, partitions=1, config=None,
     """
     if config is None:
         config = FleetConfig(
-            nodes=n_nodes, partitions=partitions, policy=policy,
-            reset_timeout=reset_timeout, record_history=record_history,
+            nodes=n_nodes, partitions=partitions, replicas=replicas,
+            policy=policy, reset_timeout=reset_timeout,
+            record_history=record_history,
         )
     elif record_history:
         config.record_history = True

@@ -53,6 +53,7 @@ class InvariantChecker:
         self.violations = []
         self.results_checked = 0
         self.views_checked = 0
+        self.replicas_checked = 0
         #: Read-your-writes audit counters (fed by :meth:`check_ryw`):
         #: 100% satisfaction = checked == satisfied + excused and no
         #: ``read_your_writes`` violations recorded.
@@ -220,6 +221,41 @@ class InvariantChecker:
                         local_rows=len(actual), expected_rows=len(expected),
                         time=self.fleet.clock.now(),
                     ))
+        found.extend(self.check_replica_convergence())
+        return found
+
+    def check_replica_convergence(self):
+        """After recovery + catch-up, every surviving standby must hold
+        exactly its primary's rows — log shipping is complete, not
+        approximate.  No-op over back-ends without shard replicas."""
+        backend = self.fleet.backend
+        replicas = getattr(backend, "replicas", None)
+        if not replicas:
+            return []
+        found = []
+        for shard, standbys in sorted(replicas.items()):
+            primary = backend.partitions[shard]
+            for replica in standbys:
+                self.replicas_checked += 1
+                for entry in primary.catalog.tables():
+                    expected = sorted(
+                        tuple(values) for _, values in entry.table.scan()
+                    )
+                    mirror = replica.server.catalog.table(entry.name)
+                    actual = sorted(
+                        tuple(values) for _, values in mirror.table.scan()
+                    )
+                    if expected != actual:
+                        found.append(self._record(
+                            "replica_convergence",
+                            f"replica p{shard}/r{replica.replica_id} diverged "
+                            f"from its primary on {entry.name}: "
+                            f"{len(actual)} rows vs {len(expected)} expected",
+                            shard=shard, replica=replica.replica_id,
+                            table=entry.name, local_rows=len(actual),
+                            expected_rows=len(expected),
+                            time=self.fleet.clock.now(),
+                        ))
         return found
 
     # ------------------------------------------------------------------

@@ -33,6 +33,7 @@ __all__ = ["ChaosReport", "ChaosScheduler", "HISTORY_KINDS"]
 HISTORY_KINDS = frozenset({
     "outage", "partition", "agent_stall", "lifecycle",
     "failover", "breaker", "invariant", "certify",
+    "backend_crash", "promotion",
 })
 
 
@@ -95,6 +96,24 @@ class ChaosReport:
                             event.time - crashed_at))
         return out
 
+    def promotions(self):
+        """Per completed primary-crash→promotion cycle: ``(shard,
+        crashed_at, promoted_at, failover_seconds, epoch)`` — the
+        back-end tier's counterpart of :meth:`recoveries`."""
+        pending = {}
+        out = []
+        for event in self.fleet.metrics.events:
+            if event.kind == "backend_crash" and event.severity == "error":
+                pending[event.attrs.get("shard")] = event.time
+            elif event.kind == "promotion":
+                shard = event.attrs.get("shard")
+                if shard in pending:
+                    crashed_at = pending.pop(shard)
+                    out.append((shard, crashed_at, event.time,
+                                event.time - crashed_at,
+                                event.attrs.get("epoch")))
+        return out
+
     def served_fraction(self, windows=None):
         """Fraction of queries inside the fault windows that were served —
         fresh or *explicitly* degraded — rather than erroring.  1.0 when
@@ -134,9 +153,17 @@ class ChaosReport:
                  "up_at": round(up, 6), "seconds": round(delta, 6)}
                 for node, crashed, up, delta in self.recoveries()
             ],
+            "promotions": [
+                {"shard": shard, "crashed_at": round(crashed, 6),
+                 "promoted_at": round(up, 6), "seconds": round(delta, 6),
+                 "epoch": epoch}
+                for shard, crashed, up, delta, epoch in self.promotions()
+            ],
             "served_ok_fraction_in_fault_windows":
                 round(self.served_fraction(), 6),
         }
+        if getattr(self.checker, "replicas_checked", 0):
+            out["replicas_checked"] = self.checker.replicas_checked
         ryw_checked = getattr(self.checker, "ryw_checked", 0)
         if ryw_checked:
             out["read_your_writes"] = {
@@ -255,8 +282,37 @@ class ChaosScheduler:
         self.fault_windows.append((when, when + duration))
         return when
 
+    def backend_crash(self, shard, at):
+        """Crash one back-end shard primary ``at`` seconds from now.
+
+        With replicas configured, the backend's failure detector promotes
+        the freshest standby once the heartbeat silence exceeds its
+        timeout; the fault window closes at that promotion (a promotion
+        listener patches it), or stays open until recovery for a
+        replica-less shard.
+        """
+        backend = self.fleet.backend
+        when = self.fleet.clock.now() + at
+        window = [when, None]
+
+        def close(info, shard=shard % backend.partition_count):
+            if info["shard"] == shard and window[1] is None:
+                window[1] = info["time"]
+
+        backend.add_promotion_listener(close)
+
+        def do_crash():
+            if not backend.shard_is_down(shard):
+                backend.crash_primary(shard)
+
+        backend.scheduler.at(when, do_crash, name=f"chaos:backend_crash:p{shard}")
+        self.faults.append({"kind": "backend_crash", "shard": shard, "at": when})
+        self.fault_windows.append(window)
+        return when
+
     def random_schedule(self, duration, *, n_crashes=2, n_outages=1,
-                        n_partitions=1, n_stalls=1, n_shard_outages=1):
+                        n_partitions=1, n_stalls=1, n_shard_outages=1,
+                        n_backend_crashes=1):
         """Place a full fault mix inside ``duration`` from the seeded rng.
 
         Crashes restart while the run is still going; stalls are sized to
@@ -291,6 +347,13 @@ class ChaosScheduler:
                 self.shard_outage(rng.randrange(partitions),
                                   rng.uniform(0.55, 0.75) * duration,
                                   rng.uniform(0.05, 0.1) * duration)
+        # Primary crashes only make sense with standbys to promote — and,
+        # like shard outages, draw nothing from the rng otherwise, so
+        # turning replicas on/off never perturbs the rest of the schedule.
+        if getattr(self.fleet.backend, "replica_count", 0) > 0:
+            for _ in range(n_backend_crashes):
+                self.backend_crash(rng.randrange(partitions),
+                                   rng.uniform(0.3, 0.5) * duration)
         return self.faults
 
     # ------------------------------------------------------------------
@@ -394,6 +457,11 @@ class ChaosScheduler:
         """Clear faults, restart the dead, catch every agent up to now."""
         fleet = self.fleet
         fleet.network.clear_faults()
+        backend = fleet.backend
+        if hasattr(backend, "ensure_primaries"):
+            # Promote any shard still fenced at run end (chaos recovery
+            # must not wait out the failure detector).
+            backend.ensure_primaries()
         for node in fleet.nodes:
             if node.lifecycle is NodeLifecycle.CRASHED:
                 node.restart()
@@ -404,6 +472,8 @@ class ChaosScheduler:
         for node in fleet.nodes:
             for agent in node.agents.values():
                 agent.propagate(cutoff=now)
+        if hasattr(backend, "catchup_replicas"):
+            backend.catchup_replicas()
 
     def __repr__(self):
         return f"<ChaosScheduler seed={self.seed} faults={len(self.faults)}>"

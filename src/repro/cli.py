@@ -188,6 +188,17 @@ class Shell:
         if rows:
             line += " rows=[" + ",".join(str(n) for n in rows) + "]"
         self.write(line)
+        for shard in backend.get("shards", []):
+            if shard["shard"] is None:
+                continue  # unsharded back-ends report one placeholder row
+            replicas = ", ".join(
+                f"r{r['replica']} applied={r['applied_txn']} lag={r['lag']}"
+                for r in shard["replicas"]
+            ) or "none"
+            self.write(
+                f"  p{shard['shard']}: primary={shard['primary'].upper()} "
+                f"epoch={shard['epoch']} replicas=[{replicas}]"
+            )
         for name, info in sorted(status["nodes"].items()):
             staleness = info["staleness"]
             staleness_text = f"{staleness:.2f}s" if staleness is not None else "unknown"
@@ -234,6 +245,11 @@ class Shell:
             self.write(
                 f"recovered {recovery['node']} in {recovery['seconds']:.2f}s "
                 f"(crashed t={recovery['crashed_at']:g})"
+            )
+        for promo in summary["promotions"]:
+            self.write(
+                f"promoted shard p{promo['shard']} in {promo['seconds']:.2f}s "
+                f"(crashed t={promo['crashed_at']:g}, epoch {promo['epoch']})"
             )
         n = summary["invariant_violations"]
         if n:

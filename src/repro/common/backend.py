@@ -173,6 +173,19 @@ class Backend:
         partition-column value (None: the table is not partitioned)."""
         return None
 
+    def shards_available(self, shards=None):
+        """True when every partition in ``shards`` (all, if None) has a
+        live primary serving reads and writes.  Single-node back-ends
+        have no role machinery, so they are always available at this
+        layer — network faults are modelled above, in the fleet shim."""
+        return True
+
+    def dml_shards(self, stmt):
+        """Best-effort pin: the partitions a DML statement would run on,
+        or None when unknown.  Lets the fleet scope write availability to
+        the owning shard during a failover elsewhere."""
+        return None
+
     def bulk_load(self, table_name, rows):
         """Load pre-built value tuples through the transaction manager
         (they still flow down the replication log, in one batch commit).
@@ -193,4 +206,7 @@ class Backend:
             "kind": type(self).__name__,
             "partitions": self.partition_count,
             "tables": sorted(t.name for t in self.catalog.tables()),
+            "shards": [
+                {"shard": None, "epoch": 0, "primary": "up", "replicas": []}
+            ],
         }

@@ -41,6 +41,10 @@ class FleetConfig:
 
     nodes: int = 3
     partitions: int = 1
+    #: Log-shipping standbys per back-end shard (>0 forces a
+    #: ShardedBackend even at one partition, so the failover machinery —
+    #: fencing, detection, promotion — is available).
+    replicas: int = 0
     policy: str = "round_robin"
     names: list = None
     backend: object = None
@@ -52,6 +56,9 @@ class FleetConfig:
     failure_threshold: int = 3
     reset_timeout: float = 5.0
     max_remote_wait: float = 60.0
+    #: Slack added past a covering outage window before a node's deferred
+    #: restart retries (None: FleetNode's module default, 1 ms).
+    restart_defer_epsilon: float = None
     #: Capture a seed-deterministic run history (repro.history): one
     #: shared recorder across every node, the back-end's commit points
     #: and the fleet event log.  Off by default — recording costs a few
@@ -66,6 +73,8 @@ class FleetConfig:
             raise ValueError("a fleet needs at least one node")
         if self.partitions < 1:
             raise ValueError("a back-end needs at least one partition")
+        if self.replicas < 0:
+            raise ValueError("replicas must be >= 0")
         if self.names is not None and len(self.names) != self.nodes:
             raise ValueError(
                 f"{len(self.names)} names for {self.nodes} nodes"
@@ -90,12 +99,12 @@ class FleetConfig:
                 )
             self.partitions = count
             return self.backend
-        if self.partitions > 1:
+        if self.partitions > 1 or self.replicas > 0:
             from repro.shard.backend import ShardedBackend
 
             return ShardedBackend(
                 self.partitions, clock=self.clock, scheduler=self.scheduler,
-                cost_model=self.cost_model,
+                cost_model=self.cost_model, replicas=self.replicas,
             )
         from repro.cache.backend import BackendServer
 

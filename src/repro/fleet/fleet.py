@@ -310,7 +310,8 @@ class CacheFleet:
     def __init__(self, backend, n_nodes=None, *, names=None, policy=None,
                  network=None, metrics=None, failure_threshold=None,
                  reset_timeout=None, max_remote_wait=None,
-                 record_history=None, **node_kwargs):
+                 restart_defer_epsilon=None, record_history=None,
+                 **node_kwargs):
         config = backend if isinstance(backend, FleetConfig) else None
         if config is not None:
             backend = config.resolve_backend()
@@ -332,6 +333,10 @@ class CacheFleet:
             defaults.max_remote_wait if max_remote_wait is None
             else max_remote_wait
         )
+        restart_defer_epsilon = (
+            defaults.restart_defer_epsilon if restart_defer_epsilon is None
+            else restart_defer_epsilon
+        )
         record_history = (
             defaults.record_history if record_history is None
             else record_history
@@ -352,6 +357,15 @@ class CacheFleet:
             # the fleet's.
             network.registry = self.metrics
         self.network = network
+        # A registry-less back-end reports into the fleet's too, so shard
+        # crash/promotion events land in the same event log the chaos
+        # history and the certifier read.
+        if isinstance(getattr(backend, "metrics", None), NullRegistry):
+            backend.metrics = self.metrics
+        # Shard-role availability (a fenced primary awaiting promotion)
+        # counts as network unavailability for every node.
+        if getattr(backend, "replica_count", 0) > 0 or hasattr(backend, "shard_is_down"):
+            network.role_faults = backend.shards_available
         #: Fleet-shared precompiled-plan snapshot store: the first node to
         #: optimize a statement publishes; identically-configured peers
         #: instantiate without re-parse/re-optimize (see repro.plan).
@@ -365,11 +379,14 @@ class CacheFleet:
                 failure_threshold=failure_threshold,
                 reset_timeout=reset_timeout,
                 max_remote_wait=max_remote_wait,
+                restart_defer_epsilon=restart_defer_epsilon,
                 snapshot_store=self.snapshot_store,
                 **node_kwargs,
             )
             for name in names
         ]
+        if hasattr(backend, "add_promotion_listener"):
+            backend.add_promotion_listener(self._on_promotion)
         self.router = FleetRouter(self, policy)
         #: Recent end-to-end query traces (router → node → network), for
         #: the CLI's ``\trace`` and post-mortem inspection.
@@ -387,6 +404,21 @@ class CacheFleet:
                 if isinstance(record_history, HistoryRecorder)
                 else HistoryRecorder()
             )
+
+    def _on_promotion(self, info):
+        """Re-resolve the cache tier onto a freshly promoted shard
+        primary: every agent tailing the dead primary's log re-binds to
+        the new one's (the replica's log is a prefix-consistent copy, so
+        agent checkpoints stay valid), and fleet-shared plan snapshots
+        are dropped — they may embed placements chosen against the dead
+        server's statistics."""
+        shard = info["shard"]
+        for node in self.nodes:
+            for agent in node.agents.values():
+                if getattr(agent, "shard_id", None) == shard:
+                    agent.backend_catalog = info["catalog"]
+                    agent.log = info["log"]
+        self.snapshot_store.invalidate(reason="shard-promotion")
 
     def attach_history(self, recorder):
         """Share one :class:`~repro.history.recorder.HistoryRecorder`
@@ -563,6 +595,8 @@ class CacheFleet:
           ``session_guard_total`` — how often read-your-writes tokens
           forced a routing decision.
         * ``degraded`` — stale serves forced by back-end unavailability.
+        * ``deferred_restarts`` — per node: restarts that had to wait out
+          an unreachable back-end (each with its scheduled retry time).
         * ``routing`` — queries by serving node.
         * ``breaker_transitions`` — per node, by target state.
         * ``events`` — fleet + node event-log counts by kind.
@@ -612,11 +646,16 @@ class CacheFleet:
             breakers.setdefault(labels.get("node", "-"), {})[labels.get("to", "-")] = (
                 counter.value
             )
+        deferred = {
+            node.name: [dict(d) for d in node.restart_deferrals]
+            for node in self.nodes if node.restart_deferrals
+        }
         return {
             "slack": slack,
             "guard_outcomes": outcomes,
             "session_guards": session_guards,
             "degraded": degraded,
+            "deferred_restarts": deferred,
             "routing": routing,
             "breaker_transitions": breakers,
             "events": events,

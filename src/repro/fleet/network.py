@@ -87,7 +87,12 @@ class SimulatedNetwork:
         self.clock = clock
         self.scheduler = scheduler
         self.registry = registry if registry is not None else NULL_REGISTRY
+        self.seed = seed
         self.rng = random.Random(seed)
+        #: Optional role-level availability probe (set by the fleet to the
+        #: back-end's ``shards_available``): a shard whose primary is
+        #: fenced mid-failover is unreachable even with no outage window.
+        self.role_faults = None
         self.latency = latency
         self.jitter = jitter
         self.drop_rate = drop_rate
@@ -170,9 +175,15 @@ class SimulatedNetwork:
         """True when no outage (or, given ``node``, partition) window
         covers the current instant for that caller.  ``shards`` declares
         which partitions the caller would touch; shard-scoped windows on
-        other partitions don't block it (undeclared = touches all)."""
+        other partitions don't block it (undeclared = touches all).
+        Role faults (a fenced shard primary awaiting promotion) count as
+        unavailability the same way, via the ``role_faults`` probe."""
         now = self.clock.now() if now is None else now
-        return not any(w.applies_to(now, node, shards=shards) for w in self._outages)
+        if any(w.applies_to(now, node, shards=shards) for w in self._outages):
+            return False
+        if self.role_faults is not None and not self.role_faults(shards):
+            return False
+        return True
 
     def outage_ends_at(self, now=None, node=None):
         """End of the outage/partition window covering ``now`` for
@@ -282,6 +293,19 @@ class SimulatedNetwork:
                 self.registry.counter(
                     "fleet_agent_stall_skips_total", labels={"node": node or "-"},
                     help="agent propagation wakes skipped by injected stalls",
+                ).inc()
+                return 0
+            if (
+                self.role_faults is not None
+                and shard is not None
+                and not self.role_faults((shard,))
+            ):
+                # The agent's shard primary is fenced: its log is frozen
+                # mid-failover and must not be tailed until promotion
+                # re-binds the agent to the new primary's log.
+                self.registry.counter(
+                    "fleet_agent_fence_skips_total", labels={"node": node or "-"},
+                    help="agent propagation wakes skipped on fenced shard primaries",
                 ).inc()
                 return 0
             return original(cutoff)

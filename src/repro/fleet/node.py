@@ -23,6 +23,7 @@ the simulated clock — waiting out breaker cooldowns — up to
 """
 
 import enum
+import random
 
 from repro.cache.mtcache import MTCache
 from repro.common.errors import CircuitOpenError, FleetStateError, NetworkError
@@ -30,6 +31,17 @@ from repro.fleet.breaker import BreakerState, CircuitBreaker
 from repro.obs.metrics import NULL_REGISTRY
 from repro.replication.agent import DistributionAgent
 from repro.replication.failover import AgentSupervisor
+
+#: Default slack added past a covering outage window before a deferred
+#: restart retries.  Configurable per fleet via
+#: :attr:`~repro.fleet.config.FleetConfig.restart_defer_epsilon`.
+RESTART_DEFER_EPSILON = 1e-3
+
+#: Retry cadence for deferred restarts whose unavailability has no
+#: scheduled end (a fenced shard primary awaiting promotion, rather than
+#: an outage window with a known close).  Polling at the epsilon alone
+#: would spin the scheduler once per millisecond for the whole window.
+RESTART_RETRY_INTERVAL = 0.5
 
 
 class NodeLifecycle(enum.Enum):
@@ -54,7 +66,8 @@ class FleetNode(MTCache):
 
     def __init__(self, name, backend, network, *, fleet_metrics=None,
                  failure_threshold=3, reset_timeout=5.0, max_remote_wait=60.0,
-                 retry_backoff=0.25, warmup_seconds=2.0,
+                 retry_backoff=0.25, retry_backoff_cap=8.0,
+                 restart_defer_epsilon=None, warmup_seconds=2.0,
                  failover_threshold=None, failover_check_interval=None,
                  **mtcache_kwargs):
         self.name = name
@@ -70,7 +83,24 @@ class FleetNode(MTCache):
         #: Ceiling (simulated seconds) a remote-only call may spend riding
         #: out drops, outages and breaker cooldowns before giving up.
         self.max_remote_wait = max_remote_wait
+        #: Base and ceiling of the capped exponential retry backoff.
         self.retry_backoff = retry_backoff
+        self.retry_backoff_cap = retry_backoff_cap
+        #: Slack past a covering outage window before a deferred restart
+        #: retries (None: the module default).
+        self.restart_defer_epsilon = (
+            RESTART_DEFER_EPSILON if restart_defer_epsilon is None
+            else restart_defer_epsilon
+        )
+        #: Deterministic per-node jitter source for retry backoff: seeded
+        #: from the network seed + node name (never the wall clock), so a
+        #: chaos history replays byte-identically under the same seed.
+        self._backoff_rng = random.Random(
+            f"backoff:{getattr(network, 'seed', 0)}:{name}"
+        )
+        #: Deferred-restart records ({"time", "retry_at"}), in order —
+        #: surfaced by the fleet's ``slo_report()``.
+        self.restart_deferrals = []
         #: How long a restarted node stays WARMING before the router
         #: treats it as a full peer again.
         self.warmup_seconds = warmup_seconds
@@ -172,13 +202,25 @@ class FleetNode(MTCache):
             )
         warmup = self.warmup_seconds if warmup is None else warmup
         if not self.network.backend_available(node=self.name):
+            now = self.clock.now()
             ends = self.network.outage_ends_at(node=self.name)
-            retry_at = (ends if ends is not None else self.clock.now()) + 1e-3
+            if ends is not None:
+                retry_at = ends + self.restart_defer_epsilon
+            else:
+                # Unavailability with no scheduled end (a fenced shard
+                # primary awaiting promotion): poll at a bounded cadence.
+                retry_at = now + RESTART_RETRY_INTERVAL
+            self.restart_deferrals.append({"time": now, "retry_at": retry_at})
+            self.fleet_metrics.counter(
+                "fleet_restart_deferrals_total", labels={"node": self.name},
+                help="restarts deferred because the back-end was unreachable",
+            ).inc()
             self.fleet_metrics.event(
                 "lifecycle",
                 f"{self.name} restart deferred to t={retry_at:g}: "
                 f"back-end unreachable", severity="warning",
-                time=self.clock.now(), node=self.name, state="restart_deferred",
+                time=now, node=self.name, state="restart_deferred",
+                retry_at=retry_at,
             )
             self.scheduler.at(
                 retry_at,
@@ -313,18 +355,28 @@ class FleetNode(MTCache):
                 self.breaker.record_failure()
                 attempt += 1
                 self.fleet_metrics.counter(
-                    "fleet_retries_total",
+                    "fleet_remote_retries_total",
                     labels={"node": self.name, "reason": exc.reason},
                     help="failed back-end attempts that were retried",
                 ).inc()
                 if clock.now() >= deadline:
                     raise
                 if self.breaker.available():
-                    # Exponential backoff between attempts while closed;
-                    # an open breaker's cooldown paces us instead.
-                    self.network.sleep(
-                        self.retry_backoff * (2.0 ** min(attempt - 1, 5))
-                    )
+                    # Capped exponential backoff with deterministic seeded
+                    # jitter between attempts while closed; an open
+                    # breaker's cooldown paces us instead.  The jitter rng
+                    # is a pure function of (network seed, node name), so
+                    # identical seeds replay identical sleeps.
+                    delay = min(
+                        self.retry_backoff_cap,
+                        self.retry_backoff * (2.0 ** (attempt - 1)),
+                    ) * (0.5 + 0.5 * self._backoff_rng.random())
+                    self.fleet_metrics.counter(
+                        "fleet_remote_backoff_seconds_total",
+                        labels={"node": self.name},
+                        help="simulated seconds slept in remote retry backoff",
+                    ).inc(delay)
+                    self.network.sleep(delay)
                 continue
             self.breaker.record_success()
             return out
@@ -337,8 +389,16 @@ class FleetNode(MTCache):
 
     def backend_dml(self, stmt):
         """Ship DML to the back-end through the node's network path, so
-        writes see the same faults, retries and breaker as reads."""
-        return self._backend_call(self.backend.execute_dml, stmt)
+        writes see the same faults, retries and breaker as reads.
+
+        The statement's shard pin (when the back-end can compute one)
+        scopes the availability check: a write to a healthy shard is not
+        blocked by another shard's failover, while a write to the fenced
+        shard itself retries until its replica is promoted.
+        """
+        shards = self.backend.dml_shards(stmt)
+        pin = None if shards is None else tuple(shards)
+        return self._backend_call(self.backend.execute_dml, stmt, shards=pin)
 
     # ------------------------------------------------------------------
     # Availability-aware currency guards
@@ -358,8 +418,37 @@ class FleetNode(MTCache):
         def selector(ctx):
             choice = base(ctx)
             if choice == 1 and not node.remote_available(shards=pin):
+                failover = not node.backend.shards_available(pin)
+                if failover:
+                    decisions = ctx.session_decisions
+                    floor_forced = bool(
+                        decisions
+                        and decisions[-1][0] == view.name
+                        and decisions[-1][1] == "remote"
+                    )
+                    strict = node.table_consistency(view.base_table) == "strict"
+                    if floor_forced or strict:
+                        # Strict tables and session-floor reads must not
+                        # fall back to rows below the floor: take the
+                        # remote branch anyway and let the retry loop ride
+                        # out the promotion (the new primary covers the
+                        # floor — with a durable log it replays the whole
+                        # tail before serving).
+                        node.fleet_metrics.counter(
+                            "fleet_failover_blocked_total",
+                            labels={
+                                "node": node.name,
+                                "reason": "session_floor" if floor_forced else "strict",
+                            },
+                            help="reads that rode out a shard failover "
+                                 "instead of degrading",
+                        ).inc()
+                        return 1
+                    what = "shard failover in progress"
+                else:
+                    what = "back-end unreachable"
                 ctx.record_warning(
-                    f"degraded: back-end unreachable from {node.name}; serving "
+                    f"degraded: {what} from {node.name}; serving "
                     f"{view.name} beyond its {bound:g}s bound"
                 )
                 snapshot = node._view_snapshot(view, shard)
@@ -380,9 +469,16 @@ class FleetNode(MTCache):
                     labels={"node": node.name, "policy": node.fallback_policy},
                     help="queries served stale because the back-end was down",
                 ).inc()
+                if failover:
+                    node.fleet_metrics.counter(
+                        "fleet_failover_degraded_total",
+                        labels={"node": node.name, "view": view.name},
+                        help="relaxed reads served within-bound from the "
+                             "local copy during a shard failover",
+                    ).inc()
                 node.metrics.event(
                     "degraded",
-                    f"back-end unreachable from {node.name}; serving "
+                    f"{what} from {node.name}; serving "
                     f"{view.name} beyond its {bound:g}s bound",
                     severity="warning", time=node.clock.now(),
                     node=node.name, view=view.name,

@@ -28,7 +28,10 @@ re-certified later:
 * ``monotonic_reads`` — §2.4: within one session, successive local
   reads of the same (node, region, shard) series never step backwards
   in snapshot time.  Node lifecycle/failover events reset the series
-  (a rebuilt replica is a new copy in the appendix's sense).
+  (a rebuilt replica is a new copy in the appendix's sense), and a
+  shard ``promotion`` event resets every series pinned to that shard
+  (the promoted standby is a different physical copy) — but nothing
+  else does.
 * ``timeline`` — §2.3 TIMEORDERED: replays the recorded bracket with
   the watermark semantics of :class:`repro.cc.timeline.TimelineSession`
   — later reads use snapshots at or above the watermark, and remote
@@ -339,9 +342,12 @@ class ConsistencyCertifier:
         anomalies = []
         checked = 0
         resets = 0
-        #: (session, node, region, shard) -> (last snapshot, last qid).
+        promotions = 0
+        #: (session, node, node epoch, shard epoch, region, shard)
+        #: -> (last snapshot, last qid).
         series = {}
         epoch = {}  # node -> replica-continuity epoch
+        shard_epochs = {}  # back-end shard -> promotion epoch
         for record in self.history:
             kind = record["kind"]
             if kind == "event" and record["event"] in _RESET_EVENTS:
@@ -352,12 +358,29 @@ class ConsistencyCertifier:
                     epoch[node] = epoch.get(node, 0) + 1
                 resets += 1
                 continue
+            if kind == "event" and record["event"] == "promotion":
+                # A promoted shard primary is a different physical copy:
+                # its series restart, exactly like a node's lifecycle
+                # epoch — and *only* promotions move shard epochs (a
+                # backend_crash alone resets nothing).
+                shard = record["attrs"].get("shard")
+                if shard is not None:
+                    shard_epochs[shard] = shard_epochs.get(shard, 0) + 1
+                    promotions += 1
+                continue
             if kind != "query" or record["session"] is None:
                 continue
             node_epoch = epoch.get(record["node"], 0)
             for read in record["reads"]:
+                # A pinned read continues across other shards' promotions;
+                # an unpinned read touches every shard, so any promotion
+                # restarts it (the sum moves with each).
+                if read["shard"] is not None:
+                    shard_epoch = shard_epochs.get(read["shard"], 0)
+                else:
+                    shard_epoch = sum(shard_epochs.values())
                 key = (record["session"], record["node"], node_epoch,
-                       read["region"], read["shard"])
+                       shard_epoch, read["region"], read["shard"])
                 last = series.get(key)
                 checked += 1
                 if last is not None:
@@ -377,7 +400,8 @@ class ConsistencyCertifier:
                     series[key] = (read["snapshot"], record["qid"])
         return Certificate(
             "monotonic_reads", checked, anomalies,
-            {"series": len(series), "replica_resets": resets},
+            {"series": len(series), "replica_resets": resets,
+             "shard_promotions": promotions},
         )
 
     # ------------------------------------------------------------------

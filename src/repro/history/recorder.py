@@ -29,6 +29,7 @@ __all__ = ["HistoryRecorder"]
 EVENT_KINDS = frozenset({
     "outage", "partition", "agent_stall", "lifecycle",
     "failover", "breaker", "invariant", "certify",
+    "backend_crash", "promotion",
 })
 
 

@@ -1,5 +1,7 @@
-"""Hash-partitioned storage tier: ``ShardedBackend``."""
+"""Hash-partitioned storage tier: ``ShardedBackend`` plus the shard
+replica / failover machinery (``ShardReplica``, ``ShardFailureDetector``)."""
 
 from repro.shard.backend import ShardedBackend, ShardRoute
+from repro.shard.replica import ShardFailureDetector, ShardReplica
 
-__all__ = ["ShardedBackend", "ShardRoute"]
+__all__ = ["ShardedBackend", "ShardRoute", "ShardReplica", "ShardFailureDetector"]

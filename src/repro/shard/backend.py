@@ -55,7 +55,9 @@ from repro.engine.executor import ExecutionContext, PhaseTimings, QueryResult
 from repro.obs.metrics import NULL_REGISTRY
 from repro.optimizer.cost import CostModel
 from repro.optimizer.query_info import _constant_value, _has_subquery, _split_conjuncts
+from repro.replication.checkpoint import CheckpointStore
 from repro.replication.heartbeat import HEARTBEAT_TABLE, heartbeat_schema
+from repro.shard.replica import ShardFailureDetector, ShardReplica
 from repro.sql import ast
 from repro.sql.parser import parse
 
@@ -86,26 +88,64 @@ class _ShardedHeartbeats:
     Each partition keeps its own ``heartbeat`` table and beats it through
     its own transaction manager, so per-shard replication lag is visible
     per shard — the whole point of partition-scoped currency regions.
+
+    The facade remembers every registration so a promoted replica can be
+    re-armed (:meth:`resume`): the registered rows reach the standby
+    through log shipping, but the beat *jobs* lived on the dead primary
+    and must be restarted against the new one.
     """
 
     def __init__(self, partitions):
         self._partitions = partitions
+        self._intervals = {}  # cid -> beat interval
+        self._started = set()
 
     def register_region(self, cid, beat_interval=2.0, start=True):
+        self._intervals[cid] = beat_interval
+        if start:
+            self._started.add(cid)
         for partition in self._partitions:
             partition.heartbeats.register_region(cid, beat_interval=beat_interval, start=start)
 
-    def start(self, cid):
+    def start(self, cid, beat_interval=None):
+        if beat_interval is not None:
+            self._intervals[cid] = beat_interval
+        self._started.add(cid)
         for partition in self._partitions:
-            partition.heartbeats.start(cid)
+            partition.heartbeats.start(cid, self._intervals.get(cid, 2.0))
 
     def stop(self, cid):
+        self._started.discard(cid)
         for partition in self._partitions:
             partition.heartbeats.stop(cid)
 
     def beat(self, cid):
         for partition in self._partitions:
             partition.heartbeats.beat(cid)
+
+    def suspend(self, server):
+        """Cancel the beat jobs on one (crashed) server without touching
+        the registration memory — its heartbeat rows freeze at the last
+        acknowledged write, which is exactly the silence the failure
+        detector measures."""
+        for cid in self._started:
+            server.heartbeats.stop(cid)
+
+    def resume(self, shard):
+        """Re-arm every registered region's beats on ``shard``'s current
+        primary (called right after a promotion swaps it in)."""
+        partition = self._partitions[shard]
+        table = partition.catalog.table(HEARTBEAT_TABLE).table
+        for cid, interval in self._intervals.items():
+            if table.pk_lookup((cid,)) is None:
+                # The row never replicated (registration raced the crash);
+                # recreate it so beats have something to update.
+                def _insert(txn, cid=cid):
+                    txn.insert(HEARTBEAT_TABLE, (cid, partition.clock.now()))
+
+                partition.txn_manager.run(_insert)
+            if cid in self._started:
+                partition.heartbeats.start(cid, interval)
 
 
 class ShardedBackend(Backend):
@@ -117,9 +157,13 @@ class ShardedBackend(Backend):
     """
 
     def __init__(self, n_partitions=2, clock=None, scheduler=None, cost_model=None,
-                 metrics=None, *, batch_size=None, engine=None):
+                 metrics=None, *, batch_size=None, engine=None, replicas=0,
+                 replica_interval=0.2, failure_timeout=1.5,
+                 detector_interval=0.25, durable_log=True):
         if n_partitions < 1:
             raise ValueError("n_partitions must be >= 1")
+        if replicas < 0:
+            raise ValueError("replicas must be >= 0")
         self.clock = clock or SimulatedClock()
         self.scheduler = scheduler or EventScheduler(self.clock)
         self.cost_model = cost_model or CostModel()
@@ -127,11 +171,43 @@ class ShardedBackend(Backend):
         kwargs = {} if batch_size is None else {"batch_size": batch_size}
         if engine is not None:
             kwargs["engine"] = engine
+        self._server_kwargs = kwargs
         self.partitions = [
             BackendServer(self.clock, self.scheduler, self.cost_model, **kwargs)
             for _ in range(n_partitions)
         ]
         self.heartbeats = _ShardedHeartbeats(self.partitions)
+        # ---- Shard roles: primaries + K log-shipping replicas each ----
+        #: Whether a crashed primary's log survives the crash.  True (the
+        #: default) models a durable log device: promotion replays the
+        #: unreplicated tail into the new primary and surfaces those
+        #: transactions as *pending* (delayed, not lost).  False models a
+        #: volatile log: the tail is surfaced as *lost* commits.
+        self.durable_log = durable_log
+        self.replica_interval = replica_interval
+        #: shard -> [ShardReplica] standbys still tailing that shard.
+        self.replicas = {}
+        #: Durable replica ship positions (survive replica restarts).
+        self.replica_checkpoints = CheckpointStore()
+        self.shard_epochs = [0] * n_partitions
+        self._down = [False] * n_partitions
+        self._crashed_at = [None] * n_partitions
+        #: Transaction ids dropped by non-durable promotions, per shard.
+        self.lost_commits = {}
+        #: Scalar records of every promotion, in order.
+        self.promotions = []
+        self._promotion_listeners = []
+        self.detector = None
+        if replicas > 0:
+            for shard in range(n_partitions):
+                self.replicas[shard] = [
+                    self._build_replica(shard, r) for r in range(replicas)
+                ]
+            self.detector = ShardFailureDetector(
+                self, failure_timeout=failure_timeout,
+                check_interval=detector_interval,
+            )
+            self.detector.start(self.scheduler)
         # The coordinator catalog holds the global schema and *merged*
         # statistics; its heap tables stay empty (rows live on shards).
         # MTCache mirrors this catalog for its shadow tables.
@@ -198,7 +274,211 @@ class ShardedBackend(Backend):
             sum(len(entry.table) for entry in p.catalog.tables())
             for p in self.partitions
         ]
+        info["shards"] = [
+            {
+                "shard": shard,
+                "epoch": self.shard_epochs[shard],
+                "primary": "down" if self._down[shard] else "up",
+                "replicas": [
+                    {
+                        "replica": r.replica_id,
+                        "applied_txn": r.applied_txn,
+                        "lag": r.lag_behind(self.partitions[shard].txn_manager.log),
+                    }
+                    for r in self.replicas.get(shard, [])
+                ],
+            }
+            for shard in range(self.partition_count)
+        ]
         return info
+
+    # ------------------------------------------------------------------
+    # Shard roles: replicas, crash, failure detection, promotion
+    # ------------------------------------------------------------------
+    def _build_replica(self, shard, replica_id):
+        server = BackendServer(
+            self.clock, self.scheduler, self.cost_model, **self._server_kwargs
+        )
+        replica = ShardReplica(
+            shard, replica_id, server, self.clock,
+            checkpoints=self.replica_checkpoints,
+        )
+        replica.start(
+            self.scheduler, self.replica_interval,
+            lambda s=shard: self.partitions[s].txn_manager.log,
+        )
+        return replica
+
+    @property
+    def replica_count(self):
+        """Total standbys across every shard (0: failover unavailable)."""
+        return sum(len(reps) for reps in self.replicas.values())
+
+    def _replica_servers(self):
+        return [r.server for reps in self.replicas.values() for r in reps]
+
+    def shard_is_down(self, shard):
+        return self._down[shard % self.partition_count]
+
+    def crashed_at(self, shard):
+        return self._crashed_at[shard % self.partition_count]
+
+    def shards_available(self, shards=None):
+        """True when every declared shard (all, if undeclared) has a live
+        primary — the role-level availability the network shim consults
+        on top of its own outage windows."""
+        if shards is None:
+            return not any(self._down)
+        return not any(self._down[s % self.partition_count] for s in shards)
+
+    def last_heartbeat(self, shard):
+        """Freshest heartbeat timestamp acknowledged by the shard's
+        primary (None: no region registered yet).  The detector reads
+        this even when the primary is fenced — the frozen rows *are* the
+        silence being measured."""
+        table = self.partitions[shard].catalog.table(HEARTBEAT_TABLE).table
+        latest = None
+        for _, values in table.scan():
+            if latest is None or values[1] > latest:
+                latest = values[1]
+        return latest
+
+    def add_promotion_listener(self, listener):
+        """``listener(info)`` fires after every promotion; ``info`` holds
+        the shard, new epoch, promoted replica, pending/lost txn ids and
+        the new primary's catalog + log (for agent re-binding)."""
+        self._promotion_listeners.append(listener)
+        return listener
+
+    def crash_primary(self, shard):
+        """Fence one shard's primary: beats stop, the shard refuses work,
+        and (with replicas) the failure detector will promote once the
+        heartbeat silence exceeds its timeout."""
+        shard = shard % self.partition_count
+        if self._down[shard]:
+            raise ExecutionError(f"shard p{shard} primary is already down")
+        now = self.clock.now()
+        self._down[shard] = True
+        self._crashed_at[shard] = now
+        self.heartbeats.suspend(self.partitions[shard])
+        self.metrics.event(
+            "backend_crash",
+            f"shard p{shard} primary crashed (epoch {self.shard_epochs[shard]}, "
+            f"{len(self.replicas.get(shard, []))} standby(s))",
+            severity="error", time=now, shard=shard,
+            epoch=self.shard_epochs[shard],
+        )
+        return now
+
+    def promote_shard(self, shard, reason="manual"):
+        """Promote the freshest standby of a fenced shard to primary.
+
+        The winner is the replica with the highest applied transaction
+        (ties: lowest replica id).  With a durable log the old primary's
+        unreplicated tail is replayed into the winner first — those
+        transactions surface as *pending* (acknowledged, delayed through
+        failover, never lost); with ``durable_log=False`` the tail is
+        surfaced as *lost* commits.  The shard epoch is bumped, heartbeat
+        jobs re-arm on the new primary, and promotion listeners fire so
+        the cache tier can re-resolve its agents.
+        """
+        shard = shard % self.partition_count
+        if not self._down[shard]:
+            raise ExecutionError(f"shard p{shard} primary is up; nothing to promote")
+        standbys = self.replicas.get(shard)
+        if not standbys:
+            raise ExecutionError(f"shard p{shard} has no replicas to promote")
+        old = self.partitions[shard]
+        winner = max(standbys, key=lambda r: (r.applied_txn, -r.replica_id))
+        tail_txns = sorted({
+            record.txn_id for record in old.txn_manager.log.records
+            if record.txn_id > winner.applied_txn
+        })
+        pending, lost = [], []
+        if self.durable_log:
+            pending = tail_txns
+            winner.apply_from(old.txn_manager.log)
+        else:
+            lost = tail_txns
+            self.lost_commits.setdefault(shard, []).extend(lost)
+        winner.stop()
+        standbys.remove(winner)
+        new = winner.server
+        # The serving copy inherits the primary's commit observers (the
+        # history recorder watches commit points, not server objects) and
+        # must out-epoch it so plan caches re-resolve instead of reusing
+        # plans compiled against the dead server's statistics.
+        new.txn_manager.observers = old.txn_manager.observers
+        old.txn_manager.observers = []
+        while new.ddl_epoch <= old.ddl_epoch:
+            new.bump_ddl_epoch()
+        self.partitions[shard] = new
+        self._down[shard] = False
+        self._crashed_at[shard] = None
+        self.shard_epochs[shard] += 1
+        epoch = self.shard_epochs[shard]
+        self.heartbeats.resume(shard)
+        now = self.clock.now()
+        info = {
+            "shard": shard, "epoch": epoch, "replica": winner.replica_id,
+            "applied_txn": winner.applied_txn, "pending": pending,
+            "lost": lost, "reason": reason, "time": now,
+            "catalog": new.catalog, "log": new.txn_manager.log,
+        }
+        self.promotions.append({
+            k: info[k] for k in
+            ("shard", "epoch", "replica", "applied_txn", "pending", "lost",
+             "reason", "time")
+        })
+        self.metrics.event(
+            "promotion",
+            f"shard p{shard} promoted replica {winner.replica_id} to primary "
+            f"(epoch {epoch}, {reason}; {len(pending)} pending, "
+            f"{len(lost)} lost commit(s))",
+            severity="warning", time=now, shard=shard, epoch=epoch,
+            replica=winner.replica_id, pending=len(pending), lost=len(lost),
+            reason=reason,
+        )
+        for listener in list(self._promotion_listeners):
+            listener(info)
+        return info
+
+    def ensure_primaries(self):
+        """Recovery sweep: promote any still-fenced shard immediately
+        (chaos recovery must not wait out the detector); a shard with no
+        standbys gets its fenced primary revived in place."""
+        restored = []
+        for shard in range(self.partition_count):
+            if not self._down[shard]:
+                continue
+            if self.replicas.get(shard):
+                restored.append(self.promote_shard(shard, reason="recovery"))
+            else:
+                self._down[shard] = False
+                self._crashed_at[shard] = None
+                self.heartbeats.resume(shard)
+                self.metrics.event(
+                    "backend_crash",
+                    f"shard p{shard} primary restarted in place (no standby)",
+                    severity="info", time=self.clock.now(), shard=shard,
+                    epoch=self.shard_epochs[shard],
+                )
+        return restored
+
+    def catchup_replicas(self):
+        """Ship every standby to its primary's current log tail (the
+        post-recovery settle step before convergence audits)."""
+        applied = 0
+        for reps in self.replicas.values():
+            for replica in reps:
+                applied += replica.tail()
+        return applied
+
+    def _check_up(self, shard):
+        if self._down[shard]:
+            raise ExecutionError(
+                f"shard p{shard} has no live primary (failover in progress)"
+            )
 
     # ------------------------------------------------------------------
     # DDL & statistics (fan-out)
@@ -208,19 +488,21 @@ class ShardedBackend(Backend):
         entry = self.catalog.create_table_from_ast(stmt)
         pk = entry.table.primary_key
         self._partition_columns[entry.name] = pk[0] if pk else None
-        for partition in self.partitions:
-            partition.create_table(stmt)
+        for server in self.partitions + self._replica_servers():
+            server.create_table(stmt)
         return entry
 
     def create_index(self, sql_or_stmt):
         stmt = parse(sql_or_stmt) if isinstance(sql_or_stmt, str) else sql_or_stmt
+        for server in self._replica_servers():
+            server.create_index(stmt)
         return [p.create_index(stmt) for p in self.partitions]
 
     def refresh_statistics(self, table_name=None):
         """Recompute per-shard statistics, then the merged coordinator
         statistics (exact: pooled over every shard's rows)."""
-        for partition in self.partitions:
-            partition.refresh_statistics(table_name)
+        for server in self.partitions + self._replica_servers():
+            server.refresh_statistics(table_name)
         entries = [self.catalog.table(table_name)] if table_name else self.catalog.tables()
         for entry in entries:
             self._merge_entry_stats(entry)
@@ -400,6 +682,7 @@ class ShardedBackend(Backend):
         return result.rows
 
     def _run_on(self, shard, select, ctx=None):
+        self._check_up(shard)
         result = self.partitions[shard].execute_select(select, ctx=ctx)
         self._charge(shard, result.timings.total)
         return result
@@ -461,7 +744,11 @@ class ShardedBackend(Backend):
     def _execute_gather(self, select, ctx):
         """Stage every referenced table whole and run the select locally."""
         scratch = self._scratch_server()
-        for name in sorted(self._referenced_tables(select, set())):
+        names = sorted(self._referenced_tables(select, set()))
+        for name in names:
+            for shard in self._shards_for_table(name):
+                self._check_up(shard)
+        for name in names:
             rows = [
                 values
                 for shard in self._shards_for_table(name)
@@ -531,6 +818,10 @@ class ShardedBackend(Backend):
                 )
             shard = self._insert_shard(stmt, columns, value_row)
             buckets.setdefault(shard, []).append(value_row)
+        # All-or-nothing liveness gate: refuse the whole statement if any
+        # owning shard is mid-failover (no partial multi-shard inserts).
+        for shard in sorted(buckets):
+            self._check_up(shard)
         total = 0
         for shard, rows in sorted(buckets.items()):
             sub = ast.Insert(stmt.table, stmt.columns, rows)
@@ -544,6 +835,29 @@ class ShardedBackend(Backend):
             return self._shards_for_table(stmt.table)
         return sorted(pinned)
 
+    def dml_shards(self, stmt):
+        """Best-effort shard pin for a DML statement (None: unknown).
+
+        The fleet's write path uses this to scope its availability check:
+        a write to a healthy shard must not block on another shard's
+        failover, while a write to the fenced shard retries until its
+        replica is promoted.
+        """
+        if isinstance(stmt, str):
+            stmt = parse(stmt)
+        try:
+            if isinstance(stmt, ast.Insert):
+                entry = self.catalog.table(stmt.table)
+                columns = [c.lower() for c in (stmt.columns or entry.schema.names())]
+                return sorted({
+                    self._insert_shard(stmt, columns, row) for row in stmt.rows
+                })
+            if isinstance(stmt, (ast.Update, ast.Delete)):
+                return list(self._dml_shards(stmt))
+        except Exception:
+            return None
+        return None
+
     def _execute_update(self, stmt):
         pcol = self._partition_columns.get(stmt.table)
         if pcol is not None and any(col.lower() == pcol for col, _ in stmt.assignments):
@@ -551,14 +865,16 @@ class ShardedBackend(Backend):
                 f"UPDATE may not assign partition column {stmt.table}.{pcol}: "
                 "rows cannot migrate across shards"
             )
-        return sum(
-            self.partitions[shard].execute(stmt) for shard in self._dml_shards(stmt)
-        )
+        shards = self._dml_shards(stmt)
+        for shard in shards:
+            self._check_up(shard)
+        return sum(self.partitions[shard].execute(stmt) for shard in shards)
 
     def _execute_delete(self, stmt):
-        return sum(
-            self.partitions[shard].execute(stmt) for shard in self._dml_shards(stmt)
-        )
+        shards = self._dml_shards(stmt)
+        for shard in shards:
+            self._check_up(shard)
+        return sum(self.partitions[shard].execute(stmt) for shard in shards)
 
     def bulk_load(self, table_name, rows):
         name = table_name.lower()

@@ -310,7 +310,7 @@ class TestOutage:
         assert fleet.clock.now() >= start + 2.0
         assert len(result.rows) == 20
         snap = fleet.metrics.snapshot()
-        retries = [k for k in snap if k.startswith("fleet_retries_total")]
+        retries = [k for k in snap if k.startswith("fleet_remote_retries_total")]
         assert retries
         transitions = [k for k in snap if k.startswith("fleet_breaker_transitions_total")]
         assert transitions  # the serving node's breaker opened and recovered

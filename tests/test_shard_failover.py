@@ -1,0 +1,509 @@
+"""Tests for shard replicas, primary failover and degraded reads.
+
+Covers the log-shipping :class:`~repro.shard.ShardReplica` (whole
+transactions replayed, prefix-consistent log copy, checkpoint resume),
+crash fencing and the heartbeat failure detector's deterministic
+promotion, durable-log *pending* vs volatile-log *lost* promotion
+tails, recovery helpers, topology reporting through ``status()`` and
+the ``\\fleet`` shell command, fleet-level failover with agent
+re-binding, the seeded retry-backoff and restart-deferral-epsilon
+satellites, and certification across promotion (monotonic series reset
+on shard-epoch bumps and nothing else; a planted lost tail flags the
+delta check).
+"""
+
+import io
+
+import pytest
+
+from repro.cache.backend import BackendServer
+from repro.chaos import ChaosScheduler
+from repro.chaos.env import build_demo_fleet, build_ledger_fleet
+from repro.cli import run_script
+from repro.common.errors import ExecutionError
+from repro.fleet import CacheFleet
+from repro.history import ConsistencyCertifier, History
+from repro.shard import ShardedBackend
+
+DDL = (
+    "CREATE TABLE inv (id INT NOT NULL, qty INT NOT NULL, "
+    "PRIMARY KEY (id))"
+)
+
+
+def make_backend(replicas=1, n=24, **kwargs):
+    backend = ShardedBackend(2, replicas=replicas, **kwargs)
+    backend.create_table(DDL)
+    values = ", ".join(f"({i}, {i % 7})" for i in range(n))
+    # One multi-row INSERT = one transaction with n ops: replay must
+    # apply every op, not just the first of each transaction.
+    backend.execute(f"INSERT INTO inv VALUES {values}")
+    backend.refresh_statistics()
+    return backend
+
+
+def rows_of(server, table="inv"):
+    return sorted(
+        tuple(v) for _, v in server.catalog.table(table).table.scan()
+    )
+
+
+def key_on_shard(backend, shard, start=0):
+    for key in range(start, start + 1000):
+        if backend.shard_of("inv", key) == shard:
+            return key
+    raise AssertionError(f"no key hashes to shard {shard}")
+
+
+# ----------------------------------------------------------------------
+# Log-shipping replicas
+# ----------------------------------------------------------------------
+class TestReplicaTailing:
+    def test_replicas_apply_whole_transactions(self):
+        backend = make_backend()
+        backend.scheduler.run_for(1.0)
+        for shard, standbys in backend.replicas.items():
+            primary = backend.partitions[shard]
+            for replica in standbys:
+                assert rows_of(replica.server) == rows_of(primary)
+                assert replica.lag_behind(primary.txn_manager.log) == 0
+
+    def test_replica_log_is_prefix_consistent_copy(self):
+        backend = make_backend()
+        backend.execute("UPDATE inv SET qty = qty + 1 WHERE id < 5")
+        backend.execute("DELETE FROM inv WHERE id >= 20")
+        backend.scheduler.run_for(1.0)
+        for shard, standbys in backend.replicas.items():
+            primary_log = backend.partitions[shard].txn_manager.log.records
+            for replica in standbys:
+                copy = replica.server.txn_manager.log.records
+                assert [(r.txn_id, r.commit_time, r.table, r.op, r.pk)
+                        for r in copy] == \
+                       [(r.txn_id, r.commit_time, r.table, r.op, r.pk)
+                        for r in primary_log[:len(copy)]]
+
+    def test_checkpoint_saved_and_resumed(self):
+        backend = make_backend()
+        backend.scheduler.run_for(1.0)
+        replica = backend.replicas[0][0]
+        assert replica.applied_txn > 0
+        checkpoint = backend.replica_checkpoints.load(replica.checkpoint_key)
+        assert checkpoint.applied_txn == replica.applied_txn
+        # A restarted replica process adopts the durable position.
+        applied, snapshot = replica.applied_txn, replica.snapshot_time
+        replica.applied_txn = 0
+        replica.snapshot_time = 0.0
+        restored = replica.resume_from_checkpoint()
+        assert restored is checkpoint
+        assert (replica.applied_txn, replica.snapshot_time) == \
+               (applied, snapshot)
+
+
+# ----------------------------------------------------------------------
+# Fencing + failure detection
+# ----------------------------------------------------------------------
+class TestCrashAndDetection:
+    def test_crash_fences_only_that_shard(self):
+        backend = make_backend()
+        backend.scheduler.run_for(1.0)
+        down, live = 0, 1
+        backend.crash_primary(down)
+        assert backend.shard_is_down(down)
+        assert not backend.shards_available((down,))
+        assert backend.shards_available((live,))
+        k_down = key_on_shard(backend, down)
+        k_live = key_on_shard(backend, live)
+        with pytest.raises(ExecutionError, match="no live primary"):
+            backend.execute(
+                f"SELECT i.id, i.qty FROM inv i WHERE i.id = {k_down}"
+            )
+        with pytest.raises(ExecutionError, match="no live primary"):
+            backend.execute(f"DELETE FROM inv WHERE id = {k_down}")
+        result = backend.execute(
+            f"SELECT i.id, i.qty FROM inv i WHERE i.id = {k_live}"
+        )
+        assert len(result.rows) == 1
+        with pytest.raises(ExecutionError, match="already down"):
+            backend.crash_primary(down)
+        topo = backend.describe_topology()["shards"]
+        assert topo[down]["primary"] == "down"
+        assert topo[live]["primary"] == "up"
+
+    def test_promote_requires_fenced_primary(self):
+        backend = make_backend()
+        with pytest.raises(ExecutionError, match="nothing to promote"):
+            backend.promote_shard(0)
+
+    def test_detector_promotion_is_deterministic(self):
+        times = []
+        for _ in range(2):
+            backend = make_backend()
+            backend.scheduler.run_until(3.0)
+            backend.crash_primary(1)
+            backend.scheduler.run_until(10.0)
+            assert not backend.shard_is_down(1)
+            assert len(backend.promotions) == 1
+            promo = backend.promotions[0]
+            assert promo["reason"] == "heartbeat-silence"
+            assert promo["epoch"] == 1
+            times.append(promo["time"])
+            assert backend.detector.detections == [(1, promo["time"],
+                                                    promo["time"] - 3.0)]
+        assert times[0] == times[1]
+
+    def test_promoted_shard_preserves_data_and_serves(self):
+        backend = make_backend()
+        backend.scheduler.run_for(1.0)
+        before = rows_of(backend.partitions[1])
+        backend.crash_primary(1)
+        backend.scheduler.run_for(5.0)
+        assert rows_of(backend.partitions[1]) == before
+        k = key_on_shard(backend, 1)
+        assert backend.execute(
+            f"SELECT i.id, i.qty FROM inv i WHERE i.id = {k}"
+        ).rows
+        # The promoted copy accepts writes with continued txn ids.
+        backend.execute(f"UPDATE inv SET qty = 99 WHERE id = {k}")
+        assert (k, 99) in rows_of(backend.partitions[1])
+
+
+# ----------------------------------------------------------------------
+# Promotion tails: durable pending vs volatile lost
+# ----------------------------------------------------------------------
+class TestPromotionTails:
+    def test_durable_log_replays_tail_as_pending(self):
+        # Huge ship interval: the standby never tails, so the whole
+        # history is an unreplicated tail at promotion time.
+        backend = make_backend(replica_interval=100.0)
+        old_rows = rows_of(backend.partitions[0])
+        backend.crash_primary(0)
+        info = backend.promote_shard(0)
+        assert info["lost"] == []
+        assert info["pending"], "the unreplicated tail must surface"
+        assert rows_of(backend.partitions[0]) == old_rows
+        assert backend.lost_commits == {}
+
+    def test_volatile_log_surfaces_lost_commits(self):
+        backend = make_backend(durable_log=False)
+        backend.scheduler.run_for(1.0)  # standbys catch up
+        replicated = rows_of(backend.partitions[0])
+        k = key_on_shard(backend, 0, start=1000)
+        backend.execute(f"INSERT INTO inv VALUES ({k}, 1)")  # never ships
+        backend.crash_primary(0)
+        info = backend.promote_shard(0)
+        assert info["pending"] == []
+        assert len(info["lost"]) == 1
+        assert backend.lost_commits[0] == info["lost"]
+        assert rows_of(backend.partitions[0]) == replicated
+
+    def test_promotion_bumps_epochs_and_rearms_heartbeats(self):
+        backend = make_backend()
+        backend.heartbeats.register_region("r", beat_interval=0.5)
+        backend.scheduler.run_for(1.0)
+        coordinator_epoch = backend.ddl_epoch
+        backend.crash_primary(0)
+        backend.promote_shard(0)
+        assert backend.shard_epochs == [1, 0]
+        assert backend.ddl_epoch > coordinator_epoch
+        beat = backend.last_heartbeat(0)
+        backend.scheduler.run_for(2.0)
+        assert backend.last_heartbeat(0) > beat, "beats re-armed"
+
+
+# ----------------------------------------------------------------------
+# Recovery helpers
+# ----------------------------------------------------------------------
+class TestRecoveryHelpers:
+    def test_ensure_primaries_promotes_fenced_shards(self):
+        backend = make_backend()
+        backend.scheduler.run_for(1.0)
+        backend.crash_primary(0)
+        restored = backend.ensure_primaries()
+        assert [info["shard"] for info in restored] == [0]
+        assert restored[0]["reason"] == "recovery"
+        assert backend.shards_available()
+
+    def test_ensure_primaries_revives_replica_less_shard_in_place(self):
+        backend = make_backend(replicas=0)
+        server = backend.partitions[0]
+        backend.crash_primary(0)
+        assert backend.ensure_primaries() == []
+        assert backend.shards_available()
+        assert backend.partitions[0] is server
+        assert backend.shard_epochs == [0, 0]
+
+    def test_catchup_replicas_ships_to_tail(self):
+        backend = make_backend(replica_interval=100.0)
+        assert backend.catchup_replicas() > 0
+        for shard, standbys in backend.replicas.items():
+            for replica in standbys:
+                assert rows_of(replica.server) == \
+                       rows_of(backend.partitions[shard])
+
+
+# ----------------------------------------------------------------------
+# Fleet-level failover
+# ----------------------------------------------------------------------
+class TestFleetFailover:
+    def test_ledger_workload_rides_out_promotion(self):
+        fleet, workload = build_ledger_fleet(
+            partitions=2, replicas=1, record_history=True,
+        )
+        chaos = ChaosScheduler(fleet, seed=7)
+        chaos.backend_crash(1, 10.0)
+        report = chaos.run(30.0, workload=workload)
+        assert report.violations == []
+        promotions = report.promotions()
+        assert len(promotions) == 1
+        shard, _, _, latency, epoch = promotions[0]
+        assert (shard, epoch) == (1, 1)
+        assert latency > 0
+        assert report.served_fraction() >= 0.99
+        assert report.summary()["certification"]["anomalies"] == 0
+
+    def test_promotion_rebinds_shard_agents(self):
+        fleet = build_demo_fleet(partitions=2, replicas=1)
+        backend = fleet.backend
+        backend.crash_primary(0)
+        fleet.run_for(5.0)  # detector fires at ~1.75s
+        assert not backend.shard_is_down(0)
+        new_log = backend.partitions[0].txn_manager.log
+        rebound = 0
+        for node in fleet.nodes:
+            for agent in node.agents.values():
+                if getattr(agent, "shard_id", None) == 0:
+                    assert agent.log is new_log
+                    rebound += 1
+        assert rebound >= 1
+
+    def test_relaxed_reads_degrade_during_failover_window(self):
+        fleet = build_demo_fleet(partitions=2, replicas=1)
+        backend = fleet.backend
+        key = next(k for k in range(400)
+                   if backend.shard_of("profile", k) == 0)
+        backend.crash_primary(0)
+        fleet.run_for(1.2)  # inside the window: the detector needs 1.5 s
+        assert backend.shard_is_down(0)
+        result = fleet.execute(
+            f"SELECT p.id, p.score FROM profile p WHERE p.id = {key} "
+            "CURRENCY BOUND 1 SEC ON (p)"
+        )
+        assert result.rows
+        assert result.warnings and "failover" in result.warnings[0]
+        snap = fleet.metrics.snapshot()
+        assert any(k.startswith("fleet_failover_degraded_total")
+                   for k in snap)
+
+    def test_strict_reads_ride_out_the_promotion(self):
+        fleet = build_demo_fleet(partitions=2, replicas=1)
+        fleet.declare_table_consistency("profile", "strict")
+        backend = fleet.backend
+        key = next(k for k in range(400)
+                   if backend.shard_of("profile", k) == 0)
+        backend.crash_primary(0)
+        fleet.run_for(1.2)
+        assert backend.shard_is_down(0)
+        result = fleet.execute(
+            f"SELECT p.id, p.score FROM profile p WHERE p.id = {key} "
+            "CURRENCY BOUND 1 SEC ON (p)"
+        )
+        # The strict read blocked through the promotion instead of
+        # serving stale: fresh rows, no degraded warning, and the
+        # promotion completed while the call was riding it out.
+        assert result.rows and not result.warnings
+        assert not backend.shard_is_down(0)
+        assert len(backend.promotions) == 1
+        snap = fleet.metrics.snapshot()
+        assert any(k.startswith("fleet_failover_blocked_total")
+                   for k in snap)
+
+    def test_status_and_shell_show_shard_roles(self):
+        fleet = build_demo_fleet(partitions=2, replicas=1)
+        fleet.backend.crash_primary(1)
+        shards = fleet.status()["backend"]["shards"]
+        assert [s["primary"] for s in shards] == ["up", "down"]
+        out = io.StringIO()
+        run_script(fleet, ["\\fleet"], out=out)
+        text = out.getvalue()
+        assert "p0: primary=UP epoch=0" in text
+        assert "p1: primary=DOWN" in text
+        assert "r0 applied=" in text
+
+
+# ----------------------------------------------------------------------
+# Satellite: capped, seeded exponential retry backoff
+# ----------------------------------------------------------------------
+REMOTE_ONLY = "SELECT t.id, t.v FROM t CURRENCY BOUND 0 SEC ON (t)"
+
+
+def make_outage_fleet():
+    backend = BackendServer()
+    backend.create_table(
+        "CREATE TABLE t (id INT NOT NULL, v INT NOT NULL, PRIMARY KEY (id))"
+    )
+    backend.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+    backend.refresh_statistics()
+    fleet = CacheFleet(backend, n_nodes=2, reset_timeout=0.5)
+    fleet.create_region("r", 4.0, 1.0, heartbeat_interval=0.5)
+    fleet.create_matview("t_copy", "t", ["id", "v"], region="r")
+    fleet.run_for(6.0)
+    return fleet
+
+
+class TestSeededBackoff:
+    def test_backoff_is_deterministic_and_metered(self):
+        finished, backoffs = [], []
+        for _ in range(2):
+            fleet = make_outage_fleet()
+            fleet.network.inject_outage(2.0)
+            result = fleet.execute(REMOTE_ONLY)
+            assert len(result.rows) == 2
+            finished.append(fleet.clock.now())
+            snap = fleet.metrics.snapshot()
+            slept = [v for k, v in snap.items()
+                     if k.startswith("fleet_remote_backoff_seconds_total")]
+            assert slept and sum(slept) > 0
+            backoffs.append(slept)
+            assert any(k.startswith("fleet_remote_retries_total")
+                       for k in snap)
+        assert finished[0] == finished[1]
+        assert backoffs[0] == backoffs[1]
+
+    def test_jitter_differs_per_node_but_stays_bounded(self):
+        fleet = make_outage_fleet()
+        sequences = {
+            node.name: [node._backoff_rng.random() for _ in range(8)]
+            for node in fleet.nodes
+        }
+        assert sequences["node0"] != sequences["node1"]
+        node = fleet.nodes[0]
+        # The capped schedule: delay <= cap for any attempt.
+        for attempt in range(1, 12):
+            delay = min(node.retry_backoff_cap,
+                        node.retry_backoff * (2.0 ** (attempt - 1)))
+            assert delay <= node.retry_backoff_cap
+
+
+# ----------------------------------------------------------------------
+# Satellite: configurable restart-deferral epsilon
+# ----------------------------------------------------------------------
+class TestRestartDeferralEpsilon:
+    def test_default_epsilon_is_the_module_constant(self):
+        fleet = make_outage_fleet()
+        assert fleet.nodes[0].restart_defer_epsilon == 1e-3
+
+    def test_configured_epsilon_shapes_retry_and_slo_report(self):
+        backend = BackendServer()
+        backend.create_table(
+            "CREATE TABLE t (id INT NOT NULL, v INT NOT NULL, "
+            "PRIMARY KEY (id))"
+        )
+        backend.execute("INSERT INTO t VALUES (1, 10)")
+        backend.refresh_statistics()
+        fleet = CacheFleet(backend, n_nodes=1, restart_defer_epsilon=0.05)
+        fleet.create_region("r", 4.0, 1.0, heartbeat_interval=0.5)
+        fleet.create_matview("t_copy", "t", ["id", "v"], region="r")
+        fleet.run_for(6.0)
+        node = fleet.nodes[0]
+        assert node.restart_defer_epsilon == 0.05
+        node.crash()
+        now = fleet.clock.now()
+        fleet.network.inject_outage(2.0)
+        node.restart()
+        assert len(node.restart_deferrals) == 1
+        deferral = node.restart_deferrals[0]
+        assert deferral["retry_at"] == pytest.approx(now + 2.0 + 0.05)
+        report = fleet.slo_report()
+        assert report["deferred_restarts"]["node0"] == [deferral]
+        fleet.run_for(2.0 + 0.05 + node.warmup_seconds + 0.5)
+        assert node.accepting
+
+
+# ----------------------------------------------------------------------
+# Certification across promotion
+# ----------------------------------------------------------------------
+def _query_record(qid, *, time, snapshots, session=None, reads=None,
+                  classes=None):
+    return {
+        "kind": "query", "qid": qid, "node": "cache", "time": time,
+        "sql": "SELECT 1", "bound": None,
+        "classes": classes or [], "routing": "local",
+        "snapshots": snapshots, "reads": reads or [], "branches": [],
+        "warnings": 0, "remote_queries": 0, "session": session,
+        "floors": None, "rows": 1,
+    }
+
+
+def _promotion_event(shard, time):
+    return {
+        "kind": "event", "event": "promotion", "severity": "warning",
+        "message": f"shard p{shard} promoted", "time": time,
+        "attrs": {"shard": shard, "epoch": 1},
+    }
+
+
+def _regress_pair(shard):
+    read = {"view": "v", "table": "t", "region": "r", "shard": shard,
+            "strict": False, "sources": {"backend": 3}}
+    return [
+        _query_record(1, time=1.0, snapshots=[10.0], session="s",
+                      reads=[dict(read, snapshot=10.0)]),
+        _query_record(2, time=2.0, snapshots=[5.0], session="s",
+                      reads=[dict(read, snapshot=5.0)]),
+    ]
+
+
+def _kinds(history):
+    return {a.check for a in ConsistencyCertifier(history).certify().anomalies}
+
+
+class TestCertificationAcrossPromotion:
+    def test_monotonic_series_reset_on_shard_epoch_bump_only(self):
+        first, second = _regress_pair(shard=0)
+        # Bare regression on a pinned series: an anomaly.
+        assert _kinds(History([first, second])) == {"monotonic_reads"}
+        # A promotion of *that* shard between the reads resets the
+        # series: the promoted standby is a different physical copy.
+        excused = History([first, _promotion_event(0, 1.5), second])
+        report = ConsistencyCertifier(excused).certify()
+        assert report.certificate("monotonic_reads").ok
+        assert report.certificate("monotonic_reads").details[
+            "shard_promotions"] == 1
+        # A promotion of a *different* shard excuses nothing...
+        assert _kinds(History([first, _promotion_event(1, 1.5), second])) \
+            == {"monotonic_reads"}
+        # ...and a crash without promotion excuses nothing either.
+        crash = {
+            "kind": "event", "event": "backend_crash", "severity": "error",
+            "message": "shard p0 primary crashed", "time": 1.5,
+            "attrs": {"shard": 0, "epoch": 0},
+        }
+        assert _kinds(History([first, crash, second])) == {"monotonic_reads"}
+
+    def test_unpinned_series_reset_on_any_promotion(self):
+        first, second = _regress_pair(shard=None)
+        assert _kinds(History([first, second])) == {"monotonic_reads"}
+        # An unpinned read touches every shard: any promotion resets it.
+        assert _kinds(History([first, _promotion_event(1, 1.5), second])) \
+            == set()
+
+    def test_planted_lost_tail_flags_exactly_the_delta_check(self):
+        # After a volatile-log promotion the promoted copy's applied-txn
+        # point sits behind its sibling's — Δ-consistency must flag that
+        # (and nothing else: the promotion itself resets the monotonic
+        # series, so the lost tail is caught by the right check).
+        reads = [
+            {"view": "a_copy", "table": "t", "region": "r", "shard": 1,
+             "strict": False, "snapshot": 4.0, "sources": {"p1": 5}},
+            {"view": "b_copy", "table": "t", "region": "r", "shard": 1,
+             "strict": False, "snapshot": 4.0, "sources": {"p1": 3}},
+        ]
+        history = History([
+            _promotion_event(1, 3.0),
+            _query_record(1, time=4.0, snapshots=[4.0], session="s",
+                          reads=reads, classes=[["t"]]),
+        ])
+        report = ConsistencyCertifier(history).certify()
+        assert {a.check for a in report.anomalies} == {"delta_consistency"}
+        (anomaly,) = report.anomalies
+        assert anomaly.attrs["delta"] == 2
